@@ -1,0 +1,311 @@
+(* Benchmark harness: regenerates every quantitative artifact of the
+   paper (see DESIGN.md's experiment index) and runs Bechamel
+   micro-benchmarks of the primitives.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- table1       -- one experiment
+   Experiments: table1 improvements online-comm offline-comm failstop
+                sortition-mc micro *)
+
+module F = Yoso_field.Field.Fp
+module B = Yoso_bigint.Bigint
+module Analysis = Yoso_sortition.Analysis
+module Sampler = Yoso_sortition.Sampler
+module Splitmix = Yoso_hash.Splitmix
+module Params = Yoso_mpc.Params
+module Protocol = Yoso_mpc.Protocol
+module Cdn = Yoso_mpc.Cdn_baseline
+module CP = Yoso_mpc.Cdn_paillier
+module Bgw = Yoso_mpc.Bgw_baseline
+module Gen = Yoso_circuit.Generators
+module PS = Yoso_shamir.Packed_shamir.Make (F)
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* T1: Table 1 — sortition parameters with a gap                       *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  header "T1. Table 1: committee sizes for gap eps > 0 (paper Section 6)";
+  Printf.printf "%7s %5s | %7s %7s %7s %6s %7s\n" "C" "f" "t" "c" "c'" "eps" "k";
+  List.iter
+    (fun (c_param, f, row) ->
+      match row with
+      | None -> Printf.printf "%7d %5.2f | %7s %7s %7s %6s %7s\n" c_param f "⊥" "⊥" "⊥" "⊥" "⊥"
+      | Some r ->
+        Printf.printf "%7d %5.2f | %7d %7d %7d %6.2f %7d\n" c_param f r.Analysis.t
+          r.Analysis.c r.Analysis.c' r.Analysis.eps r.Analysis.k)
+    (Analysis.table1 ());
+  Printf.printf
+    "(paper's Table 1 values reproduce within rounding: |t| <= 1, |c| <= 3, |k| <= 3)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E1: headline improvement claims                                     *)
+(* ------------------------------------------------------------------ *)
+
+let improvements () =
+  header "E1. Claimed online-communication improvement factors (Section 1.1.2)";
+  List.iter
+    (fun (label, r) ->
+      Printf.printf
+        "  %s\n    committee %d (vs %d without gap, +%.1f%%), eps = %.3f -> improvement k = %d\n"
+        label r.Analysis.c r.Analysis.c'
+        (100.0 *. (float_of_int r.Analysis.c /. float_of_int r.Analysis.c' -. 1.0))
+        r.Analysis.eps r.Analysis.k)
+    (Analysis.improvement_claims ());
+  Printf.printf "  (paper claims: 28x at f=5%%, >1000x at f=20%%)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E2/E3: measured communication, ours vs CDN baseline                 *)
+(* ------------------------------------------------------------------ *)
+
+let comm_sweep = [ 16; 24; 32; 48; 64; 96 ]
+
+let comm_row n =
+  let params = Params.of_gap ~n ~eps:0.125 () in
+  let k = params.Params.k in
+  let width = n * k / 4 in
+  let circuit = Gen.wide_mul_reduced ~width ~depth:2 ~clients:2 in
+  let inputs c = Array.init (2 * width) (fun i -> F.of_int ((c + 2) * (i + 3))) in
+  let ours = Protocol.execute ~params ~circuit ~inputs () in
+  let cdn = Cdn.execute ~params ~circuit ~inputs () in
+  assert (Protocol.check ours circuit ~inputs);
+  assert (Cdn.check cdn circuit ~inputs);
+  (n, k, ours.Protocol.num_mult, ours, cdn)
+
+let online_comm () =
+  header "E2. Online communication per gate: packed YOSO (ours) vs CDN [29]";
+  Printf.printf "(wide circuits, width = n*k/4, depth 2; elements broadcast / mult gate)\n";
+  Printf.printf "%5s %4s %7s | %12s %12s %8s\n" "n" "k" "gates" "ours" "CDN [29]" "CDN/ours";
+  List.iter
+    (fun n ->
+      let n, k, gates, ours, cdn = comm_row n in
+      let o = Protocol.online_per_gate ours and c = Cdn.online_per_gate cdn in
+      Printf.printf "%5d %4d %7d | %12.1f %12.1f %8.2f\n" n k gates o c (c /. o))
+    comm_sweep;
+  Printf.printf
+    "(expected shape: ours ~constant in n, CDN ~linear in n; crossover at small n)\n"
+
+let offline_comm () =
+  header "E3. Offline communication per gate (O(n), Theorem 1)";
+  Printf.printf "%5s %4s %7s | %14s %14s\n" "n" "k" "gates" "offline/gate" "offline/(n*gate)";
+  List.iter
+    (fun n ->
+      let n, k, gates, ours, _ = comm_row n in
+      let o = Protocol.offline_per_gate ours in
+      Printf.printf "%5d %4d %7d | %14.1f %14.2f\n" n k gates o (o /. float_of_int n))
+    comm_sweep;
+  Printf.printf "(offline/(n*gate) ~constant confirms the O(n)-per-gate bound)\n"
+
+let bgw_comparison () =
+  header "E2b. Information-theoretic baseline: semi-honest BGW (Section 1.2)";
+  Printf.printf "(fixed 8x2 wide circuit; online elements per mult gate)\n";
+  Printf.printf "%5s | %10s %10s %10s\n" "n" "ours" "CDN [29]" "BGW [5]";
+  List.iter
+    (fun n ->
+      let t = (n - 1) / 2 in
+      let params = Params.create ~n ~t:(max 0 (n / 3)) ~k:2 () in
+      let circuit = Gen.wide_mul_reduced ~width:8 ~depth:2 ~clients:2 in
+      let inputs c = Array.init 16 (fun i -> F.of_int ((c + 2) * (i + 3))) in
+      let ours = Protocol.execute ~params ~circuit ~inputs () in
+      let cdn = Cdn.execute ~params ~circuit ~inputs () in
+      let bgw = Bgw.execute ~n ~t ~circuit ~inputs () in
+      assert (Protocol.check ours circuit ~inputs);
+      assert (Cdn.check cdn circuit ~inputs);
+      assert (Bgw.check bgw circuit ~inputs);
+      Printf.printf "%5d | %10.1f %10.1f %10.1f\n" n (Protocol.online_per_gate ours)
+        (Cdn.online_per_gate cdn) (Bgw.online_per_gate bgw))
+    [ 9; 18; 36 ];
+  Printf.printf
+    "(BGW re-shares every live wire each round: the 'prohibitively high' IT cost)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_eps () =
+  header "A1. Ablation: gap eps vs packing factor and communication (n = 64)";
+  Printf.printf "%6s %4s %4s | %12s %12s %14s\n" "eps" "t" "k" "online/gate" "offline/gate"
+    "recon thresh";
+  List.iter
+    (fun eps ->
+      let params = Params.of_gap ~n:64 ~eps () in
+      let width = 64 * params.Params.k / 4 in
+      let circuit = Gen.wide_mul_reduced ~width ~depth:2 ~clients:2 in
+      let inputs c = Array.init (2 * width) (fun i -> F.of_int ((c + 2) * (i + 3))) in
+      let r = Protocol.execute ~params ~circuit ~inputs () in
+      assert (Protocol.check r circuit ~inputs);
+      Printf.printf "%6.2f %4d %4d | %12.1f %12.1f %14d\n" eps params.Params.t
+        params.Params.k (Protocol.online_per_gate r) (Protocol.offline_per_gate r)
+        (Params.reconstruction_threshold params))
+    [ 0.05; 0.10; 0.15; 0.20; 0.25 ];
+  Printf.printf "(larger gap -> larger k -> cheaper online, at lower corruption tolerance)\n"
+
+let ablation_amortization () =
+  header "A2. Ablation: gates handled per committee (tsk re-share amortisation, n = 32)";
+  Printf.printf "%14s | %12s %14s %12s\n" "gates/cmte" "online/gate" "offline/gate"
+    "committees";
+  List.iter
+    (fun gpc ->
+      let params = Params.create ~gates_per_committee:gpc ~n:32 ~t:10 ~k:4 () in
+      let circuit = Gen.wide_mul_reduced ~width:64 ~depth:2 ~clients:2 in
+      let inputs c = Array.init 128 (fun i -> F.of_int ((c + 2) * (i + 3))) in
+      let r = Protocol.execute ~params ~circuit ~inputs () in
+      assert (Protocol.check r circuit ~inputs);
+      Printf.printf "%14d | %12.1f %14.1f %12d\n" gpc (Protocol.online_per_gate r)
+        (Protocol.offline_per_gate r) r.Protocol.committees)
+    [ 8; 16; 32; 64; 128; 256 ];
+  Printf.printf
+    "(a committee handling fewer values means more tsk hand-offs, each O(n^2): the\n paper's amortisation assumes committees process O(n) gates or more)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E4: fail-stop tolerance (Section 5.4)                               *)
+(* ------------------------------------------------------------------ *)
+
+let failstop () =
+  header "E4. Fail-stop tolerance: k ~ n*eps vs k ~ n*eps/2 (Section 5.4)";
+  let n = 40 and eps = 0.2 in
+  let standard = Params.of_gap ~n ~eps () in
+  let fsmode = Params.of_gap ~n ~eps ~fail_stop_mode:true () in
+  let circuit = Gen.dot_product ~len:6 in
+  let inputs c = Array.init 6 (fun i -> F.of_int ((c + 2) * (i + 1))) in
+  let attempt params dropped =
+    let adversary =
+      { Params.malicious = params.Params.t; passive = 0; fail_stop = dropped }
+    in
+    match Params.validate_adversary params adversary with
+    | () ->
+      let r = Protocol.execute ~params ~adversary ~circuit ~inputs () in
+      if Protocol.check r circuit ~inputs then "delivered" else "WRONG"
+    | exception Invalid_argument _ -> "infeasible"
+  in
+  Printf.printf "n = %d, eps = %.2f, t = %d malicious in every committee\n" n eps
+    standard.Params.t;
+  Printf.printf "%8s | %-22s %-22s\n" "crashes" "standard k=9" "fail-stop-mode k=5";
+  List.iter
+    (fun d ->
+      Printf.printf "%8d | %-22s %-22s\n" d (attempt standard d) (attempt fsmode d))
+    [ 0; 1; 2; 4; 6; 8; 9; 10 ];
+  Printf.printf "(paper: halving the packing gain buys tolerance of ~n*eps crashes)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E5: Monte-Carlo validation of the sortition bounds                  *)
+(* ------------------------------------------------------------------ *)
+
+let sortition_mc () =
+  header "E5. Monte-Carlo sortition: do sampled committees satisfy the bounds?";
+  let rng = Splitmix.of_int 0x50F7 in
+  List.iter
+    (fun (c_param, f) ->
+      match Analysis.solve ~f c_param with
+      | None -> Printf.printf "  C=%d f=%.2f: infeasible cell, skipped\n" c_param f
+      | Some row ->
+        let pool = max (20 * c_param) 100_000 in
+        let stats = Sampler.run ~pool ~f ~row ~trials:2000 rng in
+        Printf.printf
+          "  C=%5d f=%.2f pool=%7d | size mean %.0f, corrupt max %d (t=%d), viol phi>=t: %d, viol gap: %d\n"
+          c_param f pool stats.Sampler.mean_size stats.Sampler.max_corrupt row.Analysis.t
+          stats.Sampler.corruption_bound_violations stats.Sampler.gap_violations)
+    [ (1000, 0.05); (5000, 0.10); (5000, 0.15); (10000, 0.20) ];
+  Printf.printf "(with k2 = k3 = 128 the failure probability is ~2^-128: zero violations)\n"
+
+let randgen () =
+  header "E6. YOSO distributed randomness generation (related work [39,38,37])";
+  Printf.printf "%5s %4s | %10s %10s %12s %10s\n" "n" "t" "rej.deal" "rej.rev" "elements" "elems/role";
+  List.iter
+    (fun (n, t, bad_deal, bad_rev) ->
+      let o =
+        Yoso_mpc.Randgen.run ~n ~t ~malicious_dealers:bad_deal
+          ~malicious_revealers:bad_rev ~seed:0x600D ()
+      in
+      Printf.printf "%5d %4d | %10d %10d %12d %10.1f\n" n t o.Yoso_mpc.Randgen.rejected_dealers
+        o.Yoso_mpc.Randgen.rejected_reveals o.Yoso_mpc.Randgen.elements
+        (float_of_int o.Yoso_mpc.Randgen.elements /. float_of_int (2 * n)))
+    [ (16, 5, [], []); (16, 5, [ 1; 2 ], [ 0 ]); (64, 21, [], []); (64, 21, [ 3; 9; 11 ], [ 5; 6 ]) ];
+  Printf.printf
+    "(Feldman-verified beacon: cheating dealers/revealers are caught by group\n arithmetic; O(n) elements per role as in the PVSS-based YOSO beacons)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (Bechamel)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "B1. Primitive micro-benchmarks (Bechamel, ns/run)";
+  let open Bechamel in
+  let st = Random.State.make [| 0xBE |] in
+  let sha_input = String.init 1024 (fun i -> Char.chr (i land 0xFF)) in
+  let big_base = B.random_bits st 256 and big_exp = B.random_bits st 256 in
+  let big_mod = B.add (B.random_bits st 256) B.one in
+  let pk, _sk = Yoso_paillier.Paillier.keygen ~bits:128 st in
+  let msg = B.random_below st pk.Yoso_paillier.Paillier.n in
+  let ps = PS.make_params ~n:64 ~k:8 in
+  let secrets = Array.init 8 (fun _ -> F.random st) in
+  let sharing = PS.share ps ~degree:39 ~secrets st in
+  let pairs = Array.to_list (Array.mapi (fun i v -> (i, v)) sharing.PS.shares) in
+  let small_protocol () =
+    let params = Params.create ~n:8 ~t:2 ~k:2 () in
+    let circuit = Gen.dot_product ~len:4 in
+    let inputs c = Array.init 4 (fun i -> F.of_int (c + i + 1)) in
+    ignore (Protocol.execute ~params ~circuit ~inputs ())
+  in
+  let tests =
+    Test.make_grouped ~name:"primitives"
+      [
+        Test.make ~name:"sha256-1KiB" (Staged.stage (fun () -> ignore (Yoso_hash.Sha256.digest_string sha_input)));
+        Test.make ~name:"bigint-modpow-256b" (Staged.stage (fun () -> ignore (B.powmod big_base big_exp big_mod)));
+        Test.make ~name:"paillier-encrypt-128b" (Staged.stage (fun () -> ignore (Yoso_paillier.Paillier.encrypt pk st msg)));
+        Test.make ~name:"packed-share-n64-k8" (Staged.stage (fun () -> ignore (PS.share ps ~degree:39 ~secrets st)));
+        Test.make ~name:"packed-reconstruct-n64-k8" (Staged.stage (fun () -> ignore (PS.reconstruct ps ~degree:39 pairs)));
+        Test.make ~name:"e2e-protocol-n8-dot4" (Staged.stage small_protocol);
+      ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some (est :: _) -> Printf.printf "  %-28s %12.0f ns/run\n" name est
+      | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("improvements", improvements);
+    ("online-comm", online_comm);
+    ("bgw", bgw_comparison);
+    ("offline-comm", offline_comm);
+    ("ablation-eps", ablation_eps);
+    ("ablation-amortization", ablation_amortization);
+    ("failstop", failstop);
+    ("sortition-mc", sortition_mc);
+    ("randgen", randgen);
+    ("micro", micro);
+  ]
+
+let () =
+  let args =
+    Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--")
+  in
+  match args with
+  | [] -> List.iter (fun (_, f) -> f ()) experiments
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %s; available: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+      names

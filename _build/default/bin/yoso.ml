@@ -1,0 +1,215 @@
+(* yoso — command-line driver for the YOSO MPC library.
+
+   Subcommands:
+     yoso run       execute the packed protocol (or a baseline) on a
+                    generated circuit and report outputs + costs
+     yoso analyze   Section-6 committee-size analysis (one cell or the
+                    whole Table 1 grid)
+     yoso sortition Monte-Carlo sortition validation  *)
+
+module F = Yoso_field.Field.Fp
+module Params = Yoso_mpc.Params
+module Protocol = Yoso_mpc.Protocol
+module Cdn = Yoso_mpc.Cdn_baseline
+module Bgw = Yoso_mpc.Bgw_baseline
+module Gen = Yoso_circuit.Generators
+module Circuit = Yoso_circuit.Circuit
+module Analysis = Yoso_sortition.Analysis
+module Sampler = Yoso_sortition.Sampler
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* circuit selection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let build_circuit kind size seed =
+  match kind with
+  | "dot" -> (Gen.dot_product ~len:size, size)
+  | "wide" -> (Gen.wide_mul_reduced ~width:size ~depth:2 ~clients:2, 2 * size)
+  | "poly" -> (Gen.poly_eval ~degree:size, size + 1)
+  | "variance" -> (Gen.variance_numerator ~parties:(max 2 size), 3)
+  | "matvec" -> (Gen.matrix_vector ~rows:size ~cols:size, size * size)
+  | "random" ->
+    (Gen.random_dag ~gates:(10 * size) ~clients:2 ~mul_fraction:0.5 ~seed, 2)
+  | other -> failwith (Printf.sprintf "unknown circuit kind %S" other)
+
+let demo_inputs kind size len client =
+  match kind with
+  | "variance" ->
+    if client = 0 then [| F.of_int 7; F.of_int (max 2 size); F.of_int (-1) |]
+    else [| F.of_int ((3 * client) + 1) |]
+  | _ -> Array.init len (fun i -> F.of_int (((client + 2) * (i + 3)) mod 1000))
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd protocol kind size n t k eps malicious fail_stop seed =
+  let params =
+    match eps with
+    | Some eps -> Params.of_gap ~n ~eps ()
+    | None -> Params.create ~n ~t ~k ()
+  in
+  let circuit, len = build_circuit kind size seed in
+  let inputs = demo_inputs kind size len in
+  Format.printf "circuit: %a@." Circuit.pp_stats circuit;
+  Format.printf "params:  %a@." Params.pp params;
+  (match protocol with
+  | "packed" ->
+    let adversary = { Params.malicious; passive = 0; fail_stop } in
+    let r = Protocol.execute ~params ~adversary ~seed ~circuit ~inputs () in
+    List.iter
+      (fun o ->
+        Format.printf "output: client %d wire %d = %a@." o.Yoso_mpc.Online.client
+          o.Yoso_mpc.Online.wire F.pp o.Yoso_mpc.Online.value)
+      r.Protocol.outputs;
+    Format.printf "correct: %b@." (Protocol.check r circuit ~inputs);
+    Format.printf
+      "cost: setup=%d offline=%d online=%d elements (%.1f offline/gate, %.1f online/gate)@."
+      r.Protocol.setup_elements r.Protocol.offline_elements r.Protocol.online_elements
+      (Protocol.offline_per_gate r) (Protocol.online_per_gate r);
+    Format.printf "posts: %d over %d committees@." r.Protocol.posts r.Protocol.committees
+  | "cdn" ->
+    let adversary = { Params.malicious; passive = 0; fail_stop } in
+    let r = Cdn.execute ~params ~adversary ~seed ~circuit ~inputs () in
+    List.iter
+      (fun (c, w, v) -> Format.printf "output: client %d wire %d = %a@." c w F.pp v)
+      r.Cdn.outputs;
+    Format.printf "correct: %b@." (Cdn.check r circuit ~inputs);
+    Format.printf "cost: offline=%d online=%d (%.1f online/gate)@." r.Cdn.offline_elements
+      r.Cdn.online_elements (Cdn.online_per_gate r)
+  | "bgw" ->
+    let r = Bgw.execute ~n ~t:(min t ((n - 1) / 2)) ~seed ~circuit ~inputs () in
+    List.iter
+      (fun (c, w, v) -> Format.printf "output: client %d wire %d = %a@." c w F.pp v)
+      r.Bgw.outputs;
+    Format.printf "correct: %b@." (Bgw.check r circuit ~inputs);
+    Format.printf "cost: input=%d online=%d (%.1f online/gate)@." r.Bgw.input_elements
+      r.Bgw.online_elements (Bgw.online_per_gate r)
+  | other -> failwith (Printf.sprintf "unknown protocol %S (packed|cdn|bgw)" other));
+  0
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_cmd c_param f full =
+  if full then begin
+    Format.printf "%7s %5s | %7s %7s %7s %6s %7s@." "C" "f" "t" "c" "c'" "eps" "k";
+    List.iter
+      (fun (c, f, row) ->
+        match row with
+        | None -> Format.printf "%7d %5.2f | infeasible@." c f
+        | Some r ->
+          Format.printf "%7d %5.2f | %7d %7d %7d %6.3f %7d@." c f r.Analysis.t
+            r.Analysis.c r.Analysis.c' r.Analysis.eps r.Analysis.k)
+      (Analysis.table1 ())
+  end
+  else begin
+    match Analysis.solve ~f c_param with
+    | None -> Format.printf "C=%d f=%.2f: infeasible (⊥)@." c_param f
+    | Some r ->
+      Format.printf "C=%d f=%.2f:@." c_param f;
+      Format.printf "  corruption bound      t   = %d@." r.Analysis.t;
+      Format.printf "  committee (with gap)  c   = %d@." r.Analysis.c;
+      Format.printf "  committee (eps = 0)   c'  = %d@." r.Analysis.c';
+      Format.printf "  gap                   eps = %.4f@." r.Analysis.eps;
+      Format.printf "  packing / improvement k   = %d@." r.Analysis.k;
+      Format.printf "  slacks: eps1=%.3f eps2=%.3f eps3=%.3f delta=%.4f@." r.Analysis.eps1
+        r.Analysis.eps2 r.Analysis.eps3 r.Analysis.delta
+  end;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* sortition                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sortition_cmd c_param f pool trials seed =
+  match Analysis.solve ~f c_param with
+  | None ->
+    Format.printf "C=%d f=%.2f: infeasible@." c_param f;
+    1
+  | Some row ->
+    let pool = match pool with Some p -> p | None -> max (20 * c_param) 100_000 in
+    let stats = Sampler.run ~pool ~f ~row ~trials (Yoso_hash.Splitmix.of_int seed) in
+    Format.printf "%a@." Sampler.pp stats;
+    if stats.Sampler.corruption_bound_violations = 0 && stats.Sampler.gap_violations = 0
+    then 0
+    else 1
+
+let randgen_cmd n t seed =
+  let o = Yoso_mpc.Randgen.run ~n ~t ~seed () in
+  Format.printf "random value: %a@." F.pp o.Yoso_mpc.Randgen.value;
+  Format.printf "qualified dealers: %d, broadcast elements: %d, posts: %d@."
+    o.Yoso_mpc.Randgen.qualified_dealers o.Yoso_mpc.Randgen.elements
+    o.Yoso_mpc.Randgen.posts;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let n_arg = Arg.(value & opt int 16 & info [ "n"; "committee" ] ~doc:"Committee size.")
+let t_arg = Arg.(value & opt int 5 & info [ "t"; "corrupt" ] ~doc:"Malicious bound per committee.")
+let k_arg = Arg.(value & opt int 3 & info [ "k"; "pack" ] ~doc:"Packing factor.")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.")
+
+let run_t =
+  let protocol =
+    Arg.(value & opt string "packed" & info [ "protocol"; "p" ] ~doc:"packed, cdn or bgw.")
+  in
+  let kind =
+    Arg.(
+      value & opt string "dot"
+      & info [ "circuit"; "c" ] ~doc:"dot, wide, poly, variance, matvec or random.")
+  in
+  let size = Arg.(value & opt int 8 & info [ "size"; "s" ] ~doc:"Circuit size parameter.") in
+  let eps =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "eps" ] ~doc:"Derive t and k from a corruption gap instead of --t/--k.")
+  in
+  let malicious =
+    Arg.(value & opt int 0 & info [ "malicious" ] ~doc:"Malicious roles per committee.")
+  in
+  let fail_stop =
+    Arg.(value & opt int 0 & info [ "fail-stop" ] ~doc:"Crashed roles per committee.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute YOSO MPC on a generated circuit")
+    Term.(
+      const run_cmd $ protocol $ kind $ size $ n_arg $ t_arg $ k_arg $ eps $ malicious
+      $ fail_stop $ seed_arg)
+
+let analyze_t =
+  let c_param = Arg.(value & opt int 1000 & info [ "big-c"; "C" ] ~doc:"Sortition parameter C.") in
+  let f = Arg.(value & opt float 0.05 & info [ "frac"; "f" ] ~doc:"Global corruption ratio.") in
+  let full = Arg.(value & flag & info [ "table" ] ~doc:"Print the full Table 1 grid.") in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Committee-size analysis with gap (paper Section 6)")
+    Term.(const analyze_cmd $ c_param $ f $ full)
+
+let sortition_t =
+  let c_param = Arg.(value & opt int 1000 & info [ "big-c"; "C" ] ~doc:"Sortition parameter C.") in
+  let f = Arg.(value & opt float 0.05 & info [ "frac"; "f" ] ~doc:"Global corruption ratio.") in
+  let pool =
+    Arg.(value & opt (some int) None & info [ "pool" ] ~doc:"Global party pool size.")
+  in
+  let trials = Arg.(value & opt int 2000 & info [ "trials" ] ~doc:"Monte-Carlo trials.") in
+  Cmd.v
+    (Cmd.info "sortition" ~doc:"Monte-Carlo validation of the committee bounds")
+    Term.(const sortition_cmd $ c_param $ f $ pool $ trials $ seed_arg)
+
+let randgen_t =
+  Cmd.v
+    (Cmd.info "randgen" ~doc:"Two-committee Feldman-verified randomness beacon")
+    Term.(const randgen_cmd $ n_arg $ t_arg $ seed_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "yoso" ~version:"1.0.0"
+       ~doc:"Scalable YOSO MPC via packed secret-sharing (PODC 2025 reproduction)")
+    [ run_t; analyze_t; sortition_t; randgen_t ]
+
+let () = exit (Cmd.eval' main)

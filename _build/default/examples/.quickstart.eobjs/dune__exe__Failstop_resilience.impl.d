@@ -1,0 +1,1 @@
+examples/failstop_resilience.ml: Array Format List Yoso_circuit Yoso_field Yoso_mpc

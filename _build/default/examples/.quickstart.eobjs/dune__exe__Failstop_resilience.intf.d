@@ -1,0 +1,1 @@
+examples/failstop_resilience.mli:

@@ -1,0 +1,1 @@
+examples/federated_statistics.ml: Array Format Yoso_circuit Yoso_field Yoso_mpc

@@ -1,0 +1,1 @@
+examples/federated_statistics.mli:

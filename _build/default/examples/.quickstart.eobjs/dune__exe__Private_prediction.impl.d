@@ -1,0 +1,1 @@
+examples/private_prediction.ml: Array Format List Yoso_circuit Yoso_field Yoso_mpc

@@ -1,0 +1,1 @@
+examples/private_prediction.mli:

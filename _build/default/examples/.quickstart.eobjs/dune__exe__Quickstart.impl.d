@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Yoso_circuit Yoso_field Yoso_mpc

@@ -1,0 +1,1 @@
+examples/randomness_beacon.ml: Format Yoso_field Yoso_mpc

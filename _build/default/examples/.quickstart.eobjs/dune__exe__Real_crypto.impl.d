@@ -1,0 +1,1 @@
+examples/real_crypto.ml: Array Format Yoso_bigint Yoso_circuit Yoso_mpc

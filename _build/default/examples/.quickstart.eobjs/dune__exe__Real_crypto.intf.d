@@ -1,0 +1,1 @@
+examples/real_crypto.mli:

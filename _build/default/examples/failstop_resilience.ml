@@ -1,0 +1,51 @@
+(* Fail-stop resilience (Section 5.4 of the paper).
+
+   By halving the packing gap (k ~ n*eps/2 instead of n*eps) the
+   protocol keeps working even when n*eps honest roles crash or time
+   out in every committee — on top of t malicious roles.  This example
+   sweeps the number of silent roles in standard mode and in fail-stop
+   mode and shows where each configuration stops being viable.
+
+   Run with:  dune exec examples/failstop_resilience.exe *)
+
+module F = Yoso_field.Field.Fp
+module Params = Yoso_mpc.Params
+module Protocol = Yoso_mpc.Protocol
+module Gen = Yoso_circuit.Generators
+
+let n = 40
+let eps = 0.2
+
+let attempt params dropped =
+  let circuit = Gen.dot_product ~len:6 in
+  let inputs c = Array.init 6 (fun i -> F.of_int ((c + 2) * (i + 1))) in
+  let adversary = { Params.malicious = params.Params.t; passive = 0; fail_stop = dropped } in
+  match Params.validate_adversary params adversary with
+  | () ->
+    let report = Protocol.execute ~params ~adversary ~circuit ~inputs () in
+    if Protocol.check report circuit ~inputs then `Delivered else `Wrong
+  | exception Invalid_argument _ -> `Infeasible
+
+let describe = function
+  | `Delivered -> "output delivered"
+  | `Wrong -> "WRONG OUTPUT (bug!)"
+  | `Infeasible -> "not enough speaking roles"
+
+let () =
+  let standard = Params.of_gap ~n ~eps () in
+  let failstop = Params.of_gap ~n ~eps ~fail_stop_mode:true () in
+  Format.printf "Fail-stop tolerance, n = %d, eps = %.2f, t = %d malicious everywhere@." n
+    eps standard.Params.t;
+  Format.printf "  standard mode: k = %d  (headroom %d silent roles)@." standard.Params.k
+    (Params.max_fail_stop standard
+       { Params.malicious = standard.Params.t; passive = 0; fail_stop = 0 });
+  Format.printf "  fail-stop mode: k = %d  (headroom %d silent roles)@." failstop.Params.k
+    (Params.max_fail_stop failstop
+       { Params.malicious = failstop.Params.t; passive = 0; fail_stop = 0 });
+  Format.printf "@.  %-8s %-28s %-28s@." "crashes" "standard (k~n*eps)" "fail-stop (k~n*eps/2)";
+  List.iter
+    (fun dropped ->
+      Format.printf "  %-8d %-28s %-28s@." dropped
+        (describe (attempt standard dropped))
+        (describe (attempt failstop dropped)))
+    [ 0; 2; 4; 6; 8; 10 ]

@@ -1,0 +1,581 @@
+(* Sign-magnitude bignums over little-endian 30-bit limbs.  Limb
+   products fit in 60 bits, leaving headroom for carries in native
+   63-bit ints.  Division is Knuth's Algorithm D; multiplication is
+   schoolbook with a Karatsuba layer above [kara_threshold] limbs. *)
+
+let limb_bits = 30
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+type t = { sign : int; mag : int array }
+(* invariants: mag has no leading (high-index) zero limbs;
+   sign = 0 iff mag = [||]; each limb in [0, base). *)
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude (unsigned) primitives                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mag_norm a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let mag_cmp a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let mag_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let out = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    out.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  out.(n) <- !carry;
+  mag_norm out
+
+(* requires a >= b *)
+let mag_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  mag_norm out
+
+let mag_mul_school a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        for j = 0 to lb - 1 do
+          let p = (ai * b.(j)) + out.(i + j) + !carry in
+          out.(i + j) <- p land mask;
+          carry := p lsr limb_bits
+        done;
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let s = out.(!k) + !carry in
+          out.(!k) <- s land mask;
+          carry := s lsr limb_bits;
+          incr k
+        done
+      end
+    done;
+    mag_norm out
+  end
+
+let kara_threshold = 32
+
+let mag_shift_limbs a k =
+  if Array.length a = 0 then [||]
+  else Array.append (Array.make k 0) a
+
+let rec mag_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else if la < kara_threshold || lb < kara_threshold then mag_mul_school a b
+  else begin
+    (* Karatsuba split at half of the larger operand *)
+    let m = (max la lb + 1) / 2 in
+    let lo x = mag_norm (Array.sub x 0 (min m (Array.length x))) in
+    let hi x =
+      if Array.length x <= m then [||]
+      else Array.sub x m (Array.length x - m)
+    in
+    let a0 = lo a and a1 = hi a and b0 = lo b and b1 = hi b in
+    let z0 = mag_mul a0 b0 in
+    let z2 = mag_mul a1 b1 in
+    let z1 =
+      (* (a0+a1)(b0+b1) - z0 - z2 *)
+      let s = mag_mul (mag_add a0 a1) (mag_add b0 b1) in
+      mag_sub (mag_sub s z0) z2
+    in
+    mag_add (mag_add z0 (mag_shift_limbs z1 m)) (mag_shift_limbs z2 (2 * m))
+  end
+
+(* shift left by s bits, 0 <= s < limb_bits *)
+let mag_shl_small a s =
+  if s = 0 || Array.length a = 0 then Array.copy a
+  else begin
+    let n = Array.length a in
+    let out = Array.make (n + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to n - 1 do
+      let v = (a.(i) lsl s) lor !carry in
+      out.(i) <- v land mask;
+      carry := v lsr limb_bits
+    done;
+    out.(n) <- !carry;
+    mag_norm out
+  end
+
+let mag_shr_small a s =
+  if s = 0 || Array.length a = 0 then Array.copy a
+  else begin
+    let n = Array.length a in
+    let out = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let v = a.(i) lsr s in
+      let hi = if i + 1 < n then (a.(i + 1) lsl (limb_bits - s)) land mask else 0 in
+      out.(i) <- v lor hi
+    done;
+    mag_norm out
+  end
+
+(* single-limb division: returns (quotient mag, remainder int) *)
+let mag_divmod_1 a d =
+  assert (d > 0 && d < base);
+  let n = Array.length a in
+  let q = Array.make n 0 in
+  let r = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (mag_norm q, !r)
+
+(* Knuth Algorithm D.  Returns (quotient, remainder) magnitudes. *)
+let mag_divmod u v =
+  let n = Array.length v in
+  if n = 0 then raise Division_by_zero;
+  if mag_cmp u v < 0 then ([||], Array.copy u)
+  else if n = 1 then begin
+    let q, r = mag_divmod_1 u v.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  end
+  else begin
+    (* normalise so that the top limb of v is >= base/2 *)
+    let s =
+      let rec go s top = if top land (base lsr 1) <> 0 then s else go (s + 1) (top lsl 1) in
+      go 0 v.(n - 1)
+    in
+    let vn = mag_shl_small v s in
+    let vn = if Array.length vn < n then Array.append vn (Array.make (n - Array.length vn) 0) else vn in
+    let un0 = mag_shl_small u s in
+    let m = Array.length u - n in
+    (* u buffer with one extra high limb *)
+    let un = Array.make (Array.length u + 1) 0 in
+    Array.blit un0 0 un 0 (Array.length un0);
+    let q = Array.make (m + 1) 0 in
+    let vtop = vn.(n - 1) and vsec = vn.(n - 2) in
+    for j = m downto 0 do
+      let num = (un.(j + n) lsl limb_bits) lor un.(j + n - 1) in
+      let qhat = ref (num / vtop) and rhat = ref (num mod vtop) in
+      let continue = ref true in
+      while
+        !continue
+        && (!qhat >= base || !qhat * vsec > (!rhat lsl limb_bits) lor un.(j + n - 2))
+      do
+        decr qhat;
+        rhat := !rhat + vtop;
+        if !rhat >= base then continue := false
+      done;
+      (* multiply and subtract *)
+      let k = ref 0 in
+      for i = 0 to n - 1 do
+        let p = !qhat * vn.(i) in
+        let t = un.(i + j) - !k - (p land mask) in
+        un.(i + j) <- t land mask;
+        k := (p lsr limb_bits) - (t asr limb_bits)
+      done;
+      let t = un.(j + n) - !k in
+      un.(j + n) <- t land mask;
+      if t < 0 then begin
+        (* overestimated by one: add v back *)
+        decr qhat;
+        let carry = ref 0 in
+        for i = 0 to n - 1 do
+          let s2 = un.(i + j) + vn.(i) + !carry in
+          un.(i + j) <- s2 land mask;
+          carry := s2 lsr limb_bits
+        done;
+        un.(j + n) <- (un.(j + n) + !carry) land mask
+      end;
+      q.(j) <- !qhat
+    done;
+    let r = mag_shr_small (mag_norm (Array.sub un 0 n)) s in
+    (mag_norm q, r)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Signed layer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let make sign mag =
+  let mag = mag_norm mag in
+  if Array.length mag = 0 then { sign = 0; mag = [||] } else { sign; mag }
+
+let zero = { sign = 0; mag = [||] }
+
+let of_int x =
+  if x = 0 then zero
+  else begin
+    let sign = if x < 0 then -1 else 1 in
+    (* careful with min_int: abs via int64 not needed since limbs are
+       extracted progressively with negation of parts *)
+    let x = abs x in
+    let rec limbs x = if x = 0 then [] else (x land mask) :: limbs (x lsr limb_bits) in
+    { sign; mag = Array.of_list (limbs x) }
+  end
+
+let one = of_int 1
+let two = of_int 2
+
+let fits_int t =
+  (* native int holds up to 62 bits of magnitude *)
+  Array.length t.mag <= 2
+  || (Array.length t.mag = 3 && t.mag.(2) < 1 lsl (62 - (2 * limb_bits)))
+
+let to_int t =
+  if not (fits_int t) then failwith "Bigint.to_int: overflow";
+  let v = ref 0 in
+  for i = Array.length t.mag - 1 downto 0 do
+    v := (!v lsl limb_bits) lor t.mag.(i)
+  done;
+  t.sign * !v
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+let is_one t = t.sign = 1 && Array.length t.mag = 1 && t.mag.(0) = 1
+let is_even t = t.sign = 0 || t.mag.(0) land 1 = 0
+let neg t = if t.sign = 0 then zero else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then mag_cmp a.mag b.mag
+  else mag_cmp b.mag a.mag
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let bit_length t =
+  let n = Array.length t.mag in
+  if n = 0 then 0
+  else begin
+    let top = t.mag.(n - 1) in
+    let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+    ((n - 1) * limb_bits) + bits top 0
+  end
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (mag_add a.mag b.mag)
+  else begin
+    let c = mag_cmp a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (mag_sub a.mag b.mag)
+    else make b.sign (mag_sub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else make (a.sign * b.sign) (mag_mul a.mag b.mag)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let qm, rm = mag_divmod a.mag b.mag in
+  let q = make (a.sign * b.sign) qm in
+  let r = make a.sign rm in
+  (q, r)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let erem a b =
+  let r = rem a b in
+  if r.sign < 0 then add r (abs b) else r
+
+let shift_left t k =
+  if k < 0 then invalid_arg "Bigint.shift_left";
+  if t.sign = 0 then zero
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    make t.sign (mag_shl_small (mag_shift_limbs t.mag limbs) bits)
+  end
+
+let shift_right t k =
+  if k < 0 then invalid_arg "Bigint.shift_right";
+  if t.sign = 0 then zero
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let n = Array.length t.mag in
+    if limbs >= n then zero
+    else make t.sign (mag_shr_small (Array.sub t.mag limbs (n - limbs)) bits)
+  end
+
+let pow b e =
+  if e < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else go (if e land 1 = 1 then mul acc b else acc) (mul b b) (e lsr 1)
+  in
+  go one b e
+
+let addmod a b m = erem (add a b) m
+let mulmod a b m = erem (mul a b) m
+
+let powmod b e m =
+  if m.sign <= 0 then invalid_arg "Bigint.powmod: modulus must be positive";
+  if sign e < 0 then invalid_arg "Bigint.powmod: negative exponent";
+  if is_one m then zero
+  else begin
+    let b = ref (erem b m) and acc = ref one and e = ref e in
+    while not (is_zero !e) do
+      if not (is_even !e) then acc := mulmod !acc !b m;
+      b := mulmod !b !b m;
+      e := shift_right !e 1
+    done;
+    !acc
+  end
+
+let rec gcd a b = if is_zero b then abs a else gcd b (rem a b)
+
+let extended_gcd a b =
+  (* invariant: r = a*x + b*y at each step *)
+  let rec go r0 x0 y0 r1 x1 y1 =
+    if is_zero r1 then (r0, x0, y0)
+    else begin
+      let q, r2 = divmod r0 r1 in
+      go r1 x1 y1 r2 (sub x0 (mul q x1)) (sub y0 (mul q y1))
+    end
+  in
+  let g, x, y = go a one zero b zero one in
+  if g.sign < 0 then (neg g, neg x, neg y) else (g, x, y)
+
+let invmod a m =
+  let g, x, _ = extended_gcd (erem a m) m in
+  if not (is_one g) then raise Division_by_zero;
+  erem x m
+
+let factorial n =
+  if n < 0 then invalid_arg "Bigint.factorial";
+  let acc = ref one in
+  for i = 2 to n do
+    acc := mul !acc (of_int i)
+  done;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty";
+  let negv = s.[0] = '-' in
+  let start = if negv || s.[0] = '+' then 1 else 0 in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let ten = of_int 10 in
+  for i = start to len - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit";
+    acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+  done;
+  if negv then neg !acc else !acc
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    (* extract 9 decimal digits at a time via single-limb-ish division *)
+    let chunk = 1_000_000_000 in
+    (* chunk < base? no: base = 2^30 ~ 1.07e9 > 1e9, so it is a valid
+       single-limb divisor *)
+    let rec go mag acc =
+      if Array.length mag = 0 then acc
+      else begin
+        let q, r = mag_divmod_1 mag chunk in
+        go q (r :: acc)
+      end
+    in
+    let parts = go t.mag [] in
+    (match parts with
+    | [] -> assert false
+    | first :: rest ->
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun p -> Buffer.add_string buf (Printf.sprintf "%09d" p)) rest);
+    (if t.sign < 0 then "-" else "") ^ Buffer.contents buf
+  end
+
+let of_hex s =
+  let acc = ref zero in
+  let sixteen = of_int 16 in
+  String.iter
+    (fun c ->
+      let d =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> invalid_arg "Bigint.of_hex: bad digit"
+      in
+      acc := add (mul !acc sixteen) (of_int d))
+    s;
+  !acc
+
+let to_hex t =
+  if t.sign = 0 then "0"
+  else begin
+    let digits = "0123456789abcdef" in
+    let buf = Buffer.create 32 in
+    let rec go v =
+      if not (is_zero v) then begin
+        let q, r = divmod v (of_int 16) in
+        go q;
+        Buffer.add_char buf digits.[to_int r]
+      end
+    in
+    go (abs t);
+    (if t.sign < 0 then "-" else "") ^ Buffer.contents buf
+  end
+
+let of_bytes_be s =
+  let acc = ref zero in
+  String.iter (fun c -> acc := add (shift_left !acc 8) (of_int (Char.code c))) s;
+  !acc
+
+let to_bytes_be t =
+  if t.sign = 0 then ""
+  else begin
+    let nbytes = (bit_length t + 7) / 8 in
+    let out = Bytes.create nbytes in
+    let v = ref (abs t) in
+    for i = nbytes - 1 downto 0 do
+      Bytes.set out i (Char.chr (to_int (rem !v (of_int 256))));
+      v := shift_right !v 8
+    done;
+    Bytes.unsafe_to_string out
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Randomness and primality                                             *)
+(* ------------------------------------------------------------------ *)
+
+let random_bits st bits =
+  if bits < 0 then invalid_arg "Bigint.random_bits";
+  if bits = 0 then zero
+  else begin
+    let nlimbs = (bits + limb_bits - 1) / limb_bits in
+    let top_bits = bits - ((nlimbs - 1) * limb_bits) in
+    let mag =
+      Array.init nlimbs (fun i ->
+          let v = Random.State.full_int st base in
+          if i = nlimbs - 1 then v land ((1 lsl top_bits) - 1) else v)
+    in
+    make 1 mag
+  end
+
+let random_below st bound =
+  if bound.sign <= 0 then invalid_arg "Bigint.random_below: bound must be positive";
+  let bits = bit_length bound in
+  let rec go () =
+    let v = random_bits st bits in
+    if compare v bound < 0 then v else go ()
+  in
+  go ()
+
+let small_primes =
+  [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61; 67;
+    71; 73; 79; 83; 89; 97; 101; 103; 107; 109; 113; 127; 131; 137; 139; 149;
+    151; 157; 163; 167; 173; 179; 181; 191; 193; 197; 199; 211; 223; 227; 229 ]
+
+let is_probable_prime ?(rounds = 20) st n =
+  let n = abs n in
+  if compare n two < 0 then false
+  else if equal n two then true
+  else if is_even n then false
+  else begin
+    let divisible_by_small =
+      List.exists
+        (fun p ->
+          let bp = of_int p in
+          if compare n bp <= 0 then false else is_zero (rem n bp))
+        small_primes
+    in
+    let is_small_prime = List.exists (fun p -> equal n (of_int p)) small_primes in
+    if is_small_prime then true
+    else if divisible_by_small then false
+    else begin
+      let n1 = sub n one in
+      let rec split d s = if is_even d then split (shift_right d 1) (s + 1) else (d, s) in
+      let d, s = split n1 0 in
+      let witness_passes a =
+        let x = powmod a d n in
+        if is_one x || equal x n1 then true
+        else begin
+          let rec square x i =
+            if i >= s - 1 then false
+            else begin
+              let x = mulmod x x n in
+              if equal x n1 then true else square x (i + 1)
+            end
+          in
+          square x 0
+        end
+      in
+      let rec loop i =
+        if i = rounds then true
+        else begin
+          let a = add two (random_below st (sub n (of_int 4))) in
+          if witness_passes a then loop (i + 1) else false
+        end
+      in
+      loop 0
+    end
+  end
+
+let random_prime st ~bits =
+  if bits < 2 then invalid_arg "Bigint.random_prime: need bits >= 2";
+  let rec go () =
+    let candidate =
+      let v = random_bits st bits in
+      (* force top and bottom bits *)
+      let top = shift_left one (bits - 1) in
+      let v = add v top in
+      let v = if compare v (shift_left one bits) >= 0 then sub v top else v in
+      let v = if is_even v then add v one else v in
+      if compare v (shift_left one bits) >= 0 then sub v two else v
+    in
+    if bit_length candidate = bits && is_probable_prime st candidate then candidate
+    else go ()
+  in
+  go ()
+
+let random_safe_prime st ~bits =
+  let rec go () =
+    let q = random_prime st ~bits:(bits - 1) in
+    let p = add (shift_left q 1) one in
+    if bit_length p = bits && is_probable_prime st p then p else go ()
+  in
+  go ()
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,124 @@
+(** Arbitrary-precision signed integers, from scratch.
+
+    The sealed build environment has no [zarith], and threshold
+    Paillier (the paper's linearly homomorphic threshold encryption
+    instantiation, Section 4.1) needs multi-hundred-bit modular
+    arithmetic: this module provides it.
+
+    Representation: sign-magnitude with little-endian 30-bit limbs, so
+    limb products fit comfortably in OCaml's 63-bit native [int].
+    Values are immutable and always normalised (no leading zero limbs;
+    zero has positive sign and empty magnitude). *)
+
+type t
+
+(** {1 Constants and conversions} *)
+
+val zero : t
+val one : t
+val two : t
+val of_int : int -> t
+
+val to_int : t -> int
+(** @raise Failure if the value does not fit in a native [int]. *)
+
+val fits_int : t -> bool
+
+val of_string : string -> t
+(** Decimal, with optional leading ['-']. @raise Invalid_argument on
+    malformed input. *)
+
+val to_string : t -> string
+
+val of_hex : string -> t
+(** Hex digits, no prefix, case-insensitive. *)
+
+val to_hex : t -> string
+
+val of_bytes_be : string -> t
+(** Big-endian unsigned bytes. *)
+
+val to_bytes_be : t -> string
+(** Minimal big-endian encoding of the absolute value; [""] for zero. *)
+
+(** {1 Predicates and comparisons} *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_even : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+val bit_length : t -> int
+(** Bits in the absolute value; [bit_length zero = 0]. *)
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+(** Schoolbook below 32 limbs, Karatsuba above. *)
+
+val divmod : t -> t -> t * t
+(** Truncated division: [fst] rounds toward zero, [snd (divmod a b)]
+    has the sign of [a].  @raise Division_by_zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val erem : t -> t -> t
+(** Euclidean remainder, always in [\[0, |b|)]. *)
+
+val pow : t -> int -> t
+(** @raise Invalid_argument on negative exponent. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+(** {1 Modular and number-theoretic operations} *)
+
+val addmod : t -> t -> t -> t
+val mulmod : t -> t -> t -> t
+
+val powmod : t -> t -> t -> t
+(** [powmod b e m] with [e >= 0], [m > 0]. *)
+
+val gcd : t -> t -> t
+
+val extended_gcd : t -> t -> t * t * t
+(** [(g, x, y)] with [a*x + b*y = g = gcd a b], [g >= 0]. *)
+
+val invmod : t -> t -> t
+(** Modular inverse in [\[0, m)].
+    @raise Division_by_zero if not coprime. *)
+
+val factorial : int -> t
+
+(** {1 Randomness and primality} *)
+
+val random_bits : Random.State.t -> int -> t
+(** Uniform in [\[0, 2^bits)]. *)
+
+val random_below : Random.State.t -> t -> t
+(** Uniform in [\[0, bound)]; [bound > 0]. *)
+
+val is_probable_prime : ?rounds:int -> Random.State.t -> t -> bool
+(** Miller-Rabin with [rounds] random bases (default 20), preceded by
+    trial division by small primes. *)
+
+val random_prime : Random.State.t -> bits:int -> t
+(** Random prime with exactly [bits] bits (top bit set). [bits >= 2]. *)
+
+val random_safe_prime : Random.State.t -> bits:int -> t
+(** Random safe prime [p = 2q + 1] with [q] prime. Slow for large
+    [bits]; intended for test-sized parameters. *)
+
+val pp : Format.formatter -> t -> unit

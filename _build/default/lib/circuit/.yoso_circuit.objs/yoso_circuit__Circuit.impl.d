@@ -1,0 +1,1 @@
+lib/circuit/circuit.ml: Array Format Hashtbl List Option Printf Yoso_field

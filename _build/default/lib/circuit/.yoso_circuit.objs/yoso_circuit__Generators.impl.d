@@ -1,0 +1,1 @@
+lib/circuit/generators.ml: Array Builder List Yoso_hash

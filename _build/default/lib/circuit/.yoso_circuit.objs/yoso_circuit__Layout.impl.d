@@ -1,0 +1,1 @@
+lib/circuit/layout.ml: Array Circuit List

@@ -1,0 +1,1 @@
+lib/circuit/layout.mli: Circuit

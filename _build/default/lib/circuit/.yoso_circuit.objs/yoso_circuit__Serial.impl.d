@@ -1,0 +1,1 @@
+lib/circuit/serial.ml: Array Buffer Circuit Fun List Printf String

@@ -1,0 +1,64 @@
+type t = {
+  mutable gates : Circuit.gate list; (* reversed *)
+  mutable next_wire : int;
+  mutable built : bool;
+}
+
+let create () = { gates = []; next_wire = 0; built = false }
+
+let check_usable b = if b.built then invalid_arg "Builder: already built"
+
+let fresh b =
+  let w = b.next_wire in
+  b.next_wire <- w + 1;
+  w
+
+let push b g = b.gates <- g :: b.gates
+
+let input b ~client =
+  check_usable b;
+  let wire = fresh b in
+  push b (Circuit.Input { client; wire });
+  wire
+
+let add b a b' =
+  check_usable b;
+  let out = fresh b in
+  push b (Circuit.Add { a; b = b'; out });
+  out
+
+let mul b a b' =
+  check_usable b;
+  let out = fresh b in
+  push b (Circuit.Mul { a; b = b'; out });
+  out
+
+let sub_via_mul b ~minus_one_wire a b' = add b a (mul b minus_one_wire b')
+
+let output b ~client wire =
+  check_usable b;
+  push b (Circuit.Output { client; wire })
+
+let rec reduce_tree b op = function
+  | [] -> invalid_arg "Builder: empty wire list"
+  | [ w ] -> w
+  | ws ->
+    (* combine adjacent pairs to keep the tree balanced *)
+    let rec pairs = function
+      | [] -> []
+      | [ w ] -> [ w ]
+      | w1 :: w2 :: rest -> op b w1 w2 :: pairs rest
+    in
+    reduce_tree b op (pairs ws)
+
+let sum b ws = reduce_tree b add ws
+let product b ws = reduce_tree b mul ws
+
+let dot b xs ys =
+  if List.length xs <> List.length ys then invalid_arg "Builder.dot: length mismatch";
+  sum b (List.map2 (mul b) xs ys)
+
+let build b =
+  check_usable b;
+  b.built <- true;
+  Circuit.of_gates (Array.of_list (List.rev b.gates))

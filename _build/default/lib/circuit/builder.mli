@@ -1,0 +1,32 @@
+(** Imperative circuit builder.
+
+    Produces gates in topological order by construction; wire handles
+    are only obtainable from gate-creating calls, so use-before-define
+    is impossible through this interface. *)
+
+type t
+
+val create : unit -> t
+
+val input : t -> client:int -> Circuit.wire
+val add : t -> Circuit.wire -> Circuit.wire -> Circuit.wire
+val mul : t -> Circuit.wire -> Circuit.wire -> Circuit.wire
+val sub_via_mul : t -> minus_one_wire:Circuit.wire -> Circuit.wire -> Circuit.wire -> Circuit.wire
+(** [a - b] given a wire carrying the constant [-1]: [a + (-1)*b].
+    Circuits have no constant gates, so constants enter as client
+    inputs; see {!Generators} for the idiom. *)
+
+val output : t -> client:int -> Circuit.wire -> unit
+
+val sum : t -> Circuit.wire list -> Circuit.wire
+(** Balanced addition tree. @raise Invalid_argument on []. *)
+
+val product : t -> Circuit.wire list -> Circuit.wire
+(** Balanced multiplication tree (depth [ceil log2 n]).
+    @raise Invalid_argument on []. *)
+
+val dot : t -> Circuit.wire list -> Circuit.wire list -> Circuit.wire
+(** Inner product: pairwise [mul] then {!sum}. *)
+
+val build : t -> Circuit.t
+(** Finalize.  The builder must not be reused afterwards. *)

@@ -1,0 +1,132 @@
+type wire = int
+
+type gate =
+  | Input of { client : int; wire : wire }
+  | Add of { a : wire; b : wire; out : wire }
+  | Mul of { a : wire; b : wire; out : wire }
+  | Output of { client : int; wire : wire }
+
+type t = {
+  gates : gate array;
+  wire_count : int;
+  input_wires : (int * wire) list;
+  output_wires : (int * wire) list;
+}
+
+let of_gates gates =
+  let defined = Hashtbl.create 64 in
+  let max_wire = ref (-1) in
+  let define w =
+    if w < 0 then invalid_arg "Circuit: negative wire id";
+    if Hashtbl.mem defined w then
+      invalid_arg (Printf.sprintf "Circuit: wire %d defined twice" w);
+    Hashtbl.add defined w ();
+    if w > !max_wire then max_wire := w
+  in
+  let use w =
+    if not (Hashtbl.mem defined w) then
+      invalid_arg (Printf.sprintf "Circuit: wire %d used before definition" w)
+  in
+  let inputs = ref [] and outputs = ref [] in
+  Array.iter
+    (fun g ->
+      match g with
+      | Input { client; wire } ->
+        define wire;
+        inputs := (client, wire) :: !inputs
+      | Add { a; b; out } | Mul { a; b; out } ->
+        use a;
+        use b;
+        define out
+      | Output { client; wire } ->
+        use wire;
+        outputs := (client, wire) :: !outputs)
+    gates;
+  let wire_count = !max_wire + 1 in
+  for w = 0 to wire_count - 1 do
+    if not (Hashtbl.mem defined w) then
+      invalid_arg (Printf.sprintf "Circuit: wire id %d unused (ids must be dense)" w)
+  done;
+  { gates; wire_count; input_wires = List.rev !inputs; output_wires = List.rev !outputs }
+
+let count f c = Array.fold_left (fun acc g -> if f g then acc + 1 else acc) 0 c.gates
+
+let num_inputs c = count (function Input _ -> true | Add _ | Mul _ | Output _ -> false) c
+let num_outputs c = count (function Output _ -> true | Add _ | Mul _ | Input _ -> false) c
+let num_add c = count (function Add _ -> true | Input _ | Mul _ | Output _ -> false) c
+let num_mul c = count (function Mul _ -> true | Input _ | Add _ | Output _ -> false) c
+let size c = Array.length c.gates
+
+(* multiplicative depth of each wire; additions stay on their inputs'
+   level *)
+let wire_depths c =
+  let depths = Array.make c.wire_count 0 in
+  Array.iter
+    (fun g ->
+      match g with
+      | Input { wire; _ } -> depths.(wire) <- 0
+      | Add { a; b; out } -> depths.(out) <- max depths.(a) depths.(b)
+      | Mul { a; b; out } -> depths.(out) <- 1 + max depths.(a) depths.(b)
+      | Output _ -> ())
+    c.gates;
+  depths
+
+let depth c =
+  let depths = wire_depths c in
+  Array.fold_left max 0 depths
+
+let mult_width c =
+  let depths = wire_depths c in
+  let per_layer = Hashtbl.create 16 in
+  Array.iter
+    (fun g ->
+      match g with
+      | Mul { out; _ } ->
+        let l = depths.(out) in
+        Hashtbl.replace per_layer l (1 + Option.value ~default:0 (Hashtbl.find_opt per_layer l))
+      | Input _ | Add _ | Output _ -> ())
+    c.gates;
+  Hashtbl.fold (fun _ v acc -> max v acc) per_layer 0
+
+let clients c =
+  List.sort_uniq compare (List.map fst c.input_wires @ List.map fst c.output_wires)
+
+let input_wires_of_client c client =
+  List.filter_map (fun (cl, w) -> if cl = client then Some w else None) c.input_wires
+
+let output_wires_of_client c client =
+  List.filter_map (fun (cl, w) -> if cl = client then Some w else None) c.output_wires
+
+let pp_stats ppf c =
+  Format.fprintf ppf
+    "gates=%d inputs=%d add=%d mul=%d outputs=%d depth=%d width=%d clients=%d"
+    (size c) (num_inputs c) (num_add c) (num_mul c) (num_outputs c) (depth c)
+    (mult_width c)
+    (List.length (clients c))
+
+module Eval (F : Yoso_field.Field.S) = struct
+  let wire_values c ~inputs =
+    let values = Array.make c.wire_count F.zero in
+    let cursor = Hashtbl.create 8 in
+    Array.iter
+      (fun g ->
+        match g with
+        | Input { client; wire } ->
+          let i = Option.value ~default:0 (Hashtbl.find_opt cursor client) in
+          let v = inputs client in
+          if i >= Array.length v then
+            invalid_arg
+              (Printf.sprintf "Circuit.Eval: client %d supplied %d inputs, need more"
+                 client (Array.length v));
+          values.(wire) <- v.(i);
+          Hashtbl.replace cursor client (i + 1)
+        | Add { a; b; out } -> values.(out) <- F.add values.(a) values.(b)
+        | Mul { a; b; out } -> values.(out) <- F.mul values.(a) values.(b)
+        | Output _ -> ())
+      c.gates;
+    values
+
+  let run c ~inputs =
+    let values = wire_values c ~inputs in
+    List.map (fun (client, w) -> (client, values.(w))) c.output_wires
+end

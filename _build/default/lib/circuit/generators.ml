@@ -1,0 +1,108 @@
+module Splitmix = Yoso_hash.Splitmix
+
+let wide_mul ~width ~depth ~clients =
+  if width < 1 || depth < 1 || clients < 1 then
+    invalid_arg "Generators.wide_mul: parameters must be positive";
+  let b = Builder.create () in
+  let left = Array.init width (fun i -> Builder.input b ~client:(2 * i mod clients)) in
+  let right = Array.init width (fun i -> Builder.input b ~client:(((2 * i) + 1) mod clients)) in
+  let layer = ref (Array.map2 (fun l r -> Builder.mul b l r) left right) in
+  for _ = 2 to depth do
+    let prev = !layer in
+    layer :=
+      Array.init width (fun i -> Builder.mul b prev.(i) prev.((i + 1) mod width))
+  done;
+  Array.iter (fun w -> Builder.output b ~client:0 w) !layer;
+  Builder.build b
+
+let wide_mul_reduced ~width ~depth ~clients =
+  if width < 1 || depth < 1 || clients < 1 then
+    invalid_arg "Generators.wide_mul_reduced: parameters must be positive";
+  let b = Builder.create () in
+  let left = Array.init width (fun i -> Builder.input b ~client:(2 * i mod clients)) in
+  let right = Array.init width (fun i -> Builder.input b ~client:(((2 * i) + 1) mod clients)) in
+  let layer = ref (Array.map2 (fun l r -> Builder.mul b l r) left right) in
+  for _ = 2 to depth do
+    let prev = !layer in
+    layer :=
+      Array.init width (fun i -> Builder.mul b prev.(i) prev.((i + 1) mod width))
+  done;
+  Builder.output b ~client:0 (Builder.sum b (Array.to_list !layer));
+  Builder.build b
+
+let dot_product ~len =
+  if len < 1 then invalid_arg "Generators.dot_product: len must be positive";
+  let b = Builder.create () in
+  let xs = List.init len (fun _ -> Builder.input b ~client:0) in
+  let ys = List.init len (fun _ -> Builder.input b ~client:1) in
+  let d = Builder.dot b xs ys in
+  Builder.output b ~client:0 d;
+  Builder.output b ~client:1 d;
+  Builder.build b
+
+let poly_eval ~degree =
+  if degree < 1 then invalid_arg "Generators.poly_eval: degree must be positive";
+  let b = Builder.create () in
+  let coeffs = Array.init (degree + 1) (fun _ -> Builder.input b ~client:0) in
+  let x = Builder.input b ~client:1 in
+  (* Horner from the top coefficient *)
+  let acc = ref coeffs.(degree) in
+  for i = degree - 1 downto 0 do
+    acc := Builder.add b (Builder.mul b !acc x) coeffs.(i)
+  done;
+  Builder.output b ~client:1 !acc;
+  Builder.build b
+
+let variance_numerator ~parties =
+  if parties < 2 then invalid_arg "Generators.variance_numerator: need >= 2 parties";
+  let b = Builder.create () in
+  let xs = List.init parties (fun i -> Builder.input b ~client:i) in
+  (* constants enter as inputs: client 0 additionally supplies the
+     public constants [parties] and [-1] (checked by the example
+     applications; the MPC protocol treats them as ordinary inputs) *)
+  let n_const = Builder.input b ~client:0 in
+  let minus_one = Builder.input b ~client:0 in
+  let sum = Builder.sum b xs in
+  let sum_sq = Builder.sum b (List.map (fun x -> Builder.mul b x x) xs) in
+  let lhs = Builder.mul b n_const sum_sq in
+  let rhs = Builder.mul b sum sum in
+  let result = Builder.add b lhs (Builder.mul b minus_one rhs) in
+  List.iteri (fun i _ -> Builder.output b ~client:i result) xs;
+  Builder.build b
+
+let matrix_vector ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Generators.matrix_vector: bad dims";
+  let b = Builder.create () in
+  let m = Array.init rows (fun _ -> List.init cols (fun _ -> Builder.input b ~client:0)) in
+  let v = List.init cols (fun _ -> Builder.input b ~client:1) in
+  Array.iter (fun row -> Builder.output b ~client:1 (Builder.dot b row v)) m;
+  Builder.build b
+
+let random_dag ~gates ~clients ~mul_fraction ~seed =
+  if gates < 1 || clients < 1 then invalid_arg "Generators.random_dag: bad params";
+  if mul_fraction < 0.0 || mul_fraction > 1.0 then
+    invalid_arg "Generators.random_dag: mul_fraction out of [0,1]";
+  let rng = Splitmix.of_int seed in
+  let b = Builder.create () in
+  let wires = ref [] in
+  let push w = wires := w :: !wires in
+  for c = 0 to clients - 1 do
+    push (Builder.input b ~client:c);
+    push (Builder.input b ~client:c)
+  done;
+  let pool = ref (Array.of_list !wires) in
+  for _ = 1 to gates do
+    let arr = !pool in
+    let a = arr.(Splitmix.int rng (Array.length arr)) in
+    let b' = arr.(Splitmix.int rng (Array.length arr)) in
+    let w =
+      if Splitmix.float rng < mul_fraction then Builder.mul b a b'
+      else Builder.add b a b'
+    in
+    pool := Array.append arr [| w |]
+  done;
+  let arr = !pool in
+  for c = 0 to clients - 1 do
+    Builder.output b ~client:c arr.(Array.length arr - 1 - c)
+  done;
+  Builder.build b

@@ -1,0 +1,43 @@
+(** Workload circuit generators.
+
+    Parameterised circuits used by the examples, the test suite and
+    the benchmark harness — in particular the "wide circuit" family
+    under which the paper states its amortised complexity (circuit
+    width O(n)). *)
+
+val wide_mul : width:int -> depth:int -> clients:int -> Circuit.t
+(** [depth] layers of [width] multiplication gates; layer [l+1]
+    multiplies adjacent outputs of layer [l] (ring pattern), so every
+    layer keeps exactly [width] mult gates.  Inputs: [2 * width]
+    wires distributed round-robin over [clients]; outputs: final layer
+    to client 0. *)
+
+val wide_mul_reduced : width:int -> depth:int -> clients:int -> Circuit.t
+(** Like {!wide_mul} but the final layer is summed into a single
+    output wire — the workload for per-gate communication
+    measurements, where a full-width output layer would otherwise
+    dominate (output delivery costs O(n) per output wire in every
+    YOSO protocol). *)
+
+val dot_product : len:int -> Circuit.t
+(** Client 0 holds [x], client 1 holds [y]; both receive [<x, y>]. *)
+
+val poly_eval : degree:int -> Circuit.t
+(** Client 0 holds coefficients [a_0..a_d], client 1 the point [x];
+    client 1 receives [sum a_i x^i] (Horner: depth = [degree]). *)
+
+val variance_numerator : parties:int -> Circuit.t
+(** Each of [parties] clients contributes one value [x_i]; everyone
+    receives [parties * sum x_i^2 - (sum x_i)^2] (the integer variance
+    numerator — the "federated statistics" workload). *)
+
+val matrix_vector : rows:int -> cols:int -> Circuit.t
+(** Client 0 holds an [rows x cols] matrix (row-major), client 1 a
+    [cols] vector; client 1 receives the product. *)
+
+val random_dag :
+  gates:int -> clients:int -> mul_fraction:float -> seed:int -> Circuit.t
+(** Random topologically ordered circuit: [gates] arithmetic gates
+    whose operands are drawn from earlier wires, [mul_fraction] of
+    them multiplications; [2 * clients] input wires; one output per
+    client.  Deterministic in [seed]. *)

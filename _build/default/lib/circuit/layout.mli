@@ -1,0 +1,35 @@
+(** Circuit-dependent layout: the batching step of Turbopack.
+
+    Packs the circuit's multiplication gates, layer by layer, into
+    batches of at most [k] gates — one packed sharing per batch — and
+    groups each client's input wires into batches of [k].  This is the
+    "network routing" structure the circuit-dependent preprocessing is
+    built around (Section 3.1). *)
+
+type mult_batch = {
+  layer : int; (** multiplicative depth of the batch's outputs (>= 1) *)
+  mult_gates : (Circuit.wire * Circuit.wire * Circuit.wire) array;
+      (** (left in, right in, out) per gate; length in [1, k] *)
+}
+
+type t = private {
+  circuit : Circuit.t;
+  k : int;
+  depths : int array; (** multiplicative depth per wire *)
+  mult_layers : mult_batch list array; (** index [l-1] = batches of layer [l] *)
+  input_batches : (int * Circuit.wire array) list;
+      (** (client, wires) with [1 <= length <= k], in client order *)
+}
+
+val make : Circuit.t -> k:int -> t
+(** @raise Invalid_argument if [k < 1]. *)
+
+val num_mult_batches : t -> int
+val num_input_batches : t -> int
+
+val batches_of_layer : t -> int -> mult_batch list
+(** Batches whose outputs live at multiplicative depth [l] (1-based).
+    Empty list above the circuit depth. *)
+
+val pad_to_k : t -> 'a array -> 'a -> 'a array
+(** Right-pad a batch-indexed vector to length [k] with a dummy. *)

@@ -1,0 +1,60 @@
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun g ->
+      (match g with
+      | Circuit.Input { client; wire } -> Buffer.add_string buf (Printf.sprintf "input %d %d" client wire)
+      | Circuit.Add { a; b; out } -> Buffer.add_string buf (Printf.sprintf "add %d %d %d" a b out)
+      | Circuit.Mul { a; b; out } -> Buffer.add_string buf (Printf.sprintf "mul %d %d %d" a b out)
+      | Circuit.Output { client; wire } ->
+        Buffer.add_string buf (Printf.sprintf "output %d %d" client wire));
+      Buffer.add_char buf '\n')
+    c.Circuit.gates;
+  Buffer.contents buf
+
+let parse_error lineno msg =
+  invalid_arg (Printf.sprintf "Circuit.Serial: line %d: %s" lineno msg)
+
+let of_string text =
+  let gates = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      (* strip comments and surrounding whitespace *)
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      let line = String.trim line in
+      if line <> "" then begin
+        let int_of s =
+          match int_of_string_opt s with
+          | Some v -> v
+          | None -> parse_error lineno (Printf.sprintf "expected an integer, got %S" s)
+        in
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "input"; client; wire ] ->
+          gates := Circuit.Input { client = int_of client; wire = int_of wire } :: !gates
+        | [ "add"; a; b; out ] ->
+          gates := Circuit.Add { a = int_of a; b = int_of b; out = int_of out } :: !gates
+        | [ "mul"; a; b; out ] ->
+          gates := Circuit.Mul { a = int_of a; b = int_of b; out = int_of out } :: !gates
+        | [ "output"; client; wire ] ->
+          gates := Circuit.Output { client = int_of client; wire = int_of wire } :: !gates
+        | op :: _ -> parse_error lineno (Printf.sprintf "unknown or malformed gate %S" op)
+        | [] -> ()
+      end)
+    lines;
+  Circuit.of_gates (Array.of_list (List.rev !gates))
+
+let to_file path c =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string c))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

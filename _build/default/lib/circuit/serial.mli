@@ -1,0 +1,24 @@
+(** Text serialization of circuits.
+
+    A line-oriented format so circuits can be stored, diffed and fed
+    to the CLI:
+
+    {v
+    # comments and blank lines are ignored
+    input 0 0        # client 0 supplies wire 0
+    input 1 1
+    mul 0 1 2        # wire 2 := wire 0 * wire 1
+    add 0 2 3
+    output 0 3       # client 0 reads wire 3
+    v}
+
+    Gates appear in topological order (as stored); {!of_string}
+    re-validates through {!Circuit.of_gates}. *)
+
+val to_string : Circuit.t -> string
+
+val of_string : string -> Circuit.t
+(** @raise Invalid_argument with a line number on malformed input. *)
+
+val to_file : string -> Circuit.t -> unit
+val of_file : string -> Circuit.t

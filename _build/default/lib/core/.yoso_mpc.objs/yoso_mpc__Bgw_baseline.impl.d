@@ -1,0 +1,1 @@
+lib/core/bgw_baseline.ml: Array Hashtbl List Option Printf Random Yoso_circuit Yoso_field Yoso_runtime Yoso_shamir

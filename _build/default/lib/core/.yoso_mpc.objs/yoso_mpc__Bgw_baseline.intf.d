@@ -1,0 +1,1 @@
+lib/core/bgw_baseline.mli: Yoso_circuit Yoso_field

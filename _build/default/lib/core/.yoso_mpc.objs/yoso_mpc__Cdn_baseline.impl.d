@@ -1,0 +1,1 @@
+lib/core/cdn_baseline.ml: Array Committee_ops Hashtbl Ideal_pke Ideal_te List Option Params Printf Yoso_circuit Yoso_field Yoso_hash Yoso_runtime

@@ -1,0 +1,1 @@
+lib/core/cdn_baseline.mli: Params Yoso_circuit Yoso_field

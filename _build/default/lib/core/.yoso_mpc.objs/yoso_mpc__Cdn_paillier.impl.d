@@ -1,0 +1,1 @@
+lib/core/cdn_paillier.ml: Array Hashtbl List Option Random Yoso_bigint Yoso_circuit Yoso_nizk Yoso_paillier

@@ -1,0 +1,1 @@
+lib/core/cdn_paillier.mli: Yoso_bigint Yoso_circuit

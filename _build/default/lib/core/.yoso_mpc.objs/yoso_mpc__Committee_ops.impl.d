@@ -1,0 +1,1 @@
+lib/core/committee_ops.ml: Array Ideal_pke Ideal_te List Option Params Printf Random Yoso_field Yoso_hash Yoso_runtime

@@ -1,0 +1,1 @@
+lib/core/committee_ops.mli: Ideal_pke Ideal_te Params Random Yoso_field Yoso_hash Yoso_runtime

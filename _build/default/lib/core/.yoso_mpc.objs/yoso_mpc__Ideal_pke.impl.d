@@ -1,0 +1,1 @@
+lib/core/ideal_pke.ml: Yoso_hash

@@ -1,0 +1,1 @@
+lib/core/ideal_pke.mli: Yoso_hash

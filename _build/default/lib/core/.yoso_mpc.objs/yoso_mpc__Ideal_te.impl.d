@@ -1,0 +1,1 @@
+lib/core/ideal_te.ml: Array Hashtbl List Printf Yoso_field Yoso_hash

@@ -1,0 +1,1 @@
+lib/core/ideal_te.mli: Yoso_field Yoso_hash

@@ -1,0 +1,1 @@
+lib/core/offline.ml: Array Committee_ops Hashtbl Ideal_te List Option Params Seq Setup Yoso_circuit Yoso_field Yoso_runtime

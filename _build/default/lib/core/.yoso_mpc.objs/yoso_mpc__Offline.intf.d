@@ -1,0 +1,1 @@
+lib/core/offline.mli: Committee_ops Ideal_te Setup Yoso_circuit Yoso_field

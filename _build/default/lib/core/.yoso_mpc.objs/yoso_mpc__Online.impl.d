@@ -1,0 +1,1 @@
+lib/core/online.ml: Array Committee_ops Hashtbl Ideal_pke Ideal_te List Offline Option Params Printf Setup Yoso_circuit Yoso_field Yoso_runtime Yoso_shamir

@@ -1,0 +1,1 @@
+lib/core/online.mli: Committee_ops Offline Setup Yoso_circuit Yoso_field

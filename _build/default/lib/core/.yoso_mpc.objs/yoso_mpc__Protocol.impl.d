@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Array Committee_ops List Offline Online Params Setup Yoso_circuit Yoso_field Yoso_hash Yoso_runtime

@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Online Params Yoso_circuit Yoso_field

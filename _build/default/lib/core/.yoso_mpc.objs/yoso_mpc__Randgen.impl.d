@@ -1,0 +1,1 @@
+lib/core/randgen.ml: Array List Random Yoso_field Yoso_runtime Yoso_shamir

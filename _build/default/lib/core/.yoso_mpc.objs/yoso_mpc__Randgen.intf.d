@@ -1,0 +1,1 @@
+lib/core/randgen.mli: Yoso_field

@@ -1,0 +1,1 @@
+lib/core/setup.ml: Array Ideal_pke Ideal_te List Params Yoso_field Yoso_runtime

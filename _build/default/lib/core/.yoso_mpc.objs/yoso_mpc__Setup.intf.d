@@ -1,0 +1,1 @@
+lib/core/setup.mli: Ideal_pke Ideal_te Params Yoso_field Yoso_hash Yoso_runtime

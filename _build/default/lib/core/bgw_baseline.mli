@@ -1,0 +1,43 @@
+(** Semi-honest BGW as a YOSO protocol — the information-theoretic
+    reference point.
+
+    The paper (Section 1.2) notes that the classic BGW protocol "is
+    essentially already a YOSO protocol in the semi-honest setting":
+    every committee holds plain degree-[t] Shamir shares of the live
+    wires, evaluates one multiplicative layer (local share products,
+    degree [2t]), and re-shares everything to the next committee,
+    which performs GRR degree reduction.  Communication is
+    [Theta(n^2)] elements per gate plus [Theta(n^2)] per live wire per
+    layer — the "prohibitively high" cost that motivates the
+    computational protocols.
+
+    Executed over the same runtime (speak-once roles, bulletin board,
+    per-phase cost tally) so it slots into the E2 comparison as the
+    information-theoretic upper bound.  Honest-but-curious corruption
+    only: [t < n / 2], no proofs. *)
+
+module F = Yoso_field.Field.Fp
+module Circuit = Yoso_circuit.Circuit
+
+type report = {
+  outputs : (int * Circuit.wire * F.t) list;
+  online_elements : int;  (** everything after input sharing *)
+  input_elements : int;
+  posts : int;
+  num_mult : int;
+}
+
+val online_per_gate : report -> float
+
+val execute :
+  n:int ->
+  t:int ->
+  ?seed:int ->
+  circuit:Circuit.t ->
+  inputs:(int -> F.t array) ->
+  unit ->
+  report
+(** @raise Invalid_argument unless [0 <= t < n / 2] (BGW
+    multiplication needs [2t + 1 <= n]). *)
+
+val check : report -> Circuit.t -> inputs:(int -> F.t array) -> bool

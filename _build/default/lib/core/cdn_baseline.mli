@@ -1,0 +1,40 @@
+(** CDN-style YOSO MPC baseline (Gentry et al. [29]).
+
+    The prior state of the art the paper compares against: the circuit
+    is evaluated gate-by-gate on ciphertexts under [tpk].  Beaver
+    triples are preprocessed offline; every online multiplication
+    consumes one triple and requires the current committee to
+    threshold-decrypt two masked ciphertexts — [O(n)] broadcast
+    elements per gate even after amortising the [tsk] re-sharing over
+    [gates_per_committee] gates (Section 3.2: "further amortization is
+    not possible").
+
+    Implemented over the same {!Ideal_te}, bulletin board and cost
+    accounting as the packed protocol, so the measured online
+    elements-per-gate of the two protocols are directly comparable
+    (experiment E2). *)
+
+module F = Yoso_field.Field.Fp
+module Circuit = Yoso_circuit.Circuit
+
+type report = {
+  outputs : (int * Circuit.wire * F.t) list;
+  offline_elements : int;
+  online_elements : int;
+  posts : int;
+  num_mult : int;
+}
+
+val online_per_gate : report -> float
+val offline_per_gate : report -> float
+
+val execute :
+  params:Params.t ->
+  ?adversary:Params.adversary ->
+  ?seed:int ->
+  circuit:Circuit.t ->
+  inputs:(int -> F.t array) ->
+  unit ->
+  report
+
+val check : report -> Circuit.t -> inputs:(int -> F.t array) -> bool

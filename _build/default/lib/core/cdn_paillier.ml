@@ -1,0 +1,188 @@
+module B = Yoso_bigint.Bigint
+module P = Yoso_paillier.Paillier
+module T = Yoso_paillier.Threshold
+module Sigma = Yoso_nizk.Sigma
+module Ideal = Yoso_nizk.Ideal
+module Circuit = Yoso_circuit.Circuit
+
+type report = {
+  outputs : (int * Circuit.wire * B.t) list;
+  modulus : B.t;
+  rejected_contributions : int;
+}
+
+let sample_unit st n =
+  let rec go () =
+    let r = B.random_below st n in
+    if B.is_zero r || not (B.is_one (B.gcd r n)) then go () else r
+  in
+  go ()
+
+let expected ~modulus circuit ~inputs =
+  let values = Array.make circuit.Circuit.wire_count B.zero in
+  let cursor = Hashtbl.create 8 in
+  let out = ref [] in
+  Array.iter
+    (fun g ->
+      match g with
+      | Circuit.Input { client; wire } ->
+        let i = Option.value ~default:0 (Hashtbl.find_opt cursor client) in
+        values.(wire) <- B.erem (inputs client).(i) modulus;
+        Hashtbl.replace cursor client (i + 1)
+      | Circuit.Add { a; b; out } -> values.(out) <- B.addmod values.(a) values.(b) modulus
+      | Circuit.Mul { a; b; out } -> values.(out) <- B.mulmod values.(a) values.(b) modulus
+      | Circuit.Output { client; wire } -> out := (client, values.(wire)) :: !out)
+    circuit.Circuit.gates;
+  List.rev !out
+
+let execute ~n ~t ?(bits = 96) ?(malicious = []) ?(seed = 0xBEEF) ~circuit ~inputs () =
+  let st = Random.State.make [| seed |] in
+  let tpk, shares = T.keygen ~bits ~n ~t st in
+  let pk = tpk.T.pk in
+  let modulus = pk.P.n in
+  let rejected = ref 0 in
+  let is_malicious i = List.mem i malicious in
+  let m = Circuit.num_mul circuit in
+
+  (* ---- Beaver triples with real sigma proofs (Protocol 3) --------- *)
+  let first_committee g =
+    (* per gate: each member contributes an encrypted random summand
+       with a proof of plaintext knowledge *)
+    ignore g;
+    let contribs =
+      List.init n (fun i ->
+          let a = B.random_below st modulus in
+          let r = sample_unit st modulus in
+          let c = P.encrypt_with pk ~r a in
+          let proof =
+            if is_malicious i then
+              (* lie about the plaintext: proof will not verify *)
+              Sigma.Plaintext_knowledge.prove pk st ~m:(B.add a B.one) ~r ~c
+            else Sigma.Plaintext_knowledge.prove pk st ~m:a ~r ~c
+          in
+          (c, proof))
+    in
+    let verified =
+      List.filter
+        (fun (c, proof) ->
+          let ok = Sigma.Plaintext_knowledge.verify pk ~c proof in
+          if not ok then incr rejected;
+          ok)
+        contribs
+    in
+    match verified with
+    | [] -> failwith "Cdn_paillier: all first-committee contributions rejected"
+    | (c0, _) :: rest -> List.fold_left (fun acc (c, _) -> P.add pk acc c) c0 rest
+  in
+  let second_committee c_a =
+    let contribs =
+      List.init n (fun i ->
+          let b = B.random_below st modulus in
+          let r = sample_unit st modulus in
+          let c_b = P.encrypt_with pk ~r b in
+          let c_c =
+            if is_malicious i then P.encrypt pk st (B.of_int 1337)
+            else P.scalar_mul pk b c_a
+          in
+          let proof = Sigma.Multiplication.prove pk st ~b ~r ~c_a ~c_b ~c_c in
+          (c_b, c_c, proof))
+    in
+    let verified =
+      List.filter
+        (fun (c_b, c_c, proof) ->
+          let ok = Sigma.Multiplication.verify pk ~c_a ~c_b ~c_c proof in
+          if not ok then incr rejected;
+          ok)
+        contribs
+    in
+    match verified with
+    | [] -> failwith "Cdn_paillier: all second-committee contributions rejected"
+    | (b0, c0, _) :: rest ->
+      List.fold_left
+        (fun (accb, accc) (cb, cc, _) -> (P.add pk accb cb, P.add pk accc cc))
+        (b0, c0) rest
+  in
+  let triples =
+    Array.init m (fun g ->
+        let c_a = first_committee g in
+        let c_b, c_c = second_committee c_a in
+        (c_a, c_b, c_c))
+  in
+
+  (* ---- threshold opening with the real scheme ---------------------- *)
+  let shares = ref shares in
+  let opened_count = ref 0 in
+  let open_ct ct =
+    (* partial-decryption correctness is attested with the ideal NIZK
+       (no sigma protocol without extra setup); honest partials only *)
+    let parts =
+      List.init (t + 1) (fun i ->
+          let d = T.partial_decrypt tpk !shares.(i) ct in
+          let proof =
+            Ideal.prove ~relation:"tpdec" ~statement:(string_of_int i) ~witness_ok:true
+          in
+          assert (Ideal.verify ~relation:"tpdec" ~statement:(string_of_int i) proof);
+          d)
+    in
+    incr opened_count;
+    T.combine tpk parts
+  in
+  (* exercise TKRes/TKRec once mid-protocol: refresh every share *)
+  let maybe_refresh () =
+    if !opened_count = max 1 m then begin
+      let msgs = Array.map (fun s -> T.reshare tpk s st) !shares in
+      let epoch = T.share_epoch !shares.(0) + 1 in
+      shares :=
+        Array.init n (fun j ->
+            T.recombine_share tpk ~index:(j + 1) ~epoch
+              (List.init n (fun i -> (i + 1, msgs.(i).(j)))))
+    end
+  in
+
+  (* ---- gate-by-gate evaluation over Z_N ---------------------------- *)
+  let wire_ct = Array.make circuit.Circuit.wire_count None in
+  let get w =
+    match wire_ct.(w) with
+    | Some c -> c
+    | None -> failwith "Cdn_paillier: wire not evaluated"
+  in
+  let cursor = Hashtbl.create 8 in
+  let triple_cursor = ref 0 in
+  let outputs = ref [] in
+  Array.iter
+    (fun g ->
+      match g with
+      | Circuit.Input { client; wire } ->
+        let i = Option.value ~default:0 (Hashtbl.find_opt cursor client) in
+        let v = B.erem (inputs client).(i) modulus in
+        Hashtbl.replace cursor client (i + 1);
+        let r = sample_unit st modulus in
+        let c = P.encrypt_with pk ~r v in
+        let proof = Sigma.Plaintext_knowledge.prove pk st ~m:v ~r ~c in
+        if not (Sigma.Plaintext_knowledge.verify pk ~c proof) then
+          failwith "Cdn_paillier: honest input proof failed";
+        wire_ct.(wire) <- Some c
+      | Circuit.Add { a; b; out } -> wire_ct.(out) <- Some (P.add pk (get a) (get b))
+      | Circuit.Mul { a; b; out } ->
+        let c_a, c_b, c_c = triples.(!triple_cursor) in
+        incr triple_cursor;
+        let eps = open_ct (P.add pk (get a) c_a) in
+        let delta = open_ct (P.add pk (get b) c_b) in
+        maybe_refresh ();
+        let c_out =
+          P.linear_combination pk
+            [ get b; c_a; c_c ]
+            [ eps; B.erem (B.neg delta) modulus; B.one ]
+        in
+        wire_ct.(out) <- Some c_out
+      | Circuit.Output { client; wire } ->
+        outputs := (client, wire, open_ct (get wire)) :: !outputs)
+    circuit.Circuit.gates;
+  { outputs = List.rev !outputs; modulus; rejected_contributions = !rejected }
+
+let check report circuit ~inputs =
+  let plain = expected ~modulus:report.modulus circuit ~inputs in
+  List.length plain = List.length report.outputs
+  && List.for_all2
+       (fun (c, v) (c', _, v') -> c = c' && B.equal v v')
+       plain report.outputs

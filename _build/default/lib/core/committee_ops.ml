@@ -1,0 +1,141 @@
+module F = Yoso_field.Field.Fp
+module Pke = Ideal_pke
+module Te = Ideal_te
+module Bulletin = Yoso_runtime.Bulletin
+module Committee = Yoso_runtime.Committee
+module Cost = Yoso_runtime.Cost
+module Splitmix = Yoso_hash.Splitmix
+
+type ctx = {
+  board : string Bulletin.t;
+  rng : Splitmix.t;
+  frng : Random.State.t;
+  params : Params.t;
+  adversary : Params.adversary;
+  mutable committee_counter : int;
+}
+
+let create_ctx ~board ~params ~adversary ~seed =
+  Params.validate_adversary params adversary;
+  {
+    board;
+    rng = Splitmix.of_int seed;
+    frng = Random.State.make [| seed lxor 0x5EED |];
+    params;
+    adversary;
+    committee_counter = 0;
+  }
+
+let fresh_committee ctx prefix =
+  ctx.committee_counter <- ctx.committee_counter + 1;
+  let name = Printf.sprintf "%s#%d" prefix ctx.committee_counter in
+  Committee.sample ~name ~n:ctx.params.Params.n
+    ~malicious:ctx.adversary.Params.malicious ~passive:ctx.adversary.Params.passive
+    ~fail_stop:ctx.adversary.Params.fail_stop ctx.rng
+
+let contributions ctx committee ~phase ~step ~cost f =
+  let proofed_cost = (Cost.Proof, 1) :: cost in
+  let out = ref [] in
+  List.iter
+    (fun i ->
+      let author = Committee.role committee i in
+      Bulletin.post ctx.board ~author ~phase ~cost:proofed_cost step;
+      (* malicious roles post garbage with a forged proof; verifiers
+         exclude them (ideal NIZK soundness), so only the rest
+         contribute content *)
+      if not (Committee.is_malicious committee i) then out := (i, f i) :: !out)
+    (Committee.speaking_indices committee);
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* tsk chain                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type holder = { committee : Committee.t; shares : Te.share option array; prefix : string }
+
+let holder_committee h = h.committee
+
+let initial_holder ctx _te ~name shares =
+  let committee = fresh_committee ctx name in
+  if Array.length shares <> ctx.params.Params.n then
+    invalid_arg "Committee_ops.initial_holder: share count <> n";
+  { committee; shares = Array.map Option.some shares; prefix = name }
+
+let member_share holder i =
+  match holder.shares.(i) with
+  | Some s -> s
+  | None -> failwith "Committee_ops: holder member without a tsk share"
+
+(* hand the re-randomized key to a fresh committee *)
+let pass_key ctx te next_prefix verified =
+  let next = fresh_committee ctx next_prefix in
+  let shares =
+    Array.init ctx.params.Params.n (fun j ->
+        let subs = List.map (fun (_, reshares) -> reshares.(j)) verified in
+        Some (Te.recombine te ~index:(j + 1) subs))
+  in
+  { committee = next; shares; prefix = next_prefix }
+
+let decrypt_batch ctx te holder ~phase ~step cts =
+  let n = ctx.params.Params.n in
+  let cost = [ (Cost.Partial_decryption, Array.length cts); (Cost.Ciphertext, n) ] in
+  let verified =
+    contributions ctx holder.committee ~phase ~step ~cost (fun i ->
+        let share = member_share holder i in
+        let partials = Array.map (Te.partial_decrypt te share) cts in
+        let reshares = Te.reshare te share in
+        (partials, reshares))
+  in
+  let values =
+    Array.init (Array.length cts) (fun c ->
+        Te.combine te (List.map (fun (_, (partials, _)) -> partials.(c)) verified))
+  in
+  let next = pass_key ctx te holder.prefix (List.map (fun (i, (_, r)) -> (i, r)) verified) in
+  (values, next)
+
+type 'a reenc = { senders : int list; target : Pke.pk; guarded : 'a Pke.enc }
+
+let reenc_target r = r.target
+
+let open_reenc te sk r =
+  let distinct = List.sort_uniq compare r.senders in
+  if List.length distinct < Te.threshold te + 1 then
+    invalid_arg "Committee_ops.open_reenc: not enough partial encryptions";
+  Pke.dec sk r.guarded
+
+let reencrypt_generic ctx te holder ~phase ~step ~reshare values =
+  let n = ctx.params.Params.n in
+  let cost =
+    if reshare then [ (Cost.Ciphertext, Array.length values + n) ]
+    else [ (Cost.Ciphertext, Array.length values) ]
+  in
+  let verified =
+    contributions ctx holder.committee ~phase ~step ~cost (fun i ->
+        let share = member_share holder i in
+        let partials = Array.map (fun (_, ct) -> Te.partial_decrypt te share ct) values in
+        let reshares = if reshare then Some (Te.reshare te share) else None in
+        (partials, reshares))
+  in
+  let senders = List.map fst verified in
+  let packages =
+    Array.mapi
+      (fun v (target, _) ->
+        let value = Te.combine te (List.map (fun (_, (partials, _)) -> partials.(v)) verified) in
+        { senders; target; guarded = Pke.enc target value })
+      values
+  in
+  (packages, verified)
+
+let reencrypt_batch ctx te holder ~phase ~step values =
+  let packages, verified =
+    reencrypt_generic ctx te holder ~phase ~step ~reshare:true values
+  in
+  let reshares_of (i, (_, r)) =
+    match r with Some arr -> (i, arr) | None -> assert false
+  in
+  let next = pass_key ctx te holder.prefix (List.map reshares_of verified) in
+  (packages, next)
+
+let reencrypt_final ctx te holder ~phase ~step values =
+  let packages, _ = reencrypt_generic ctx te holder ~phase ~step ~reshare:false values in
+  packages

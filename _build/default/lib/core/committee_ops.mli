@@ -1,0 +1,98 @@
+(** Shared committee machinery: the [Decrypt] and [Re-encrypt]
+    subprotocols (Protocols 1-2 of the paper) and the generic
+    "every role contributes once, proofs filter the malicious"
+    pattern.
+
+    Every operation creates real bulletin-board posts (speak-once
+    enforced, costs charged) while the content flows functionally —
+    the board is the audit trail, message contents are in-memory
+    values (the standard protocol-simulator shortcut; see DESIGN.md).
+
+    The threshold secret key travels down a chain of committees: each
+    [decrypt_batch]/[reencrypt_batch] consumes the current holder
+    committee (its roles speak once, posting partials, re-sharing
+    messages and proofs) and hands the re-randomized key to a freshly
+    sampled committee. *)
+
+module F = Yoso_field.Field.Fp
+module Pke = Ideal_pke
+module Te = Ideal_te
+module Committee = Yoso_runtime.Committee
+module Cost = Yoso_runtime.Cost
+
+type ctx = {
+  board : string Yoso_runtime.Bulletin.t;
+  rng : Yoso_hash.Splitmix.t;
+  frng : Random.State.t;  (** field-element randomness *)
+  params : Params.t;
+  adversary : Params.adversary;
+  mutable committee_counter : int;
+}
+
+val create_ctx :
+  board:string Yoso_runtime.Bulletin.t ->
+  params:Params.t ->
+  adversary:Params.adversary ->
+  seed:int ->
+  ctx
+
+val fresh_committee : ctx -> string -> Committee.t
+(** Samples a committee with the ctx's adversary structure; names are
+    suffixed with a running counter. *)
+
+val contributions :
+  ctx ->
+  Committee.t ->
+  phase:string ->
+  step:string ->
+  cost:(Cost.kind * int) list ->
+  (int -> 'a) ->
+  (int * 'a) list
+(** [contributions ctx committee ~phase ~step ~cost f]: every speaking
+    role posts once ([cost] plus one proof each); malicious roles post
+    garbage under forged proofs and are filtered out; fail-stop roles
+    stay silent.  Returns the verified [(index, f index)] list. *)
+
+(** {1 The tsk chain} *)
+
+type holder
+(** A committee currently holding the shares of [tsk]. *)
+
+val initial_holder : ctx -> Te.tpk -> name:string -> Te.share array -> holder
+val holder_committee : holder -> Committee.t
+
+val decrypt_batch :
+  ctx -> Te.tpk -> holder -> phase:string -> step:string -> F.t Te.ct array ->
+  F.t array * holder
+(** [Decrypt] (Protocol 2), batched: each speaking holder role posts
+    one broadcast containing its partial decryption of every
+    ciphertext, its [n] re-sharing messages for the next committee,
+    and one proof.  Returns the decrypted values and the next
+    holder. *)
+
+type 'a reenc
+(** A value re-encrypted towards one recipient: the on-board partial
+    encryptions, openable only with the matching secret key. *)
+
+val reenc_target : 'a reenc -> Pke.pk
+
+val reencrypt_batch :
+  ctx -> Te.tpk -> holder -> phase:string -> step:string ->
+  (Pke.pk * 'a Te.ct) array ->
+  'a reenc array * holder
+(** [Re-encrypt] (Protocol 1), batched over many [(recipient, ct)]
+    values: each speaking holder role posts one broadcast with, per
+    value, its partial decryption encrypted under the recipient key,
+    plus its re-sharing messages and one proof. *)
+
+val reencrypt_final :
+  ctx -> Te.tpk -> holder -> phase:string -> step:string ->
+  (Pke.pk * 'a Te.ct) array ->
+  'a reenc array
+(** [Re-encrypt*] (online output step): same, but the holder does not
+    re-share [tsk] — the chain ends. *)
+
+val open_reenc : Te.tpk -> Pke.sk -> 'a reenc -> 'a
+(** Recipient side: decrypt the partial encryptions with the matching
+    secret key and run [TDec] on [t + 1] of them.
+    @raise Invalid_argument on a wrong key or too few partials. *)

@@ -1,0 +1,26 @@
+module Splitmix = Yoso_hash.Splitmix
+
+type pk = int
+type sk = { id : int }
+
+let counter = ref 0
+
+let gen rng =
+  (* the rng parameter keeps the signature honest (a real scheme
+     samples keys); ids are process-unique *)
+  ignore (Splitmix.next rng);
+  incr counter;
+  (!counter, { id = !counter })
+
+let pk_of sk = sk.id
+let pk_id pk = pk
+
+type 'a enc = { key : int; payload : 'a }
+
+let enc pk payload = { key = pk; payload }
+
+let dec sk c =
+  if c.key <> sk.id then invalid_arg "Ideal_pke.dec: wrong key";
+  c.payload
+
+let dec_opt sk c = if c.key <> sk.id then None else Some c.payload

@@ -1,0 +1,285 @@
+module F = Yoso_field.Field.Fp
+module Te = Ideal_te
+module Lagrange = Yoso_field.Lagrange.Make (F)
+module Layout = Yoso_circuit.Layout
+module Circuit = Yoso_circuit.Circuit
+module Cost = Yoso_runtime.Cost
+module Ops = Committee_ops
+
+type input_prep = {
+  client : int;
+  wires : Circuit.wire array;
+  lambda_reencs : F.t Committee_ops.reenc array;
+}
+
+type mult_prep = {
+  batch : Layout.mult_batch;
+  alpha_shares : F.t Committee_ops.reenc array;
+  beta_shares : F.t Committee_ops.reenc array;
+  gamma_shares : F.t Committee_ops.reenc array;
+}
+
+type t = {
+  layout : Layout.t;
+  wire_lambda : F.t Te.ct array;
+  input_preps : input_prep list;
+  mult_preps : mult_prep list array;
+  final_holder : Committee_ops.holder;
+}
+
+let phase = "offline"
+
+(* sum verified members' ciphertext contributions, column by column *)
+let sum_contributions te verified column =
+  match verified with
+  | [] -> failwith "Offline: no verified contributions"
+  | (_, first) :: rest ->
+    List.fold_left (fun acc (_, cts) -> Te.add te acc (column cts)) (column first) rest
+
+let chunks size arr =
+  let n = Array.length arr in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else begin
+      let len = min size (n - i) in
+      go (i + len) (Array.sub arr i len :: acc)
+    end
+  in
+  go 0 []
+
+let run (ctx : Ops.ctx) (setup : Setup.t) layout =
+  let te = setup.Setup.te in
+  let p = ctx.Ops.params in
+  let n = p.Params.n and t = p.Params.t and k = p.Params.k in
+  let gpc = p.Params.gates_per_committee in
+  let circuit = layout.Layout.circuit in
+  let frng = ctx.Ops.frng in
+  let zero_ct = Te.encrypt te F.zero in
+
+  (* ---- enumerate multiplication gates (traversal order) ---------- *)
+  let mult_gates =
+    Array.of_seq
+      (Seq.filter_map
+         (function
+           | Circuit.Mul { a; b; out } -> Some (a, b, out)
+           | Circuit.Input _ | Circuit.Add _ | Circuit.Output _ -> None)
+         (Array.to_seq circuit.Circuit.gates))
+  in
+  let m = Array.length mult_gates in
+  let gate_index = Hashtbl.create (max 16 m) in
+  Array.iteri (fun g (_, _, out) -> Hashtbl.add gate_index out g) mult_gates;
+
+  (* ---- Step 1: Beaver triples (Protocol 3) ----------------------- *)
+  let b1 = Ops.fresh_committee ctx "Off-B1" in
+  let xs =
+    Ops.contributions ctx b1 ~phase ~step:"beaver: first-committee shares"
+      ~cost:[ (Cost.Ciphertext, m) ]
+      (fun _ -> Array.init m (fun _ -> Te.encrypt te (F.random frng)))
+  in
+  let c_x = Array.init m (fun g -> sum_contributions te xs (fun cts -> cts.(g))) in
+  let b2 = Ops.fresh_committee ctx "Off-B2" in
+  let yzs =
+    Ops.contributions ctx b2 ~phase ~step:"beaver: second-committee shares and products"
+      ~cost:[ (Cost.Ciphertext, 2 * m) ]
+      (fun _ ->
+        Array.init m (fun g ->
+            let y = F.random frng in
+            (Te.encrypt te y, Te.scale te y c_x.(g))))
+  in
+  let c_y = Array.init m (fun g -> sum_contributions te yzs (fun cts -> fst cts.(g))) in
+  let c_z = Array.init m (fun g -> sum_contributions te yzs (fun cts -> snd cts.(g))) in
+
+  (* ---- Step 2: random wire values -------------------------------- *)
+  let random_wires =
+    Array.of_seq
+      (Seq.filter_map
+         (function
+           | Circuit.Input { wire; _ } -> Some wire
+           | Circuit.Mul { out; _ } -> Some out
+           | Circuit.Add _ | Circuit.Output _ -> None)
+         (Array.to_seq circuit.Circuit.gates))
+  in
+  let r_committee = Ops.fresh_committee ctx "Off-R" in
+  let lambda_contribs =
+    Ops.contributions ctx r_committee ~phase ~step:"random wire values"
+      ~cost:[ (Cost.Ciphertext, Array.length random_wires) ]
+      (fun _ -> Array.map (fun _ -> Te.encrypt te (F.random frng)) random_wires)
+  in
+  let wire_lambda = Array.make circuit.Circuit.wire_count zero_ct in
+  Array.iteri
+    (fun idx w ->
+      wire_lambda.(w) <- sum_contributions te lambda_contribs (fun cts -> cts.(idx)))
+    random_wires;
+
+  (* ---- Step 3: dependent wire values ------------------------------ *)
+  (* addition wires homomorphically, in topological order *)
+  Array.iter
+    (function
+      | Circuit.Add { a; b; out } -> wire_lambda.(out) <- Te.add te wire_lambda.(a) wire_lambda.(b)
+      | Circuit.Input _ | Circuit.Mul _ | Circuit.Output _ -> ())
+    circuit.Circuit.gates;
+  (* masked openings eps = lambda_a + x, delta = lambda_b + y *)
+  let masked =
+    Array.init (2 * m) (fun i ->
+        let g = i / 2 in
+        let a, b, _ = mult_gates.(g) in
+        if i mod 2 = 0 then Te.add te wire_lambda.(a) c_x.(g)
+        else Te.add te wire_lambda.(b) c_y.(g))
+  in
+  let holder = ref (Ops.initial_holder ctx te ~name:"Off-D" setup.Setup.initial_tsk) in
+  let opened = Array.make (2 * m) F.zero in
+  let pos = ref 0 in
+  List.iter
+    (fun chunk ->
+      let values, next =
+        Ops.decrypt_batch ctx te !holder ~phase ~step:"open masked beaver values" chunk
+      in
+      Array.blit values 0 opened !pos (Array.length values);
+      pos := !pos + Array.length values;
+      holder := next)
+    (chunks (2 * gpc) masked);
+  (* Gamma_g = lambda_a * lambda_b - lambda_out, homomorphically *)
+  let gamma_ct =
+    Array.init m (fun g ->
+        let _, b, out = mult_gates.(g) in
+        let eps = opened.(2 * g) and delta = opened.((2 * g) + 1) in
+        Te.eval te
+          [| wire_lambda.(b); c_x.(g); c_z.(g); wire_lambda.(out) |]
+          [| eps; F.neg delta; F.one; F.neg F.one |])
+  in
+
+  (* ---- Step 4: pack values for multiplication gates --------------- *)
+  (* anchor points: secret slots 0, -1, ..., -(k-1), then 1..t *)
+  let sources =
+    Array.append
+      (Array.init k (fun j -> F.of_int (-j)))
+      (Array.init t (fun j -> F.of_int (j + 1)))
+  in
+  let targets = Array.init n (fun i -> F.of_int (i + 1)) in
+  let pack_matrix = Lagrange.basis_matrix ~sources ~targets in
+  let all_batches =
+    Array.of_list
+      (List.concat (Array.to_list (Array.map (fun l -> l) layout.Layout.mult_layers)))
+  in
+  (* helper randoms: 3 packed vectors per batch, t helpers each *)
+  let helpers = Hashtbl.create 64 in
+  let batches_per_committee = max 1 (gpc / max 1 k) in
+  List.iter
+    (fun batch_chunk ->
+      let committee = Ops.fresh_committee ctx "Off-P" in
+      let contribs =
+        Ops.contributions ctx committee ~phase ~step:"packing helper randoms"
+          ~cost:[ (Cost.Ciphertext, 3 * t * Array.length batch_chunk) ]
+          (fun _ ->
+            Array.map
+              (fun _ ->
+                Array.init 3 (fun _ -> Array.init t (fun _ -> Te.encrypt te (F.random frng))))
+              batch_chunk)
+      in
+      Array.iteri
+        (fun bi batch ->
+          let help =
+            Array.init 3 (fun v ->
+                Array.init t (fun j ->
+                    sum_contributions te contribs (fun cts -> cts.(bi).(v).(j))))
+          in
+          Hashtbl.add helpers batch help)
+        batch_chunk)
+    (chunks batches_per_committee all_batches);
+  (* homomorphic Lagrange evaluation: n encrypted packed shares per vector *)
+  let pack cts help =
+    let anchors = Array.append cts help in
+    Array.init n (fun i -> Te.eval te anchors pack_matrix.(i))
+  in
+  let padded f batch =
+    let raw = Array.map f batch.Layout.mult_gates in
+    if Array.length raw > k then invalid_arg "Offline: batch longer than k";
+    Array.append raw (Array.make (k - Array.length raw) zero_ct)
+  in
+  let packed_of_batch batch =
+    let help = Hashtbl.find helpers batch in
+    let alpha = pack (padded (fun (a, _, _) -> wire_lambda.(a)) batch) help.(0) in
+    let beta = pack (padded (fun (_, b, _) -> wire_lambda.(b)) batch) help.(1) in
+    let gamma =
+      pack (padded (fun (_, _, out) -> gamma_ct.(Hashtbl.find gate_index out)) batch) help.(2)
+    in
+    (alpha, beta, gamma)
+  in
+
+  (* ---- Step 5: re-encrypt input-wire lambdas to client KFFs ------- *)
+  let input_batches = Array.of_list layout.Layout.input_batches in
+  let input_values =
+    Array.concat
+      (List.map
+         (fun (client, wires) ->
+           let entry = List.assoc client setup.Setup.kff_clients in
+           Array.map (fun w -> (entry.Setup.kff_pk, wire_lambda.(w))) wires)
+         (Array.to_list input_batches))
+  in
+  let input_reencs = Array.make (Array.length input_values) None in
+  let pos = ref 0 in
+  List.iter
+    (fun chunk ->
+      let packages, next =
+        Ops.reencrypt_batch ctx te !holder ~phase ~step:"re-encrypt input lambdas to KFF"
+          chunk
+      in
+      Array.iteri (fun i pkg -> input_reencs.(!pos + i) <- Some pkg) packages;
+      pos := !pos + Array.length packages;
+      holder := next)
+    (chunks gpc input_values);
+  let input_preps =
+    let cursor = ref 0 in
+    List.map
+      (fun (client, wires) ->
+        let lambda_reencs =
+          Array.map
+            (fun _ ->
+              let r = Option.get input_reencs.(!cursor) in
+              incr cursor;
+              r)
+            wires
+        in
+        { client; wires; lambda_reencs })
+      (Array.to_list input_batches)
+  in
+
+  (* ---- Step 6: re-encrypt packed shares to online-role KFFs ------- *)
+  let mult_preps = Array.make (Array.length layout.Layout.mult_layers) [] in
+  Array.iteri
+    (fun li batches ->
+      let kffs = setup.Setup.kff_roles.(li) in
+      let preps =
+        List.map
+          (fun batch ->
+            let alpha, beta, gamma = packed_of_batch batch in
+            let values vec =
+              Array.mapi (fun i ct -> (kffs.(i).Setup.kff_pk, ct)) vec
+            in
+            let reenc vec =
+              let out = ref [||] in
+              (* shares of one vector fit in one committee round when
+                 n <= gates_per_committee; chunk otherwise *)
+              List.iter
+                (fun chunk ->
+                  let packages, next =
+                    Ops.reencrypt_batch ctx te !holder ~phase
+                      ~step:"re-encrypt packed shares to KFF" chunk
+                  in
+                  out := Array.append !out packages;
+                  holder := next)
+                (chunks (max n gpc) (values vec));
+              !out
+            in
+            {
+              batch;
+              alpha_shares = reenc alpha;
+              beta_shares = reenc beta;
+              gamma_shares = reenc gamma;
+            })
+          batches
+      in
+      mult_preps.(li) <- preps)
+    layout.Layout.mult_layers;
+
+  { layout; wire_lambda; input_preps; mult_preps; final_holder = !holder }

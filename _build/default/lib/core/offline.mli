@@ -1,0 +1,55 @@
+(** [Pi_YOSO-Offline] (Protocol 4).
+
+    Circuit-dependent preprocessing, executed by a chain of offline
+    committees over the bulletin board:
+
+    + {b Beaver triples} — committees [Off-B1]/[Off-B2] jointly
+      produce an encrypted triple [(c^x, c^y, c^z)] per multiplication
+      gate (Protocol 3).
+    + {b Random wire values} — committee [Off-R] contributes random
+      [lambda] summands for every input-gate and mult-gate output
+      wire; addition wires get [lambda]s homomorphically.
+    + {b Dependent wire values} — for each mult gate, the tsk-holder
+      chain decrypts [epsilon = lambda_alpha + x] and
+      [delta = lambda_beta + y] (batched, [2 * gates_per_committee]
+      per committee) and everyone computes the encryption of
+      [Gamma = lambda_alpha * lambda_beta - lambda_gamma].
+    + {b Packing} — committees [Off-P] contribute the [t] helper
+      randoms per packed vector; everyone homomorphically evaluates
+      the Lagrange map that turns [k] wire ciphertexts + [t] helpers
+      into [n] encrypted packed shares (degree [t + k - 1]).
+    + {b Re-encryption to the future} — the tsk chain re-encrypts
+      input-wire [lambda]s to client KFFs and packed shares to the
+      KFFs of the online roles that will consume them.
+
+    Total communication: [O(n)] ring elements per gate (Theorem 1). *)
+
+module F = Yoso_field.Field.Fp
+module Te = Ideal_te
+module Layout = Yoso_circuit.Layout
+module Circuit = Yoso_circuit.Circuit
+
+type input_prep = {
+  client : int;
+  wires : Circuit.wire array;
+  lambda_reencs : F.t Committee_ops.reenc array;  (** per wire, under the client's KFF *)
+}
+
+type mult_prep = {
+  batch : Layout.mult_batch;
+  alpha_shares : F.t Committee_ops.reenc array;  (** packed share of [lambda_alpha] for role [i] *)
+  beta_shares : F.t Committee_ops.reenc array;
+  gamma_shares : F.t Committee_ops.reenc array;  (** packed share of [Gamma_gamma] *)
+}
+
+type t = {
+  layout : Layout.t;
+  wire_lambda : F.t Te.ct array;  (** [c^lambda] per wire (output step needs these) *)
+  input_preps : input_prep list;
+  mult_preps : mult_prep list array;  (** index [l - 1] = preps of layer [l] *)
+  final_holder : Committee_ops.holder;
+      (** the committee holding tsk at the end of preprocessing; the
+          online phase consumes it for future-key distribution *)
+}
+
+val run : Committee_ops.ctx -> Setup.t -> Layout.t -> t

@@ -1,0 +1,55 @@
+type t = { n : int; t : int; k : int; gates_per_committee : int }
+
+type adversary = { malicious : int; passive : int; fail_stop : int }
+
+let no_adversary = { malicious = 0; passive = 0; fail_stop = 0 }
+
+let reconstruction_threshold p = p.t + (2 * (p.k - 1)) + 1
+let packing_degree p = p.t + p.k - 1
+
+let create ?gates_per_committee ~n ~t ~k () =
+  if n < 1 then invalid_arg "Params.create: n must be positive";
+  if t < 0 then invalid_arg "Params.create: t must be nonnegative";
+  if k < 1 then invalid_arg "Params.create: k must be >= 1";
+  let p = { n; t; k; gates_per_committee = Option.value ~default:n gates_per_committee } in
+  if packing_degree p > n - 1 then
+    invalid_arg
+      (Printf.sprintf "Params.create: packing degree t+k-1 = %d exceeds n-1 = %d"
+         (packing_degree p) (n - 1));
+  if reconstruction_threshold p > n then
+    invalid_arg
+      (Printf.sprintf
+         "Params.create: reconstruction threshold t+2(k-1)+1 = %d exceeds n = %d"
+         (reconstruction_threshold p) n);
+  if p.gates_per_committee < 1 then
+    invalid_arg "Params.create: gates_per_committee must be positive";
+  p
+
+let of_gap ?gates_per_committee ?(fail_stop_mode = false) ~n ~eps () =
+  if eps <= 0.0 || eps >= 0.5 then invalid_arg "Params.of_gap: eps must be in (0, 1/2)";
+  let t = max 0 (int_of_float (float_of_int n *. (0.5 -. eps)) - 1) in
+  let packing_eps = if fail_stop_mode then eps /. 2.0 else eps in
+  let k = int_of_float (float_of_int n *. packing_eps) + 1 in
+  create ?gates_per_committee ~n ~t ~k ()
+
+let validate_adversary p adv =
+  if adv.malicious < 0 || adv.passive < 0 || adv.fail_stop < 0 then
+    invalid_arg "Params.validate_adversary: negative counts";
+  if adv.malicious > p.t then
+    invalid_arg
+      (Printf.sprintf "Params.validate_adversary: %d malicious exceeds t = %d"
+         adv.malicious p.t);
+  if adv.malicious + adv.passive + adv.fail_stop > p.n then
+    invalid_arg "Params.validate_adversary: corruptions exceed committee size";
+  let speaking_honest = p.n - adv.malicious - adv.fail_stop in
+  if speaking_honest < reconstruction_threshold p then
+    invalid_arg
+      (Printf.sprintf
+         "Params.validate_adversary: %d speaking honest roles < reconstruction threshold %d"
+         speaking_honest (reconstruction_threshold p))
+
+let max_fail_stop p adv = max 0 (p.n - adv.malicious - reconstruction_threshold p)
+
+let pp ppf p =
+  Format.fprintf ppf "n=%d t=%d k=%d recon=%d pack-deg=%d gates/committee=%d" p.n p.t
+    p.k (reconstruction_threshold p) (packing_degree p) p.gates_per_committee

@@ -1,0 +1,54 @@
+(** Protocol parameters and adversary configuration.
+
+    The paper's regime: committees of size [n], at most [t] malicious
+    roles per committee with [t < n (1/2 - eps)], packing factor
+    [k ~ n * eps] (or [~ n * eps / 2] in fail-stop mode, Section 5.4).
+    Validation enforces the degree bounds the protocol relies on:
+
+    - packed sharings have degree [t + k - 1 <= n - 1];
+    - online reconstruction needs [t + 2(k-1) + 1 <= n] shares, and at
+      least that many *speaking honest* roles:
+      [n - malicious - fail_stop >= t + 2(k-1) + 1];
+    - threshold decryption needs [t + 1] honest speakers. *)
+
+type t = private {
+  n : int;
+  t : int;
+  k : int;
+  gates_per_committee : int;
+      (** how many gates one committee processes per round (the paper's
+          "roles process O(n) values" amortisation); default [n]. *)
+}
+
+type adversary = {
+  malicious : int;   (** actively corrupt roles per committee *)
+  passive : int;     (** honest-but-curious roles *)
+  fail_stop : int;   (** honest roles that stay silent (Section 5.4) *)
+}
+
+val no_adversary : adversary
+
+val create : ?gates_per_committee:int -> n:int -> t:int -> k:int -> unit -> t
+(** @raise Invalid_argument if the degree bounds fail. *)
+
+val of_gap : ?gates_per_committee:int -> ?fail_stop_mode:bool -> n:int -> eps:float -> unit -> t
+(** Derives [t = floor (n (1/2 - eps)) - 1] (strict inequality) and
+    [k = floor (n * eps) + 1], halving the gap used for packing when
+    [fail_stop_mode] is set ([k = floor (n * eps / 2) + 1], leaving
+    room for [n * eps / 2 * 2 = n * eps] silent roles; Section 5.4). *)
+
+val reconstruction_threshold : t -> int
+(** [t + 2 (k - 1) + 1]: valid shares needed to open a packed [mu]. *)
+
+val packing_degree : t -> int
+(** [t + k - 1]: degree of the preprocessed packed sharings. *)
+
+val validate_adversary : t -> adversary -> unit
+(** @raise Invalid_argument if this adversary breaks the protocol's
+    preconditions (too many malicious or too many silent roles). *)
+
+val max_fail_stop : t -> adversary -> int
+(** How many additional fail-stop roles the parameters tolerate given
+    the adversary's malicious count. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+module F = Yoso_field.Field.Fp
+module Circuit = Yoso_circuit.Circuit
+module Layout = Yoso_circuit.Layout
+module Eval = Yoso_circuit.Circuit.Eval (Yoso_field.Field.Fp)
+module Bulletin = Yoso_runtime.Bulletin
+module Cost = Yoso_runtime.Cost
+module Splitmix = Yoso_hash.Splitmix
+module Ops = Committee_ops
+
+type report = {
+  outputs : Online.output list;
+  setup_elements : int;
+  offline_elements : int;
+  online_elements : int;
+  posts : int;
+  committees : int;
+  num_gates : int;
+  num_mult : int;
+}
+
+let offline_per_gate r = float_of_int r.offline_elements /. float_of_int (max 1 r.num_mult)
+let online_per_gate r = float_of_int r.online_elements /. float_of_int (max 1 r.num_mult)
+
+let execute ~params ?(adversary = Params.no_adversary) ?(seed = 0xC0FFEE) ~circuit ~inputs () =
+  let board : string Bulletin.t = Bulletin.create () in
+  let ctx = Ops.create_ctx ~board ~params ~adversary ~seed in
+  let layout = Layout.make circuit ~k:params.Params.k in
+  let layers = Array.length layout.Layout.mult_layers in
+  let setup =
+    Setup.run ~board ~params ~layers ~clients:(Circuit.clients circuit)
+      (Splitmix.of_int (seed lxor 0x5E7))
+  in
+  let prep = Offline.run ctx setup layout in
+  let outputs = Online.run ctx setup prep ~inputs in
+  let cost = Bulletin.cost board in
+  {
+    outputs;
+    setup_elements = Cost.elements cost ~phase:"setup";
+    offline_elements = Cost.elements cost ~phase:"offline";
+    online_elements = Cost.elements cost ~phase:"online";
+    posts = Bulletin.length board;
+    committees = ctx.Ops.committee_counter;
+    num_gates = Circuit.size circuit;
+    num_mult = Circuit.num_mul circuit;
+  }
+
+let expected circuit ~inputs = Eval.run circuit ~inputs
+
+let check report circuit ~inputs =
+  let plain = expected circuit ~inputs in
+  List.length plain = List.length report.outputs
+  && List.for_all2
+       (fun (c, v) out ->
+         c = out.Online.client
+         && F.equal v out.Online.value)
+       plain report.outputs

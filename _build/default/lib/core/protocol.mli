@@ -1,0 +1,37 @@
+(** End-to-end driver: setup -> offline -> online on one circuit.
+
+    Wires the phases together over a fresh bulletin board, executes
+    the full YOSO MPC protocol, and returns the outputs together with
+    the communication-cost breakdown the benchmarks report. *)
+
+module F = Yoso_field.Field.Fp
+module Circuit = Yoso_circuit.Circuit
+
+type report = {
+  outputs : Online.output list;
+  setup_elements : int;
+  offline_elements : int;
+  online_elements : int;
+  posts : int;           (** total bulletin-board posts (speak-once events) *)
+  committees : int;      (** committees consumed *)
+  num_gates : int;
+  num_mult : int;
+}
+
+val offline_per_gate : report -> float
+val online_per_gate : report -> float
+
+val execute :
+  params:Params.t ->
+  ?adversary:Params.adversary ->
+  ?seed:int ->
+  circuit:Circuit.t ->
+  inputs:(int -> F.t array) ->
+  unit ->
+  report
+
+val expected : Circuit.t -> inputs:(int -> F.t array) -> (int * F.t) list
+(** Plain (in-the-clear) evaluation, for cross-checking. *)
+
+val check : report -> Circuit.t -> inputs:(int -> F.t array) -> bool
+(** Whether the protocol outputs match the plain evaluation. *)

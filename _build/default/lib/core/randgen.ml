@@ -1,0 +1,97 @@
+module F = Yoso_field.Field.Fp
+module Feldman = Yoso_shamir.Feldman
+module Bulletin = Yoso_runtime.Bulletin
+module Committee = Yoso_runtime.Committee
+module Cost = Yoso_runtime.Cost
+module Role = Yoso_runtime.Role
+
+type outcome = {
+  value : F.t;
+  qualified_dealers : int;
+  rejected_dealers : int;
+  rejected_reveals : int;
+  posts : int;
+  elements : int;
+}
+
+let run ~n ~t ?(malicious_dealers = []) ?(malicious_revealers = []) ?(seed = 0xABCD) () =
+  if t < 0 || t >= n then invalid_arg "Randgen.run: need 0 <= t < n";
+  if List.length malicious_dealers > n - t - 1 || List.length malicious_revealers > n - t - 1
+  then invalid_arg "Randgen.run: too many malicious roles";
+  let board : string Bulletin.t = Bulletin.create () in
+  let dealers = Committee.honest_all ~name:"Rand-Deal" ~n in
+  let revealers = Committee.honest_all ~name:"Rand-Reveal" ~n in
+
+  (* round 1: verifiable dealings; dealer i's contribution depends only
+     on (seed, i), so corruption elsewhere cannot retroactively change
+     honest contributions *)
+  let dealings =
+    Array.init n (fun i ->
+        let st = Random.State.make [| seed; i |] in
+        let secret = F.random st in
+        let d = Feldman.deal ~t ~n ~secret st in
+        let d =
+          if List.mem i malicious_dealers then begin
+            (* corrupt one share: public verification must catch it *)
+            let shares = Array.copy d.Feldman.shares in
+            shares.(0) <- F.add shares.(0) F.one;
+            { d with Feldman.shares }
+          end
+          else d
+        in
+        Bulletin.post board ~author:(Committee.role dealers i) ~phase:"randgen"
+          ~cost:[ (Cost.Key, t + 1) (* commitment *); (Cost.Ciphertext, n) ]
+          "randgen dealing";
+        d)
+  in
+  let qualified =
+    List.filter
+      (fun i -> Feldman.verify_dealing ~n dealings.(i))
+      (List.init n (fun i -> i))
+  in
+  let rejected_dealers = n - List.length qualified in
+
+  (* aggregate commitments of the qualified set, coefficient-wise *)
+  let agg_commitment =
+    Array.init (t + 1) (fun j ->
+        List.fold_left
+          (fun acc i -> Feldman.mul_commitments acc dealings.(i).Feldman.commitment.(j))
+          (match qualified with
+          | i0 :: _ -> dealings.(i0).Feldman.commitment.(j)
+          | [] -> invalid_arg "Randgen.run: no qualified dealers")
+          (List.tl qualified))
+  in
+
+  (* round 2: reveal sum-shares, publicly checked against the
+     aggregated commitment *)
+  let reveals =
+    List.filter_map
+      (fun j ->
+        let honest_sum =
+          List.fold_left (fun acc i -> F.add acc dealings.(i).Feldman.shares.(j)) F.zero
+            qualified
+        in
+        let posted =
+          if List.mem j malicious_revealers then F.add honest_sum (F.of_int 42)
+          else honest_sum
+        in
+        Bulletin.post board ~author:(Committee.role revealers j) ~phase:"randgen"
+          ~cost:[ (Cost.Field_element, 1) ]
+          "randgen reveal";
+        if Feldman.verify_share agg_commitment ~index:j ~share:posted then Some (j, posted)
+        else None)
+      (List.init n (fun j -> j))
+  in
+  let rejected_reveals = n - List.length reveals in
+  if List.length reveals < t + 1 then failwith "Randgen.run: not enough valid reveals";
+  let value = Feldman.reconstruct ~t reveals in
+  {
+    value;
+    qualified_dealers = List.length qualified;
+    rejected_dealers;
+    rejected_reveals;
+    posts = Bulletin.length board;
+    elements = Cost.elements (Bulletin.cost board) ~phase:"randgen";
+  }
+
+let honest_reference ~n ~t ?(seed = 0xABCD) () = (run ~n ~t ~seed ()).value

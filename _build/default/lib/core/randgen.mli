@@ -1,0 +1,49 @@
+(** YOSO distributed randomness generation.
+
+    The specialised MPC functionality studied by the
+    worst-case-corruption YOSO line the paper surveys ([39, 38, 37]):
+    two committees produce a public uniformly random field element.
+
+    Round 1 — each role of the *dealing* committee samples a
+    contribution and posts a Feldman-verifiable degree-[t] dealing of
+    it for the reveal committee (commitment + [n] encrypted shares).
+    Dealings that fail public verification are excluded; at least one
+    honest contribution makes the aggregate unpredictable.
+
+    Round 2 — each role of the *reveal* committee posts the sum of its
+    received shares over the qualified dealer set.  Every posted sum
+    is checked against the aggregated Feldman commitments — a
+    malicious revealer is caught by real group arithmetic, not by an
+    idealised proof — and [t + 1] valid sums reconstruct the output.
+
+    Speak-once, broadcast costs and corruption sampling all go through
+    the standard runtime. *)
+
+module F = Yoso_field.Field.Fp
+
+type outcome = {
+  value : F.t;                  (** the public random output *)
+  qualified_dealers : int;      (** dealings that verified *)
+  rejected_dealers : int;
+  rejected_reveals : int;       (** reveal shares caught by the commitment check *)
+  posts : int;
+  elements : int;               (** broadcast elements charged *)
+}
+
+val run :
+  n:int ->
+  t:int ->
+  ?malicious_dealers:int list ->
+  ?malicious_revealers:int list ->
+  ?seed:int ->
+  unit ->
+  outcome
+(** @raise Invalid_argument unless [0 <= t < n] and at least [t + 1]
+    honest roles remain in each committee. *)
+
+val honest_reference : n:int -> t:int -> ?seed:int -> unit -> F.t
+(** The value an all-honest run with the same seed produces.  Because
+    honest contributions depend only on [(seed, dealer)], corrupting
+    *revealers* cannot change the output at all, and corrupting a
+    dealer can only remove its own contribution (no adaptive bias) —
+    both checked in the test suite. *)

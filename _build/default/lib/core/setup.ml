@@ -1,0 +1,40 @@
+module F = Yoso_field.Field.Fp
+module Pke = Ideal_pke
+module Te = Ideal_te
+module Bulletin = Yoso_runtime.Bulletin
+module Cost = Yoso_runtime.Cost
+module Role = Yoso_runtime.Role
+
+type kff_entry = { kff_pk : Pke.pk; kff_sk_ct : Pke.sk Te.ct }
+
+type t = {
+  params : Params.t;
+  te : Te.tpk;
+  initial_tsk : Te.share array;
+  kff_clients : (int * kff_entry) list;
+  kff_roles : kff_entry array array;
+  client_keys : (int * (Pke.pk * Pke.sk)) list;
+}
+
+let run ~board ~params ~layers ~clients rng =
+  let te, initial_tsk = Te.keygen ~n:params.Params.n ~t:params.Params.t rng in
+  let fresh_kff () =
+    let pk, sk = Pke.gen rng in
+    { kff_pk = pk; kff_sk_ct = Te.encrypt te sk }
+  in
+  let kff_clients = List.map (fun c -> (c, fresh_kff ())) clients in
+  let kff_roles =
+    Array.init layers (fun _ -> Array.init params.Params.n (fun _ -> fresh_kff ()))
+  in
+  let client_keys = List.map (fun c -> (c, Pke.gen rng)) clients in
+  let kff_count = List.length kff_clients + (layers * params.Params.n) in
+  Bulletin.post board
+    ~author:(Role.id ~committee:"Setup" ~index:0)
+    ~phase:"setup"
+    ~cost:
+      [
+        (Cost.Key, 1 + kff_count + List.length client_keys);
+        (Cost.Ciphertext, kff_count);
+      ]
+    "setup: tpk, KFF public keys, KFF secret keys under tpk";
+  { params; te; initial_tsk; kff_clients; kff_roles; client_keys }

@@ -1,0 +1,37 @@
+(** [Pi_YOSO-Setup] (Protocol, Section 5.1).
+
+    The trusted setup: generates the threshold key pair (giving [tpk]
+    to everyone and [tsk] shares to the first tsk-holder committee),
+    and the *keys for future* — one PKE key pair per online-phase
+    role and per client, with the public part published and the
+    secret part encrypted under [tpk] (Figure 1's key-usage plan).
+    The NIZK CRS is implicit in the ideal proof system. *)
+
+module F = Yoso_field.Field.Fp
+module Pke = Ideal_pke
+module Te = Ideal_te
+
+type kff_entry = { kff_pk : Pke.pk; kff_sk_ct : Pke.sk Te.ct }
+
+type t = {
+  params : Params.t;
+  te : Te.tpk;
+  initial_tsk : Te.share array;
+  kff_clients : (int * kff_entry) list;
+  kff_roles : kff_entry array array;
+      (** [kff_roles.(l - 1).(i)]: KFF of role [i] of the online
+          committee evaluating multiplicative layer [l]. *)
+  client_keys : (int * (Pke.pk * Pke.sk)) list;
+      (** clients' long-term keys (input/output roles are known
+          machines in YOSO). *)
+}
+
+val run :
+  board:string Yoso_runtime.Bulletin.t ->
+  params:Params.t ->
+  layers:int ->
+  clients:int list ->
+  Yoso_hash.Splitmix.t ->
+  t
+(** Posts the published material (public keys and KFF ciphertexts) as
+    the dealer role, charging phase ["setup"]. *)

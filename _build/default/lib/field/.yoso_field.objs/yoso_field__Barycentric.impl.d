@@ -1,0 +1,1 @@
+lib/field/barycentric.ml: Array Field Hashtbl

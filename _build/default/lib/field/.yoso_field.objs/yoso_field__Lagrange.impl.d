@@ -1,0 +1,1 @@
+lib/field/lagrange.ml: Array Field Hashtbl

@@ -1,0 +1,1 @@
+lib/field/lagrange.mli: Field

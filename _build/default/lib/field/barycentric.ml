@@ -1,0 +1,75 @@
+module Make (F : Field.S) = struct
+  type t = { nodes : F.t array; weights : F.t array; index : (int, int) Hashtbl.t }
+
+  let create nodes =
+    let m = Array.length nodes in
+    let index = Hashtbl.create m in
+    Array.iteri
+      (fun i x ->
+        let key = F.to_int x in
+        if Hashtbl.mem index key then
+          invalid_arg "Barycentric.create: duplicate nodes";
+        Hashtbl.add index key i)
+      nodes;
+    (* w_j = 1 / prod_{m<>j} (x_j - x_m); computed with a single batch
+       inversion over the products *)
+    let prods =
+      Array.init m (fun j ->
+          let acc = ref F.one in
+          for l = 0 to m - 1 do
+            if l <> j then acc := F.mul !acc (F.sub nodes.(j) nodes.(l))
+          done;
+          !acc)
+    in
+    (* batch inversion (Montgomery's trick): one modpow total *)
+    let weights =
+      if m = 0 then [||]
+      else begin
+        let prefix = Array.make m F.one in
+        let acc = ref F.one in
+        for j = 0 to m - 1 do
+          prefix.(j) <- !acc;
+          acc := F.mul !acc prods.(j)
+        done;
+        let inv_all = ref (F.inv !acc) in
+        let out = Array.make m F.one in
+        for j = m - 1 downto 0 do
+          out.(j) <- F.mul !inv_all prefix.(j);
+          inv_all := F.mul !inv_all prods.(j)
+        done;
+        out
+      end
+    in
+    { nodes; weights; index }
+
+  let nodes t = Array.copy t.nodes
+
+  let eval t ~values x =
+    let m = Array.length t.nodes in
+    if Array.length values <> m then
+      invalid_arg "Barycentric.eval: values length mismatch";
+    match Hashtbl.find_opt t.index (F.to_int x) with
+    | Some j -> values.(j)
+    | None ->
+      (* f(x) = sum_j (w_j / (x - x_j)) y_j / sum_j (w_j / (x - x_j)).
+         Batch-invert the (x - x_j) differences: one modpow per eval. *)
+      let diffs = Array.init m (fun j -> F.sub x t.nodes.(j)) in
+      let prefix = Array.make m F.one in
+      let acc = ref F.one in
+      for j = 0 to m - 1 do
+        prefix.(j) <- !acc;
+        acc := F.mul !acc diffs.(j)
+      done;
+      let inv_all = ref (F.inv !acc) in
+      let num = ref F.zero and den = ref F.zero in
+      for j = m - 1 downto 0 do
+        let inv_diff = F.mul !inv_all prefix.(j) in
+        inv_all := F.mul !inv_all diffs.(j);
+        let term = F.mul t.weights.(j) inv_diff in
+        num := F.add !num (F.mul term values.(j));
+        den := F.add !den term
+      done;
+      F.div !num !den
+
+  let eval_many t ~values xs = Array.map (eval t ~values) xs
+end

@@ -1,0 +1,23 @@
+(** Barycentric Lagrange evaluation.
+
+    Precomputes the barycentric weights of a fixed node set in
+    [O(m^2)]; each subsequent evaluation of an interpolant costs
+    [O(m)].  This is what makes sharing to committees of hundreds of
+    parties tractable: [n] share points evaluated against [d + 1]
+    anchor nodes costs [O(n d + d^2)] instead of [O(n d^2)]. *)
+
+module Make (F : Field.S) : sig
+  type t
+
+  val create : F.t array -> t
+  (** @raise Invalid_argument on duplicate nodes. *)
+
+  val nodes : t -> F.t array
+
+  val eval : t -> values:F.t array -> F.t -> F.t
+  (** [eval t ~values x] evaluates at [x] the unique polynomial of
+      degree [< m] through [(nodes, values)].  Exact (returns the
+      stored value) when [x] is a node. *)
+
+  val eval_many : t -> values:F.t array -> F.t array -> F.t array
+end

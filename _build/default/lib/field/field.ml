@@ -1,0 +1,128 @@
+module type PRIME = sig
+  val p : int
+end
+
+module type S = sig
+  type t = private int
+
+  val p : int
+  val zero : t
+  val one : t
+  val two : t
+  val of_int : int -> t
+  val to_int : t -> int
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+  val inv : t -> t
+  val div : t -> t -> t
+  val pow : t -> int -> t
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val random : Random.State.t -> t
+  val random_nonzero : Random.State.t -> t
+  val sum : t list -> t
+  val product : t list -> t
+  val dot : t array -> t array -> t
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+(* Modular exponentiation on ints; requires (m-1)^2 <= max_int. *)
+let powmod base exp m =
+  let rec go acc base exp =
+    if exp = 0 then acc
+    else
+      let acc = if exp land 1 = 1 then acc * base mod m else acc in
+      go acc (base * base mod m) (exp lsr 1)
+  in
+  go 1 (base mod m) exp
+
+let is_probable_prime n =
+  if n < 2 then false
+  else if n < 4 then true
+  else if n land 1 = 0 then false
+  else begin
+    assert (n < 1 lsl 31);
+    (* write n-1 = d * 2^s *)
+    let rec split d s = if d land 1 = 0 then split (d lsr 1) (s + 1) else (d, s) in
+    let d, s = split (n - 1) 0 in
+    (* witnesses sufficient for n < 3,215,031,751 *)
+    let witnesses = [ 2; 3; 5; 7 ] in
+    let composite_for a =
+      if a mod n = 0 then false
+      else
+        let x = powmod a d n in
+        if x = 1 || x = n - 1 then false
+        else
+          let rec square x i =
+            if i >= s - 1 then true
+            else
+              let x = x * x mod n in
+              if x = n - 1 then false else square x (i + 1)
+          in
+          square x 0
+    in
+    not (List.exists composite_for witnesses)
+  end
+
+module Make (P : PRIME) : S = struct
+  type t = int
+
+  let p = P.p
+
+  let () =
+    if p < 2 then invalid_arg "Field.Make: modulus must be >= 2";
+    if (p - 1) > max_int / (p - 1) then
+      invalid_arg "Field.Make: (p-1)^2 overflows native int"
+
+  let zero = 0
+  let one = 1 mod p
+  let two = 2 mod p
+
+  let of_int x =
+    let r = x mod p in
+    if r < 0 then r + p else r
+
+  let to_int x = x
+  let add a b = let s = a + b in if s >= p then s - p else s
+  let sub a b = let d = a - b in if d < 0 then d + p else d
+  let neg a = if a = 0 then 0 else p - a
+  let mul a b = a * b mod p
+
+  let pow x e =
+    if e < 0 then invalid_arg "Field.pow: negative exponent";
+    powmod x e p
+
+  (* Extended binary gcd is overkill here: Fermat inversion is a single
+     modpow and p is prime by precondition. *)
+  let inv a = if a = 0 then raise Division_by_zero else powmod a (p - 2) p
+  let div a b = mul a (inv b)
+  let equal (a : int) b = a = b
+  let compare (a : int) b = Stdlib.compare a b
+
+  let random st = Random.State.full_int st p
+  let rec random_nonzero st =
+    let x = random st in
+    if x = 0 then random_nonzero st else x
+
+  let sum xs = List.fold_left add zero xs
+  let product xs = List.fold_left mul one xs
+
+  let dot xs ys =
+    if Array.length xs <> Array.length ys then
+      invalid_arg "Field.dot: length mismatch";
+    let acc = ref zero in
+    for i = 0 to Array.length xs - 1 do
+      acc := add !acc (mul xs.(i) ys.(i))
+    done;
+    !acc
+
+  let pp ppf x = Format.fprintf ppf "%d" x
+  let to_string = string_of_int
+end
+
+module Fp = Make (struct
+  let p = 2147483647 (* 2^31 - 1, Mersenne *)
+end)

@@ -1,0 +1,73 @@
+(** Prime-field arithmetic.
+
+    The MPC protocol, packed Shamir sharing and circuit evaluation all
+    work over a prime field [F_p].  The default instance {!Fp} uses the
+    Mersenne prime [p = 2^31 - 1], chosen so that products of two
+    reduced elements fit in OCaml's 63-bit native [int]
+    ([(p-1)^2 < 2^62]), making field multiplication a single machine
+    multiplication followed by a remainder.
+
+    The functor {!Make} builds a field for any prime below [2^31.5];
+    primality is the caller's responsibility (checked probabilistically
+    in debug builds via {!Make_checked}). *)
+
+module type PRIME = sig
+  val p : int
+  (** The modulus.  Must be prime and satisfy [(p-1)^2 <= max_int]. *)
+end
+
+module type S = sig
+  type t = private int
+  (** A field element, always in canonical form [0 <= x < p]. *)
+
+  val p : int
+  val zero : t
+  val one : t
+  val two : t
+
+  val of_int : int -> t
+  (** [of_int x] reduces [x] modulo [p]; negative inputs are mapped to
+      their canonical representative. *)
+
+  val to_int : t -> int
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+
+  val inv : t -> t
+  (** Multiplicative inverse. @raise Division_by_zero on [zero]. *)
+
+  val div : t -> t -> t
+  (** [div a b = mul a (inv b)]. @raise Division_by_zero if [b = zero]. *)
+
+  val pow : t -> int -> t
+  (** [pow x e] for [e >= 0]; [pow zero 0 = one]. *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+
+  val random : Random.State.t -> t
+  (** Uniformly random field element. *)
+
+  val random_nonzero : Random.State.t -> t
+
+  val sum : t list -> t
+  val product : t list -> t
+
+  val dot : t array -> t array -> t
+  (** Inner product; arrays must have equal length. *)
+
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+module Make (P : PRIME) : S
+
+module Fp : S
+(** The default field, [p = 2^31 - 1]. *)
+
+val is_probable_prime : int -> bool
+(** Deterministic Miller-Rabin for [int]-sized values (uses the known
+    witness set valid below 3.3 * 10^24, restricted to int range). *)

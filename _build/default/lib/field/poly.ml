@@ -1,0 +1,144 @@
+module Make (F : Field.S) = struct
+  type t = F.t array
+  (* invariant: no trailing zeros; zero polynomial = [||] *)
+
+  let trim a =
+    let n = ref (Array.length a) in
+    while !n > 0 && F.equal a.(!n - 1) F.zero do decr n done;
+    if !n = Array.length a then a else Array.sub a 0 !n
+
+  let zero = [||]
+  let one = [| F.one |]
+  let constant c = if F.equal c F.zero then zero else [| c |]
+  let x = [| F.zero; F.one |]
+  let of_coeffs a = trim (Array.copy a)
+  let coeffs p = Array.copy p
+  let degree p = Array.length p - 1
+  let is_zero p = Array.length p = 0
+
+  let equal p q =
+    Array.length p = Array.length q
+    && (let ok = ref true in
+        Array.iteri (fun i c -> if not (F.equal c q.(i)) then ok := false) p;
+        !ok)
+
+  (* Horner evaluation. *)
+  let eval p v =
+    let acc = ref F.zero in
+    for i = Array.length p - 1 downto 0 do
+      acc := F.add (F.mul !acc v) p.(i)
+    done;
+    !acc
+
+  let add p q =
+    let n = max (Array.length p) (Array.length q) in
+    let get a i = if i < Array.length a then a.(i) else F.zero in
+    trim (Array.init n (fun i -> F.add (get p i) (get q i)))
+
+  let neg p = Array.map F.neg p
+
+  let sub p q =
+    let n = max (Array.length p) (Array.length q) in
+    let get a i = if i < Array.length a then a.(i) else F.zero in
+    trim (Array.init n (fun i -> F.sub (get p i) (get q i)))
+
+  let scale c p =
+    if F.equal c F.zero then zero else Array.map (F.mul c) p
+
+  let mul p q =
+    if is_zero p || is_zero q then zero
+    else begin
+      let r = Array.make (Array.length p + Array.length q - 1) F.zero in
+      Array.iteri
+        (fun i pi ->
+          if not (F.equal pi F.zero) then
+            Array.iteri (fun j qj -> r.(i + j) <- F.add r.(i + j) (F.mul pi qj)) q)
+        p;
+      trim r
+    end
+
+  let divmod num den =
+    if is_zero den then raise Division_by_zero;
+    let dd = degree den in
+    let lead_inv = F.inv den.(dd) in
+    let rem = Array.copy num in
+    let dn = degree num in
+    if dn < dd then (zero, trim rem)
+    else begin
+      let quot = Array.make (dn - dd + 1) F.zero in
+      for i = dn downto dd do
+        let c = F.mul rem.(i) lead_inv in
+        if not (F.equal c F.zero) then begin
+          quot.(i - dd) <- c;
+          for j = 0 to dd do
+            rem.(i - dd + j) <- F.sub rem.(i - dd + j) (F.mul c den.(j))
+          done
+        end
+      done;
+      (trim quot, trim rem)
+    end
+
+  let random ~degree st =
+    if degree < 0 then zero
+    else trim (Array.init (degree + 1) (fun _ -> F.random st))
+
+  let check_distinct pts =
+    let xs = List.map fst pts in
+    let sorted = List.sort F.compare xs in
+    let rec dup = function
+      | a :: (b :: _ as rest) -> if F.equal a b then true else dup rest
+      | _ -> false
+    in
+    if dup sorted then invalid_arg "Poly: duplicate x-coordinates"
+
+  (* Lagrange interpolation, O(m^2). *)
+  let interpolate pts =
+    check_distinct pts;
+    match pts with
+    | [] -> zero
+    | _ ->
+      let acc = ref zero in
+      List.iteri
+        (fun i (xi, yi) ->
+          (* basis_i(X) = prod_{j<>i} (X - xj) / (xi - xj) *)
+          let num = ref one and den = ref F.one in
+          List.iteri
+            (fun j (xj, _) ->
+              if j <> i then begin
+                num := mul !num [| F.neg xj; F.one |];
+                den := F.mul !den (F.sub xi xj)
+              end)
+            pts;
+          acc := add !acc (scale (F.mul yi (F.inv !den)) !num))
+        pts;
+      !acc
+
+  let random_with_values pts ~degree st =
+    check_distinct pts;
+    let m = List.length pts in
+    if degree < m - 1 then
+      invalid_arg "Poly.random_with_values: degree too small for constraints";
+    let used = List.map fst pts in
+    let is_used v = List.exists (F.equal v) used in
+    (* pick (degree + 1 - m) fresh abscissae and give them random values *)
+    let rec fresh acc candidate need =
+      if need = 0 then acc
+      else
+        let v = F.of_int candidate in
+        if is_used v || List.exists (fun (u, _) -> F.equal u v) acc then
+          fresh acc (candidate + 1) need
+        else fresh ((v, F.random st) :: acc) (candidate + 1) (need - 1)
+    in
+    let extra = fresh [] 1 (degree + 1 - m) in
+    interpolate (pts @ extra)
+
+  let pp ppf p =
+    if is_zero p then Format.fprintf ppf "0"
+    else
+      Array.iteri
+        (fun i c ->
+          if not (F.equal c F.zero) then
+            if i = 0 then Format.fprintf ppf "%a" F.pp c
+            else Format.fprintf ppf " + %a*x^%d" F.pp c i)
+        p
+end

@@ -1,0 +1,50 @@
+(** Dense univariate polynomials over a prime field.
+
+    Polynomials are represented by their coefficient array, lowest
+    degree first, with no trailing zeros (the zero polynomial is the
+    empty array).  All operations are purely functional. *)
+
+module Make (F : Field.S) : sig
+  type t
+  (** A polynomial over [F]. *)
+
+  val zero : t
+  val one : t
+  val constant : F.t -> t
+  val x : t
+
+  val of_coeffs : F.t array -> t
+  (** Builds a polynomial from [c0; c1; ...]; trailing zeros trimmed. *)
+
+  val coeffs : t -> F.t array
+  val degree : t -> int
+  (** Degree; the zero polynomial has degree [-1]. *)
+
+  val is_zero : t -> bool
+  val equal : t -> t -> bool
+  val eval : t -> F.t -> F.t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+  val scale : F.t -> t -> t
+
+  val divmod : t -> t -> t * t
+  (** Euclidean division. @raise Division_by_zero on zero divisor. *)
+
+  val random : degree:int -> Random.State.t -> t
+  (** Uniformly random polynomial of degree at most [degree]. *)
+
+  val random_with_values : (F.t * F.t) list -> degree:int -> Random.State.t -> t
+  (** [random_with_values pts ~degree st] samples a uniformly random
+      polynomial of degree at most [degree] subject to passing through
+      every [(x, y)] in [pts].  Requires [degree >= length pts - 1] and
+      distinct [x]s.  This is the sharing operation of (packed) Shamir:
+      fixed values at secret slots, fresh randomness elsewhere. *)
+
+  val interpolate : (F.t * F.t) list -> t
+  (** Unique polynomial of degree [< length pts] through the points.
+      @raise Invalid_argument on duplicate x-coordinates. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,1 @@
+lib/hash/prg.ml: Bytes Char Int64 Sha256 String

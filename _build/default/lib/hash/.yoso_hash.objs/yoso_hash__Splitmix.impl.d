@@ -1,0 +1,1 @@
+lib/hash/splitmix.ml: Int64

@@ -1,0 +1,47 @@
+type t = {
+  seed : string;
+  mutable counter : int;
+  mutable buf : string;
+  mutable pos : int;
+}
+
+let create ~seed = { seed; counter = 0; buf = ""; pos = 0 }
+
+let refill t =
+  let ctr = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set ctr i (Char.chr ((t.counter lsr (8 * (7 - i))) land 0xFF))
+  done;
+  t.buf <- Sha256.digest_string (t.seed ^ Bytes.unsafe_to_string ctr);
+  t.pos <- 0;
+  t.counter <- t.counter + 1
+
+let bytes t n =
+  let out = Bytes.create n in
+  let filled = ref 0 in
+  while !filled < n do
+    if t.pos >= String.length t.buf then refill t;
+    let take = min (n - !filled) (String.length t.buf - t.pos) in
+    Bytes.blit_string t.buf t.pos out !filled take;
+    t.pos <- t.pos + take;
+    filled := !filled + take
+  done;
+  Bytes.unsafe_to_string out
+
+let uint64 t =
+  let s = bytes t 8 in
+  let acc = ref 0L in
+  String.iter (fun c -> acc := Int64.(logor (shift_left !acc 8) (of_int (Char.code c)))) s;
+  !acc
+
+let int_below t bound =
+  if bound <= 0 then invalid_arg "Prg.int_below: bound must be positive";
+  (* rejection sampling on 62-bit values *)
+  let limit = (max_int / bound) * bound in
+  let rec go () =
+    let v = Int64.to_int (Int64.shift_right_logical (uint64 t) 2) in
+    if v < limit then v mod bound else go ()
+  in
+  go ()
+
+let field_elt t ~p = int_below t p

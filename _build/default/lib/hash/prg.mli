@@ -1,0 +1,22 @@
+(** Hash-based deterministic random bit generator.
+
+    A simple counter-mode DRBG over {!Sha256}: block [i] is
+    [SHA256(seed || be64(i))].  Used wherever a *cryptographic* stream
+    is needed deterministically from a seed: KFF key derivation in the
+    ideal encryption scheme, Fiat-Shamir challenge expansion, and
+    test-vector generation. *)
+
+type t
+
+val create : seed:string -> t
+
+val bytes : t -> int -> string
+(** Next [n] pseudo-random bytes. *)
+
+val uint64 : t -> int64
+
+val int_below : t -> int -> int
+(** Uniform in [\[0, bound)] via rejection sampling; [bound > 0]. *)
+
+val field_elt : t -> p:int -> int
+(** Uniform in [\[0, p)] — a random element of [F_p]. *)

@@ -1,0 +1,25 @@
+(** SplitMix64 — fast, splittable, non-cryptographic PRNG.
+
+    Used for workload generation and Monte-Carlo sampling where speed
+    matters and cryptographic strength does not.  Deterministic given a
+    seed, so every experiment in the benchmark harness is
+    reproducible. *)
+
+type t
+
+val create : int64 -> t
+val of_int : int -> t
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound > 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** An independent stream (gamma-derived), leaving [t] usable. *)

@@ -1,0 +1,1 @@
+lib/nizk/ideal.ml: Printf String Yoso_hash

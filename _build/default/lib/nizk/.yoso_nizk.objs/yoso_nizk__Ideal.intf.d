@@ -1,0 +1,1 @@
+lib/nizk/ideal.mli:

@@ -1,0 +1,1 @@
+lib/nizk/sigma.ml: Transcript Yoso_bigint Yoso_paillier

@@ -1,0 +1,1 @@
+lib/nizk/sigma.mli: Random Yoso_bigint Yoso_paillier

@@ -1,0 +1,1 @@
+lib/nizk/transcript.ml: Buffer Char String Yoso_bigint Yoso_hash

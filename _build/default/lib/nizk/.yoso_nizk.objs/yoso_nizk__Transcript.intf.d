@@ -1,0 +1,1 @@
+lib/nizk/transcript.mli: Yoso_bigint

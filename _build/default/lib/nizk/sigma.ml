@@ -1,0 +1,92 @@
+module B = Yoso_bigint.Bigint
+module P = Yoso_paillier.Paillier
+
+let chal_bits = 128
+let blind_bits = 128 (* statistical blinding of integer responses *)
+
+let sample_unit n st =
+  let rec go () =
+    let r = B.random_below st n in
+    if B.is_zero r || not (B.is_one (B.gcd r n)) then go () else r
+  in
+  go ()
+
+(* (1+N)^x mod N^2 = 1 + (x mod N) * N *)
+let g_pow (pk : P.public_key) x =
+  B.erem (B.add B.one (B.mul (B.erem x pk.P.n) pk.P.n)) pk.P.n2
+
+module Plaintext_knowledge = struct
+  type proof = { a : B.t; z_m : B.t; z_r : B.t }
+
+  let transcript pk ~c ~a =
+    let ts = Transcript.create ~label:"paillier-ptk" in
+    Transcript.absorb_bigint ts ~label:"N" pk.P.n;
+    Transcript.absorb_bigint ts ~label:"c" (P.raw c);
+    Transcript.absorb_bigint ts ~label:"a" a;
+    Transcript.challenge_bigint ts ~label:"e" ~bits:chal_bits
+
+  let prove pk st ~m ~r ~c =
+    let n = pk.P.n and n2 = pk.P.n2 in
+    let x = B.random_below st n in
+    let u = sample_unit n st in
+    let a = B.mulmod (g_pow pk x) (B.powmod u n n2) n2 in
+    let e = transcript pk ~c ~a in
+    let z_m = B.erem (B.add x (B.mul e m)) n in
+    let z_r = B.mulmod u (B.powmod r e n) n in
+    { a; z_m; z_r }
+
+  let verify pk ~c proof =
+    let n = pk.P.n and n2 = pk.P.n2 in
+    if B.sign proof.z_r <= 0 || not (B.is_one (B.gcd proof.z_r n)) then false
+    else begin
+      let e = transcript pk ~c ~a:proof.a in
+      let lhs = B.mulmod (g_pow pk proof.z_m) (B.powmod proof.z_r n n2) n2 in
+      let rhs = B.mulmod proof.a (B.powmod (P.raw c) e n2) n2 in
+      B.equal lhs rhs
+    end
+
+  let size_bits pk = 4 * pk.P.bits (* a: 2|N|, z_m: |N|, z_r: |N| *)
+end
+
+module Multiplication = struct
+  type proof = { a1 : B.t; a2 : B.t; z : B.t; z_r : B.t }
+
+  let transcript pk ~c_a ~c_b ~c_c ~a1 ~a2 =
+    let ts = Transcript.create ~label:"paillier-mult" in
+    Transcript.absorb_bigint ts ~label:"N" pk.P.n;
+    Transcript.absorb_bigint ts ~label:"c_a" (P.raw c_a);
+    Transcript.absorb_bigint ts ~label:"c_b" (P.raw c_b);
+    Transcript.absorb_bigint ts ~label:"c_c" (P.raw c_c);
+    Transcript.absorb_bigint ts ~label:"a1" a1;
+    Transcript.absorb_bigint ts ~label:"a2" a2;
+    Transcript.challenge_bigint ts ~label:"e" ~bits:chal_bits
+
+  let prove pk st ~b ~r ~c_a ~c_b ~c_c =
+    let n = pk.P.n and n2 = pk.P.n2 in
+    (* x blinds e*b statistically: |x| = |N| + chal + blind bits *)
+    let x = B.random_bits st (B.bit_length n + chal_bits + blind_bits) in
+    let u = sample_unit n st in
+    let a1 = B.mulmod (g_pow pk x) (B.powmod u n n2) n2 in
+    let a2 = B.powmod (P.raw c_a) x n2 in
+    let e = transcript pk ~c_a ~c_b ~c_c ~a1 ~a2 in
+    let z = B.add x (B.mul e b) in
+    let z_r = B.mulmod u (B.powmod r e n) n in
+    { a1; a2; z; z_r }
+
+  let verify pk ~c_a ~c_b ~c_c proof =
+    let n = pk.P.n and n2 = pk.P.n2 in
+    if B.sign proof.z < 0 || B.sign proof.z_r <= 0 || not (B.is_one (B.gcd proof.z_r n))
+    then false
+    else begin
+      let e = transcript pk ~c_a ~c_b ~c_c ~a1:proof.a1 ~a2:proof.a2 in
+      let lhs1 = B.mulmod (g_pow pk proof.z) (B.powmod proof.z_r n n2) n2 in
+      let rhs1 = B.mulmod proof.a1 (B.powmod (P.raw c_b) e n2) n2 in
+      let lhs2 = B.powmod (P.raw c_a) proof.z n2 in
+      let rhs2 = B.mulmod proof.a2 (B.powmod (P.raw c_c) e n2) n2 in
+      B.equal lhs1 rhs1 && B.equal lhs2 rhs2
+    end
+
+  let size_bits pk =
+    (* a1, a2: 2|N| each; z: |N| + chal + blind; z_r: |N| *)
+    (6 * pk.P.bits) + chal_bits + blind_bits
+end

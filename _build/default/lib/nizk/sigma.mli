@@ -1,0 +1,53 @@
+(** Non-interactive sigma protocols for Paillier relations, via the
+    Fiat-Shamir transform over {!Transcript}.
+
+    These are the *real* proofs attached to offline-phase broadcasts:
+
+    - {!Plaintext_knowledge}: knowledge of [(m, r)] with
+      [c = (1+N)^m r^N mod N^2] — the proof each committee member
+      attaches to its random-wire-value and Beaver-share ciphertexts
+      (Protocol 3 / Protocol 4 Steps 1-2 and 4).
+    - {!Multiplication}: knowledge of [(b, r)] with [c_b = Enc(b; r)]
+      and [c_c = c_a^b] — the relation [R] of Protocol 3 (second
+      committee of Beaver generation).
+
+    The challenge space is [2^chal_bits]; knowledge soundness error is
+    [2^-chal_bits] per proof (statistical parameter, not a bottleneck
+    for the reproduction). *)
+
+module B = Yoso_bigint.Bigint
+module P = Yoso_paillier.Paillier
+
+val chal_bits : int
+
+module Plaintext_knowledge : sig
+  type proof = { a : B.t; z_m : B.t; z_r : B.t }
+
+  val prove :
+    P.public_key -> Random.State.t -> m:B.t -> r:B.t -> c:P.ciphertext -> proof
+  (** [r] must be the randomness actually used in [c]. *)
+
+  val verify : P.public_key -> c:P.ciphertext -> proof -> bool
+
+  val size_bits : P.public_key -> int
+  (** Communication size of a proof, in bits (for cost accounting). *)
+end
+
+module Multiplication : sig
+  type proof = { a1 : B.t; a2 : B.t; z : B.t; z_r : B.t }
+
+  val prove :
+    P.public_key ->
+    Random.State.t ->
+    b:B.t ->
+    r:B.t ->
+    c_a:P.ciphertext ->
+    c_b:P.ciphertext ->
+    c_c:P.ciphertext ->
+    proof
+
+  val verify :
+    P.public_key -> c_a:P.ciphertext -> c_b:P.ciphertext -> c_c:P.ciphertext -> proof -> bool
+
+  val size_bits : P.public_key -> int
+end

@@ -1,0 +1,1 @@
+lib/paillier/paillier.ml: List Yoso_bigint

@@ -1,0 +1,1 @@
+lib/paillier/paillier.mli: Random Yoso_bigint

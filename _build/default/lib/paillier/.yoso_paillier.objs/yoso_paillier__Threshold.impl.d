@@ -1,0 +1,1 @@
+lib/paillier/threshold.ml: Array Hashtbl List Paillier Printf Yoso_bigint

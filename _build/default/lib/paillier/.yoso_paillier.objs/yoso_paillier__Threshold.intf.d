@@ -1,0 +1,1 @@
+lib/paillier/threshold.mli: Paillier Random Yoso_bigint

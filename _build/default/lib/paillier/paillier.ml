@@ -1,0 +1,89 @@
+module B = Yoso_bigint.Bigint
+
+type public_key = { n : B.t; n2 : B.t; bits : int }
+
+type secret_key = {
+  pk : public_key;
+  p : B.t;
+  q : B.t;
+  lambda : B.t;
+  mu : B.t;
+}
+
+type ciphertext = { pk_n2 : B.t; c : B.t }
+
+let keygen ?(bits = 128) st =
+  if bits < 16 then invalid_arg "Paillier.keygen: modulus too small";
+  let half = bits / 2 in
+  let rec gen () =
+    let p = B.random_prime st ~bits:half in
+    let q = B.random_prime st ~bits:half in
+    if B.equal p q then gen () else (p, q)
+  in
+  let p, q = gen () in
+  let n = B.mul p q in
+  let n2 = B.mul n n in
+  let p1 = B.sub p B.one and q1 = B.sub q B.one in
+  let lambda = B.div (B.mul p1 q1) (B.gcd p1 q1) in
+  (* with g = 1 + N:  L(g^lambda mod N^2) = lambda, so mu = lambda^-1 *)
+  let mu = B.invmod lambda n in
+  let pk = { n; n2; bits } in
+  (pk, { pk; p; q; lambda; mu })
+
+(* (1 + N)^m = 1 + m*N mod N^2 *)
+let g_pow pk m =
+  let m = B.erem m pk.n in
+  B.erem (B.add B.one (B.mul m pk.n)) pk.n2
+
+let sample_unit pk st =
+  let rec go () =
+    let r = B.random_below st pk.n in
+    if B.is_zero r || not (B.is_one (B.gcd r pk.n)) then go () else r
+  in
+  go ()
+
+let encrypt_with pk ~r m =
+  if not (B.is_one (B.gcd r pk.n)) then
+    invalid_arg "Paillier.encrypt_with: randomness not a unit";
+  let c = B.mulmod (g_pow pk m) (B.powmod r pk.n pk.n2) pk.n2 in
+  { pk_n2 = pk.n2; c }
+
+let encrypt pk st m = encrypt_with pk ~r:(sample_unit pk st) m
+
+(* L(x) = (x - 1) / N for x = 1 mod N *)
+let l_function pk x = B.div (B.sub x B.one) pk.n
+
+let decrypt sk ct =
+  if not (B.equal ct.pk_n2 sk.pk.n2) then
+    invalid_arg "Paillier.decrypt: ciphertext under a different key";
+  let x = B.powmod ct.c sk.lambda sk.pk.n2 in
+  B.erem (B.mul (l_function sk.pk x) sk.mu) sk.pk.n
+
+let check_same pk ct =
+  if not (B.equal ct.pk_n2 pk.n2) then
+    invalid_arg "Paillier: ciphertext under a different key"
+
+let add pk a b =
+  check_same pk a;
+  check_same pk b;
+  { pk_n2 = pk.n2; c = B.mulmod a.c b.c pk.n2 }
+
+let scalar_mul pk s ct =
+  check_same pk ct;
+  { pk_n2 = pk.n2; c = B.powmod ct.c (B.erem s pk.n) pk.n2 }
+
+let linear_combination pk cts coeffs =
+  if List.length cts <> List.length coeffs then
+    invalid_arg "Paillier.linear_combination: length mismatch";
+  List.fold_left2
+    (fun acc ct coeff -> add pk acc (scalar_mul pk coeff ct))
+    { pk_n2 = pk.n2; c = B.one }
+    cts coeffs
+
+let rerandomize pk st ct =
+  check_same pk ct;
+  let r = sample_unit pk st in
+  { pk_n2 = pk.n2; c = B.mulmod ct.c (B.powmod r pk.n pk.n2) pk.n2 }
+
+let raw ct = ct.c
+let of_raw pk v = { pk_n2 = pk.n2; c = B.erem v pk.n2 }

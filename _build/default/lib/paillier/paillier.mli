@@ -1,0 +1,56 @@
+(** Paillier encryption (Damgard-Jurik s = 1 form), from scratch.
+
+    The paper instantiates its linearly homomorphic threshold
+    encryption by "Shamir sharing a Paillier decryption key" [19, 29];
+    this module provides the base (non-threshold) scheme over our
+    {!Yoso_bigint}: plaintext ring [Z_N], ciphertexts in [Z_{N^2}],
+    [Enc(m; r) = (1 + N)^m * r^N mod N^2]. *)
+
+module B = Yoso_bigint.Bigint
+
+type public_key = {
+  n : B.t;          (** RSA modulus [N = p*q] *)
+  n2 : B.t;         (** [N^2] *)
+  bits : int;       (** modulus size used at key generation *)
+}
+
+type secret_key = {
+  pk : public_key;
+  p : B.t;
+  q : B.t;
+  lambda : B.t;     (** [lcm(p-1, q-1)] *)
+  mu : B.t;         (** [lambda^{-1} mod N] *)
+}
+
+type ciphertext = private { pk_n2 : B.t; c : B.t }
+
+val keygen : ?bits:int -> Random.State.t -> public_key * secret_key
+(** Generates [bits/2]-bit primes [p, q] (default [bits = 128]; test
+    scale, not production scale — documented in DESIGN.md). *)
+
+val encrypt : public_key -> Random.State.t -> B.t -> ciphertext
+(** [encrypt pk st m] for [m] reduced into [Z_N]. *)
+
+val encrypt_with : public_key -> r:B.t -> B.t -> ciphertext
+(** Deterministic variant with explicit randomness [r] coprime to [N]
+    (used by sigma-protocol tests). *)
+
+val decrypt : secret_key -> ciphertext -> B.t
+
+val add : public_key -> ciphertext -> ciphertext -> ciphertext
+(** Homomorphic addition of plaintexts. *)
+
+val scalar_mul : public_key -> B.t -> ciphertext -> ciphertext
+(** Homomorphic multiplication of the plaintext by a known scalar. *)
+
+val linear_combination : public_key -> ciphertext list -> B.t list -> ciphertext
+(** [TEval]: ciphertext of [sum_i coeff_i * m_i]. *)
+
+val rerandomize : public_key -> Random.State.t -> ciphertext -> ciphertext
+(** Fresh randomness, same plaintext. *)
+
+val raw : ciphertext -> B.t
+(** The underlying [Z_{N^2}] element (for transcripts/hashing). *)
+
+val of_raw : public_key -> B.t -> ciphertext
+(** Inject a received value; reduced mod [N^2]. *)

@@ -1,0 +1,170 @@
+module B = Yoso_bigint.Bigint
+
+type tpk = {
+  pk : Paillier.public_key;
+  n_parties : int;
+  threshold : int;
+  delta : B.t;
+}
+
+type key_share = { index : int; epoch : int; value : B.t }
+type partial = { p_index : int; p_epoch : int; d : B.t }
+
+let share_index s = s.index
+let share_epoch s = s.epoch
+let unsafe_share ~index ~epoch ~value = { index; epoch; value }
+let unsafe_partial ~index ~epoch ~d = { p_index = index; p_epoch = epoch; d }
+
+(* signed modular exponentiation: negative exponents via inverse *)
+let powmod_signed b e m =
+  if B.sign e >= 0 then B.powmod b e m else B.powmod (B.invmod b m) (B.neg e) m
+
+(* integral Lagrange-at-zero weight: mu_i = Delta * prod_{j in s, j<>i} j / (j - i).
+   Exact division is guaranteed because prod (j - i) divides Delta. *)
+let mu_weight delta subset i =
+  let num = ref delta and den = ref B.one in
+  List.iter
+    (fun j ->
+      if j <> i then begin
+        num := B.mul !num (B.of_int j);
+        den := B.mul !den (B.of_int (j - i))
+      end)
+    subset;
+  let q, r = B.divmod !num !den in
+  if not (B.is_zero r) then failwith "Threshold.mu_weight: non-integral weight";
+  q
+
+let keygen ?(bits = 128) ~n ~t st =
+  if t < 0 || t >= n then invalid_arg "Threshold.keygen: need 0 <= t < n";
+  let pk, sk = Paillier.keygen ~bits st in
+  let bigm = B.mul pk.Paillier.n sk.Paillier.lambda in
+  (* d = 0 mod lambda, d = 1 mod N (CRT; gcd(lambda, N) = 1) *)
+  let d =
+    let lambda = sk.Paillier.lambda and nn = pk.Paillier.n in
+    let inv = B.invmod lambda nn in
+    B.erem (B.mul lambda inv) bigm
+  in
+  (* integer polynomial f(x) = d + sum a_l x^l, a_l in [0, M) *)
+  let coeffs = Array.init t (fun _ -> B.random_below st bigm) in
+  let eval_f x =
+    let xb = B.of_int x in
+    let acc = ref B.zero in
+    for l = t - 1 downto 0 do
+      acc := B.mul (B.add !acc coeffs.(l)) xb
+    done;
+    B.add !acc d
+  in
+  let tpk = { pk; n_parties = n; threshold = t; delta = B.factorial n } in
+  let shares = Array.init n (fun i -> { index = i + 1; epoch = 0; value = eval_f (i + 1) }) in
+  (tpk, shares)
+
+let encrypt tpk st m = Paillier.encrypt tpk.pk st m
+let eval tpk cts coeffs = Paillier.linear_combination tpk.pk cts coeffs
+
+let partial_decrypt tpk share ct =
+  let e = B.mul B.two (B.mul tpk.delta share.value) in
+  { p_index = share.index; p_epoch = share.epoch; d = powmod_signed (Paillier.raw ct) e tpk.pk.Paillier.n2 }
+
+(* theta_e = 4 Delta^2 (2 Delta^2)^e mod N: the scalar the plaintext is
+   multiplied by after epoch-e reconstruction *)
+let theta tpk epoch =
+  let n = tpk.pk.Paillier.n in
+  let d2 = B.erem (B.mul tpk.delta tpk.delta) n in
+  let base = B.erem (B.mul (B.of_int 4) d2) n in
+  let per_epoch = B.erem (B.mul B.two d2) n in
+  B.erem (B.mul base (B.powmod per_epoch (B.of_int epoch) n)) n
+
+let dedup_partials parts =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun p ->
+      if Hashtbl.mem seen p.p_index then false
+      else begin
+        Hashtbl.add seen p.p_index ();
+        true
+      end)
+    parts
+
+let combine tpk parts =
+  let parts = dedup_partials parts in
+  let need = tpk.threshold + 1 in
+  if List.length parts < need then
+    invalid_arg
+      (Printf.sprintf "Threshold.combine: %d partials, need %d" (List.length parts) need);
+  let chosen = List.filteri (fun i _ -> i < need) parts in
+  (match chosen with
+  | [] -> ()
+  | p0 :: rest ->
+    if List.exists (fun p -> p.p_epoch <> p0.p_epoch) rest then
+      invalid_arg "Threshold.combine: partials from different epochs");
+  let epoch = (List.hd chosen).p_epoch in
+  let subset = List.map (fun p -> p.p_index) chosen in
+  let n2 = tpk.pk.Paillier.n2 in
+  let acc =
+    List.fold_left
+      (fun acc p ->
+        let w = B.mul B.two (mu_weight tpk.delta subset p.p_index) in
+        B.mulmod acc (powmod_signed p.d w n2) n2)
+      B.one chosen
+  in
+  (* acc = 1 + (m * theta_e mod N) * N *)
+  let l = B.div (B.sub acc B.one) tpk.pk.Paillier.n in
+  B.erem (B.mul l (B.invmod (theta tpk epoch) tpk.pk.Paillier.n)) tpk.pk.Paillier.n
+
+let reshare tpk share st =
+  let t = tpk.threshold in
+  (* g(x) = Delta * s_i + sum_{l=1..t} a_l x^l with statistically
+     blinding coefficients *)
+  let bound =
+    B.shift_left (B.add (B.abs share.value) (B.mul tpk.pk.Paillier.n tpk.pk.Paillier.n)) 64
+  in
+  let coeffs = Array.init t (fun _ -> B.random_below st bound) in
+  let base = B.mul tpk.delta share.value in
+  Array.init tpk.n_parties (fun j ->
+      let xb = B.of_int (j + 1) in
+      let acc = ref B.zero in
+      for l = t - 1 downto 0 do
+        acc := B.mul (B.add !acc coeffs.(l)) xb
+      done;
+      B.add !acc base)
+
+let recombine_share tpk ~index ~epoch subshares =
+  let seen = Hashtbl.create 8 in
+  let subshares =
+    List.filter
+      (fun (i, _) ->
+        if Hashtbl.mem seen i then false
+        else begin
+          Hashtbl.add seen i ();
+          true
+        end)
+      subshares
+  in
+  let need = tpk.threshold + 1 in
+  if List.length subshares < need then
+    invalid_arg
+      (Printf.sprintf "Threshold.recombine_share: %d subshares, need %d"
+         (List.length subshares) need);
+  let chosen = List.filteri (fun i _ -> i < need) subshares in
+  let subset = List.map fst chosen in
+  let value =
+    List.fold_left
+      (fun acc (i, m) ->
+        let w = B.mul B.two (mu_weight tpk.delta subset i) in
+        B.add acc (B.mul w m))
+      B.zero chosen
+  in
+  { index; epoch; value }
+
+let sim_partial_decrypt tpk ct ~m ~honest =
+  if List.length honest < tpk.threshold + 1 then
+    invalid_arg "Threshold.sim_partial_decrypt: not enough honest shares";
+  (* decrypt beta using the honest shares themselves *)
+  let m0 = combine tpk (List.map (fun s -> partial_decrypt tpk s ct) honest) in
+  (* beta' = beta * (1+N)^(m - m0): same randomness component, target
+     plaintext *)
+  let n = tpk.pk.Paillier.n and n2 = tpk.pk.Paillier.n2 in
+  let diff = B.erem (B.sub m m0) n in
+  let adjust = B.erem (B.add B.one (B.mul diff n)) n2 in
+  let ct' = Paillier.of_raw tpk.pk (B.mulmod (Paillier.raw ct) adjust n2) in
+  List.map (fun s -> partial_decrypt tpk s ct') honest

@@ -1,0 +1,88 @@
+(** Linearly homomorphic key-rerandomizable threshold encryption
+    (Section 4.1 of the paper), instantiated with threshold Paillier
+    in the style of Shoup / Damgard-Jurik-Nielsen.
+
+    The decryption exponent [d] (CRT: [d = 0 mod lambda],
+    [d = 1 mod N]) is Shamir-shared with a degree-[t] integer
+    polynomial.  Partial decryptions are [c^(2*Delta*s_i)] with
+    [Delta = n_parties!]; combining [t+1] of them with integral
+    Lagrange weights [2*mu_i = 2*Delta*l_i(0)] yields
+    [c^(4*Delta^2*D_e)] where [D_e] is the epoch-[e] effective secret.
+
+    {b Key re-randomization} ([TKRes]/[TKRec]): each party re-shares
+    [Delta * s_i] with a fresh degree-[t] integer polynomial whose
+    blinding coefficients statistically hide the share; recipients
+    combine sub-shares with the same integral weights.  Every epoch
+    multiplies the effective secret by [2*Delta^2], which [TDec]
+    compensates for via the epoch counter carried by shares and
+    partials.  (Production systems bound the number of epochs; here
+    shares grow by ~[2 log2 Delta + 1] bits per epoch, which is fine
+    at test scale.) *)
+
+module B = Yoso_bigint.Bigint
+
+type tpk = {
+  pk : Paillier.public_key;
+  n_parties : int;
+  threshold : int;  (** [t]: polynomial degree; [t + 1] partials reconstruct *)
+  delta : B.t;      (** [n_parties!] *)
+}
+
+type key_share = private {
+  index : int;  (** 1-based party index *)
+  epoch : int;
+  value : B.t;  (** integer share, grows with epoch *)
+}
+
+type partial = private { p_index : int; p_epoch : int; d : B.t }
+
+val keygen :
+  ?bits:int -> n:int -> t:int -> Random.State.t -> tpk * key_share array
+(** [TKGen]: dealer-based setup.  @raise Invalid_argument unless
+    [0 <= t < n]. *)
+
+val encrypt : tpk -> Random.State.t -> B.t -> Paillier.ciphertext
+val eval : tpk -> Paillier.ciphertext list -> B.t list -> Paillier.ciphertext
+(** [TEval], delegating to {!Paillier.linear_combination}. *)
+
+val partial_decrypt : tpk -> key_share -> Paillier.ciphertext -> partial
+(** [TPDec]. *)
+
+val combine : tpk -> partial list -> B.t
+(** [TDec]: needs [>= t + 1] partials with distinct indices, all of
+    the same epoch; extras ignored.  @raise Invalid_argument
+    otherwise. *)
+
+val reshare : tpk -> key_share -> Random.State.t -> B.t array
+(** [TKRes]: party [i]'s re-sharing messages; slot [j] (0-based) is
+    the sub-share destined for party [j + 1]. *)
+
+val recombine_share :
+  tpk -> index:int -> epoch:int -> (int * B.t) list -> key_share
+(** [TKRec]: party [index] combines sub-shares [(sender, subshare)]
+    produced by {!reshare} on epoch-[e] shares into its epoch-[e+1]
+    share; pass [~epoch:(e + 1)].
+
+    {b All recipients must combine the same sender subset} (in
+    practice: the broadcast-agreed set of senders whose proofs
+    verified) — otherwise the new shares lie on different polynomials.
+    Only the first [t + 1] distinct senders in the list are used, so
+    passing the same ordered list everywhere suffices. *)
+
+val sim_partial_decrypt :
+  tpk -> Paillier.ciphertext -> m:B.t -> honest:key_share list -> partial list
+(** [SimTPDec]: given the honest parties' key shares and a target
+    plaintext [m], produces partial decryptions for the honest parties
+    such that {!combine} on them returns [m] — by re-basing the
+    partials on the adjusted ciphertext [beta * (1+N)^(m - Dec(beta))],
+    which is distributed identically to a fresh encryption of [m] with
+    [beta]'s randomness component.  Needs [>= t + 1] honest shares. *)
+
+val share_index : key_share -> int
+val share_epoch : key_share -> int
+val unsafe_share : index:int -> epoch:int -> value:B.t -> key_share
+(** Test/adversary constructor. *)
+
+val unsafe_partial : index:int -> epoch:int -> d:B.t -> partial
+(** Test/adversary constructor (e.g. a malicious role posting a junk
+    partial decryption). *)

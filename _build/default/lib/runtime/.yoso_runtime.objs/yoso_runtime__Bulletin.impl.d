@@ -1,0 +1,1 @@
+lib/runtime/bulletin.ml: Cost List Role

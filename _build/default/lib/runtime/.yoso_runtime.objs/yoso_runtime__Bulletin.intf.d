@@ -1,0 +1,1 @@
+lib/runtime/bulletin.mli: Cost Role

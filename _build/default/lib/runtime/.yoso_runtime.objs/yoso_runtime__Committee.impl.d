@@ -1,0 +1,1 @@
+lib/runtime/committee.ml: Array List Role Yoso_hash

@@ -1,0 +1,1 @@
+lib/runtime/committee.mli: Role Yoso_hash

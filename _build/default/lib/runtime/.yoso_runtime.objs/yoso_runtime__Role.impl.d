@@ -1,0 +1,1 @@
+lib/runtime/role.ml: Hashtbl List Printexc Printf Stdlib

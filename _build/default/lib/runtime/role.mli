@@ -1,0 +1,35 @@
+(** YOSO roles and the speak-once discipline.
+
+    A role is an ephemeral identity [(committee, index)].  The
+    {!Registry} is the runtime's enforcement of the YOSO wrapper
+    [YoS(R)]: once a role has spoken (posted to the bulletin board) it
+    receives [Spoke], is killed, and any further attempt to speak
+    raises {!Already_spoke}.  Killing a role erases its private state
+    (modelled by {!Registry.erase_hook}). *)
+
+type id = { committee : string; index : int }
+
+val id : committee:string -> index:int -> id
+val to_string : id -> string
+val compare : id -> id -> int
+
+exception Already_spoke of id
+
+module Registry : sig
+  type t
+
+  val create : unit -> t
+
+  val speak : t -> id -> unit
+  (** Marks the role as having spoken and runs its erase hooks.
+      @raise Already_spoke on a second call for the same id. *)
+
+  val has_spoken : t -> id -> bool
+
+  val on_erase : t -> id -> (unit -> unit) -> unit
+  (** Registers private-state erasure to run when the role is killed
+      (e.g. zeroising a key share).  Hooks registered after the role
+      spoke run immediately. *)
+
+  val spoken_count : t -> int
+end

@@ -1,0 +1,1 @@
+lib/shamir/feldman.ml: Array Hashtbl Lazy List Random Yoso_bigint Yoso_field

@@ -1,0 +1,1 @@
+lib/shamir/feldman.mli: Lazy Random Yoso_bigint Yoso_field

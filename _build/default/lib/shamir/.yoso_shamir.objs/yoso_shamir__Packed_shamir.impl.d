@@ -1,0 +1,1 @@
+lib/shamir/packed_shamir.ml: Array Hashtbl List Printf Yoso_field

@@ -1,0 +1,1 @@
+lib/shamir/packed_shamir.mli: Random Yoso_field

@@ -1,0 +1,89 @@
+module F = Yoso_field.Field.Fp
+module B = Yoso_bigint.Bigint
+module Lagrange = Yoso_field.Lagrange.Make (F)
+
+type group = { modulus : B.t; order : B.t; h : B.t }
+
+(* p' = k q + 1 prime, q = F.p; then h = g0^k has order q (if <> 1) *)
+let group =
+  lazy
+    (let q = B.of_int F.p in
+     let st = Random.State.make [| 0xFE1D |] in
+     let rec find_modulus k =
+       let p' = B.add (B.mul (B.of_int k) q) B.one in
+       if B.is_probable_prime st p' then (k, p') else find_modulus (k + 2)
+     in
+     let k, modulus = find_modulus 2 in
+     let rec find_generator g0 =
+       let h = B.powmod (B.of_int g0) (B.of_int k) modulus in
+       if B.is_one h then find_generator (g0 + 1) else h
+     in
+     { modulus; order = q; h = find_generator 2 })
+
+type commitment = B.t array
+
+type dealing = { commitment : commitment; shares : F.t array }
+
+let pow_h g e = B.powmod g.h (B.of_int e) g.modulus
+
+let deal ~t ~n ~secret st =
+  if t < 0 || n < 1 || t >= n then invalid_arg "Feldman.deal: need 0 <= t < n";
+  let g = Lazy.force group in
+  let coeffs = Array.init (t + 1) (fun j -> if j = 0 then secret else F.random st) in
+  let commitment = Array.map (fun a -> pow_h g (F.to_int a)) coeffs in
+  let eval x =
+    let acc = ref F.zero in
+    for j = t downto 0 do
+      acc := F.add (F.mul !acc x) coeffs.(j)
+    done;
+    !acc
+  in
+  let shares = Array.init n (fun i -> eval (F.of_int (i + 1))) in
+  { commitment; shares }
+
+let verify_share commitment ~index ~share =
+  let g = Lazy.force group in
+  (* h^share =? prod_j C_j^((index+1)^j); exponents live mod q = F.p *)
+  let x = F.of_int (index + 1) in
+  let rhs = ref B.one in
+  let x_pow = ref F.one in
+  Array.iter
+    (fun c ->
+      rhs := B.mulmod !rhs (B.powmod c (B.of_int (F.to_int !x_pow)) g.modulus) g.modulus;
+      x_pow := F.mul !x_pow x)
+    commitment;
+  B.equal (pow_h g (F.to_int share)) !rhs
+
+let verify_dealing ~n d =
+  Array.length d.shares = n
+  && (let ok = ref true in
+      Array.iteri
+        (fun i s -> if not (verify_share d.commitment ~index:i ~share:s) then ok := false)
+        d.shares;
+      !ok)
+
+let secret_commitment c =
+  if Array.length c = 0 then invalid_arg "Feldman: empty commitment";
+  c.(0)
+
+let mul_commitments a b =
+  let g = Lazy.force group in
+  B.mulmod a b g.modulus
+
+let reconstruct ~t pairs =
+  let seen = Hashtbl.create 8 in
+  let pairs =
+    List.filter
+      (fun (i, _) ->
+        if Hashtbl.mem seen i then false
+        else begin
+          Hashtbl.add seen i ();
+          true
+        end)
+      pairs
+  in
+  if List.length pairs < t + 1 then invalid_arg "Feldman.reconstruct: not enough shares";
+  let chosen = List.filteri (fun idx _ -> idx < t + 1) pairs in
+  let points = Array.of_list (List.map (fun (i, _) -> F.of_int (i + 1)) chosen) in
+  let values = Array.of_list (List.map snd chosen) in
+  Lagrange.eval_from ~points ~values F.zero

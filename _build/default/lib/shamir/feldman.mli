@@ -1,0 +1,54 @@
+(** Feldman verifiable secret sharing.
+
+    An extension substrate: the YOSO literature the paper builds on
+    uses publicly verifiable sharing both for role assignment [6, 15]
+    and for distributed randomness generation [39, 38, 37].  Feldman's
+    scheme makes a Shamir dealing *verifiable*: the dealer publishes
+    commitments [C_j = h^(a_j)] to the polynomial coefficients, and
+    anyone checks a share [s_i] against
+    [h^(s_i) = prod_j C_j^((i+1)^j)].
+
+    For the exponent arithmetic to be sound, the commitment group must
+    have prime order equal to the share field's modulus: we use the
+    order-[q] subgroup of [F_p'^*] where [q = 2^31 - 1] (the MPC
+    field's prime) and [p' = kq + 1] is the smallest such prime, with
+    group arithmetic over {!Yoso_bigint}.  A 31-bit group is toy-sized
+    (a deployment would use a curve of ~256-bit order); the algebra
+    and the verification logic are the real scheme's. *)
+
+module F = Yoso_field.Field.Fp
+module B = Yoso_bigint.Bigint
+
+type group = private {
+  modulus : B.t;   (** [p' = k q + 1], prime *)
+  order : B.t;     (** [q = 2^31 - 1 = F.p] *)
+  h : B.t;         (** generator of the order-[q] subgroup *)
+}
+
+val group : group Lazy.t
+(** Deterministically derived once (smallest [k], fixed generator
+    search). *)
+
+type commitment = B.t array
+(** [h^(a_0), ..., h^(a_t)] — one group element per coefficient. *)
+
+type dealing = {
+  commitment : commitment;
+  shares : F.t array;  (** share of party [i] (0-based) at point [i + 1] *)
+}
+
+val deal : t:int -> n:int -> secret:F.t -> Random.State.t -> dealing
+(** Degree-[t] verifiable dealing of [secret] to [n] parties. *)
+
+val verify_share : commitment -> index:int -> share:F.t -> bool
+val verify_dealing : n:int -> dealing -> bool
+
+val secret_commitment : commitment -> B.t
+(** [h^secret = C_0]; contributions aggregate by multiplying these. *)
+
+val mul_commitments : B.t -> B.t -> B.t
+(** Group operation, for aggregating {!secret_commitment}s. *)
+
+val reconstruct : t:int -> (int * F.t) list -> F.t
+(** Lagrange reconstruction from [t + 1] verified [(index, share)]
+    pairs.  @raise Invalid_argument with fewer. *)

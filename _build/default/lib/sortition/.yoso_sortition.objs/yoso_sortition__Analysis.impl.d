@@ -1,0 +1,1 @@
+lib/sortition/analysis.ml: Format List

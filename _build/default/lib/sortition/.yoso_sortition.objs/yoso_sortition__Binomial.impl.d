@@ -1,0 +1,1 @@
+lib/sortition/binomial.ml: Yoso_hash

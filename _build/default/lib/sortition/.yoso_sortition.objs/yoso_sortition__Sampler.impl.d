@@ -1,0 +1,1 @@
+lib/sortition/sampler.ml: Analysis Binomial Format

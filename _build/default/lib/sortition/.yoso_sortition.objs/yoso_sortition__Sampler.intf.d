@@ -1,0 +1,1 @@
+lib/sortition/sampler.mli: Analysis Format Yoso_hash

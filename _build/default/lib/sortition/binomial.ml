@@ -1,0 +1,33 @@
+module Splitmix = Yoso_hash.Splitmix
+
+(* count successes among n Bernoulli(p) trials by skipping geometric
+   gaps between successes: O(n p) expected time *)
+let skip_count rng n p =
+  let log1mp = log (1.0 -. p) in
+  let rec go count pos =
+    if pos >= n then count
+    else begin
+      let u = Splitmix.float rng in
+      let u = if u <= 0.0 then min_float else u in
+      let skip = int_of_float (log u /. log1mp) in
+      let pos = pos + skip + 1 in
+      if pos > n then count else go (count + 1) pos
+    end
+  in
+  go 0 0
+
+let sample rng ~n ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Binomial.sample: p out of [0,1]";
+  if n < 0 then invalid_arg "Binomial.sample: negative n";
+  if p = 0.0 || n = 0 then 0
+  else if p = 1.0 then n
+  else if p > 0.5 then n - skip_count rng n (1.0 -. p)
+  else skip_count rng n p
+
+let chernoff_upper ~n ~p ~slack =
+  let mu = float_of_int n *. p in
+  exp (-.mu *. slack *. slack /. (2.0 +. slack))
+
+let chernoff_lower ~n ~p ~slack =
+  let mu = float_of_int n *. p in
+  exp (-.mu *. slack *. slack /. 2.0)

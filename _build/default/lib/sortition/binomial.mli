@@ -1,0 +1,17 @@
+(** Binomial sampling and Chernoff tails.
+
+    Cryptographic sortition includes each of [N] parties independently
+    with probability [C/N]; committee size and corruption counts are
+    binomial.  The sampler uses geometric skipping so one draw costs
+    [O(n p)] instead of [O(n)] — committees of tens of thousands from
+    pools of millions stay cheap. *)
+
+val sample : Yoso_hash.Splitmix.t -> n:int -> p:float -> int
+(** One draw from Binomial(n, p).  [0 <= p <= 1]. *)
+
+val chernoff_upper : n:int -> p:float -> slack:float -> float
+(** [P(X >= n p (1 + slack))] bound: [exp(- n p slack^2 / (2 + slack))]
+    — the multiplicative Chernoff form used in [6]'s analysis. *)
+
+val chernoff_lower : n:int -> p:float -> slack:float -> float
+(** [P(X <= n p (1 - slack))] bound: [exp(- n p slack^2 / 2)]. *)

@@ -1,0 +1,54 @@
+type stats = {
+  trials : int;
+  mean_size : float;
+  min_size : int;
+  max_size : int;
+  mean_corrupt : float;
+  max_corrupt : int;
+  max_corrupt_ratio : float;
+  corruption_bound_violations : int;
+  gap_violations : int;
+}
+
+let run ~pool ~f ~row ~trials rng =
+  if pool <= 0 || trials <= 0 then invalid_arg "Sampler.run: bad parameters";
+  let p = float_of_int row.Analysis.c_param /. float_of_int pool in
+  if p > 1.0 then invalid_arg "Sampler.run: pool smaller than C";
+  let corrupt_pool = int_of_float (f *. float_of_int pool) in
+  let honest_pool = pool - corrupt_pool in
+  let sum_size = ref 0 and sum_corrupt = ref 0 in
+  let min_size = ref max_int and max_size = ref 0 in
+  let max_corrupt = ref 0 and max_ratio = ref 0.0 in
+  let corr_viol = ref 0 and gap_viol = ref 0 in
+  for _ = 1 to trials do
+    let phi = Binomial.sample rng ~n:corrupt_pool ~p in
+    let honest = Binomial.sample rng ~n:honest_pool ~p in
+    let size = phi + honest in
+    sum_size := !sum_size + size;
+    sum_corrupt := !sum_corrupt + phi;
+    if size < !min_size then min_size := size;
+    if size > !max_size then max_size := size;
+    if phi > !max_corrupt then max_corrupt := phi;
+    let ratio = if size = 0 then 0.0 else float_of_int phi /. float_of_int size in
+    if ratio > !max_ratio then max_ratio := ratio;
+    if phi >= row.Analysis.t then incr corr_viol;
+    if float_of_int honest <= row.Analysis.delta *. float_of_int row.Analysis.t
+    then incr gap_viol
+  done;
+  {
+    trials;
+    mean_size = float_of_int !sum_size /. float_of_int trials;
+    min_size = !min_size;
+    max_size = !max_size;
+    mean_corrupt = float_of_int !sum_corrupt /. float_of_int trials;
+    max_corrupt = !max_corrupt;
+    max_corrupt_ratio = !max_ratio;
+    corruption_bound_violations = !corr_viol;
+    gap_violations = !gap_viol;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "trials=%d size[min/mean/max]=%d/%.1f/%d corrupt[mean/max]=%.1f/%d maxratio=%.4f viol[phi>=t]=%d viol[gap]=%d"
+    s.trials s.min_size s.mean_size s.max_size s.mean_corrupt s.max_corrupt
+    s.max_corrupt_ratio s.corruption_bound_violations s.gap_violations

@@ -1,0 +1,32 @@
+(** Monte-Carlo validation of the Section 6 tail bounds.
+
+    Simulates cryptographic sortition: from a global pool of [pool]
+    parties of which a fraction [f] is corrupt, each party joins the
+    committee with probability [C / pool].  Checks, per trial, the two
+    events the analysis bounds: [phi < t] (corruptions below the
+    threshold) and [honest > delta * t] with
+    [delta = (1/2 + eps) / (1/2 - eps)] — the condition equivalent to
+    [t < c * (1/2 - eps)] under the pessimistic [phi = t], i.e. enough
+    honest roles for gap-[eps] reconstruction. *)
+
+type stats = {
+  trials : int;
+  mean_size : float;
+  min_size : int;
+  max_size : int;
+  mean_corrupt : float;
+  max_corrupt : int;
+  max_corrupt_ratio : float;
+  corruption_bound_violations : int;  (** trials with [phi >= t] *)
+  gap_violations : int;               (** trials with [honest <= delta * t] *)
+}
+
+val run :
+  pool:int ->
+  f:float ->
+  row:Analysis.row ->
+  trials:int ->
+  Yoso_hash.Splitmix.t ->
+  stats
+
+val pp : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array List Printf Yoso_circuit Yoso_field Yoso_mpc

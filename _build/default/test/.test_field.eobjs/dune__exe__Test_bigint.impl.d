@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest List QCheck QCheck_alcotest Random Yoso_bigint

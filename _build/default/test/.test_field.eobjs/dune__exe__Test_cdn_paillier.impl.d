@@ -1,0 +1,1 @@
+test/test_cdn_paillier.ml: Alcotest Array List Yoso_bigint Yoso_circuit Yoso_field Yoso_mpc

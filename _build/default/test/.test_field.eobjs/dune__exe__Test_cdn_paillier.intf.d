@@ -1,0 +1,1 @@
+test/test_cdn_paillier.mli:

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Filename Fun List Random Sys Yoso_circuit Yoso_field

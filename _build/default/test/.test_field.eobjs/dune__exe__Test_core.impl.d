@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Hashtbl List Printf Random Yoso_circuit Yoso_field Yoso_hash Yoso_mpc Yoso_runtime

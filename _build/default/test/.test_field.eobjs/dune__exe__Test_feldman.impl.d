@@ -1,0 +1,1 @@
+test/test_feldman.ml: Alcotest Array Lazy List Random Yoso_bigint Yoso_field Yoso_mpc Yoso_shamir

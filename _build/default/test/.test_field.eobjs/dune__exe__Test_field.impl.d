@@ -1,0 +1,1 @@
+test/test_field.ml: Alcotest Array List QCheck QCheck_alcotest Random Stdlib Yoso_field

@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Array Char List String Yoso_hash

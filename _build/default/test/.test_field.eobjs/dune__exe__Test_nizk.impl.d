@@ -1,0 +1,1 @@
+test/test_nizk.ml: Alcotest List Random Yoso_bigint Yoso_nizk Yoso_paillier

@@ -1,0 +1,1 @@
+test/test_paillier.ml: Alcotest Array List Random Yoso_bigint Yoso_paillier

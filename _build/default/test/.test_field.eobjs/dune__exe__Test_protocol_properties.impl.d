@@ -1,0 +1,1 @@
+test/test_protocol_properties.ml: Alcotest Array List Printf QCheck QCheck_alcotest Random Yoso_circuit Yoso_field Yoso_mpc

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest List Yoso_hash Yoso_runtime

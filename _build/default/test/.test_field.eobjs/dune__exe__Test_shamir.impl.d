@@ -1,0 +1,1 @@
+test/test_shamir.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Random Yoso_field Yoso_shamir

@@ -1,0 +1,1 @@
+test/test_sortition.ml: Alcotest List Option Printf Yoso_hash Yoso_sortition

@@ -1,0 +1,104 @@
+module F = Yoso_field.Field.Fp
+module Params = Yoso_mpc.Params
+module Protocol = Yoso_mpc.Protocol
+module Cdn = Yoso_mpc.Cdn_baseline
+module Bgw = Yoso_mpc.Bgw_baseline
+module Gen = Yoso_circuit.Generators
+
+let inputs_of len c = Array.init len (fun i -> F.of_int ((c + 2) * (i + 1)))
+
+(* ------------------------------------------------------------------ *)
+(* BGW                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let bgw_check ?(n = 9) ?(t = 4) circuit len =
+  let inputs = inputs_of len in
+  let r = Bgw.execute ~n ~t ~circuit ~inputs () in
+  Alcotest.(check bool) "matches plain evaluation" true (Bgw.check r circuit ~inputs)
+
+let test_bgw_dot () = bgw_check (Gen.dot_product ~len:6) 6
+let test_bgw_wide () = bgw_check (Gen.wide_mul ~width:5 ~depth:3 ~clients:2) 10
+let test_bgw_deep () = bgw_check (Gen.poly_eval ~degree:8) 9
+let test_bgw_variance () =
+  let circuit = Gen.variance_numerator ~parties:4 in
+  let inputs c =
+    if c = 0 then [| F.of_int 6; F.of_int 4; F.of_int (-1) |] else [| F.of_int (2 * c) |]
+  in
+  let r = Bgw.execute ~n:7 ~t:3 ~circuit ~inputs () in
+  Alcotest.(check bool) "variance" true (Bgw.check r circuit ~inputs)
+
+let test_bgw_random_dags () =
+  for seed = 1 to 5 do
+    let circuit = Gen.random_dag ~gates:40 ~clients:3 ~mul_fraction:0.4 ~seed in
+    let inputs c = [| F.of_int (c + 11); F.of_int ((3 * c) + 1) |] in
+    let r = Bgw.execute ~n:9 ~t:4 ~circuit ~inputs () in
+    Alcotest.(check bool) "random dag" true (Bgw.check r circuit ~inputs)
+  done
+
+let test_bgw_threshold_validation () =
+  Alcotest.check_raises "2t+1 > n" (Invalid_argument "Bgw_baseline: need 0 <= t < n/2")
+    (fun () ->
+      ignore
+        (Bgw.execute ~n:8 ~t:4 ~circuit:(Gen.dot_product ~len:2)
+           ~inputs:(inputs_of 2) ()))
+
+let test_bgw_t0 () =
+  (* degenerate: no privacy, still correct *)
+  bgw_check ~n:3 ~t:0 (Gen.dot_product ~len:3) 3
+
+let test_bgw_add_only_circuit () =
+  let b = Yoso_circuit.Builder.create () in
+  let x = Yoso_circuit.Builder.input b ~client:0 in
+  let y = Yoso_circuit.Builder.input b ~client:1 in
+  Yoso_circuit.Builder.output b ~client:0 (Yoso_circuit.Builder.add b x y);
+  let circuit = Yoso_circuit.Builder.build b in
+  bgw_check circuit 1
+
+(* ------------------------------------------------------------------ *)
+(* Cross-protocol agreement                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_three_protocols_agree () =
+  let circuit = Gen.dot_product ~len:5 in
+  let inputs = inputs_of 5 in
+  let params = Params.create ~n:9 ~t:2 ~k:2 () in
+  let ours = Protocol.execute ~params ~circuit ~inputs () in
+  let cdn = Cdn.execute ~params ~circuit ~inputs () in
+  let bgw = Bgw.execute ~n:9 ~t:4 ~circuit ~inputs () in
+  let v_ours = (List.hd ours.Protocol.outputs).Yoso_mpc.Online.value in
+  let (_, _, v_cdn) = List.hd cdn.Cdn.outputs in
+  let (_, _, v_bgw) = List.hd bgw.Bgw.outputs in
+  Alcotest.(check bool) "ours = cdn" true (F.equal v_ours v_cdn);
+  Alcotest.(check bool) "ours = bgw" true (F.equal v_ours v_bgw)
+
+let test_bgw_cost_quadratic_in_n () =
+  (* per-gate online cost of BGW must grow superlinearly with n *)
+  let circuit = Gen.wide_mul_reduced ~width:8 ~depth:2 ~clients:2 in
+  let inputs = inputs_of 16 in
+  let run n = Bgw.online_per_gate (Bgw.execute ~n ~t:((n - 1) / 2) ~circuit ~inputs ()) in
+  let c9 = run 9 and c36 = run 36 in
+  Alcotest.(check bool)
+    (Printf.sprintf "4x n -> >8x cost (%.0f -> %.0f)" c9 c36)
+    true
+    (c36 > 8.0 *. c9)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "bgw",
+        [
+          Alcotest.test_case "dot" `Quick test_bgw_dot;
+          Alcotest.test_case "wide" `Quick test_bgw_wide;
+          Alcotest.test_case "deep" `Quick test_bgw_deep;
+          Alcotest.test_case "variance" `Quick test_bgw_variance;
+          Alcotest.test_case "random dags" `Quick test_bgw_random_dags;
+          Alcotest.test_case "threshold validation" `Quick test_bgw_threshold_validation;
+          Alcotest.test_case "t = 0" `Quick test_bgw_t0;
+          Alcotest.test_case "additions only" `Quick test_bgw_add_only_circuit;
+        ] );
+      ( "cross-protocol",
+        [
+          Alcotest.test_case "three protocols agree" `Quick test_three_protocols_agree;
+          Alcotest.test_case "bgw quadratic" `Slow test_bgw_cost_quadratic_in_n;
+        ] );
+    ]

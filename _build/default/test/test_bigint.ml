@@ -1,0 +1,308 @@
+module B = Yoso_bigint.Bigint
+
+let st = Random.State.make [| 0xB16 |]
+
+let big = Alcotest.testable B.pp B.equal
+let check_b = Alcotest.check big
+
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_int_roundtrip () =
+  List.iter
+    (fun x -> Alcotest.(check int) "roundtrip" x (B.to_int (B.of_int x)))
+    [ 0; 1; -1; 42; -42; 1 lsl 30; (1 lsl 30) - 1; (1 lsl 60) + 12345;
+      -((1 lsl 59) + 7); max_int / 2 ]
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) "roundtrip" s (B.to_string (B.of_string s)))
+    [ "0"; "1"; "-1"; "999999999"; "1000000000"; "123456789012345678901234567890";
+      "-98765432109876543210987654321" ]
+
+let test_string_against_int () =
+  for _ = 1 to 100 do
+    let x = Random.State.int st 1_000_000_000 - 500_000_000 in
+    Alcotest.(check string) "matches int printing" (string_of_int x)
+      (B.to_string (B.of_int x))
+  done
+
+let test_hex () =
+  check_b "hex ff" (B.of_int 255) (B.of_hex "ff");
+  check_b "hex FF" (B.of_int 255) (B.of_hex "FF");
+  Alcotest.(check string) "to_hex" "deadbeef" (B.to_hex (B.of_hex "deadbeef"));
+  Alcotest.(check string) "zero hex" "0" (B.to_hex B.zero)
+
+let test_bytes_be () =
+  let v = B.of_hex "0102030405" in
+  Alcotest.(check string) "to_bytes" "\x01\x02\x03\x04\x05" (B.to_bytes_be v);
+  check_b "roundtrip" v (B.of_bytes_be (B.to_bytes_be v));
+  Alcotest.(check string) "zero bytes" "" (B.to_bytes_be B.zero)
+
+let test_bad_inputs () =
+  Alcotest.check_raises "empty string" (Invalid_argument "Bigint.of_string: empty")
+    (fun () -> ignore (B.of_string ""));
+  Alcotest.check_raises "bad digit" (Invalid_argument "Bigint.of_string: bad digit")
+    (fun () -> ignore (B.of_string "12x4"))
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic vs native ints (small values)                            *)
+(* ------------------------------------------------------------------ *)
+
+let rand_small () = Random.State.int st 2_000_001 - 1_000_000
+
+let test_arith_matches_int () =
+  for _ = 1 to 1000 do
+    let a = rand_small () and b = rand_small () in
+    Alcotest.(check int) "add" (a + b) (B.to_int (B.add (B.of_int a) (B.of_int b)));
+    Alcotest.(check int) "sub" (a - b) (B.to_int (B.sub (B.of_int a) (B.of_int b)));
+    Alcotest.(check int) "mul" (a * b) (B.to_int (B.mul (B.of_int a) (B.of_int b)));
+    if b <> 0 then begin
+      Alcotest.(check int) "div" (a / b) (B.to_int (B.div (B.of_int a) (B.of_int b)));
+      Alcotest.(check int) "rem" (a mod b) (B.to_int (B.rem (B.of_int a) (B.of_int b)))
+    end
+  done
+
+let test_compare_matches_int () =
+  for _ = 1 to 500 do
+    let a = rand_small () and b = rand_small () in
+    Alcotest.(check int) "compare sign" (compare a b)
+      (B.compare (B.of_int a) (B.of_int b))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Algebraic properties on big values                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rand_big bits = B.random_bits st bits
+
+let test_divmod_invariant () =
+  for _ = 1 to 300 do
+    let a = rand_big (64 + Random.State.int st 400) in
+    let b = B.add B.one (rand_big (1 + Random.State.int st 200)) in
+    let q, r = B.divmod a b in
+    check_b "a = b*q + r" a (B.add (B.mul b q) r);
+    Alcotest.(check bool) "0 <= r" true (B.sign r >= 0);
+    Alcotest.(check bool) "r < b" true (B.compare r b < 0)
+  done
+
+let test_divmod_signs () =
+  let t a b q r =
+    let q', r' = B.divmod (B.of_int a) (B.of_int b) in
+    Alcotest.(check int) "q" q (B.to_int q');
+    Alcotest.(check int) "r" r (B.to_int r')
+  in
+  t 7 2 3 1;
+  t (-7) 2 (-3) (-1);
+  t 7 (-2) (-3) 1;
+  t (-7) (-2) 3 (-1);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (B.divmod B.one B.zero))
+
+let test_erem () =
+  Alcotest.(check int) "erem of negative" 1 (B.to_int (B.erem (B.of_int (-7)) (B.of_int 2)));
+  Alcotest.(check int) "erem positive" 1 (B.to_int (B.erem (B.of_int 7) (B.of_int 2)))
+
+let test_karatsuba_consistency () =
+  (* exercise the Karatsuba path (>= 32 limbs = ~960 bits) and check
+     against a distributive-split computation *)
+  for _ = 1 to 10 do
+    let a = rand_big 1100 and b = rand_big 1300 in
+    let half = B.shift_right a 550 in
+    let low = B.sub a (B.shift_left half 550) in
+    let expect = B.add (B.shift_left (B.mul half b) 550) (B.mul low b) in
+    check_b "karatsuba = split schoolbook" expect (B.mul a b)
+  done
+
+let test_shifts () =
+  for _ = 1 to 100 do
+    let a = rand_big 200 in
+    let k = Random.State.int st 120 in
+    check_b "shl = mul 2^k" (B.mul a (B.pow B.two k)) (B.shift_left a k);
+    check_b "shr = div 2^k" (B.div a (B.pow B.two k)) (B.shift_right a k)
+  done
+
+let test_pow () =
+  check_b "2^100" (B.of_string "1267650600228229401496703205376") (B.pow B.two 100);
+  check_b "x^0" B.one (B.pow (B.of_int 12345) 0);
+  Alcotest.check_raises "neg exponent"
+    (Invalid_argument "Bigint.pow: negative exponent") (fun () ->
+      ignore (B.pow B.two (-1)))
+
+let test_bit_length () =
+  Alcotest.(check int) "0" 0 (B.bit_length B.zero);
+  Alcotest.(check int) "1" 1 (B.bit_length B.one);
+  Alcotest.(check int) "255" 8 (B.bit_length (B.of_int 255));
+  Alcotest.(check int) "256" 9 (B.bit_length (B.of_int 256));
+  Alcotest.(check int) "2^100" 101 (B.bit_length (B.pow B.two 100))
+
+(* ------------------------------------------------------------------ *)
+(* Modular arithmetic                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_powmod () =
+  (* 2^10 mod 1000 = 24 *)
+  Alcotest.(check int) "2^10 mod 1000" 24
+    (B.to_int (B.powmod B.two (B.of_int 10) (B.of_int 1000)));
+  (* Fermat on a known prime *)
+  let p = B.of_string "1000000007" in
+  for _ = 1 to 20 do
+    let a = B.add B.one (B.random_below st (B.sub p B.one)) in
+    check_b "fermat" B.one (B.powmod a (B.sub p B.one) p)
+  done;
+  check_b "mod one" B.zero (B.powmod (B.of_int 5) (B.of_int 3) B.one)
+
+let test_gcd () =
+  Alcotest.(check int) "gcd 12 18" 6 (B.to_int (B.gcd (B.of_int 12) (B.of_int 18)));
+  Alcotest.(check int) "gcd 0 5" 5 (B.to_int (B.gcd B.zero (B.of_int 5)));
+  for _ = 1 to 100 do
+    let a = rand_big 100 and b = rand_big 100 in
+    let g = B.gcd a b in
+    if not (B.is_zero g) then begin
+      Alcotest.(check bool) "g | a" true (B.is_zero (B.rem a g));
+      Alcotest.(check bool) "g | b" true (B.is_zero (B.rem b g))
+    end
+  done
+
+let test_extended_gcd () =
+  for _ = 1 to 100 do
+    let a = rand_big 150 and b = rand_big 150 in
+    let g, x, y = B.extended_gcd a b in
+    check_b "bezout" g (B.add (B.mul a x) (B.mul b y));
+    check_b "matches gcd" (B.gcd a b) g
+  done
+
+let test_invmod () =
+  let m = B.of_string "1000000007" in
+  for _ = 1 to 50 do
+    let a = B.add B.one (B.random_below st (B.sub m B.one)) in
+    let ai = B.invmod a m in
+    check_b "a * a^-1 = 1 mod m" B.one (B.mulmod a ai m);
+    Alcotest.(check bool) "canonical range" true (B.sign ai >= 0 && B.compare ai m < 0)
+  done;
+  Alcotest.check_raises "non-coprime" Division_by_zero (fun () ->
+      ignore (B.invmod (B.of_int 6) (B.of_int 9)))
+
+let test_factorial () =
+  Alcotest.(check int) "0!" 1 (B.to_int (B.factorial 0));
+  Alcotest.(check int) "5!" 120 (B.to_int (B.factorial 5));
+  check_b "20!" (B.of_string "2432902008176640000") (B.factorial 20);
+  check_b "30!" (B.of_string "265252859812191058636308480000000") (B.factorial 30)
+
+(* ------------------------------------------------------------------ *)
+(* Primality                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_primality_known () =
+  let prime s = Alcotest.(check bool) (s ^ " prime") true (B.is_probable_prime st (B.of_string s)) in
+  let composite s =
+    Alcotest.(check bool) (s ^ " composite") false (B.is_probable_prime st (B.of_string s))
+  in
+  prime "2";
+  prime "3";
+  prime "104729";
+  prime "1000000007";
+  prime "170141183460469231731687303715884105727" (* 2^127 - 1 *);
+  composite "0";
+  composite "1";
+  composite "4";
+  composite "561" (* Carmichael *);
+  composite "1000000008";
+  composite "170141183460469231731687303715884105725"
+
+let test_random_prime () =
+  List.iter
+    (fun bits ->
+      let p = B.random_prime st ~bits in
+      Alcotest.(check int) "bit length" bits (B.bit_length p);
+      Alcotest.(check bool) "is prime" true (B.is_probable_prime st p))
+    [ 16; 32; 64; 128 ]
+
+let test_random_safe_prime () =
+  let p = B.random_safe_prime st ~bits:24 in
+  let q = B.shift_right (B.sub p B.one) 1 in
+  Alcotest.(check bool) "p prime" true (B.is_probable_prime st p);
+  Alcotest.(check bool) "q prime" true (B.is_probable_prime st q)
+
+let test_random_below () =
+  let bound = B.of_int 1000 in
+  for _ = 1 to 200 do
+    let v = B.random_below st bound in
+    Alcotest.(check bool) "in range" true (B.sign v >= 0 && B.compare v bound < 0)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* QCheck                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let arb_big =
+  QCheck.map
+    (fun (bits, seed) ->
+      let st = Random.State.make [| seed |] in
+      B.random_bits st (bits mod 300))
+    QCheck.(pair small_nat int)
+
+let qcheck_props =
+  [
+    QCheck.Test.make ~count:300 ~name:"add commutes" (QCheck.pair arb_big arb_big)
+      (fun (a, b) -> B.equal (B.add a b) (B.add b a));
+    QCheck.Test.make ~count:300 ~name:"mul commutes" (QCheck.pair arb_big arb_big)
+      (fun (a, b) -> B.equal (B.mul a b) (B.mul b a));
+    QCheck.Test.make ~count:200 ~name:"mul distributes"
+      (QCheck.triple arb_big arb_big arb_big) (fun (a, b, c) ->
+        B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)));
+    QCheck.Test.make ~count:300 ~name:"sub then add roundtrips"
+      (QCheck.pair arb_big arb_big) (fun (a, b) -> B.equal a (B.add (B.sub a b) b));
+    QCheck.Test.make ~count:300 ~name:"string roundtrip" arb_big (fun a ->
+        B.equal a (B.of_string (B.to_string a)));
+    QCheck.Test.make ~count:300 ~name:"bytes roundtrip" arb_big (fun a ->
+        B.equal a (B.of_bytes_be (B.to_bytes_be a)));
+    QCheck.Test.make ~count:200 ~name:"divmod invariant" (QCheck.pair arb_big arb_big)
+      (fun (a, b) ->
+        QCheck.assume (not (B.is_zero b));
+        let q, r = B.divmod a b in
+        B.equal a (B.add (B.mul b q) r) && B.compare (B.abs r) (B.abs b) < 0);
+  ]
+
+let () =
+  Alcotest.run "bigint"
+    [
+      ( "conversions",
+        [
+          Alcotest.test_case "int roundtrip" `Quick test_int_roundtrip;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "string vs int" `Quick test_string_against_int;
+          Alcotest.test_case "hex" `Quick test_hex;
+          Alcotest.test_case "bytes be" `Quick test_bytes_be;
+          Alcotest.test_case "bad inputs" `Quick test_bad_inputs;
+        ] );
+      ( "arithmetic",
+        [
+          Alcotest.test_case "matches int" `Quick test_arith_matches_int;
+          Alcotest.test_case "compare" `Quick test_compare_matches_int;
+          Alcotest.test_case "divmod invariant" `Quick test_divmod_invariant;
+          Alcotest.test_case "divmod signs" `Quick test_divmod_signs;
+          Alcotest.test_case "erem" `Quick test_erem;
+          Alcotest.test_case "karatsuba" `Quick test_karatsuba_consistency;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "bit_length" `Quick test_bit_length;
+        ] );
+      ( "modular",
+        [
+          Alcotest.test_case "powmod" `Quick test_powmod;
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "extended gcd" `Quick test_extended_gcd;
+          Alcotest.test_case "invmod" `Quick test_invmod;
+          Alcotest.test_case "factorial" `Quick test_factorial;
+        ] );
+      ( "primality",
+        [
+          Alcotest.test_case "known values" `Quick test_primality_known;
+          Alcotest.test_case "random prime" `Quick test_random_prime;
+          Alcotest.test_case "safe prime" `Quick test_random_safe_prime;
+          Alcotest.test_case "random below" `Quick test_random_below;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props);
+    ]

@@ -1,0 +1,186 @@
+module Sha256 = Yoso_hash.Sha256
+module Prg = Yoso_hash.Prg
+module Splitmix = Yoso_hash.Splitmix
+
+(* ------------------------------------------------------------------ *)
+(* SHA-256 NIST / well-known vectors                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_digest msg expected_hex =
+  Alcotest.(check string) ("sha256 of " ^ String.escaped (String.sub msg 0 (min 12 (String.length msg))))
+    expected_hex
+    (Sha256.hex (Sha256.digest_string msg))
+
+let test_nist_vectors () =
+  check_digest "" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855";
+  check_digest "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+  check_digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1";
+  check_digest
+    "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"
+    "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+
+let test_million_a () =
+  let ctx = Sha256.init () in
+  let chunk = String.make 1000 'a' in
+  for _ = 1 to 1000 do
+    Sha256.feed_string ctx chunk
+  done;
+  Alcotest.(check string) "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hex (Sha256.finalize ctx))
+
+let test_streaming_matches_oneshot () =
+  let msg = String.init 500 (fun i -> Char.chr (i mod 256)) in
+  let oneshot = Sha256.digest_string msg in
+  (* feed in awkward chunk sizes crossing block boundaries *)
+  List.iter
+    (fun sizes ->
+      let ctx = Sha256.init () in
+      let pos = ref 0 in
+      List.iter
+        (fun sz ->
+          let take = min sz (String.length msg - !pos) in
+          Sha256.feed_string ctx (String.sub msg !pos take);
+          pos := !pos + take)
+        sizes;
+      if !pos < String.length msg then
+        Sha256.feed_string ctx (String.sub msg !pos (String.length msg - !pos));
+      Alcotest.(check string) "chunked = oneshot" (Sha256.hex oneshot)
+        (Sha256.hex (Sha256.finalize ctx)))
+    [ [ 1; 63; 64; 65; 127 ]; [ 499 ]; [ 64; 64; 64 ]; List.init 500 (fun _ -> 1) ]
+
+let test_finalize_twice () =
+  let ctx = Sha256.init () in
+  Sha256.feed_string ctx "x";
+  ignore (Sha256.finalize ctx);
+  Alcotest.check_raises "double finalize"
+    (Invalid_argument "Sha256: context already finalized") (fun () ->
+      ignore (Sha256.finalize ctx))
+
+let test_hmac_rfc4231 () =
+  (* RFC 4231 test case 1 *)
+  let key = String.make 20 '\x0b' in
+  Alcotest.(check string) "rfc4231 tc1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Sha256.hex (Sha256.hmac ~key "Hi There"));
+  (* test case 2 *)
+  Alcotest.(check string) "rfc4231 tc2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Sha256.hex (Sha256.hmac ~key:"Jefe" "what do ya want for nothing?"));
+  (* test case 3: 20 x 0xaa key, 50 x 0xdd data *)
+  Alcotest.(check string) "rfc4231 tc3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Sha256.hex (Sha256.hmac ~key:(String.make 20 '\xaa') (String.make 50 '\xdd')))
+
+(* ------------------------------------------------------------------ *)
+(* PRG                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_prg_deterministic () =
+  let a = Prg.create ~seed:"seed" and b = Prg.create ~seed:"seed" in
+  Alcotest.(check string) "same stream" (Prg.bytes a 100) (Prg.bytes b 100);
+  let c = Prg.create ~seed:"other" in
+  Alcotest.(check bool) "different seed differs" true (Prg.bytes c 100 <> Prg.bytes b 100)
+
+let test_prg_chunking () =
+  let a = Prg.create ~seed:"s" and b = Prg.create ~seed:"s" in
+  let big = Prg.bytes a 100 in
+  (* bind sequentially: list literals do not guarantee evaluation order *)
+  let p1 = Prg.bytes b 1 in
+  let p2 = Prg.bytes b 31 in
+  let p3 = Prg.bytes b 32 in
+  let p4 = Prg.bytes b 36 in
+  let pieces = String.concat "" [ p1; p2; p3; p4 ] in
+  Alcotest.(check string) "chunked = contiguous" big pieces
+
+let test_prg_int_below () =
+  let t = Prg.create ~seed:"bounds" in
+  for _ = 1 to 1000 do
+    let v = Prg.int_below t 17 in
+    Alcotest.(check bool) "range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Prg.int_below: bound must be positive") (fun () ->
+      ignore (Prg.int_below t 0))
+
+let test_prg_field_elt_uniformish () =
+  let t = Prg.create ~seed:"field" in
+  let p = 97 in
+  let counts = Array.make p 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let v = Prg.field_elt t ~p in
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* chi-square-ish sanity: every bucket within 3x of expectation *)
+  let expected = float_of_int n /. float_of_int p in
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "roughly uniform" true
+        (float_of_int c > expected /. 3. && float_of_int c < expected *. 3.))
+    counts
+
+(* ------------------------------------------------------------------ *)
+(* SplitMix                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_splitmix_reference () =
+  (* reference outputs for seed 0 (well-known SplitMix64 sequence) *)
+  let t = Splitmix.create 0L in
+  let expected = [ 0xE220A8397B1DCDAFL; 0x6E789E6AA1B965F4L; 0x06C45D188009454FL ] in
+  List.iter
+    (fun e -> Alcotest.(check int64) "splitmix64 ref" e (Splitmix.next t))
+    expected
+
+let test_splitmix_determinism () =
+  let a = Splitmix.of_int 42 and b = Splitmix.of_int 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same" (Splitmix.next a) (Splitmix.next b)
+  done
+
+let test_splitmix_split_independent () =
+  let a = Splitmix.of_int 7 in
+  let b = Splitmix.split a in
+  let xs = List.init 50 (fun _ -> Splitmix.next a) in
+  let ys = List.init 50 (fun _ -> Splitmix.next b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_splitmix_bounds () =
+  let t = Splitmix.of_int 9 in
+  for _ = 1 to 1000 do
+    let v = Splitmix.int t 13 in
+    Alcotest.(check bool) "int range" true (v >= 0 && v < 13);
+    let f = Splitmix.float t in
+    Alcotest.(check bool) "float range" true (f >= 0.0 && f < 1.0)
+  done;
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Splitmix.int: bound must be positive") (fun () ->
+      ignore (Splitmix.int t 0))
+
+let () =
+  Alcotest.run "hash"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "nist vectors" `Quick test_nist_vectors;
+          Alcotest.test_case "million a" `Quick test_million_a;
+          Alcotest.test_case "streaming" `Quick test_streaming_matches_oneshot;
+          Alcotest.test_case "double finalize" `Quick test_finalize_twice;
+          Alcotest.test_case "hmac rfc4231" `Quick test_hmac_rfc4231;
+        ] );
+      ( "prg",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prg_deterministic;
+          Alcotest.test_case "chunking" `Quick test_prg_chunking;
+          Alcotest.test_case "int_below" `Quick test_prg_int_below;
+          Alcotest.test_case "uniformity" `Quick test_prg_field_elt_uniformish;
+        ] );
+      ( "splitmix",
+        [
+          Alcotest.test_case "reference" `Quick test_splitmix_reference;
+          Alcotest.test_case "determinism" `Quick test_splitmix_determinism;
+          Alcotest.test_case "split" `Quick test_splitmix_split_independent;
+          Alcotest.test_case "bounds" `Quick test_splitmix_bounds;
+        ] );
+    ]

@@ -1,0 +1,220 @@
+module B = Yoso_bigint.Bigint
+module P = Yoso_paillier.Paillier
+module Transcript = Yoso_nizk.Transcript
+module Sigma = Yoso_nizk.Sigma
+module Ideal = Yoso_nizk.Ideal
+
+let st = Random.State.make [| 0x512A |]
+let pk, sk = P.keygen ~bits:128 st
+
+let sample_unit () =
+  let rec go () =
+    let r = B.random_below st pk.P.n in
+    if B.is_zero r || not (B.is_one (B.gcd r pk.P.n)) then go () else r
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Transcript                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_transcript_deterministic () =
+  let mk () =
+    let ts = Transcript.create ~label:"test" in
+    Transcript.absorb ts ~label:"x" "hello";
+    Transcript.absorb_bigint ts ~label:"y" (B.of_int 42);
+    Transcript.challenge_bytes ts ~label:"c" 32
+  in
+  Alcotest.(check string) "same absorptions, same challenge" (mk ()) (mk ())
+
+let test_transcript_order_sensitive () =
+  let chal absorb_order =
+    let ts = Transcript.create ~label:"test" in
+    List.iter (fun (l, v) -> Transcript.absorb ts ~label:l v) absorb_order;
+    Transcript.challenge_bytes ts ~label:"c" 16
+  in
+  Alcotest.(check bool) "order matters" true
+    (chal [ ("a", "1"); ("b", "2") ] <> chal [ ("b", "2"); ("a", "1") ])
+
+let test_transcript_framing_injective () =
+  (* "ab" + "c" must differ from "a" + "bc" *)
+  let chal parts =
+    let ts = Transcript.create ~label:"test" in
+    List.iter (fun v -> Transcript.absorb ts ~label:"d" v) parts;
+    Transcript.challenge_bytes ts ~label:"c" 16
+  in
+  Alcotest.(check bool) "no concat ambiguity" true (chal [ "ab"; "c" ] <> chal [ "a"; "bc" ])
+
+let test_transcript_ratchet () =
+  let ts = Transcript.create ~label:"test" in
+  Transcript.absorb ts ~label:"x" "data";
+  let c1 = Transcript.challenge_bytes ts ~label:"c" 16 in
+  let c2 = Transcript.challenge_bytes ts ~label:"c" 16 in
+  Alcotest.(check bool) "subsequent challenges differ" true (c1 <> c2)
+
+let test_transcript_clone () =
+  let ts = Transcript.create ~label:"test" in
+  Transcript.absorb ts ~label:"x" "data";
+  let ts' = Transcript.clone ts in
+  Alcotest.(check string) "clone agrees"
+    (Transcript.challenge_bytes ts ~label:"c" 16)
+    (Transcript.challenge_bytes ts' ~label:"c" 16)
+
+let test_challenge_bigint_bits () =
+  let ts = Transcript.create ~label:"test" in
+  let v = Transcript.challenge_bigint ts ~label:"c" ~bits:40 in
+  Alcotest.(check bool) "within 40 bits" true (B.bit_length v <= 40)
+
+(* ------------------------------------------------------------------ *)
+(* Plaintext-knowledge sigma proofs                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_ptk_roundtrip () =
+  for _ = 1 to 10 do
+    let m = B.random_below st pk.P.n in
+    let r = sample_unit () in
+    let c = P.encrypt_with pk ~r m in
+    let proof = Sigma.Plaintext_knowledge.prove pk st ~m ~r ~c in
+    Alcotest.(check bool) "verifies" true (Sigma.Plaintext_knowledge.verify pk ~c proof)
+  done
+
+let test_ptk_rejects_wrong_ciphertext () =
+  let m = B.random_below st pk.P.n in
+  let r = sample_unit () in
+  let c = P.encrypt_with pk ~r m in
+  let proof = Sigma.Plaintext_knowledge.prove pk st ~m ~r ~c in
+  let c' = P.encrypt pk st m in
+  Alcotest.(check bool) "different ciphertext rejected" false
+    (Sigma.Plaintext_knowledge.verify pk ~c:c' proof)
+
+let test_ptk_rejects_tampered_proof () =
+  let m = B.random_below st pk.P.n in
+  let r = sample_unit () in
+  let c = P.encrypt_with pk ~r m in
+  let proof = Sigma.Plaintext_knowledge.prove pk st ~m ~r ~c in
+  let bad = { proof with Sigma.Plaintext_knowledge.z_m = B.add proof.Sigma.Plaintext_knowledge.z_m B.one } in
+  Alcotest.(check bool) "tampered z_m rejected" false
+    (Sigma.Plaintext_knowledge.verify pk ~c bad);
+  let bad2 = { proof with Sigma.Plaintext_knowledge.a = B.add proof.Sigma.Plaintext_knowledge.a B.one } in
+  Alcotest.(check bool) "tampered a rejected" false
+    (Sigma.Plaintext_knowledge.verify pk ~c bad2)
+
+let test_ptk_rejects_wrong_witness_proof () =
+  (* prover lies about m: resulting proof must not verify *)
+  let m = B.random_below st pk.P.n in
+  let r = sample_unit () in
+  let c = P.encrypt_with pk ~r m in
+  let proof = Sigma.Plaintext_knowledge.prove pk st ~m:(B.add m B.one) ~r ~c in
+  Alcotest.(check bool) "wrong witness rejected" false
+    (Sigma.Plaintext_knowledge.verify pk ~c proof)
+
+let test_ptk_size () =
+  Alcotest.(check int) "4|N| bits" (4 * 128) (Sigma.Plaintext_knowledge.size_bits pk)
+
+(* ------------------------------------------------------------------ *)
+(* Multiplication sigma proofs                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mult_instance () =
+  let a = B.random_below st pk.P.n in
+  let b = B.random_below st pk.P.n in
+  let r = sample_unit () in
+  let c_a = P.encrypt pk st a in
+  let c_b = P.encrypt_with pk ~r b in
+  let c_c = P.scalar_mul pk b c_a in
+  (a, b, r, c_a, c_b, c_c)
+
+let test_mult_roundtrip () =
+  for _ = 1 to 5 do
+    let _, b, r, c_a, c_b, c_c = mult_instance () in
+    let proof = Sigma.Multiplication.prove pk st ~b ~r ~c_a ~c_b ~c_c in
+    Alcotest.(check bool) "verifies" true
+      (Sigma.Multiplication.verify pk ~c_a ~c_b ~c_c proof);
+    (* plaintext of c_c really is a*b *)
+    let a = P.decrypt sk c_a in
+    Alcotest.(check bool) "c_c = a*b" true
+      (B.equal (P.decrypt sk c_c) (B.erem (B.mul a b) pk.P.n))
+  done
+
+let test_mult_rejects_wrong_product () =
+  let _, b, r, c_a, c_b, _ = mult_instance () in
+  (* claim a different product ciphertext *)
+  let c_c_bad = P.encrypt pk st (B.of_int 999) in
+  let proof = Sigma.Multiplication.prove pk st ~b ~r ~c_a ~c_b ~c_c:c_c_bad in
+  Alcotest.(check bool) "wrong product rejected" false
+    (Sigma.Multiplication.verify pk ~c_a ~c_b ~c_c:c_c_bad proof)
+
+let test_mult_rejects_swapped_statement () =
+  let _, b, r, c_a, c_b, c_c = mult_instance () in
+  let proof = Sigma.Multiplication.prove pk st ~b ~r ~c_a ~c_b ~c_c in
+  Alcotest.(check bool) "swapped statement rejected" false
+    (Sigma.Multiplication.verify pk ~c_a:c_b ~c_b:c_a ~c_c proof)
+
+let test_mult_rejects_negative_response () =
+  let _, b, r, c_a, c_b, c_c = mult_instance () in
+  let proof = Sigma.Multiplication.prove pk st ~b ~r ~c_a ~c_b ~c_c in
+  let bad = { proof with Sigma.Multiplication.z = B.neg B.one } in
+  Alcotest.(check bool) "negative z rejected" false
+    (Sigma.Multiplication.verify pk ~c_a ~c_b ~c_c bad)
+
+(* ------------------------------------------------------------------ *)
+(* Ideal NIZK                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_ideal_honest () =
+  let proof = Ideal.prove ~relation:"reenc" ~statement:"stmt" ~witness_ok:true in
+  Alcotest.(check bool) "honest proof verifies" true
+    (Ideal.verify ~relation:"reenc" ~statement:"stmt" proof)
+
+let test_ideal_forge_rejected () =
+  let proof = Ideal.forge ~relation:"reenc" ~statement:"stmt" in
+  Alcotest.(check bool) "forged proof rejected" false
+    (Ideal.verify ~relation:"reenc" ~statement:"stmt" proof)
+
+let test_ideal_binding () =
+  let proof = Ideal.prove ~relation:"reenc" ~statement:"stmt" ~witness_ok:true in
+  Alcotest.(check bool) "different statement rejected" false
+    (Ideal.verify ~relation:"reenc" ~statement:"other" proof);
+  Alcotest.(check bool) "different relation rejected" false
+    (Ideal.verify ~relation:"decrypt" ~statement:"stmt" proof)
+
+let test_ideal_failed_witness () =
+  let proof = Ideal.prove ~relation:"reenc" ~statement:"stmt" ~witness_ok:false in
+  Alcotest.(check bool) "failed witness check rejected" false
+    (Ideal.verify ~relation:"reenc" ~statement:"stmt" proof)
+
+let () =
+  Alcotest.run "nizk"
+    [
+      ( "transcript",
+        [
+          Alcotest.test_case "deterministic" `Quick test_transcript_deterministic;
+          Alcotest.test_case "order sensitive" `Quick test_transcript_order_sensitive;
+          Alcotest.test_case "injective framing" `Quick test_transcript_framing_injective;
+          Alcotest.test_case "ratchet" `Quick test_transcript_ratchet;
+          Alcotest.test_case "clone" `Quick test_transcript_clone;
+          Alcotest.test_case "challenge bits" `Quick test_challenge_bigint_bits;
+        ] );
+      ( "plaintext-knowledge",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_ptk_roundtrip;
+          Alcotest.test_case "wrong ciphertext" `Quick test_ptk_rejects_wrong_ciphertext;
+          Alcotest.test_case "tampered proof" `Quick test_ptk_rejects_tampered_proof;
+          Alcotest.test_case "wrong witness" `Quick test_ptk_rejects_wrong_witness_proof;
+          Alcotest.test_case "size" `Quick test_ptk_size;
+        ] );
+      ( "multiplication",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_mult_roundtrip;
+          Alcotest.test_case "wrong product" `Quick test_mult_rejects_wrong_product;
+          Alcotest.test_case "swapped statement" `Quick test_mult_rejects_swapped_statement;
+          Alcotest.test_case "negative response" `Quick test_mult_rejects_negative_response;
+        ] );
+      ( "ideal",
+        [
+          Alcotest.test_case "honest" `Quick test_ideal_honest;
+          Alcotest.test_case "forge" `Quick test_ideal_forge_rejected;
+          Alcotest.test_case "binding" `Quick test_ideal_binding;
+          Alcotest.test_case "failed witness" `Quick test_ideal_failed_witness;
+        ] );
+    ]

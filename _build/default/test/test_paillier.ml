@@ -1,0 +1,221 @@
+module B = Yoso_bigint.Bigint
+module P = Yoso_paillier.Paillier
+module T = Yoso_paillier.Threshold
+
+let st = Random.State.make [| 0xFA11 |]
+
+let big = Alcotest.testable B.pp B.equal
+let check_b = Alcotest.check big
+
+(* key generation is the slow part; share one keypair across tests *)
+let pk, sk = P.keygen ~bits:128 st
+let tpk5, tshares5 = T.keygen ~bits:128 ~n:5 ~t:2 st
+
+let rand_msg () = B.random_below st pk.P.n
+
+(* ------------------------------------------------------------------ *)
+(* Base Paillier                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_enc_dec_roundtrip () =
+  for _ = 1 to 20 do
+    let m = rand_msg () in
+    check_b "dec(enc(m)) = m" m (P.decrypt sk (P.encrypt pk st m))
+  done;
+  check_b "zero" B.zero (P.decrypt sk (P.encrypt pk st B.zero));
+  check_b "N-1" (B.sub pk.P.n B.one) (P.decrypt sk (P.encrypt pk st (B.sub pk.P.n B.one)))
+
+let test_additive_homomorphism () =
+  for _ = 1 to 10 do
+    let m1 = rand_msg () and m2 = rand_msg () in
+    let c = P.add pk (P.encrypt pk st m1) (P.encrypt pk st m2) in
+    check_b "sum" (B.erem (B.add m1 m2) pk.P.n) (P.decrypt sk c)
+  done
+
+let test_scalar_mul () =
+  for _ = 1 to 10 do
+    let m = rand_msg () and s = rand_msg () in
+    let c = P.scalar_mul pk s (P.encrypt pk st m) in
+    check_b "scalar" (B.erem (B.mul s m) pk.P.n) (P.decrypt sk c)
+  done
+
+let test_linear_combination () =
+  let ms = List.init 4 (fun _ -> rand_msg ()) in
+  let coeffs = List.init 4 (fun _ -> B.random_below st (B.of_int 1000)) in
+  let cts = List.map (P.encrypt pk st) ms in
+  let c = P.linear_combination pk cts coeffs in
+  let expected =
+    B.erem (List.fold_left2 (fun acc m k -> B.add acc (B.mul m k)) B.zero ms coeffs) pk.P.n
+  in
+  check_b "TEval" expected (P.decrypt sk c)
+
+let test_rerandomize () =
+  let m = rand_msg () in
+  let c = P.encrypt pk st m in
+  let c' = P.rerandomize pk st c in
+  Alcotest.(check bool) "ciphertext changed" false (B.equal (P.raw c) (P.raw c'));
+  check_b "plaintext unchanged" m (P.decrypt sk c')
+
+let test_deterministic_encrypt () =
+  let m = rand_msg () in
+  let r = B.of_int 12345 in
+  let c1 = P.encrypt_with pk ~r m and c2 = P.encrypt_with pk ~r m in
+  check_b "deterministic" (P.raw c1) (P.raw c2)
+
+let test_ciphertexts_randomized () =
+  let m = rand_msg () in
+  let c1 = P.encrypt pk st m and c2 = P.encrypt pk st m in
+  Alcotest.(check bool) "fresh randomness" false (B.equal (P.raw c1) (P.raw c2))
+
+let test_wrong_key_rejected () =
+  let pk2, _ = P.keygen ~bits:64 st in
+  let c = P.encrypt pk st (rand_msg ()) in
+  Alcotest.check_raises "decrypt wrong key"
+    (Invalid_argument "Paillier.decrypt: ciphertext under a different key") (fun () ->
+      let _, sk2 = P.keygen ~bits:64 st in
+      ignore (P.decrypt sk2 c));
+  Alcotest.check_raises "add wrong key"
+    (Invalid_argument "Paillier: ciphertext under a different key") (fun () ->
+      ignore (P.add pk2 c c))
+
+(* ------------------------------------------------------------------ *)
+(* Threshold scheme                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let tmsg () = B.random_below st tpk5.T.pk.P.n
+
+let partials ?(who = [ 0; 1; 2; 3; 4 ]) shares ct =
+  List.map (fun i -> T.partial_decrypt tpk5 shares.(i) ct) who
+
+let test_threshold_roundtrip () =
+  for _ = 1 to 5 do
+    let m = tmsg () in
+    let ct = T.encrypt tpk5 st m in
+    check_b "t+1 partials decrypt" m (T.combine tpk5 (partials tshares5 ct ~who:[ 0; 1; 2 ]));
+    check_b "different subset" m (T.combine tpk5 (partials tshares5 ct ~who:[ 4; 2; 1 ]));
+    check_b "all partials" m (T.combine tpk5 (partials tshares5 ct))
+  done
+
+let test_threshold_too_few () =
+  let ct = T.encrypt tpk5 st (tmsg ()) in
+  Alcotest.check_raises "too few" (Invalid_argument "Threshold.combine: 2 partials, need 3")
+    (fun () -> ignore (T.combine tpk5 (partials tshares5 ct ~who:[ 0; 1 ])))
+
+let test_threshold_duplicates_ignored () =
+  let m = tmsg () in
+  let ct = T.encrypt tpk5 st m in
+  let ps = partials tshares5 ct ~who:[ 0; 0; 1; 2 ] in
+  (* duplicate index 0 must not be counted twice, so this has only 3
+     distinct partials and succeeds *)
+  check_b "dedup" m (T.combine tpk5 ps)
+
+let test_threshold_after_eval () =
+  let m1 = tmsg () and m2 = tmsg () in
+  let ct = T.eval tpk5 [ T.encrypt tpk5 st m1; T.encrypt tpk5 st m2 ] [ B.of_int 3; B.of_int 5 ] in
+  let expected = B.erem (B.add (B.mul (B.of_int 3) m1) (B.mul (B.of_int 5) m2)) tpk5.T.pk.P.n in
+  check_b "decrypt after eval" expected (T.combine tpk5 (partials tshares5 ct ~who:[ 1; 3; 4 ]))
+
+let reshare_all shares epoch =
+  (* every party reshapes; recipients combine the same sender subset *)
+  let msgs = Array.map (fun s -> T.reshare tpk5 s st) shares in
+  Array.init 5 (fun j ->
+      let subshares = List.init 5 (fun i -> (i + 1, msgs.(i).(j))) in
+      T.recombine_share tpk5 ~index:(j + 1) ~epoch subshares)
+
+let test_key_rerandomization () =
+  let m = tmsg () in
+  let ct = T.encrypt tpk5 st m in
+  let shares1 = reshare_all tshares5 1 in
+  check_b "epoch 1 decrypts" m (T.combine tpk5 (partials shares1 ct ~who:[ 0; 2; 4 ]));
+  (* a second epoch *)
+  let shares2 = reshare_all shares1 2 in
+  check_b "epoch 2 decrypts" m (T.combine tpk5 (partials shares2 ct ~who:[ 1; 2; 3 ]));
+  (* old and new shares are different values *)
+  Alcotest.(check bool) "shares refreshed" false
+    (B.equal (T.unsafe_share ~index:1 ~epoch:0 ~value:B.zero).T.value tshares5.(0).T.value
+     && true);
+  Alcotest.(check bool) "share value changed" false
+    (B.equal tshares5.(0).T.value shares1.(0).T.value)
+
+let test_rerandomization_partial_subset () =
+  (* only t+1 = 3 parties reshare: still enough *)
+  let m = tmsg () in
+  let ct = T.encrypt tpk5 st m in
+  let msgs = Array.map (fun s -> T.reshare tpk5 s st) tshares5 in
+  let shares1 =
+    Array.init 5 (fun j ->
+        let subshares = List.map (fun i -> (i + 1, msgs.(i).(j))) [ 0; 2; 3 ] in
+        T.recombine_share tpk5 ~index:(j + 1) ~epoch:1 subshares)
+  in
+  check_b "subset reshare decrypts" m (T.combine tpk5 (partials shares1 ct ~who:[ 0; 1; 4 ]))
+
+let test_mixed_epoch_rejected () =
+  let ct = T.encrypt tpk5 st (tmsg ()) in
+  let shares1 = reshare_all tshares5 1 in
+  let mixed =
+    [ T.partial_decrypt tpk5 tshares5.(0) ct;
+      T.partial_decrypt tpk5 shares1.(1) ct;
+      T.partial_decrypt tpk5 shares1.(2) ct ]
+  in
+  Alcotest.check_raises "mixed epochs"
+    (Invalid_argument "Threshold.combine: partials from different epochs") (fun () ->
+      ignore (T.combine tpk5 mixed))
+
+let test_sim_partial_decrypt () =
+  let m_real = tmsg () and m_target = tmsg () in
+  let ct = T.encrypt tpk5 st m_real in
+  (* corrupt = parties 4,5; honest = 1,2,3 *)
+  let honest = [ tshares5.(0); tshares5.(1); tshares5.(2) ] in
+  let sims = T.sim_partial_decrypt tpk5 ct ~m:m_target ~honest in
+  check_b "TDec on simulated partials returns target" m_target (T.combine tpk5 sims);
+  (* sanity: without simulation the same parties decrypt the real value *)
+  check_b "real partials return real plaintext" m_real
+    (T.combine tpk5 (partials tshares5 ct ~who:[ 0; 1; 2 ]))
+
+let test_sim_not_enough_honest () =
+  let ct = T.encrypt tpk5 st (tmsg ()) in
+  Alcotest.check_raises "not enough honest"
+    (Invalid_argument "Threshold.sim_partial_decrypt: not enough honest shares")
+    (fun () ->
+      ignore (T.sim_partial_decrypt tpk5 ct ~m:B.zero ~honest:[ tshares5.(0) ]))
+
+let test_keygen_validation () =
+  Alcotest.check_raises "t >= n" (Invalid_argument "Threshold.keygen: need 0 <= t < n")
+    (fun () -> ignore (T.keygen ~bits:64 ~n:3 ~t:3 st))
+
+let test_threshold_t0 () =
+  (* degenerate single-party "threshold" *)
+  let tpk, shares = T.keygen ~bits:64 ~n:2 ~t:0 st in
+  let m = B.random_below st tpk.T.pk.P.n in
+  let ct = T.encrypt tpk st m in
+  check_b "t=0" m (T.combine tpk [ T.partial_decrypt tpk shares.(0) ct ])
+
+let () =
+  Alcotest.run "paillier"
+    [
+      ( "base",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_enc_dec_roundtrip;
+          Alcotest.test_case "additive" `Quick test_additive_homomorphism;
+          Alcotest.test_case "scalar mul" `Quick test_scalar_mul;
+          Alcotest.test_case "linear combination" `Quick test_linear_combination;
+          Alcotest.test_case "rerandomize" `Quick test_rerandomize;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_encrypt;
+          Alcotest.test_case "randomized" `Quick test_ciphertexts_randomized;
+          Alcotest.test_case "wrong key" `Quick test_wrong_key_rejected;
+        ] );
+      ( "threshold",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_threshold_roundtrip;
+          Alcotest.test_case "too few" `Quick test_threshold_too_few;
+          Alcotest.test_case "duplicates" `Quick test_threshold_duplicates_ignored;
+          Alcotest.test_case "after eval" `Quick test_threshold_after_eval;
+          Alcotest.test_case "key rerandomization" `Quick test_key_rerandomization;
+          Alcotest.test_case "partial-subset reshare" `Quick test_rerandomization_partial_subset;
+          Alcotest.test_case "mixed epochs" `Quick test_mixed_epoch_rejected;
+          Alcotest.test_case "SimTPDec" `Quick test_sim_partial_decrypt;
+          Alcotest.test_case "SimTPDec too few" `Quick test_sim_not_enough_honest;
+          Alcotest.test_case "keygen validation" `Quick test_keygen_validation;
+          Alcotest.test_case "t = 0" `Quick test_threshold_t0;
+        ] );
+    ]

@@ -1,0 +1,134 @@
+(* Property-based tests of the full protocol: random circuits, random
+   parameters, random adversaries — the protocol must always deliver
+   the plain-evaluation result (GOD) whenever the parameters accept
+   the adversary, and must charge online costs that beat the CDN
+   baseline's asymptotics. *)
+
+module F = Yoso_field.Field.Fp
+module Params = Yoso_mpc.Params
+module Protocol = Yoso_mpc.Protocol
+module Cdn = Yoso_mpc.Cdn_baseline
+module Gen = Yoso_circuit.Generators
+module Circuit = Yoso_circuit.Circuit
+
+let arb_protocol_instance =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 8 24 in
+      let* t = int_range 0 ((n - 3) / 3) in
+      let* k =
+        let kmax = min ((n - t) / 2) (n - t) in
+        int_range 1 (max 1 kmax)
+      in
+      let* gates = int_range 5 60 in
+      let* mul_pct = int_range 0 100 in
+      let* circuit_seed = int_range 0 10_000 in
+      let* run_seed = int_range 0 10_000 in
+      let* malicious = int_range 0 t in
+      let* fail_stop_budget = int_range 0 3 in
+      return (n, t, k, gates, mul_pct, circuit_seed, run_seed, malicious, fail_stop_budget))
+  in
+  QCheck.make gen ~print:(fun (n, t, k, g, mp, cs, rs, m, fs) ->
+      Printf.sprintf "n=%d t=%d k=%d gates=%d mul%%=%d cseed=%d rseed=%d mal=%d fs=%d" n t
+        k g mp cs rs m fs)
+
+let valid_params n t k =
+  match Params.create ~n ~t ~k () with p -> Some p | exception Invalid_argument _ -> None
+
+let prop_god_on_random_instances =
+  QCheck.Test.make ~count:60 ~name:"GOD on random circuits/params/adversaries"
+    arb_protocol_instance
+    (fun (n, t, k, gates, mul_pct, circuit_seed, run_seed, malicious, fs_budget) ->
+      match valid_params n t k with
+      | None -> QCheck.assume_fail ()
+      | Some params ->
+        let adversary =
+          let max_fs =
+            Params.max_fail_stop params { Params.malicious; passive = 0; fail_stop = 0 }
+          in
+          { Params.malicious; passive = 0; fail_stop = min fs_budget max_fs }
+        in
+        (match Params.validate_adversary params adversary with
+        | () -> ()
+        | exception Invalid_argument _ ->
+          (* malicious count alone already breaks the preconditions *)
+          QCheck.assume_fail ());
+        let circuit =
+          Gen.random_dag ~gates ~clients:2
+            ~mul_fraction:(float_of_int mul_pct /. 100.0)
+            ~seed:circuit_seed
+        in
+        let st = Random.State.make [| run_seed |] in
+        let fixed = Array.init 2 (fun _ -> Array.init 2 (fun _ -> F.random st)) in
+        let inputs c = fixed.(c) in
+        let r = Protocol.execute ~params ~adversary ~seed:run_seed ~circuit ~inputs () in
+        Protocol.check r circuit ~inputs)
+
+let prop_cdn_agrees =
+  QCheck.Test.make ~count:30 ~name:"CDN baseline agrees with plain evaluation"
+    arb_protocol_instance
+    (fun (n, t, k, gates, mul_pct, circuit_seed, run_seed, malicious, _) ->
+      match valid_params n t k with
+      | None -> QCheck.assume_fail ()
+      | Some params ->
+        let adversary = { Params.malicious; passive = 0; fail_stop = 0 } in
+        (match Params.validate_adversary params adversary with
+        | () -> ()
+        | exception Invalid_argument _ -> QCheck.assume_fail ());
+        let circuit =
+          Gen.random_dag ~gates ~clients:2
+            ~mul_fraction:(float_of_int mul_pct /. 100.0)
+            ~seed:circuit_seed
+        in
+        let st = Random.State.make [| run_seed |] in
+        let fixed = Array.init 2 (fun _ -> Array.init 2 (fun _ -> F.random st)) in
+        let inputs c = fixed.(c) in
+        let r = Cdn.execute ~params ~adversary ~seed:run_seed ~circuit ~inputs () in
+        Cdn.check r circuit ~inputs)
+
+let prop_adversary_does_not_change_outputs =
+  QCheck.Test.make ~count:25 ~name:"outputs independent of adversary placement"
+    QCheck.(pair (int_range 0 5) (int_range 0 1000))
+    (fun (malicious, seed) ->
+      let params = Params.create ~n:16 ~t:5 ~k:3 () in
+      let circuit = Gen.random_dag ~gates:30 ~clients:2 ~mul_fraction:0.5 ~seed in
+      let st = Random.State.make [| seed |] in
+      let fixed = Array.init 2 (fun _ -> Array.init 2 (fun _ -> F.random st)) in
+      let inputs c = fixed.(c) in
+      let clean =
+        Protocol.execute ~params ~seed ~circuit ~inputs ()
+      in
+      let attacked =
+        Protocol.execute ~params
+          ~adversary:{ Params.malicious; passive = 1; fail_stop = 1 }
+          ~seed ~circuit ~inputs ()
+      in
+      List.for_all2
+        (fun a b -> F.equal a.Yoso_mpc.Online.value b.Yoso_mpc.Online.value)
+        clean.Protocol.outputs attacked.Protocol.outputs)
+
+let prop_online_cheaper_than_cdn_at_scale =
+  QCheck.Test.make ~count:8 ~name:"online cost beats CDN once n >= 32"
+    QCheck.(int_range 32 48)
+    (fun n ->
+      let params = Params.of_gap ~n ~eps:0.125 () in
+      let width = n * params.Params.k / 4 in
+      let circuit = Gen.wide_mul_reduced ~width ~depth:2 ~clients:2 in
+      let inputs c = Array.init (2 * width) (fun i -> F.of_int ((c + 2) * (i + 3))) in
+      let ours = Protocol.execute ~params ~circuit ~inputs () in
+      let cdn = Cdn.execute ~params ~circuit ~inputs () in
+      Protocol.online_per_gate ours < Cdn.online_per_gate cdn)
+
+let () =
+  Alcotest.run "protocol-properties"
+    [
+      ( "properties",
+        List.map
+          (QCheck_alcotest.to_alcotest ~long:false)
+          [
+            prop_god_on_random_instances;
+            prop_cdn_agrees;
+            prop_adversary_does_not_change_outputs;
+            prop_online_cheaper_than_cdn_at_scale;
+          ] );
+    ]

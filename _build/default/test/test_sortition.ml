@@ -1,0 +1,234 @@
+module Analysis = Yoso_sortition.Analysis
+module Binomial = Yoso_sortition.Binomial
+module Sampler = Yoso_sortition.Sampler
+module Splitmix = Yoso_hash.Splitmix
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 reproduction                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's Table 1, transcribed: (C, f) -> (t, c, c', eps, k);
+   None for the ⊥ cells.  We accept |t| within 1 and |c| within 3 of
+   the paper (the paper's own rounding conventions are not fully
+   self-consistent: e.g. its c' column shows both 2t and 2t+1). *)
+let paper_table =
+  [
+    (1000, 0.05, Some (446, 949, 893, 0.03, 28));
+    (1000, 0.10, None);
+    (1000, 0.15, None);
+    (1000, 0.20, None);
+    (1000, 0.25, None);
+    (5000, 0.05, Some (1078, 4699, 2157, 0.27, 1271));
+    (5000, 0.10, Some (1721, 4925, 3444, 0.15, 741));
+    (5000, 0.15, Some (2293, 5106, 4588, 0.05, 259));
+    (5000, 0.20, None);
+    (5000, 0.25, None);
+    (10000, 0.05, Some (1754, 9518, 3509, 0.32, 3004));
+    (10000, 0.10, Some (2937, 9841, 5876, 0.20, 1982));
+    (10000, 0.15, Some (4004, 10098, 8009, 0.10, 1045));
+    (10000, 0.20, Some (4983, 10319, 9968, 0.02, 175));
+    (10000, 0.25, None);
+    (20000, 0.05, Some (2998, 19264, 5998, 0.34, 6633));
+    (20000, 0.10, Some (5216, 19723, 10433, 0.24, 4645));
+    (20000, 0.15, Some (7237, 20088, 14476, 0.14, 2806));
+    (20000, 0.20, Some (9107, 20401, 18215, 0.05, 1093));
+    (20000, 0.25, None);
+    (40000, 0.05, Some (5331, 38907, 10664, 0.36, 14121));
+    (40000, 0.10, Some (9552, 39558, 19106, 0.26, 10226));
+    (40000, 0.15, Some (13437, 40074, 26875, 0.16, 6600));
+    (40000, 0.20, Some (17047, 40517, 34096, 0.08, 3211));
+    (40000, 0.25, Some (20408, 40911, 40818, 0.01, 47));
+  ]
+
+let close label tol expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%d - %d| <= %d" label expected got tol)
+    true
+    (abs (expected - got) <= tol)
+
+let test_table1_matches_paper () =
+  List.iter
+    (fun (c_param, f, expected) ->
+      let got = Analysis.solve ~f c_param in
+      match (expected, got) with
+      | None, None -> ()
+      | None, Some r ->
+        Alcotest.failf "C=%d f=%.2f: paper says ⊥, we got t=%d" c_param f r.Analysis.t
+      | Some _, None -> Alcotest.failf "C=%d f=%.2f: paper has a row, we got ⊥" c_param f
+      | Some (t, c, c', eps, k), Some r ->
+        let label = Printf.sprintf "C=%d f=%.2f" c_param f in
+        close (label ^ " t") 1 t r.Analysis.t;
+        close (label ^ " c") 3 c r.Analysis.c;
+        close (label ^ " c'") 2 c' r.Analysis.c';
+        close (label ^ " k") 3 k r.Analysis.k;
+        Alcotest.(check bool) (label ^ " eps") true (abs_float (eps -. r.Analysis.eps) < 0.01))
+    paper_table
+
+let test_feasibility_monotone_in_c () =
+  (* growing C can only help: once feasible, larger C stays feasible *)
+  List.iter
+    (fun f ->
+      let feas c = Option.is_some (Analysis.solve ~f c) in
+      let cs = [ 500; 1000; 2000; 5000; 10000; 20000; 40000; 80000 ] in
+      let rec check seen_feasible = function
+        | [] -> ()
+        | c :: rest ->
+          let now = feas c in
+          if seen_feasible then
+            Alcotest.(check bool) (Printf.sprintf "f=%.2f C=%d stays feasible" f c) true now;
+          check (seen_feasible || now) rest
+      in
+      check false cs)
+    [ 0.05; 0.1; 0.2 ]
+
+let test_gap_shrinks_with_f () =
+  (* higher corruption ratio -> smaller achievable gap *)
+  let eps f =
+    match Analysis.solve ~f 20000 with
+    | Some r -> r.Analysis.eps
+    | None -> 0.0
+  in
+  Alcotest.(check bool) "eps decreasing in f" true
+    (eps 0.05 > eps 0.10 && eps 0.10 > eps 0.15 && eps 0.15 > eps 0.20)
+
+let test_committee_overhead_is_marginal () =
+  (* the paper's point: c is only marginally above c' for large f *)
+  match Analysis.solve ~f:0.2 20000 with
+  | None -> Alcotest.fail "feasible cell expected"
+  | Some r ->
+    let overhead = float_of_int r.Analysis.c /. float_of_int r.Analysis.c' in
+    Alcotest.(check bool) "overhead < 15%" true (overhead < 1.15);
+    Alcotest.(check bool) "k > 1000" true (r.Analysis.k > 1000)
+
+let test_improvement_claims () =
+  let claims = Analysis.improvement_claims () in
+  Alcotest.(check int) "two claims" 2 (List.length claims);
+  let _, r1 = List.nth claims 0 in
+  let _, r2 = List.nth claims 1 in
+  Alcotest.(check int) "28x claim" 28 r1.Analysis.k;
+  Alcotest.(check bool) ">1000x claim" true (r2.Analysis.k > 1000)
+
+let test_solve_validation () =
+  Alcotest.check_raises "C = 0" (Invalid_argument "Analysis.solve: C must be positive")
+    (fun () -> ignore (Analysis.solve ~f:0.1 0));
+  Alcotest.check_raises "f = 0" (Invalid_argument "Analysis.solve: f must be in (0, 1)")
+    (fun () -> ignore (Analysis.solve ~f:0.0 1000))
+
+let test_invariants () =
+  List.iter
+    (fun (_, _, row) ->
+      match row with
+      | None -> ()
+      | Some r ->
+        Alcotest.(check bool) "0 < eps < 1/2" true (r.Analysis.eps > 0.0 && r.Analysis.eps < 0.5);
+        Alcotest.(check bool) "t < c(1/2 - eps) + 1" true
+          (float_of_int r.Analysis.t <= (float_of_int r.Analysis.c *. (0.5 -. r.Analysis.eps)) +. 1.0);
+        Alcotest.(check bool) "delta > 1" true (r.Analysis.delta > 1.0);
+        Alcotest.(check bool) "k <= c * eps" true
+          (float_of_int r.Analysis.k <= float_of_int r.Analysis.c *. r.Analysis.eps +. 1e-9))
+    (Analysis.table1 ())
+
+(* ------------------------------------------------------------------ *)
+(* Binomial sampling                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_binomial_bounds () =
+  let rng = Splitmix.of_int 5 in
+  for _ = 1 to 200 do
+    let v = Binomial.sample rng ~n:100 ~p:0.3 in
+    Alcotest.(check bool) "in [0, n]" true (v >= 0 && v <= 100)
+  done;
+  Alcotest.(check int) "p=0" 0 (Binomial.sample rng ~n:100 ~p:0.0);
+  Alcotest.(check int) "p=1" 100 (Binomial.sample rng ~n:100 ~p:1.0);
+  Alcotest.(check int) "n=0" 0 (Binomial.sample rng ~n:0 ~p:0.5)
+
+let test_binomial_mean () =
+  let rng = Splitmix.of_int 6 in
+  let trials = 5000 and n = 1000 and p = 0.2 in
+  let sum = ref 0 in
+  for _ = 1 to trials do
+    sum := !sum + Binomial.sample rng ~n ~p
+  done;
+  let mean = float_of_int !sum /. float_of_int trials in
+  (* mu = 200, sigma ~ 12.6; sample mean of 5000 trials within ~1 *)
+  Alcotest.(check bool) "mean near np" true (abs_float (mean -. 200.0) < 2.0)
+
+let test_binomial_complement_branch () =
+  let rng = Splitmix.of_int 7 in
+  let trials = 5000 and n = 1000 and p = 0.8 in
+  let sum = ref 0 in
+  for _ = 1 to trials do
+    sum := !sum + Binomial.sample rng ~n ~p
+  done;
+  let mean = float_of_int !sum /. float_of_int trials in
+  Alcotest.(check bool) "mean near np (p > 1/2)" true (abs_float (mean -. 800.0) < 2.0)
+
+let test_chernoff_sane () =
+  Alcotest.(check bool) "upper decreasing in slack" true
+    (Binomial.chernoff_upper ~n:1000 ~p:0.1 ~slack:0.5
+     > Binomial.chernoff_upper ~n:1000 ~p:0.1 ~slack:1.0);
+  Alcotest.(check bool) "bounds in (0,1]" true
+    (Binomial.chernoff_lower ~n:100 ~p:0.5 ~slack:0.2 <= 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Monte-Carlo sortition                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sampler_no_violations () =
+  (* with the k2 = k3 = 128 analysis, violations are ~2^-128: zero in
+     any feasible number of trials *)
+  match Analysis.solve ~f:0.05 1000 with
+  | None -> Alcotest.fail "feasible"
+  | Some row ->
+    let stats = Sampler.run ~pool:100_000 ~f:0.05 ~row ~trials:2000 (Splitmix.of_int 9) in
+    Alcotest.(check int) "no corruption violations" 0 stats.Sampler.corruption_bound_violations;
+    Alcotest.(check int) "no gap violations" 0 stats.Sampler.gap_violations;
+    Alcotest.(check bool) "mean size near C" true (abs_float (stats.Sampler.mean_size -. 1000.0) < 10.0);
+    Alcotest.(check bool) "mean corrupt near fC" true
+      (abs_float (stats.Sampler.mean_corrupt -. 50.0) < 3.0)
+
+let test_sampler_detects_undersized_t () =
+  (* sanity of the harness itself: an absurdly small t must violate *)
+  match Analysis.solve ~f:0.05 1000 with
+  | None -> Alcotest.fail "feasible"
+  | Some row ->
+    let bogus = { row with Analysis.t = 40 } (* below the mean corrupt count 50 *) in
+    let stats = Sampler.run ~pool:100_000 ~f:0.05 ~row:bogus ~trials:500 (Splitmix.of_int 10) in
+    Alcotest.(check bool) "violations found" true (stats.Sampler.corruption_bound_violations > 0)
+
+let test_sampler_validation () =
+  match Analysis.solve ~f:0.05 1000 with
+  | None -> Alcotest.fail "feasible"
+  | Some row ->
+    Alcotest.check_raises "bad pool" (Invalid_argument "Sampler.run: bad parameters")
+      (fun () -> ignore (Sampler.run ~pool:0 ~f:0.05 ~row ~trials:1 (Splitmix.of_int 1)));
+    Alcotest.check_raises "pool < C" (Invalid_argument "Sampler.run: pool smaller than C")
+      (fun () -> ignore (Sampler.run ~pool:500 ~f:0.05 ~row ~trials:1 (Splitmix.of_int 1)))
+
+let () =
+  Alcotest.run "sortition"
+    [
+      ( "analysis",
+        [
+          Alcotest.test_case "table 1" `Quick test_table1_matches_paper;
+          Alcotest.test_case "feasibility monotone" `Quick test_feasibility_monotone_in_c;
+          Alcotest.test_case "gap shrinks with f" `Quick test_gap_shrinks_with_f;
+          Alcotest.test_case "marginal overhead" `Quick test_committee_overhead_is_marginal;
+          Alcotest.test_case "improvement claims" `Quick test_improvement_claims;
+          Alcotest.test_case "validation" `Quick test_solve_validation;
+          Alcotest.test_case "invariants" `Quick test_invariants;
+        ] );
+      ( "binomial",
+        [
+          Alcotest.test_case "bounds" `Quick test_binomial_bounds;
+          Alcotest.test_case "mean" `Quick test_binomial_mean;
+          Alcotest.test_case "complement branch" `Quick test_binomial_complement_branch;
+          Alcotest.test_case "chernoff" `Quick test_chernoff_sane;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "no violations" `Quick test_sampler_no_violations;
+          Alcotest.test_case "detects bogus t" `Quick test_sampler_detects_undersized_t;
+          Alcotest.test_case "validation" `Quick test_sampler_validation;
+        ] );
+    ]
