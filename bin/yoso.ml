@@ -16,6 +16,7 @@ module Gen = Yoso_circuit.Generators
 module Circuit = Yoso_circuit.Circuit
 module Analysis = Yoso_sortition.Analysis
 module Sampler = Yoso_sortition.Sampler
+module Faults = Yoso_runtime.Faults
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -44,7 +45,7 @@ let demo_inputs kind size len client =
 (* run                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run_cmd protocol kind size n t k eps malicious fail_stop seed =
+let run_cmd protocol kind size n t k eps malicious fail_stop seed fault_seed =
   let params =
     match eps with
     | Some eps -> Params.of_gap ~n ~eps ()
@@ -57,7 +58,8 @@ let run_cmd protocol kind size n t k eps malicious fail_stop seed =
   (match protocol with
   | "packed" ->
     let adversary = { Params.malicious; passive = 0; fail_stop } in
-    let r = Protocol.execute ~params ~adversary ~seed ~circuit ~inputs () in
+    let plan = Faults.random ~seed:(Option.value ~default:seed fault_seed) in
+    let r = Protocol.execute ~params ~adversary ~plan ~seed ~circuit ~inputs () in
     List.iter
       (fun o ->
         Format.printf "output: client %d wire %d = %a@." o.Yoso_mpc.Online.client
@@ -68,7 +70,15 @@ let run_cmd protocol kind size n t k eps malicious fail_stop seed =
       "cost: setup=%d offline=%d online=%d elements (%.1f offline/gate, %.1f online/gate)@."
       r.Protocol.setup_elements r.Protocol.offline_elements r.Protocol.online_elements
       (Protocol.offline_per_gate r) (Protocol.online_per_gate r);
-    Format.printf "posts: %d over %d committees@." r.Protocol.posts r.Protocol.committees
+    Format.printf "posts: %d over %d committees@." r.Protocol.posts r.Protocol.committees;
+    if malicious + fail_stop > 0 then begin
+      Format.printf "faults: %d detected, %d posts rejected@." r.Protocol.faults_detected
+        r.Protocol.posts_rejected;
+      List.iter
+        (fun (kind, count) ->
+          Format.printf "  %-18s %d@." (Faults.kind_to_string kind) count)
+        (Faults.blame_summary r.Protocol.blames)
+    end
   | "cdn" ->
     let adversary = { Params.malicious; passive = 0; fail_stop } in
     let r = Cdn.execute ~params ~adversary ~seed ~circuit ~inputs () in
@@ -176,11 +186,20 @@ let run_t =
   let fail_stop =
     Arg.(value & opt int 0 & info [ "fail-stop" ] ~doc:"Crashed roles per committee.")
   in
+  let fault_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ]
+          ~doc:
+            "Seed for the adversary's fault plan (which tampering each corrupted role \
+             performs); defaults to --seed.  Replaying a fault seed replays the attack.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute YOSO MPC on a generated circuit")
     Term.(
       const run_cmd $ protocol $ kind $ size $ n_arg $ t_arg $ k_arg $ eps $ malicious
-      $ fail_stop $ seed_arg)
+      $ fail_stop $ seed_arg $ fault_seed)
 
 let analyze_t =
   let c_param = Arg.(value & opt int 1000 & info [ "big-c"; "C" ] ~doc:"Sortition parameter C.") in

@@ -30,7 +30,7 @@ let chunks size lst =
 
 let execute ~params ?(adversary = Params.no_adversary) ?(seed = 0xCD7) ~circuit ~inputs () =
   let board : string Bulletin.t = Bulletin.create () in
-  let ctx = Ops.create_ctx ~board ~params ~adversary ~seed in
+  let ctx = Ops.create_ctx ~board ~params ~adversary ~seed () in
   let gpc = params.Params.gates_per_committee in
   let te, tsk = Te.keygen ~n:params.Params.n ~t:params.Params.t (Splitmix.of_int seed) in
   let frng = ctx.Ops.frng in

@@ -4,7 +4,10 @@ module Te = Ideal_te
 module Bulletin = Yoso_runtime.Bulletin
 module Committee = Yoso_runtime.Committee
 module Cost = Yoso_runtime.Cost
+module Faults = Yoso_runtime.Faults
+module Role = Yoso_runtime.Role
 module Splitmix = Yoso_hash.Splitmix
+module Nizk = Yoso_nizk.Ideal
 
 type ctx = {
   board : string Bulletin.t;
@@ -12,17 +15,21 @@ type ctx = {
   frng : Random.State.t;
   params : Params.t;
   adversary : Params.adversary;
+  plan : Faults.plan;
+  log : Faults.log;
   mutable committee_counter : int;
 }
 
-let create_ctx ~board ~params ~adversary ~seed =
-  Params.validate_adversary params adversary;
+let create_ctx ?plan ?(validate = true) ~board ~params ~adversary ~seed () =
+  if validate then Params.validate_adversary params adversary;
   {
     board;
     rng = Splitmix.of_int seed;
     frng = Random.State.make [| seed lxor 0x5EED |];
     params;
     adversary;
+    plan = (match plan with Some p -> p | None -> Faults.random ~seed);
+    log = Faults.create_log ();
     committee_counter = 0;
   }
 
@@ -33,19 +40,69 @@ let fresh_committee ctx prefix =
     ~malicious:ctx.adversary.Params.malicious ~passive:ctx.adversary.Params.passive
     ~fail_stop:ctx.adversary.Params.fail_stop ctx.rng
 
-let contributions ctx committee ~phase ~step ~cost f =
+(* Every speaking role posts once; the post's content is verified
+   before it contributes.  Honest (and passive) roles prove their
+   witness; malicious roles genuinely build a corrupted payload per
+   the ctx fault plan and post it under a forged transcript (the ideal
+   NIZK is sound, so a false statement can never carry a verifying
+   proof); fail-stop roles stay silent or post past the deadline.
+   Detected deviations are recorded in the blame log; if fewer than
+   [required] contributions survive exclusion, the step aborts with
+   the structured [Faults.Protocol_failure]. *)
+let contributions ?tamper ?(required = 1) ctx committee ~phase ~step ~cost f =
   let proofed_cost = (Cost.Proof, 1) :: cost in
+  let relation = "contribution:" ^ step in
+  let name = committee.Committee.name in
   let out = ref [] in
-  List.iter
-    (fun i ->
-      let author = Committee.role committee i in
+  for i = 0 to committee.Committee.size - 1 do
+    let author = Committee.role committee i in
+    let statement = Role.to_string author in
+    let blame kind = Faults.record ctx.log { Faults.role = author; kind; phase; step } in
+    let post_late () =
+      Bulletin.post ctx.board ~author ~phase ~cost:proofed_cost
+        (step ^ " [past round deadline]")
+    in
+    match Committee.status committee i with
+    | Committee.Honest | Committee.Passive ->
       Bulletin.post ctx.board ~author ~phase ~cost:proofed_cost step;
-      (* malicious roles post garbage with a forged proof; verifiers
-         exclude them (ideal NIZK soundness), so only the rest
-         contribute content *)
-      if not (Committee.is_malicious committee i) then out := (i, f i) :: !out)
-    (Committee.speaking_indices committee);
-  List.rev !out
+      let proof = Nizk.prove ~relation ~statement ~witness_ok:true in
+      if Nizk.verify ~relation ~statement proof then out := (i, f i) :: !out
+      else assert false (* ideal NIZK is complete *)
+    | Committee.Fail_stop -> (
+      match Faults.fail_stop_kind ctx.plan ~committee:name ~index:i with
+      | Faults.Delayed ->
+        post_late ();
+        blame Faults.Delayed
+      | _ -> blame Faults.Silent)
+    | Committee.Malicious -> (
+      match Faults.malicious_kind ctx.plan ~committee:name ~index:i with
+      | Faults.Silent -> blame Faults.Silent
+      | Faults.Delayed ->
+        post_late ();
+        blame Faults.Delayed
+      | active ->
+        Bulletin.post ctx.board ~author ~phase ~cost:proofed_cost step;
+        (* build the corrupted payload the role actually posts *)
+        let payload =
+          match active with
+          | Faults.Bad_proof -> Some (f i) (* correct data, equivocated proof *)
+          | _ -> ( match tamper with Some t -> t active i | None -> None)
+        in
+        let proof = Nizk.forge ~relation ~statement in
+        let accepted =
+          match payload with
+          | None -> false (* undecodable blob: rejected at parse time *)
+          | Some _ -> Nizk.verify ~relation ~statement proof
+        in
+        if accepted then out := (i, Option.get payload) :: !out else blame active)
+  done;
+  let out = List.rev !out in
+  let surviving = List.length out in
+  if surviving < required then
+    raise
+      (Faults.Protocol_failure
+         { Faults.f_phase = phase; f_step = step; f_committee = name; surviving; required });
+  out
 
 (* ------------------------------------------------------------------ *)
 (* tsk chain                                                            *)
@@ -76,11 +133,32 @@ let pass_key ctx te next_prefix verified =
   in
   { committee = next; shares; prefix = next_prefix }
 
+(* junk partial decryptions under the holder's true epoch: syntactically
+   valid, wrong values — exactly what combine would choke on if the
+   forged proof were not caught first *)
+let tampered_partials ctx te holder cts i =
+  let share = member_share holder i in
+  let epoch = Te.share_epoch share in
+  Array.map
+    (fun _ -> Te.junk_partial te ~index:(i + 1) ~epoch (F.random ctx.frng))
+    cts
+
 let decrypt_batch ctx te holder ~phase ~step cts =
   let n = ctx.params.Params.n in
   let cost = [ (Cost.Partial_decryption, Array.length cts); (Cost.Ciphertext, n) ] in
+  let tamper kind i =
+    match kind with
+    | Faults.Garbage_ciphertext -> None
+    | _ ->
+      (* corrupted partials; reshares kept honest so the tampering is
+         only caught by transcript verification, not by accident *)
+      Some (tampered_partials ctx te holder cts i, Te.reshare te (member_share holder i))
+  in
   let verified =
-    contributions ctx holder.committee ~phase ~step ~cost (fun i ->
+    contributions ~tamper
+      ~required:(Te.threshold te + 1)
+      ctx holder.committee ~phase ~step ~cost
+      (fun i ->
         let share = member_share holder i in
         let partials = Array.map (Te.partial_decrypt te share) cts in
         let reshares = Te.reshare te share in
@@ -109,8 +187,29 @@ let reencrypt_generic ctx te holder ~phase ~step ~reshare values =
     if reshare then [ (Cost.Ciphertext, Array.length values + n) ]
     else [ (Cost.Ciphertext, Array.length values) ]
   in
+  let tamper kind i =
+    match kind with
+    | Faults.Garbage_ciphertext -> None
+    | _ ->
+      (* payloads are polymorphic (KFF keys travel here), so junk field
+         elements cannot be fabricated; instead misreport by rotating
+         the partials across the batch (each slot carries the partial
+         of a *different* ciphertext), or desynchronize the epoch when
+         the batch has a single value *)
+      let share = member_share holder i in
+      let honest = Array.map (fun (_, ct) -> Te.partial_decrypt te share ct) values in
+      let len = Array.length honest in
+      let partials =
+        if len > 1 then Array.init len (fun v -> honest.((v + 1) mod len))
+        else Array.map Te.corrupt_partial honest
+      in
+      Some (partials, if reshare then Some (Te.reshare te share) else None)
+  in
   let verified =
-    contributions ctx holder.committee ~phase ~step ~cost (fun i ->
+    contributions ~tamper
+      ~required:(Te.threshold te + 1)
+      ctx holder.committee ~phase ~step ~cost
+      (fun i ->
         let share = member_share holder i in
         let partials = Array.map (fun (_, ct) -> Te.partial_decrypt te share ct) values in
         let reshares = if reshare then Some (Te.reshare te share) else None in

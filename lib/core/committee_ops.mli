@@ -1,12 +1,21 @@
 (** Shared committee machinery: the [Decrypt] and [Re-encrypt]
     subprotocols (Protocols 1-2 of the paper) and the generic
-    "every role contributes once, proofs filter the malicious"
+    "every role contributes once, verification filters the malicious"
     pattern.
 
     Every operation creates real bulletin-board posts (speak-once
     enforced, costs charged) while the content flows functionally —
     the board is the audit trail, message contents are in-memory
     values (the standard protocol-simulator shortcut; see DESIGN.md).
+
+    Corruption is executed, not assumed: malicious roles build
+    genuinely corrupted payloads (junk partial decryptions, tampered
+    shares, undecodable blobs) per the ctx's {!Yoso_runtime.Faults}
+    plan and post them under forged NIZK transcripts; honest verifiers
+    run {!Yoso_nizk.Ideal.verify} on every post, exclude what fails,
+    record the blame, and abort with
+    {!Yoso_runtime.Faults.Protocol_failure} if a step retains fewer
+    verified contributions than its threshold.
 
     The threshold secret key travels down a chain of committees: each
     [decrypt_batch]/[reencrypt_batch] consumes the current holder
@@ -19,6 +28,7 @@ module Pke = Ideal_pke
 module Te = Ideal_te
 module Committee = Yoso_runtime.Committee
 module Cost = Yoso_runtime.Cost
+module Faults = Yoso_runtime.Faults
 
 type ctx = {
   board : string Yoso_runtime.Bulletin.t;
@@ -26,21 +36,32 @@ type ctx = {
   frng : Random.State.t;  (** field-element randomness *)
   params : Params.t;
   adversary : Params.adversary;
+  plan : Faults.plan;  (** how corrupted roles misbehave *)
+  log : Faults.log;  (** blame list accumulated by verifiers *)
   mutable committee_counter : int;
 }
 
 val create_ctx :
+  ?plan:Faults.plan ->
+  ?validate:bool ->
   board:string Yoso_runtime.Bulletin.t ->
   params:Params.t ->
   adversary:Params.adversary ->
   seed:int ->
+  unit ->
   ctx
+(** [plan] defaults to [Faults.random ~seed].  [validate] (default
+    [true]) runs {!Params.validate_adversary}; chaos harnesses pass
+    [false] to execute beyond-bound adversaries and observe the
+    structured runtime abort instead. *)
 
 val fresh_committee : ctx -> string -> Committee.t
 (** Samples a committee with the ctx's adversary structure; names are
     suffixed with a running counter. *)
 
 val contributions :
+  ?tamper:(Faults.kind -> int -> 'a option) ->
+  ?required:int ->
   ctx ->
   Committee.t ->
   phase:string ->
@@ -49,9 +70,16 @@ val contributions :
   (int -> 'a) ->
   (int * 'a) list
 (** [contributions ctx committee ~phase ~step ~cost f]: every speaking
-    role posts once ([cost] plus one proof each); malicious roles post
-    garbage under forged proofs and are filtered out; fail-stop roles
-    stay silent.  Returns the verified [(index, f index)] list. *)
+    role posts once ([cost] plus one proof each).  Honest roles post
+    [f i] with a valid proof.  Malicious roles post real corruption:
+    [tamper kind i] builds the payload they put on the board ([None]
+    models an undecodable blob; without [tamper] every active fault
+    degrades to one), always under a forged proof — verification
+    rejects it and the blame log gains an entry.  Fail-stop roles stay
+    silent or post past the round deadline per the fault plan.
+    Returns the verified [(index, payload)] list.
+    @raise Faults.Protocol_failure if fewer than [required] (default
+    [1]) contributions survive verification. *)
 
 (** {1 The tsk chain} *)
 
@@ -67,8 +95,12 @@ val decrypt_batch :
 (** [Decrypt] (Protocol 2), batched: each speaking holder role posts
     one broadcast containing its partial decryption of every
     ciphertext, its [n] re-sharing messages for the next committee,
-    and one proof.  Returns the decrypted values and the next
-    holder. *)
+    and one proof.  Malicious holders post junk partial decryptions
+    (correct epoch, wrong values) or garbage; verification excludes
+    them before [TDec].  Returns the decrypted values and the next
+    holder.
+    @raise Faults.Protocol_failure with fewer than [t + 1] verified
+    contributions. *)
 
 type 'a reenc
 (** A value re-encrypted towards one recipient: the on-board partial
@@ -83,7 +115,9 @@ val reencrypt_batch :
 (** [Re-encrypt] (Protocol 1), batched over many [(recipient, ct)]
     values: each speaking holder role posts one broadcast with, per
     value, its partial decryption encrypted under the recipient key,
-    plus its re-sharing messages and one proof. *)
+    plus its re-sharing messages and one proof.
+    @raise Faults.Protocol_failure with fewer than [t + 1] verified
+    contributions. *)
 
 val reencrypt_final :
   ctx -> Te.tpk -> holder -> phase:string -> step:string ->

@@ -121,3 +121,5 @@ let recombine tpk ~index subs =
 
 let junk_partial tpk ~index ~epoch v =
   { p_key = tpk.id; p_index = index; p_epoch = epoch; p_value = v }
+
+let corrupt_partial p = { p with p_epoch = p.p_epoch + 1 }

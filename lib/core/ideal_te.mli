@@ -82,3 +82,8 @@ val recombine : tpk -> index:int -> subshare list -> share
 val junk_partial : tpk -> index:int -> epoch:int -> 'a -> 'a partial
 (** Adversary/test constructor: a syntactically valid partial carrying
     a wrong value. *)
+
+val corrupt_partial : 'a partial -> 'a partial
+(** Adversary/test constructor for polymorphic payloads: the honest
+    value under a desynchronized epoch — {!combine} rejects it when
+    mixed with current-epoch partials. *)

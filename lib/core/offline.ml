@@ -27,7 +27,15 @@ type t = {
   final_holder : Committee_ops.holder;
 }
 
+module Faults = Yoso_runtime.Faults
+
 let phase = "offline"
+
+(* corrupted payload for additive-contribution steps: ciphertexts of
+   junk the role never proved knowledge of (Garbage_ciphertext posts
+   an undecodable blob instead) *)
+let junk_cts te frng kind build =
+  match kind with Faults.Garbage_ciphertext -> None | _ -> Some (build te frng)
 
 (* sum verified members' ciphertext contributions, column by column *)
 let sum_contributions te verified column =
@@ -74,6 +82,9 @@ let run (ctx : Ops.ctx) (setup : Setup.t) layout =
   let xs =
     Ops.contributions ctx b1 ~phase ~step:"beaver: first-committee shares"
       ~cost:[ (Cost.Ciphertext, m) ]
+      ~tamper:(fun kind _ ->
+        junk_cts te frng kind (fun te frng ->
+            Array.init m (fun _ -> Te.encrypt te (F.random frng))))
       (fun _ -> Array.init m (fun _ -> Te.encrypt te (F.random frng)))
   in
   let c_x = Array.init m (fun g -> sum_contributions te xs (fun cts -> cts.(g))) in
@@ -81,6 +92,12 @@ let run (ctx : Ops.ctx) (setup : Setup.t) layout =
   let yzs =
     Ops.contributions ctx b2 ~phase ~step:"beaver: second-committee shares and products"
       ~cost:[ (Cost.Ciphertext, 2 * m) ]
+      ~tamper:(fun kind _ ->
+        (* inconsistent product: z contribution uses a different y than
+           the posted encryption — accepting it would break the triple *)
+        junk_cts te frng kind (fun te frng ->
+            Array.init m (fun g ->
+                (Te.encrypt te (F.random frng), Te.scale te (F.random frng) c_x.(g)))))
       (fun _ ->
         Array.init m (fun g ->
             let y = F.random frng in
@@ -103,6 +120,9 @@ let run (ctx : Ops.ctx) (setup : Setup.t) layout =
   let lambda_contribs =
     Ops.contributions ctx r_committee ~phase ~step:"random wire values"
       ~cost:[ (Cost.Ciphertext, Array.length random_wires) ]
+      ~tamper:(fun kind _ ->
+        junk_cts te frng kind (fun te frng ->
+            Array.map (fun _ -> Te.encrypt te (F.random frng)) random_wires))
       (fun _ -> Array.map (fun _ -> Te.encrypt te (F.random frng)) random_wires)
   in
   let wire_lambda = Array.make circuit.Circuit.wire_count zero_ct in
@@ -170,6 +190,13 @@ let run (ctx : Ops.ctx) (setup : Setup.t) layout =
       let contribs =
         Ops.contributions ctx committee ~phase ~step:"packing helper randoms"
           ~cost:[ (Cost.Ciphertext, 3 * t * Array.length batch_chunk) ]
+          ~tamper:(fun kind _ ->
+            junk_cts te frng kind (fun te frng ->
+                Array.map
+                  (fun _ ->
+                    Array.init 3 (fun _ ->
+                        Array.init t (fun _ -> Te.encrypt te (F.random frng))))
+                  batch_chunk))
           (fun _ ->
             Array.map
               (fun _ ->

@@ -8,6 +8,7 @@ module Bulletin = Yoso_runtime.Bulletin
 module Committee = Yoso_runtime.Committee
 module Cost = Yoso_runtime.Cost
 module Role = Yoso_runtime.Role
+module Faults = Yoso_runtime.Faults
 module Ops = Committee_ops
 
 type output = { client : int; wire : Circuit.wire; value : F.t }
@@ -149,9 +150,26 @@ let run (ctx : Ops.ctx) (setup : Setup.t) (prep : Offline.t) ~inputs =
       let mu_beta_sharing =
         Array.map (fun mp -> PS.share_public ps (padded_mu (fun (_, b, _) -> get_mu b) mp.Offline.batch)) preps
       in
+      let step = "multiplication: publish mu-gamma shares" in
+      let frng = ctx.Ops.frng in
       let verified =
-        Ops.contributions ctx committee ~phase ~step:"multiplication: publish mu-gamma shares"
+        Ops.contributions ctx committee ~phase ~step
           ~cost:[ (Cost.Field_element, nbatches) ]
+          ~required:(Params.reconstruction_threshold p)
+          ~tamper:(fun kind i ->
+            match kind with
+            | Faults.Garbage_ciphertext -> None
+            | Faults.Wrong_degree ->
+              (* shares drawn off a maximal-degree junk polynomial: the
+                 redundancy check over the surviving set would flag
+                 exactly these if the forged proof slipped through *)
+              Some
+                (Array.map
+                   (fun _ ->
+                     let secrets = Array.init k (fun _ -> F.random frng) in
+                     (PS.share ps ~degree:(n - 1) ~secrets frng).PS.shares.(i))
+                   preps)
+            | _ -> Some (Array.map (fun _ -> F.random frng) preps))
           (fun i ->
             let kff_sk = role_kff_sk li i in
             Array.mapi
@@ -168,7 +186,33 @@ let run (ctx : Ops.ctx) (setup : Setup.t) (prep : Offline.t) ~inputs =
       Array.iteri
         (fun bi mp ->
           let pairs = List.map (fun (i, shares) -> (i, shares.(bi))) verified in
-          let vec = PS.reconstruct ps ~degree:recon_degree pairs in
+          (* error-detecting reconstruction over the surviving set:
+             every share beyond the first degree+1 must lie on the
+             interpolated polynomial *)
+          let vec =
+            match PS.reconstruct_checked ps ~degree:recon_degree pairs with
+            | Ok vec -> vec
+            | Error bad ->
+              List.iter
+                (fun i ->
+                  Faults.record ctx.Ops.log
+                    {
+                      Faults.role = Committee.role committee i;
+                      kind = Faults.Tamper_share;
+                      phase;
+                      step;
+                    })
+                bad;
+              raise
+                (Faults.Protocol_failure
+                   {
+                     Faults.f_phase = phase;
+                     f_step = step ^ " (inconsistent surviving shares)";
+                     f_committee = committee.Committee.name;
+                     surviving = List.length pairs - List.length bad;
+                     required = Params.reconstruction_threshold p;
+                   })
+          in
           Array.iteri
             (fun gi (_, _, out) -> mu.(out) <- Some vec.(gi))
             mp.Offline.batch.Layout.mult_gates)

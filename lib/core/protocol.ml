@@ -5,6 +5,7 @@ module Eval = Yoso_circuit.Circuit.Eval (Yoso_field.Field.Fp)
 module Bulletin = Yoso_runtime.Bulletin
 module Cost = Yoso_runtime.Cost
 module Splitmix = Yoso_hash.Splitmix
+module Faults = Yoso_runtime.Faults
 module Ops = Committee_ops
 
 type report = {
@@ -16,14 +17,18 @@ type report = {
   committees : int;
   num_gates : int;
   num_mult : int;
+  faults_detected : int;
+  posts_rejected : int;
+  blames : Faults.blame list;
 }
 
 let offline_per_gate r = float_of_int r.offline_elements /. float_of_int (max 1 r.num_mult)
 let online_per_gate r = float_of_int r.online_elements /. float_of_int (max 1 r.num_mult)
 
-let execute ~params ?(adversary = Params.no_adversary) ?(seed = 0xC0FFEE) ~circuit ~inputs () =
+let execute ~params ?(adversary = Params.no_adversary) ?plan ?(validate = true)
+    ?(seed = 0xC0FFEE) ~circuit ~inputs () =
   let board : string Bulletin.t = Bulletin.create () in
-  let ctx = Ops.create_ctx ~board ~params ~adversary ~seed in
+  let ctx = Ops.create_ctx ?plan ~validate ~board ~params ~adversary ~seed () in
   let layout = Layout.make circuit ~k:params.Params.k in
   let layers = Array.length layout.Layout.mult_layers in
   let setup =
@@ -42,6 +47,9 @@ let execute ~params ?(adversary = Params.no_adversary) ?(seed = 0xC0FFEE) ~circu
     committees = ctx.Ops.committee_counter;
     num_gates = Circuit.size circuit;
     num_mult = Circuit.num_mul circuit;
+    faults_detected = Faults.faults_detected ctx.Ops.log;
+    posts_rejected = Faults.posts_rejected ctx.Ops.log;
+    blames = Faults.blames ctx.Ops.log;
   }
 
 let expected circuit ~inputs = Eval.run circuit ~inputs

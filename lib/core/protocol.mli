@@ -16,6 +16,12 @@ type report = {
   committees : int;      (** committees consumed *)
   num_gates : int;
   num_mult : int;
+  faults_detected : int;
+      (** every deviation honest verifiers caught: rejected tampered
+          posts plus silent/delayed roles *)
+  posts_rejected : int;  (** posts excluded after verification failed *)
+  blames : Yoso_runtime.Faults.blame list;
+      (** who misbehaved, how, and at which step it was detected *)
 }
 
 val offline_per_gate : report -> float
@@ -24,11 +30,20 @@ val online_per_gate : report -> float
 val execute :
   params:Params.t ->
   ?adversary:Params.adversary ->
+  ?plan:Yoso_runtime.Faults.plan ->
+  ?validate:bool ->
   ?seed:int ->
   circuit:Circuit.t ->
   inputs:(int -> F.t array) ->
   unit ->
   report
+(** Runs setup -> offline -> online under the given adversary
+    structure and fault plan (default [Faults.random ~seed]).
+    [validate] (default [true]) rejects beyond-bound adversaries up
+    front with [Invalid_argument]; with [validate:false] the protocol
+    executes anyway and aborts at run time with the structured
+    {!Yoso_runtime.Faults.Protocol_failure} once a committee step
+    retains too few verified contributions — never a wrong output. *)
 
 val expected : Circuit.t -> inputs:(int -> F.t array) -> (int * F.t) list
 (** Plain (in-the-clear) evaluation, for cross-checking. *)

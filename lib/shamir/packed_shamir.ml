@@ -129,6 +129,27 @@ module Make (F : Yoso_field.Field.S) = struct
     let base = Bary.create points in
     Array.map (Bary.eval base ~values) p.secret_slots
 
+  let reconstruct_checked p ~degree pairs =
+    check_degree_range p degree;
+    let pairs = dedup_pairs pairs in
+    if List.length pairs < degree + 1 then
+      invalid_arg
+        (Printf.sprintf "Packed_shamir.reconstruct_checked: %d shares, need %d"
+           (List.length pairs) (degree + 1));
+    let chosen, rest = (List.filteri (fun idx _ -> idx < degree + 1) pairs,
+                        List.filteri (fun idx _ -> idx >= degree + 1) pairs) in
+    let points = Array.of_list (List.map (fun (i, _) -> p.share_points.(i)) chosen) in
+    let values = Array.of_list (List.map snd chosen) in
+    let base = Bary.create points in
+    let inconsistent =
+      List.filter_map
+        (fun (i, v) ->
+          if F.equal v (Bary.eval base ~values p.share_points.(i)) then None else Some i)
+        rest
+    in
+    if inconsistent <> [] then Error inconsistent
+    else Ok (Array.map (Bary.eval base ~values) p.secret_slots)
+
   let reconstruct_sharing p s =
     check_same_n p s;
     reconstruct p ~degree:s.degree

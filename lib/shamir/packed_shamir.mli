@@ -73,6 +73,19 @@ module Make (F : Yoso_field.Field.S) : sig
       pairs with distinct party indices; extra pairs are ignored.
       @raise Invalid_argument if there are too few shares. *)
 
+  val reconstruct_checked :
+    params -> degree:int -> (int * F.t) list -> (F.t array, int list) result
+  (** Error-detecting reconstruction: interpolates a candidate
+      polynomial from the first [degree + 1] pairs and verifies every
+      remaining pair against it.  [Ok secrets] when the whole set is
+      consistent with one degree-[degree] polynomial; [Error parties]
+      lists the party indices whose shares disagree with the candidate
+      (nonempty only if the set was tampered with).  This is the
+      redundancy check honest parties run over the surviving share set
+      during online reconstruction.
+      @raise Invalid_argument with fewer than [degree + 1] distinct
+      pairs. *)
+
   val reconstruct_sharing : params -> sharing -> F.t array
   (** Reconstruct from a complete sharing (all [n] shares). *)
 

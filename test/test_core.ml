@@ -164,6 +164,54 @@ let test_params_adversary_validation () =
     (fun () ->
       Params.validate_adversary p { Params.malicious = 5; passive = 0; fail_stop = 2 })
 
+let test_params_adversary_edge_cases () =
+  (* t = 0: any malicious role at all is beyond the bound *)
+  let p0 = Params.create ~n:4 ~t:0 ~k:1 () in
+  Params.validate_adversary p0 Params.no_adversary;
+  Alcotest.check_raises "t = 0 admits no malicious"
+    (Invalid_argument "Params.validate_adversary: 1 malicious exceeds t = 0") (fun () ->
+      Params.validate_adversary p0 { Params.malicious = 1; passive = 0; fail_stop = 0 });
+  (* k = 1 (no packing): reconstruction threshold collapses to t + 1 *)
+  let p1 = Params.create ~n:7 ~t:3 ~k:1 () in
+  Alcotest.(check int) "k = 1 recon" 4 (Params.reconstruction_threshold p1);
+  Params.validate_adversary p1 { Params.malicious = 3; passive = 0; fail_stop = 0 };
+  (* exactly at the speaking-honest threshold passes; one more fails *)
+  let p = Params.create ~n:16 ~t:5 ~k:3 () in
+  let at = { Params.malicious = 5; passive = 0; fail_stop = 1 } in
+  Params.validate_adversary p at;
+  Alcotest.(check int) "no headroom left at the bound" 0
+    (Params.max_fail_stop p at - at.Params.fail_stop);
+  (* negative counts are rejected outright, one field at a time *)
+  List.iter
+    (fun adv ->
+      Alcotest.check_raises "negative counts"
+        (Invalid_argument "Params.validate_adversary: negative counts") (fun () ->
+          Params.validate_adversary p adv))
+    [
+      { Params.malicious = -1; passive = 0; fail_stop = 0 };
+      { Params.malicious = 0; passive = -2; fail_stop = 0 };
+      { Params.malicious = 0; passive = 0; fail_stop = -1 };
+    ];
+  (* corruption counts must fit in the committee *)
+  Alcotest.check_raises "exceeds committee"
+    (Invalid_argument "Params.validate_adversary: corruptions exceed committee size")
+    (fun () -> Params.validate_adversary p { Params.malicious = 5; passive = 11; fail_stop = 1 })
+
+let test_params_max_fail_stop_clamped () =
+  let p = Params.create ~n:16 ~t:5 ~k:3 () in
+  (* n - malicious - recon = 16 - 5 - 10 = 1 *)
+  Alcotest.(check int) "headroom at t malicious" 1
+    (Params.max_fail_stop p { Params.malicious = 5; passive = 0; fail_stop = 0 });
+  Alcotest.(check int) "headroom with no malicious" 6
+    (Params.max_fail_stop p Params.no_adversary);
+  (* clamped at zero even for nonsense adversaries beyond the bound *)
+  Alcotest.(check int) "never negative" 0
+    (Params.max_fail_stop p { Params.malicious = 16; passive = 0; fail_stop = 0 });
+  (* tight params: n = recon means zero tolerance from the start *)
+  let tight = Params.create ~n:10 ~t:5 ~k:3 () in
+  Alcotest.(check int) "n = recon, zero headroom" 0
+    (Params.max_fail_stop tight Params.no_adversary)
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end protocol                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -317,7 +365,7 @@ let test_speak_once_audit () =
   let params = params16 in
   (* re-run manually to keep the board *)
   let board : string Bulletin.t = Bulletin.create () in
-  let ctx = Ops.create_ctx ~board ~params ~adversary:Params.no_adversary ~seed:3 in
+  let ctx = Ops.create_ctx ~board ~params ~adversary:Params.no_adversary ~seed:3 () in
   let layout = Yoso_circuit.Layout.make circuit ~k:params.Params.k in
   let setup =
     Setup.run ~board ~params
@@ -360,6 +408,8 @@ let () =
           Alcotest.test_case "validation" `Quick test_params_validation;
           Alcotest.test_case "of_gap" `Quick test_params_of_gap;
           Alcotest.test_case "adversary validation" `Quick test_params_adversary_validation;
+          Alcotest.test_case "adversary edge cases" `Quick test_params_adversary_edge_cases;
+          Alcotest.test_case "max_fail_stop clamped" `Quick test_params_max_fail_stop_clamped;
         ] );
       ( "end-to-end",
         [

@@ -208,6 +208,87 @@ let test_recover_missing () =
   Alcotest.check felt "recovered share" s.PS.shares.(9)
     (PS.recover_missing p ~degree:4 pairs 9)
 
+let test_recover_missing_adversarial () =
+  let p = PS.make_params ~n:10 ~k:2 in
+  let degree = 4 in
+  let s = PS.share p ~degree ~secrets:(rand_secrets 2) st in
+  let surviving = List.filter (fun (i, _) -> i <> 9) (all_pairs s) in
+  (* one tampered share among the interpolation set silently poisons
+     the recovered value — recovery trusts its inputs, which is why
+     the protocol only feeds it NIZK-verified shares *)
+  let poisoned =
+    List.map (fun (i, v) -> if i = 2 then (i, F.add v F.one) else (i, v)) surviving
+  in
+  Alcotest.(check bool) "poisoned inputs shift the recovered share" false
+    (F.equal s.PS.shares.(9) (PS.recover_missing p ~degree poisoned 9));
+  (* recovery from any clean (degree+1)-subset is exact, whichever
+     parties happen to have survived exclusion *)
+  let subset = List.filteri (fun j _ -> j mod 2 = 0 || j < 2) surviving in
+  let subset = List.filteri (fun j _ -> j < degree + 1) subset in
+  Alcotest.check felt "any clean subset recovers" s.PS.shares.(9)
+    (PS.recover_missing p ~degree subset 9)
+
+let test_reconstruct_checked_clean () =
+  let p = PS.make_params ~n:12 ~k:3 in
+  let degree = 6 in
+  let secrets = rand_secrets 3 in
+  let s = PS.share p ~degree ~secrets st in
+  (match PS.reconstruct_checked p ~degree (all_pairs s) with
+  | Ok back -> Alcotest.check fvec "all shares consistent" secrets back
+  | Error bad ->
+    Alcotest.failf "honest sharing flagged parties %s"
+      (String.concat "," (List.map string_of_int bad)));
+  (* exactly degree+1 shares: nothing left to cross-check, still Ok *)
+  let minimal = List.filteri (fun i _ -> i < degree + 1) (all_pairs s) in
+  match PS.reconstruct_checked p ~degree minimal with
+  | Ok back -> Alcotest.check fvec "minimal set" secrets back
+  | Error _ -> Alcotest.fail "minimal honest set flagged"
+
+let test_reconstruct_checked_flags_tampered () =
+  let p = PS.make_params ~n:12 ~k:3 in
+  let degree = 6 in
+  let s = PS.share p ~degree ~secrets:(rand_secrets 3) st in
+  (* perturb shares strictly beyond the interpolation prefix so the
+     candidate polynomial stays honest and the liars are localized *)
+  let tampered = [ 8; 10 ] in
+  let pairs =
+    List.map
+      (fun (i, v) -> if List.mem i tampered then (i, F.mul v (F.of_int 3)) else (i, v))
+      (all_pairs s)
+  in
+  (match PS.reconstruct_checked p ~degree pairs with
+  | Ok _ -> Alcotest.fail "tampered set not flagged"
+  | Error bad -> Alcotest.(check (list int)) "exact culprits" tampered (List.sort compare bad));
+  (* a perturbed share inside the interpolation prefix corrupts the
+     candidate instead: detection still fires, blaming honest parties —
+     detect-and-abort, not identify *)
+  let pairs' =
+    List.map (fun (i, v) -> if i = 0 then (i, F.add v F.one) else (i, v)) (all_pairs s)
+  in
+  (match PS.reconstruct_checked p ~degree pairs' with
+  | Ok _ -> Alcotest.fail "prefix tampering not detected"
+  | Error bad -> Alcotest.(check bool) "inconsistency surfaced" true (bad <> []));
+  Alcotest.check_raises "too few shares"
+    (Invalid_argument "Packed_shamir.reconstruct_checked: 5 shares, need 7") (fun () ->
+      ignore
+        (PS.reconstruct_checked p ~degree (List.filteri (fun i _ -> i < 5) (all_pairs s))))
+
+let test_check_degree_adversarial_sweep () =
+  let p = PS.make_params ~n:16 ~k:4 in
+  for degree = 3 to 15 do
+    let s = PS.share p ~degree ~secrets:(rand_secrets 4) st in
+    for victim = 0 to 15 do
+      let shares = Array.copy s.PS.shares in
+      shares.(victim) <- F.add shares.(victim) (F.of_int (victim + 1));
+      let bad = PS.make_sharing ~degree:s.PS.degree ~shares in
+      (* a single perturbed share can only go undetected when the
+         claimed degree already admits every n-point vector *)
+      Alcotest.(check bool)
+        (Printf.sprintf "d=%d victim=%d" degree victim)
+        (degree >= 15) (PS.check_degree p bad)
+    done
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Privacy smoke test                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -293,7 +374,11 @@ let () =
       ( "integrity",
         [
           Alcotest.test_case "check_degree" `Quick test_check_degree;
+          Alcotest.test_case "check_degree sweep" `Quick test_check_degree_adversarial_sweep;
           Alcotest.test_case "recover missing" `Quick test_recover_missing;
+          Alcotest.test_case "recover missing (adversarial)" `Quick test_recover_missing_adversarial;
+          Alcotest.test_case "reconstruct_checked clean" `Quick test_reconstruct_checked_clean;
+          Alcotest.test_case "reconstruct_checked tampered" `Quick test_reconstruct_checked_flags_tampered;
           Alcotest.test_case "randomized shares" `Quick test_shares_are_randomized;
           Alcotest.test_case "k-1 deterministic" `Quick test_minimal_degree_is_deterministic_given_secrets;
         ] );
