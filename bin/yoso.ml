@@ -17,6 +17,8 @@ module Circuit = Yoso_circuit.Circuit
 module Analysis = Yoso_sortition.Analysis
 module Sampler = Yoso_sortition.Sampler
 module Faults = Yoso_runtime.Faults
+module Board = Yoso_net.Board
+module Sim = Yoso_net.Sim
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -45,7 +47,8 @@ let demo_inputs kind size len client =
 (* run                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run_cmd protocol kind size n t k eps malicious fail_stop seed fault_seed =
+let run_cmd protocol kind size n t k eps malicious fail_stop seed fault_seed json net_seed
+    latency drop =
   let params =
     match eps with
     | Some eps -> Params.of_gap ~n ~eps ()
@@ -53,31 +56,59 @@ let run_cmd protocol kind size n t k eps malicious fail_stop seed fault_seed =
   in
   let circuit, len = build_circuit kind size seed in
   let inputs = demo_inputs kind size len in
-  Format.printf "circuit: %a@." Circuit.pp_stats circuit;
-  Format.printf "params:  %a@." Params.pp params;
+  let net =
+    let model =
+      { Sim.ideal with Sim.latency_ms = latency; drop = max 0. (min 1. drop) }
+    in
+    { Board.default_config with Board.model; net_seed }
+  in
+  if not json then begin
+    Format.printf "circuit: %a@." Circuit.pp_stats circuit;
+    Format.printf "params:  %a@." Params.pp params
+  end;
   (match protocol with
   | "packed" ->
     let adversary = { Params.malicious; passive = 0; fail_stop } in
     let plan = Faults.random ~seed:(Option.value ~default:seed fault_seed) in
-    let r = Protocol.execute ~params ~adversary ~plan ~seed ~circuit ~inputs () in
-    List.iter
-      (fun o ->
-        Format.printf "output: client %d wire %d = %a@." o.Yoso_mpc.Online.client
-          o.Yoso_mpc.Online.wire F.pp o.Yoso_mpc.Online.value)
-      r.Protocol.outputs;
-    Format.printf "correct: %b@." (Protocol.check r circuit ~inputs);
-    Format.printf
-      "cost: setup=%d offline=%d online=%d elements (%.1f offline/gate, %.1f online/gate)@."
-      r.Protocol.setup_elements r.Protocol.offline_elements r.Protocol.online_elements
-      (Protocol.offline_per_gate r) (Protocol.online_per_gate r);
-    Format.printf "posts: %d over %d committees@." r.Protocol.posts r.Protocol.committees;
-    if malicious + fail_stop > 0 then begin
-      Format.printf "faults: %d detected, %d posts rejected@." r.Protocol.faults_detected
-        r.Protocol.posts_rejected;
+    let r =
+      try Protocol.execute ~params ~adversary ~plan ~seed ~net ~circuit ~inputs ()
+      with Faults.Protocol_failure f ->
+        Format.eprintf
+          "protocol failure: %s/%s (committee %s): %d contributions survived, %d \
+           required — the network or the adversary silenced too many roles@."
+          f.Faults.f_phase f.Faults.f_step f.Faults.f_committee f.Faults.surviving
+          f.Faults.required;
+        exit 2
+    in
+    if json then print_endline (Protocol.report_json r)
+    else begin
       List.iter
-        (fun (kind, count) ->
-          Format.printf "  %-18s %d@." (Faults.kind_to_string kind) count)
-        (Faults.blame_summary r.Protocol.blames)
+        (fun o ->
+          Format.printf "output: client %d wire %d = %a@." o.Yoso_mpc.Online.client
+            o.Yoso_mpc.Online.wire F.pp o.Yoso_mpc.Online.value)
+        r.Protocol.outputs;
+      Format.printf "correct: %b@." (Protocol.check r circuit ~inputs);
+      Format.printf
+        "cost: setup=%d offline=%d online=%d elements (%.1f offline/gate, %.1f online/gate)@."
+        r.Protocol.setup_elements r.Protocol.offline_elements r.Protocol.online_elements
+        (Protocol.offline_per_gate r) (Protocol.online_per_gate r);
+      Format.printf
+        "bytes: setup=%d offline=%d online=%d (field data %d B online, %.1f B/gate)@."
+        r.Protocol.setup_bytes r.Protocol.offline_bytes r.Protocol.online_bytes
+        r.Protocol.online_field_bytes
+        (Protocol.online_field_bytes_per_gate r);
+      Format.printf "net: %d frames, %d late, %d dropped, %.0f ms simulated@."
+        r.Protocol.net.Sim.sent r.Protocol.net.Sim.late r.Protocol.net.Sim.dropped
+        r.Protocol.net.Sim.elapsed_ms;
+      Format.printf "posts: %d over %d committees@." r.Protocol.posts r.Protocol.committees;
+      if malicious + fail_stop > 0 then begin
+        Format.printf "faults: %d detected, %d posts rejected@." r.Protocol.faults_detected
+          r.Protocol.posts_rejected;
+        List.iter
+          (fun (kind, count) ->
+            Format.printf "  %-18s %d@." (Faults.kind_to_string kind) count)
+          (Faults.blame_summary r.Protocol.blames)
+      end
     end
   | "cdn" ->
     let adversary = { Params.malicious; passive = 0; fail_stop } in
@@ -195,11 +226,39 @@ let run_t =
             "Seed for the adversary's fault plan (which tampering each corrupted role \
              performs); defaults to --seed.  Replaying a fault seed replays the attack.")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the full report (counts, measured bytes, network stats) as JSON.")
+  in
+  let net_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "net-seed" ]
+          ~doc:
+            "Seed of the simulated network (jitter, loss, synthesized frame bytes).  \
+             Equal seeds replay byte-identical transcripts.")
+  in
+  let latency =
+    Arg.(
+      value & opt float 0.
+      & info [ "latency" ] ~doc:"Per-link latency in ms for the simulated network.")
+  in
+  let drop =
+    Arg.(
+      value & opt float 0.
+      & info [ "drop" ]
+          ~doc:
+            "Per-message loss probability on the simulated network (honest posts that \
+             vanish are treated like fail-stops; the run may abort with a protocol \
+             failure if too few contributions survive).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute YOSO MPC on a generated circuit")
     Term.(
       const run_cmd $ protocol $ kind $ size $ n_arg $ t_arg $ k_arg $ eps $ malicious
-      $ fail_stop $ seed_arg $ fault_seed)
+      $ fail_stop $ seed_arg $ fault_seed $ json $ net_seed $ latency $ drop)
 
 let analyze_t =
   let c_param = Arg.(value & opt int 1000 & info [ "big-c"; "C" ] ~doc:"Sortition parameter C.") in

@@ -29,7 +29,7 @@ let chunks size lst =
   go [] [] 0 lst
 
 let execute ~params ?(adversary = Params.no_adversary) ?(seed = 0xCD7) ~circuit ~inputs () =
-  let board : string Bulletin.t = Bulletin.create () in
+  let board = Yoso_net.Board.create () in
   let ctx = Ops.create_ctx ~board ~params ~adversary ~seed () in
   let gpc = params.Params.gates_per_committee in
   let te, tsk = Te.keygen ~n:params.Params.n ~t:params.Params.t (Splitmix.of_int seed) in
@@ -69,13 +69,14 @@ let execute ~params ?(adversary = Params.no_adversary) ?(seed = 0xCD7) ~circuit 
   List.iter
     (fun client ->
       let wires = Circuit.input_wires_of_client circuit client in
-      if wires <> [] then begin
-        Bulletin.post board
-          ~author:(Role.id ~committee:(Printf.sprintf "CdnClient%d-In" client) ~index:0)
-          ~phase:"online"
-          ~cost:[ (Cost.Ciphertext, List.length wires); (Cost.Proof, List.length wires) ]
-          "input: encrypted values"
-      end)
+      if wires <> [] then
+        ignore
+          (Yoso_net.Board.post board
+             ~author:(Role.id ~committee:(Printf.sprintf "CdnClient%d-In" client) ~index:0)
+             ~phase:"online" ~step:"input: encrypted values"
+             ~cost:
+               [ (Cost.Ciphertext, List.length wires); (Cost.Proof, List.length wires) ]
+             ()))
     (Circuit.clients circuit);
   Array.iter
     (function
@@ -167,12 +168,12 @@ let execute ~params ?(adversary = Params.no_adversary) ?(seed = 0xCD7) ~circuit 
            (client, w, Ops.open_reenc te sk packages.(i)))
          output_gates)
   in
-  let cost = Bulletin.cost board in
+  let cost = Yoso_net.Board.cost board in
   {
     outputs;
     offline_elements = Cost.elements cost ~phase:"offline";
     online_elements = Cost.elements cost ~phase:"online";
-    posts = Bulletin.length board;
+    posts = Yoso_net.Board.length board;
     num_mult = m;
   }
 

@@ -8,9 +8,11 @@ module Faults = Yoso_runtime.Faults
 module Role = Yoso_runtime.Role
 module Splitmix = Yoso_hash.Splitmix
 module Nizk = Yoso_nizk.Ideal
+module Board = Yoso_net.Board
+module Wire = Yoso_net.Wire
 
 type ctx = {
-  board : string Bulletin.t;
+  board : Board.t;
   rng : Splitmix.t;
   frng : Random.State.t;
   params : Params.t;
@@ -48,26 +50,45 @@ let fresh_committee ctx prefix =
    proof); fail-stop roles stay silent or post past the deadline.
    Detected deviations are recorded in the blame log; if fewer than
    [required] contributions survive exclusion, the step aborts with
-   the structured [Faults.Protocol_failure]. *)
-let contributions ?tamper ?(required = 1) ctx committee ~phase ~step ~cost f =
+   the structured [Faults.Protocol_failure].
+
+   Every post travels through the simulated network: [wire] maps a
+   payload to its real wire items (online field data); everything the
+   declared cost covers beyond that is synthesized at modeled sizes,
+   so the frame carries the full byte weight of the post.  Under the
+   ideal network model every frame is Delivered and the outcomes below
+   collapse to the abstract bulletin-board behaviour. *)
+let contributions ?tamper ?wire ?(required = 1) ctx committee ~phase ~step ~cost f =
+  Board.next_round ctx.board;
   let proofed_cost = (Cost.Proof, 1) :: cost in
   let relation = "contribution:" ^ step in
   let name = committee.Committee.name in
+  let items_of payload = match wire with Some w -> w payload | None -> [] in
   let out = ref [] in
   for i = 0 to committee.Committee.size - 1 do
     let author = Committee.role committee i in
     let statement = Role.to_string author in
     let blame kind = Faults.record ctx.log { Faults.role = author; kind; phase; step } in
     let post_late () =
-      Bulletin.post ctx.board ~author ~phase ~cost:proofed_cost
-        (step ^ " [past round deadline]")
+      ignore
+        (Board.post ctx.board ~author ~phase ~step ~force_late:true ~cost:proofed_cost ())
     in
     match Committee.status committee i with
-    | Committee.Honest | Committee.Passive ->
-      Bulletin.post ctx.board ~author ~phase ~cost:proofed_cost step;
-      let proof = Nizk.prove ~relation ~statement ~witness_ok:true in
-      if Nizk.verify ~relation ~statement proof then out := (i, f i) :: !out
-      else assert false (* ideal NIZK is complete *)
+    | Committee.Honest | Committee.Passive -> (
+      let payload = f i in
+      match
+        Board.post ctx.board ~author ~phase ~step ~items:(items_of payload)
+          ~cost:proofed_cost ()
+      with
+      | Board.Delivered ->
+        let proof = Nizk.prove ~relation ~statement ~witness_ok:true in
+        if Nizk.verify ~relation ~statement proof then out := (i, payload) :: !out
+        else assert false (* ideal NIZK is complete *)
+      (* an honest frame the network delays or loses is observationally
+         a fail-stop: the step excludes the role *)
+      | Board.Late -> blame Faults.Delayed
+      | Board.Dropped -> blame Faults.Silent
+      | Board.Garbled -> blame Faults.Tamper_share (* unreachable: honest encode *))
     | Committee.Fail_stop -> (
       match Faults.fail_stop_kind ctx.plan ~committee:name ~index:i with
       | Faults.Delayed ->
@@ -81,18 +102,28 @@ let contributions ?tamper ?(required = 1) ctx committee ~phase ~step ~cost f =
         post_late ();
         blame Faults.Delayed
       | active ->
-        Bulletin.post ctx.board ~author ~phase ~cost:proofed_cost step;
         (* build the corrupted payload the role actually posts *)
         let payload =
           match active with
           | Faults.Bad_proof -> Some (f i) (* correct data, equivocated proof *)
           | _ -> ( match tamper with Some t -> t active i | None -> None)
         in
+        let outcome =
+          match payload with
+          | None ->
+            (* undecodable blob: a frame corrupted in the sender's hand,
+               caught by the receiver's integrity check *)
+            Board.post ctx.board ~author ~phase ~step ~corrupt:true ~cost:proofed_cost ()
+          | Some p ->
+            Board.post ctx.board ~author ~phase ~step ~items:(items_of p)
+              ~cost:proofed_cost ()
+        in
         let proof = Nizk.forge ~relation ~statement in
         let accepted =
-          match payload with
-          | None -> false (* undecodable blob: rejected at parse time *)
-          | Some _ -> Nizk.verify ~relation ~statement proof
+          match (payload, outcome) with
+          | None, _ -> false (* rejected at parse time *)
+          | Some _, (Board.Late | Board.Dropped | Board.Garbled) -> false
+          | Some _, Board.Delivered -> Nizk.verify ~relation ~statement proof
         in
         if accepted then out := (i, Option.get payload) :: !out else blame active)
   done;

@@ -31,7 +31,7 @@ module Cost = Yoso_runtime.Cost
 module Faults = Yoso_runtime.Faults
 
 type ctx = {
-  board : string Yoso_runtime.Bulletin.t;
+  board : Yoso_net.Board.t;
   rng : Yoso_hash.Splitmix.t;
   frng : Random.State.t;  (** field-element randomness *)
   params : Params.t;
@@ -44,7 +44,7 @@ type ctx = {
 val create_ctx :
   ?plan:Faults.plan ->
   ?validate:bool ->
-  board:string Yoso_runtime.Bulletin.t ->
+  board:Yoso_net.Board.t ->
   params:Params.t ->
   adversary:Params.adversary ->
   seed:int ->
@@ -61,6 +61,7 @@ val fresh_committee : ctx -> string -> Committee.t
 
 val contributions :
   ?tamper:(Faults.kind -> int -> 'a option) ->
+  ?wire:('a -> Yoso_net.Wire.item list) ->
   ?required:int ->
   ctx ->
   Committee.t ->
@@ -73,10 +74,19 @@ val contributions :
     role posts once ([cost] plus one proof each).  Honest roles post
     [f i] with a valid proof.  Malicious roles post real corruption:
     [tamper kind i] builds the payload they put on the board ([None]
-    models an undecodable blob; without [tamper] every active fault
-    degrades to one), always under a forged proof — verification
-    rejects it and the blame log gains an entry.  Fail-stop roles stay
-    silent or post past the round deadline per the fault plan.
+    models an undecodable blob — on the wire, a frame that fails its
+    integrity check; without [tamper] every active fault degrades to
+    one), always under a forged proof — verification rejects it and
+    the blame log gains an entry.  Fail-stop roles stay silent or post
+    past the round deadline per the fault plan.
+
+    Every post is a real transmission through the ctx's
+    {!Yoso_net.Board}: the step opens a fresh network round, [wire]
+    maps a payload to the wire items carrying its element data, and
+    the rest of [cost] is synthesized at modeled sizes so each frame
+    has the full byte weight of the post.  Under non-ideal network
+    models an honest post can arrive late or not at all; the role is
+    then excluded exactly like a fail-stop.
     Returns the verified [(index, payload)] list.
     @raise Faults.Protocol_failure if fewer than [required] (default
     [1]) contributions survive verification. *)

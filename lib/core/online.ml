@@ -10,6 +10,8 @@ module Cost = Yoso_runtime.Cost
 module Role = Yoso_runtime.Role
 module Faults = Yoso_runtime.Faults
 module Ops = Committee_ops
+module Board = Yoso_net.Board
+module Wire = Yoso_net.Wire
 
 type output = { client : int; wire : Circuit.wire; value : F.t }
 
@@ -120,16 +122,20 @@ let run (ctx : Ops.ctx) (setup : Setup.t) (prep : Offline.t) ~inputs =
           Hashtbl.replace client_input_cursor c (cursor + 1))
         ip.Offline.wires)
     prep.Offline.input_preps;
-  (* one broadcast per client input role, carrying all its mu values *)
+  (* one broadcast per client input role, carrying all its mu values —
+     the real field elements go over the wire *)
+  Board.next_round ctx.Ops.board;
   List.iter
     (fun c ->
       let wires = Circuit.input_wires_of_client circuit c in
       if wires <> [] then
-        Bulletin.post ctx.Ops.board
-          ~author:(Role.id ~committee:(Printf.sprintf "Client%d-In" c) ~index:0)
-          ~phase
-          ~cost:[ (Cost.Field_element, List.length wires) ]
-          "input: publish mu = v - lambda")
+        ignore
+          (Board.post ctx.Ops.board
+             ~author:(Role.id ~committee:(Printf.sprintf "Client%d-In" c) ~index:0)
+             ~phase ~step:"input: publish mu = v - lambda"
+             ~items:[ Wire.Field_elements (Array.of_list (List.map get_mu wires)) ]
+             ~cost:[ (Cost.Field_element, List.length wires) ]
+             ()))
     (Circuit.clients circuit);
   propagate_additions ();
 
@@ -155,6 +161,7 @@ let run (ctx : Ops.ctx) (setup : Setup.t) (prep : Offline.t) ~inputs =
       let verified =
         Ops.contributions ctx committee ~phase ~step
           ~cost:[ (Cost.Field_element, nbatches) ]
+          ~wire:(fun shares -> [ Wire.Field_elements shares ])
           ~required:(Params.reconstruction_threshold p)
           ~tamper:(fun kind i ->
             match kind with

@@ -2,10 +2,12 @@ module F = Yoso_field.Field.Fp
 module Circuit = Yoso_circuit.Circuit
 module Layout = Yoso_circuit.Layout
 module Eval = Yoso_circuit.Circuit.Eval (Yoso_field.Field.Fp)
-module Bulletin = Yoso_runtime.Bulletin
 module Cost = Yoso_runtime.Cost
 module Splitmix = Yoso_hash.Splitmix
 module Faults = Yoso_runtime.Faults
+module Board = Yoso_net.Board
+module Meter = Yoso_net.Meter
+module Sim = Yoso_net.Sim
 module Ops = Committee_ops
 
 type report = {
@@ -13,6 +15,10 @@ type report = {
   setup_elements : int;
   offline_elements : int;
   online_elements : int;
+  setup_bytes : int;
+  offline_bytes : int;
+  online_bytes : int;
+  online_field_bytes : int;
   posts : int;
   committees : int;
   num_gates : int;
@@ -20,14 +26,25 @@ type report = {
   faults_detected : int;
   posts_rejected : int;
   blames : Faults.blame list;
+  net : Sim.stats;
+  transcript : Board.transcript;
+  meter : Meter.t;
 }
 
 let offline_per_gate r = float_of_int r.offline_elements /. float_of_int (max 1 r.num_mult)
 let online_per_gate r = float_of_int r.online_elements /. float_of_int (max 1 r.num_mult)
 
+let offline_bytes_per_gate r =
+  float_of_int r.offline_bytes /. float_of_int (max 1 r.num_mult)
+
+let online_bytes_per_gate r = float_of_int r.online_bytes /. float_of_int (max 1 r.num_mult)
+
+let online_field_bytes_per_gate r =
+  float_of_int r.online_field_bytes /. float_of_int (max 1 r.num_mult)
+
 let execute ~params ?(adversary = Params.no_adversary) ?plan ?(validate = true)
-    ?(seed = 0xC0FFEE) ~circuit ~inputs () =
-  let board : string Bulletin.t = Bulletin.create () in
+    ?(seed = 0xC0FFEE) ?(net = Board.default_config) ~circuit ~inputs () =
+  let board = Board.create ~config:net () in
   let ctx = Ops.create_ctx ?plan ~validate ~board ~params ~adversary ~seed () in
   let layout = Layout.make circuit ~k:params.Params.k in
   let layers = Array.length layout.Layout.mult_layers in
@@ -37,20 +54,106 @@ let execute ~params ?(adversary = Params.no_adversary) ?plan ?(validate = true)
   in
   let prep = Offline.run ctx setup layout in
   let outputs = Online.run ctx setup prep ~inputs in
-  let cost = Bulletin.cost board in
+  let cost = Board.cost board in
+  let meter = Board.meter board in
   {
     outputs;
     setup_elements = Cost.elements cost ~phase:"setup";
     offline_elements = Cost.elements cost ~phase:"offline";
     online_elements = Cost.elements cost ~phase:"online";
-    posts = Bulletin.length board;
+    setup_bytes = Meter.phase_total meter ~phase:"setup";
+    offline_bytes = Meter.phase_total meter ~phase:"offline";
+    online_bytes = Meter.phase_total meter ~phase:"online";
+    online_field_bytes = Meter.kind_bytes meter ~phase:"online" Cost.Field_element;
+    posts = Board.length board;
     committees = ctx.Ops.committee_counter;
     num_gates = Circuit.size circuit;
     num_mult = Circuit.num_mul circuit;
     faults_detected = Faults.faults_detected ctx.Ops.log;
     posts_rejected = Faults.posts_rejected ctx.Ops.log;
     blames = Faults.blames ctx.Ops.log;
+    net = Board.sim_stats board;
+    transcript = Board.transcript board;
+    meter;
   }
+
+(* hand-rolled JSON: values are ints, floats and plain ASCII strings *)
+let report_json r =
+  let b = Buffer.create 1024 in
+  let first = ref true in
+  let sep () = if !first then first := false else Buffer.add_char b ',' in
+  let field name pp v =
+    sep ();
+    Buffer.add_string b (Printf.sprintf "%S:" name);
+    pp v
+  in
+  let int name v = field name (fun v -> Buffer.add_string b (string_of_int v)) v in
+  let flt name v = field name (fun v -> Buffer.add_string b (Printf.sprintf "%.4f" v)) v in
+  let str name v = field name (fun v -> Buffer.add_string b (Printf.sprintf "%S" v)) v in
+  Buffer.add_char b '{';
+  int "num_gates" r.num_gates;
+  int "num_mult" r.num_mult;
+  int "posts" r.posts;
+  int "committees" r.committees;
+  int "setup_elements" r.setup_elements;
+  int "offline_elements" r.offline_elements;
+  int "online_elements" r.online_elements;
+  flt "offline_per_gate" (offline_per_gate r);
+  flt "online_per_gate" (online_per_gate r);
+  int "setup_bytes" r.setup_bytes;
+  int "offline_bytes" r.offline_bytes;
+  int "online_bytes" r.online_bytes;
+  int "online_field_bytes" r.online_field_bytes;
+  flt "offline_bytes_per_gate" (offline_bytes_per_gate r);
+  flt "online_bytes_per_gate" (online_bytes_per_gate r);
+  flt "online_field_bytes_per_gate" (online_field_bytes_per_gate r);
+  int "faults_detected" r.faults_detected;
+  int "posts_rejected" r.posts_rejected;
+  sep ();
+  Buffer.add_string b "\"net\":{";
+  first := true;
+  int "rounds" r.net.Sim.rounds;
+  int "sent" r.net.Sim.sent;
+  int "delivered" r.net.Sim.delivered;
+  int "late" r.net.Sim.late;
+  int "dropped" r.net.Sim.dropped;
+  int "bytes_sent" r.net.Sim.bytes_sent;
+  int "bytes_delivered" r.net.Sim.bytes_delivered;
+  flt "elapsed_ms" r.net.Sim.elapsed_ms;
+  int "max_in_flight" r.net.Sim.max_in_flight;
+  Buffer.add_string b "},";
+  first := true;
+  Buffer.add_string b "\"transcript\":{";
+  int "frames" r.transcript.Board.frames;
+  int "frame_bytes" r.transcript.Board.frame_bytes;
+  int "digest" r.transcript.Board.digest;
+  Buffer.add_string b "},";
+  first := true;
+  Buffer.add_string b "\"outputs\":[";
+  List.iteri
+    (fun i out ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"client\":%d,\"wire\":%d,\"value\":%d}" out.Online.client
+           out.Online.wire
+           (F.to_int out.Online.value)))
+    r.outputs;
+  Buffer.add_string b "],";
+  first := true;
+  Buffer.add_string b "\"blames\":[";
+  List.iteri
+    (fun i bl ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '{';
+      first := true;
+      str "role" (Yoso_runtime.Role.to_string bl.Faults.role);
+      str "kind" (Faults.kind_to_string bl.Faults.kind);
+      str "phase" bl.Faults.phase;
+      str "step" bl.Faults.step;
+      Buffer.add_char b '}')
+    r.blames;
+  Buffer.add_string b "]}";
+  Buffer.contents b
 
 let expected circuit ~inputs = Eval.run circuit ~inputs
 

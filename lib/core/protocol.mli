@@ -12,6 +12,12 @@ type report = {
   setup_elements : int;
   offline_elements : int;
   online_elements : int;
+  setup_bytes : int;     (** measured wire bytes, frames included *)
+  offline_bytes : int;
+  online_bytes : int;
+  online_field_bytes : int;
+      (** online field-element *data* bytes — the paper's O(1)-per-gate
+          quantity, measured on the wire *)
   posts : int;           (** total bulletin-board posts (speak-once events) *)
   committees : int;      (** committees consumed *)
   num_gates : int;
@@ -22,10 +28,18 @@ type report = {
   posts_rejected : int;  (** posts excluded after verification failed *)
   blames : Yoso_runtime.Faults.blame list;
       (** who misbehaved, how, and at which step it was detected *)
+  net : Yoso_net.Sim.stats;        (** simulated-network counters *)
+  transcript : Yoso_net.Board.transcript;
+      (** rolling digest of every frame on the wire; equal seeds give
+          equal transcripts *)
+  meter : Yoso_net.Meter.t;        (** full byte breakdown *)
 }
 
 val offline_per_gate : report -> float
 val online_per_gate : report -> float
+val offline_bytes_per_gate : report -> float
+val online_bytes_per_gate : report -> float
+val online_field_bytes_per_gate : report -> float
 
 val execute :
   params:Params.t ->
@@ -33,6 +47,7 @@ val execute :
   ?plan:Yoso_runtime.Faults.plan ->
   ?validate:bool ->
   ?seed:int ->
+  ?net:Yoso_net.Board.config ->
   circuit:Circuit.t ->
   inputs:(int -> F.t array) ->
   unit ->
@@ -44,6 +59,10 @@ val execute :
     executes anyway and aborts at run time with the structured
     {!Yoso_runtime.Faults.Protocol_failure} once a committee step
     retains too few verified contributions — never a wrong output. *)
+
+val report_json : report -> string
+(** The report as a single JSON object (counts, per-gate metrics, byte
+    totals, network stats, transcript digest, outputs, blames). *)
 
 val expected : Circuit.t -> inputs:(int -> F.t array) -> (int * F.t) list
 (** Plain (in-the-clear) evaluation, for cross-checking. *)

@@ -1,7 +1,7 @@
 module F = Yoso_field.Field.Fp
 module Pke = Ideal_pke
 module Te = Ideal_te
-module Bulletin = Yoso_runtime.Bulletin
+module Board = Yoso_net.Board
 module Cost = Yoso_runtime.Cost
 module Role = Yoso_runtime.Role
 
@@ -28,13 +28,14 @@ let run ~board ~params ~layers ~clients rng =
   in
   let client_keys = List.map (fun c -> (c, Pke.gen rng)) clients in
   let kff_count = List.length kff_clients + (layers * params.Params.n) in
-  Bulletin.post board
-    ~author:(Role.id ~committee:"Setup" ~index:0)
-    ~phase:"setup"
-    ~cost:
-      [
-        (Cost.Key, 1 + kff_count + List.length client_keys);
-        (Cost.Ciphertext, kff_count);
-      ]
-    "setup: tpk, KFF public keys, KFF secret keys under tpk";
+  ignore
+    (Board.post board
+       ~author:(Role.id ~committee:"Setup" ~index:0)
+       ~phase:"setup" ~step:"setup: tpk, KFF public keys, KFF secret keys under tpk"
+       ~cost:
+         [
+           (Cost.Key, 1 + kff_count + List.length client_keys);
+           (Cost.Ciphertext, kff_count);
+         ]
+       ());
   { params; te; initial_tsk; kff_clients; kff_roles; client_keys }

@@ -27,7 +27,7 @@ type t = {
 }
 
 val run :
-  board:string Yoso_runtime.Bulletin.t ->
+  board:Yoso_net.Board.t ->
   params:Params.t ->
   layers:int ->
   clients:int list ->

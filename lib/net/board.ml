@@ -1,0 +1,150 @@
+module Bulletin = Yoso_runtime.Bulletin
+module Cost = Yoso_runtime.Cost
+module Role = Yoso_runtime.Role
+module Splitmix = Yoso_hash.Splitmix
+
+type config = {
+  model : Sim.model;
+  round_ms : float;
+  net_seed : int;
+  sizing : Wire.sizing;
+}
+
+let default_config =
+  { model = Sim.ideal; round_ms = 100.; net_seed = 1; sizing = Wire.default_sizing }
+
+type outcome = Delivered | Late | Dropped | Garbled
+
+let outcome_to_string = function
+  | Delivered -> "delivered"
+  | Late -> "late"
+  | Dropped -> "dropped"
+  | Garbled -> "garbled"
+
+type transcript = { frames : int; frame_bytes : int; digest : int }
+
+type t = {
+  bulletin : string Bulletin.t;
+  sim : Sim.t;
+  meter : Meter.t;
+  blob_rng : Splitmix.t;
+  config : config;
+  mutable frames : int;
+  mutable frame_bytes : int;
+  mutable digest : int;
+}
+
+let create ?(config = default_config) () =
+  {
+    bulletin = Bulletin.create ();
+    sim = Sim.create ~model:config.model ~round_ms:config.round_ms ~seed:config.net_seed ();
+    meter = Meter.create ();
+    blob_rng = Splitmix.of_int (config.net_seed lxor 0x0b10b5);
+    config;
+    frames = 0;
+    frame_bytes = 0;
+    digest = 0x9e3779b9;
+  }
+
+let bulletin t = t.bulletin
+let sim t = t.sim
+let meter t = t.meter
+let config t = t.config
+let cost t = Bulletin.cost t.bulletin
+let registry t = Bulletin.registry t.bulletin
+let length t = Bulletin.length t.bulletin
+let round t = Bulletin.round t.bulletin
+let sim_stats t = Sim.stats t.sim
+let transcript t = { frames = t.frames; frame_bytes = t.frame_bytes; digest = t.digest }
+
+let next_round t =
+  Bulletin.next_round t.bulletin;
+  Sim.next_round t.sim
+
+let tally_payload items =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun it ->
+      let k = Wire.item_kind it in
+      let b = Wire.item_payload_bytes it in
+      Hashtbl.replace tbl k (b + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    items;
+  List.filter_map
+    (fun k -> Option.map (fun b -> (k, b)) (Hashtbl.find_opt tbl k))
+    Cost.all_kinds
+
+let item_count items kind =
+  List.fold_left
+    (fun acc it ->
+      if Wire.item_kind it <> kind then acc
+      else
+        acc
+        +
+        match it with
+        | Wire.Field_elements v -> Array.length v
+        | Wire.Packed_sharing { shares; _ } -> Array.length shares
+        | Wire.Ciphertexts a | Wire.Proofs a | Wire.Partial_decs a | Wire.Public_keys a ->
+          Array.length a
+        | Wire.Bigints a -> Array.length a)
+    0 items
+
+(* flip one byte of the frame in flight; any single flip is caught by
+   the magic / length / checksum checks in [Wire.of_frame] *)
+let corrupt_frame frame =
+  let b = Bytes.of_string frame in
+  let i = Bytes.length b / 2 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+  Bytes.unsafe_to_string b
+
+(* post = encode -> transmit -> deliver -> decode -> verify.  Provided
+   [items] carry the real element data (online field payloads);
+   whatever of [cost] they do not cover is synthesized at modeled
+   sizes, so every frame has the full wire weight of its post. *)
+let post t ~author ~phase ~step ?(items = []) ?(corrupt = false) ?(force_late = false) ~cost ()
+    =
+  let missing =
+    List.filter_map
+      (fun (kind, n) ->
+        let m = n - item_count items kind in
+        if m > 0 then Some (kind, m) else None)
+      cost
+  in
+  let items = items @ Wire.items_of_cost t.config.sizing t.blob_rng missing in
+  let msg = { Wire.step; items } in
+  let frame = Wire.to_frame msg in
+  let frame = if corrupt then corrupt_frame frame else frame in
+  let frame_bytes = String.length frame in
+  t.frames <- t.frames + 1;
+  t.frame_bytes <- t.frame_bytes + frame_bytes;
+  t.digest <- ((t.digest * 1000003) + Wire.checksum frame) land max_int;
+  let payload = tally_payload items in
+  let tally = Bulletin.cost t.bulletin in
+  List.iter (fun (kind, b) -> Cost.charge_bytes tally ~phase kind b) payload;
+  Meter.record t.meter ~phase ~step ~role:(Role.to_string author) ~frame_bytes ~payload;
+  let extra_delay_ms = if force_late then 2. *. t.config.round_ms else 0. in
+  let verdict, _arrival = Sim.transmit t.sim ~extra_delay_ms ~bytes:frame_bytes () in
+  match verdict with
+  | Sim.Dropped ->
+    (* the role spoke — its one shot is consumed and the bytes were
+       sent — but nothing ever reaches the board *)
+    Role.Registry.speak (Bulletin.registry t.bulletin) author;
+    List.iter (fun (kind, n) -> Cost.charge tally ~phase kind n) cost;
+    Dropped
+  | Sim.Late ->
+    Bulletin.post t.bulletin ~author ~phase ~cost (step ^ " [past round deadline]");
+    Late
+  | Sim.Delivered -> (
+    match Wire.of_frame frame with
+    | exception Wire.Decode_error _ ->
+      (* the post occupies its slot on the board but decodes to
+         nothing; verification will exclude the author *)
+      Bulletin.post t.bulletin ~author ~phase ~cost step;
+      Garbled
+    | decoded ->
+      if decoded.Wire.step <> step then (
+        Bulletin.post t.bulletin ~author ~phase ~cost step;
+        Garbled)
+      else begin
+        Bulletin.post t.bulletin ~author ~phase ~cost step;
+        Delivered
+      end)

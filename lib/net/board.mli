@@ -1,0 +1,76 @@
+(** The bulletin board as a network service.
+
+    Wraps the abstract {!Yoso_runtime.Bulletin} so that every post is
+    a real transmission: the message is encoded to a canonical
+    {!Wire} frame, sent through the {!Sim} network, and — if it
+    arrives — decoded and integrity-checked on the receiving side.
+    Fault behaviours become genuine network events: a [Delayed] role
+    is a frame that misses its round deadline, a corrupted payload is
+    a frame that fails its checksum, and (under lossy models) an
+    honest post can simply vanish.
+
+    Under {!default_config} (ideal network) every post is [Delivered]
+    unless forced late, so protocol behaviour — post counts, blame
+    verdicts, element tallies — is identical to the unsimulated board;
+    the network layer only *adds* the byte measurements. *)
+
+module Bulletin = Yoso_runtime.Bulletin
+module Cost = Yoso_runtime.Cost
+module Role = Yoso_runtime.Role
+
+type config = {
+  model : Sim.model;
+  round_ms : float;
+  net_seed : int;
+  sizing : Wire.sizing;
+}
+
+val default_config : config
+(** {!Sim.ideal}, 100 ms rounds, seed 1, {!Wire.default_sizing}. *)
+
+type outcome = Delivered | Late | Dropped | Garbled
+
+val outcome_to_string : outcome -> string
+
+type transcript = { frames : int; frame_bytes : int; digest : int }
+(** Rolling summary of every frame ever put on the wire (including
+    dropped and garbled ones); two runs with equal seeds produce equal
+    transcripts byte for byte. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val post :
+  t ->
+  author:Role.id ->
+  phase:string ->
+  step:string ->
+  ?items:Wire.item list ->
+  ?corrupt:bool ->
+  ?force_late:bool ->
+  cost:(Cost.kind * int) list ->
+  unit ->
+  outcome
+(** Encode, transmit, deliver, decode.  [items] carry real element
+    data (e.g. the online field payloads); any part of [cost] they do
+    not cover is synthesized at the configured {!Wire.sizing} so the
+    frame has the full wire weight of the post.  [corrupt] flips a
+    byte in flight (the frame lands but fails verification);
+    [force_late] stalls the sender past the round deadline.  Element
+    counts are charged to the bulletin's {!Cost.t} exactly as before;
+    measured bytes are charged alongside and broken down in the
+    {!Meter}. *)
+
+val next_round : t -> unit
+
+val bulletin : t -> string Bulletin.t
+val sim : t -> Sim.t
+val meter : t -> Meter.t
+val config : t -> config
+val cost : t -> Cost.t
+val registry : t -> Role.Registry.t
+val length : t -> int
+val round : t -> int
+val sim_stats : t -> Sim.stats
+val transcript : t -> transcript

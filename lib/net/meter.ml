@@ -1,0 +1,75 @@
+module Cost = Yoso_runtime.Cost
+
+type t = {
+  by_kind : (string * Cost.kind, int) Hashtbl.t; (* payload bytes *)
+  by_step : (string * string, int) Hashtbl.t; (* frame bytes per (phase, step) *)
+  by_role : (string, int) Hashtbl.t; (* frame bytes per role family *)
+  framing : (string, int) Hashtbl.t; (* non-payload bytes per phase *)
+}
+
+let create () =
+  {
+    by_kind = Hashtbl.create 16;
+    by_step = Hashtbl.create 16;
+    by_role = Hashtbl.create 16;
+    framing = Hashtbl.create 8;
+  }
+
+let add tbl key n = Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+(* committee names carry a uniqueness counter ("exec#3"); the family
+   prefix groups all epochs of the same role *)
+let role_family role =
+  match String.index_opt role '#' with
+  | Some i -> String.sub role 0 i
+  | None -> role
+
+let record t ~phase ~step ~role ~frame_bytes ~payload =
+  let data = List.fold_left (fun acc (_, b) -> acc + b) 0 payload in
+  if data > frame_bytes then invalid_arg "Meter.record: payload exceeds frame";
+  List.iter (fun (kind, b) -> add t.by_kind (phase, kind) b) payload;
+  add t.by_step (phase, step) frame_bytes;
+  add t.by_role (role_family role) frame_bytes;
+  add t.framing phase (frame_bytes - data)
+
+let kind_bytes t ~phase kind = Option.value ~default:0 (Hashtbl.find_opt t.by_kind (phase, kind))
+
+let data_bytes t ~phase =
+  List.fold_left (fun acc k -> acc + kind_bytes t ~phase k) 0 Cost.all_kinds
+
+let framing_bytes t ~phase = Option.value ~default:0 (Hashtbl.find_opt t.framing phase)
+let phase_total t ~phase = data_bytes t ~phase + framing_bytes t ~phase
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let steps t ~phase =
+  sorted_bindings t.by_step
+  |> List.filter_map (fun ((p, s), b) -> if p = phase then Some (s, b) else None)
+
+let roles t = sorted_bindings t.by_role
+
+let phases t =
+  let collect tbl key_phase acc =
+    Hashtbl.fold
+      (fun k _ acc ->
+        let p = key_phase k in
+        if List.mem p acc then acc else p :: acc)
+      tbl acc
+  in
+  collect t.by_kind fst (collect t.framing Fun.id []) |> List.sort compare
+
+let grand_total t = Hashtbl.fold (fun _ v acc -> acc + v) t.by_step 0
+
+let pp ppf t =
+  List.iter
+    (fun phase ->
+      Format.fprintf ppf "@[<h>%-10s" phase;
+      List.iter
+        (fun k ->
+          let b = kind_bytes t ~phase k in
+          if b > 0 then Format.fprintf ppf " %s=%dB" (Cost.kind_to_string k) b)
+        Cost.all_kinds;
+      Format.fprintf ppf " framing=%dB total=%dB@]@." (framing_bytes t ~phase)
+        (phase_total t ~phase))
+    (phases t)

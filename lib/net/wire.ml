@@ -1,0 +1,323 @@
+module F = Yoso_field.Field.Fp
+module B = Yoso_bigint.Bigint
+module Cost = Yoso_runtime.Cost
+module Splitmix = Yoso_hash.Splitmix
+
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Primitive encoders (into a Buffer)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+(* unsigned LEB128 *)
+let put_varint buf v =
+  if v < 0 then invalid_arg "Wire.put_varint: negative";
+  let rec go v =
+    if v < 0x80 then put_u8 buf v
+    else begin
+      put_u8 buf (0x80 lor (v land 0x7f));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let put_fixed32 buf v =
+  put_u8 buf v;
+  put_u8 buf (v lsr 8);
+  put_u8 buf (v lsr 16);
+  put_u8 buf (v lsr 24)
+
+let put_bytes buf s =
+  put_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let put_field buf (x : F.t) = put_fixed32 buf (F.to_int x)
+
+(* sign byte: 0 zero, 1 positive, 2 negative; canonical big-endian
+   magnitude (no leading zero byte) *)
+let put_bigint buf b =
+  let s = B.sign b in
+  put_u8 buf (if s = 0 then 0 else if s > 0 then 1 else 2);
+  if s <> 0 then put_bytes buf (B.to_bytes_be b)
+
+(* ------------------------------------------------------------------ *)
+(* Primitive decoders (over a string with a cursor)                    *)
+(* ------------------------------------------------------------------ *)
+
+type dec = { src : string; mutable pos : int }
+
+let remaining d = String.length d.src - d.pos
+
+let get_u8 d =
+  if d.pos >= String.length d.src then fail "truncated (u8)";
+  let c = Char.code d.src.[d.pos] in
+  d.pos <- d.pos + 1;
+  c
+
+let get_varint d =
+  let rec go shift acc nbytes =
+    if shift > 49 then fail "varint too long";
+    let b = get_u8 d in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then begin
+      (* canonical: a multi-byte encoding must not end in a zero byte *)
+      if nbytes > 0 && b = 0 then fail "non-canonical varint";
+      acc
+    end
+    else go (shift + 7) acc (nbytes + 1)
+  in
+  go 0 0 0
+
+let get_fixed32 d =
+  let b0 = get_u8 d in
+  let b1 = get_u8 d in
+  let b2 = get_u8 d in
+  let b3 = get_u8 d in
+  b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+
+let get_bytes d =
+  let len = get_varint d in
+  if len > remaining d then fail "length prefix %d exceeds remaining %d" len (remaining d);
+  let s = String.sub d.src d.pos len in
+  d.pos <- d.pos + len;
+  s
+
+let get_field d =
+  let v = get_fixed32 d in
+  if v >= F.p then fail "field element %d out of range (p = %d)" v F.p;
+  F.of_int v
+
+let get_bigint d =
+  match get_u8 d with
+  | 0 -> B.zero
+  | (1 | 2) as s ->
+    let mag = get_bytes d in
+    if String.length mag = 0 then fail "bigint: empty magnitude with nonzero sign";
+    if mag.[0] = '\000' then fail "bigint: non-canonical leading zero byte";
+    let v = B.of_bytes_be mag in
+    if s = 2 then B.neg v else v
+  | s -> fail "bigint: bad sign byte %d" s
+
+let get_count d ~what ~max =
+  let n = get_varint d in
+  if n > max then fail "%s count %d exceeds limit %d" what n max;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Bulletin message items                                              *)
+(* ------------------------------------------------------------------ *)
+
+type item =
+  | Field_elements of F.t array
+  | Packed_sharing of { degree : int; shares : F.t array }
+  | Ciphertexts of string array
+  | Proofs of string array
+  | Partial_decs of string array
+  | Public_keys of string array
+  | Bigints of B.t array
+
+type message = { step : string; items : item list }
+
+let max_vec = 1 lsl 24
+
+let item_tag = function
+  | Field_elements _ -> 1
+  | Packed_sharing _ -> 2
+  | Ciphertexts _ -> 3
+  | Proofs _ -> 4
+  | Partial_decs _ -> 5
+  | Public_keys _ -> 6
+  | Bigints _ -> 7
+
+let item_kind = function
+  | Field_elements _ | Packed_sharing _ -> Cost.Field_element
+  | Ciphertexts _ -> Cost.Ciphertext
+  | Proofs _ -> Cost.Proof
+  | Partial_decs _ -> Cost.Partial_decryption
+  | Public_keys _ -> Cost.Key
+  | Bigints _ -> Cost.Ciphertext
+
+(* bytes of element *data* an item carries, excluding tags and length
+   prefixes (those are accounted as framing overhead by the meter) *)
+let item_payload_bytes = function
+  | Field_elements v -> 4 * Array.length v
+  | Packed_sharing { shares; _ } -> 4 * Array.length shares
+  | Ciphertexts bs | Proofs bs | Partial_decs bs | Public_keys bs ->
+    Array.fold_left (fun acc b -> acc + String.length b) 0 bs
+  | Bigints bs ->
+    Array.fold_left (fun acc b -> acc + String.length (B.to_bytes_be b)) 0 bs
+
+let put_blob_array buf bs =
+  put_varint buf (Array.length bs);
+  Array.iter (put_bytes buf) bs
+
+let get_blob_array d ~what =
+  let n = get_count d ~what ~max:max_vec in
+  Array.init n (fun _ -> get_bytes d)
+
+let put_item buf it =
+  put_u8 buf (item_tag it);
+  match it with
+  | Field_elements v ->
+    put_varint buf (Array.length v);
+    Array.iter (put_field buf) v
+  | Packed_sharing { degree; shares } ->
+    put_varint buf degree;
+    put_varint buf (Array.length shares);
+    Array.iter (put_field buf) shares
+  | Ciphertexts bs | Proofs bs | Partial_decs bs | Public_keys bs -> put_blob_array buf bs
+  | Bigints bs ->
+    put_varint buf (Array.length bs);
+    Array.iter (put_bigint buf) bs
+
+let get_item d =
+  match get_u8 d with
+  | 1 ->
+    let n = get_count d ~what:"field vector" ~max:max_vec in
+    Field_elements (Array.init n (fun _ -> get_field d))
+  | 2 ->
+    let degree = get_varint d in
+    let n = get_count d ~what:"sharing" ~max:max_vec in
+    if degree >= n then fail "sharing degree %d not determined by %d shares" degree n;
+    Packed_sharing { degree; shares = Array.init n (fun _ -> get_field d) }
+  | 3 -> Ciphertexts (get_blob_array d ~what:"ciphertexts")
+  | 4 -> Proofs (get_blob_array d ~what:"proofs")
+  | 5 -> Partial_decs (get_blob_array d ~what:"partials")
+  | 6 -> Public_keys (get_blob_array d ~what:"keys")
+  | 7 ->
+    let n = get_count d ~what:"bigints" ~max:max_vec in
+    Bigints (Array.init n (fun _ -> get_bigint d))
+  | t -> fail "unknown item tag %d" t
+
+let encode_message m =
+  let buf = Buffer.create 256 in
+  put_bytes buf m.step;
+  put_varint buf (List.length m.items);
+  List.iter (put_item buf) m.items;
+  Buffer.contents buf
+
+let decode_message_at d =
+  let step = get_bytes d in
+  let n = get_count d ~what:"items" ~max:4096 in
+  let items = List.init n (fun _ -> get_item d) in
+  { step; items }
+
+let decode_message s =
+  let d = { src = s; pos = 0 } in
+  let m = decode_message_at d in
+  if d.pos <> String.length s then fail "trailing garbage (%d bytes)" (remaining d);
+  m
+
+(* ------------------------------------------------------------------ *)
+(* Framing: magic, version, length, payload, checksum                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Transport integrity checksum — 63-bit multiplicative hash, written
+   as 8 little-endian bytes.  Detects corruption in flight; it is not
+   a cryptographic MAC (authenticity comes from the NIZK layer). *)
+let checksum s =
+  let h = ref 0x1505 in
+  String.iter (fun c -> h := ((!h * 31) + Char.code c) land max_int) s;
+  !h
+
+let put_checksum buf h =
+  for i = 0 to 7 do
+    put_u8 buf ((h lsr (8 * i)) land 0xff)
+  done
+
+let magic0 = 'Y'
+let magic1 = 'W'
+let version = 1
+
+let to_frame m =
+  let payload = encode_message m in
+  let buf = Buffer.create (String.length payload + 16) in
+  Buffer.add_char buf magic0;
+  Buffer.add_char buf magic1;
+  put_u8 buf version;
+  put_bytes buf payload;
+  put_checksum buf (checksum payload);
+  Buffer.contents buf
+
+let of_frame s =
+  let d = { src = s; pos = 0 } in
+  if remaining d < 3 then fail "truncated frame";
+  if s.[0] <> magic0 || s.[1] <> magic1 then fail "bad magic";
+  d.pos <- 2;
+  let v = get_u8 d in
+  if v <> version then fail "unsupported version %d" v;
+  let payload = get_bytes d in
+  if remaining d <> 8 then fail "bad frame trailer";
+  let h = ref 0 in
+  for i = 7 downto 0 do
+    h := (!h lsl 8) lor Char.code s.[d.pos + i]
+  done;
+  if !h <> checksum payload then fail "checksum mismatch";
+  decode_message payload
+
+(* ------------------------------------------------------------------ *)
+(* Wire-size model for ideal-functionality objects                     *)
+(* ------------------------------------------------------------------ *)
+
+type sizing = {
+  ciphertext_bytes : int;
+  proof_bytes : int;
+  partial_bytes : int;
+  key_bytes : int;
+}
+
+(* modeled on 2048-bit threshold Paillier (ciphertexts and partial
+   decryptions live in Z_{N^2} = 4096 bits) with constant-size
+   Groth-Maller-style proofs (256-bit tag, as Nizk.size_bits) *)
+let default_sizing =
+  { ciphertext_bytes = 512; proof_bytes = 32; partial_bytes = 512; key_bytes = 256 }
+
+let random_blob rng len =
+  let b = Bytes.create len in
+  let full = len / 8 in
+  for i = 0 to full - 1 do
+    Bytes.set_int64_le b (8 * i) (Splitmix.next rng)
+  done;
+  for i = 8 * full to len - 1 do
+    Bytes.set b i (Char.chr (Splitmix.int rng 256))
+  done;
+  Bytes.unsafe_to_string b
+
+let blobs rng len n = Array.init n (fun _ -> random_blob rng len)
+
+let items_of_cost sizing rng cost =
+  List.filter_map
+    (fun (kind, n) ->
+      if n <= 0 then None
+      else
+        Some
+          (match kind with
+          | Cost.Field_element ->
+            Field_elements (Array.init n (fun _ -> F.of_int (Splitmix.int rng F.p)))
+          | Cost.Ciphertext -> Ciphertexts (blobs rng sizing.ciphertext_bytes n)
+          | Cost.Proof -> Proofs (blobs rng sizing.proof_bytes n)
+          | Cost.Partial_decryption -> Partial_decs (blobs rng sizing.partial_bytes n)
+          | Cost.Key -> Public_keys (blobs rng sizing.key_bytes n)))
+    cost
+
+let summary m =
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun it ->
+      let k = item_kind it in
+      let count =
+        match it with
+        | Field_elements v -> Array.length v
+        | Packed_sharing { shares; _ } -> Array.length shares
+        | Ciphertexts a | Proofs a | Partial_decs a | Public_keys a -> Array.length a
+        | Bigints a -> Array.length a
+      in
+      Hashtbl.replace tally k (count + Option.value ~default:0 (Hashtbl.find_opt tally k)))
+    m.items;
+  Cost.(List.filter_map
+          (fun k -> Option.map (fun n -> (k, n)) (Hashtbl.find_opt tally k))
+          all_kinds)

@@ -1,0 +1,103 @@
+(** Canonical wire format for bulletin-board messages.
+
+    Every object a role posts — field elements, packed sharings,
+    ciphertexts, NIZK proofs, partial decryptions, public keys — has a
+    length-prefixed binary encoding here, so the simulated network can
+    charge *measured bytes* rather than abstract element counts.
+
+    The format is canonical: a given message has exactly one valid
+    encoding, and decoders reject non-canonical input (varints with
+    redundant trailing bytes, field elements [>= p], bigint magnitudes
+    with leading zero bytes, trailing garbage).  Ideal-functionality
+    objects (ciphertexts, proofs, ...) have no concrete bit
+    representation in this codebase, so they travel as opaque blobs at
+    modeled sizes; see {!sizing}. *)
+
+module F = Yoso_field.Field.Fp
+module B = Yoso_bigint.Bigint
+module Cost = Yoso_runtime.Cost
+module Splitmix = Yoso_hash.Splitmix
+
+exception Decode_error of string
+(** Raised by every decoder on malformed, non-canonical, truncated or
+    trailing-garbage input. *)
+
+(** {1 Primitives} *)
+
+val put_varint : Buffer.t -> int -> unit
+(** Unsigned LEB128. *)
+
+val put_fixed32 : Buffer.t -> int -> unit
+(** 4 bytes, little-endian. *)
+
+val put_bytes : Buffer.t -> string -> unit
+(** Varint length prefix followed by the raw bytes. *)
+
+val put_field : Buffer.t -> F.t -> unit
+val put_bigint : Buffer.t -> B.t -> unit
+
+type dec = { src : string; mutable pos : int }
+
+val get_varint : dec -> int
+val get_fixed32 : dec -> int
+val get_bytes : dec -> string
+val get_field : dec -> F.t
+val get_bigint : dec -> B.t
+
+(** {1 Messages} *)
+
+type item =
+  | Field_elements of F.t array
+  | Packed_sharing of { degree : int; shares : F.t array }
+  | Ciphertexts of string array
+  | Proofs of string array
+  | Partial_decs of string array
+  | Public_keys of string array
+  | Bigints of B.t array
+
+type message = { step : string; items : item list }
+
+val item_kind : item -> Cost.kind
+
+val item_payload_bytes : item -> int
+(** Bytes of element *data* the item carries, excluding tags and
+    length prefixes (those are accounted as framing overhead). *)
+
+val encode_message : message -> string
+val decode_message : string -> message
+
+val summary : message -> (Cost.kind * int) list
+(** Element tally of a message, in {!Cost.all_kinds} order. *)
+
+(** {1 Framing} *)
+
+val checksum : string -> int
+(** 63-bit transport-integrity checksum (not a MAC — authenticity
+    comes from the NIZK layer). *)
+
+val to_frame : message -> string
+(** [magic "YW"; version; length-prefixed payload; 8-byte checksum]. *)
+
+val of_frame : string -> message
+(** Verifies magic, version, framing and checksum before decoding. *)
+
+(** {1 Size model for ideal-functionality objects} *)
+
+type sizing = {
+  ciphertext_bytes : int;
+  proof_bytes : int;
+  partial_bytes : int;
+  key_bytes : int;
+}
+
+val default_sizing : sizing
+(** Modeled on 2048-bit threshold Paillier (ciphertexts and partial
+    decryptions live in [Z_{N^2}], 512 bytes) with constant-size
+    proofs (32 bytes) and 256-byte public keys. *)
+
+val random_blob : Splitmix.t -> int -> string
+
+val items_of_cost : sizing -> Splitmix.t -> (Cost.kind * int) list -> item list
+(** Synthesize wire items at modeled sizes for an abstract element
+    tally; used for objects whose ideal implementation has no bit
+    representation. *)

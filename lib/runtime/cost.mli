@@ -22,12 +22,27 @@ type t
 val create : unit -> t
 val charge : t -> phase:string -> kind -> int -> unit
 
+val charge_bytes : t -> phase:string -> kind -> int -> unit
+(** Second accounting dimension: measured wire bytes.  Charged by the
+    [yoso_net] transport when the bulletin board runs over a simulated
+    network; element counts and byte counts live side by side so the
+    paper's metric and the wire-level metric can be compared. *)
+
 val count : t -> phase:string -> kind -> int
+val bytes : t -> phase:string -> kind -> int
+
 val elements : t -> phase:string -> int
 (** Total elements charged in a phase, all kinds summed — the paper's
     headline metric. *)
 
+val phase_bytes : t -> phase:string -> int
+(** Total wire bytes charged in a phase, all kinds summed. *)
+
 val grand_total : t -> int
+val total_bytes : t -> int
 val phases : t -> string list
+
 val merge_into : dst:t -> t -> unit
+(** Adds both dimensions of [src] into [dst]. *)
+
 val pp : Format.formatter -> t -> unit

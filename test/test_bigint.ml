@@ -258,6 +258,19 @@ let qcheck_props =
         B.equal a (B.of_string (B.to_string a)));
     QCheck.Test.make ~count:300 ~name:"bytes roundtrip" arb_big (fun a ->
         B.equal a (B.of_bytes_be (B.to_bytes_be a)));
+    (* the big-endian encoding is canonical: no leading zero byte ever,
+       so equal values have equal encodings (the wire codec rejects
+       padded magnitudes on this basis) *)
+    QCheck.Test.make ~count:300 ~name:"bytes canonical: no leading zero" arb_big
+      (fun a ->
+        let s = B.to_bytes_be a in
+        String.length s = 0 || s.[0] <> '\000');
+    QCheck.Test.make ~count:300 ~name:"zero padding is absorbed" arb_big (fun a ->
+        let m = B.abs a in
+        B.equal m (B.of_bytes_be ("\000\000\000" ^ B.to_bytes_be m)));
+    QCheck.Test.make ~count:300 ~name:"encoding length = ceil(bits/8)" arb_big
+      (fun a ->
+        String.length (B.to_bytes_be a) = (B.bit_length a + 7) / 8);
     QCheck.Test.make ~count:200 ~name:"divmod invariant" (QCheck.pair arb_big arb_big)
       (fun (a, b) ->
         QCheck.assume (not (B.is_zero b));

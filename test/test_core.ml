@@ -364,7 +364,7 @@ let test_speak_once_audit () =
   let inputs c = Array.init 4 (fun i -> F.of_int (c + i + 1)) in
   let params = params16 in
   (* re-run manually to keep the board *)
-  let board : string Bulletin.t = Bulletin.create () in
+  let board = Yoso_net.Board.create () in
   let ctx = Ops.create_ctx ~board ~params ~adversary:Params.no_adversary ~seed:3 () in
   let layout = Yoso_circuit.Layout.make circuit ~k:params.Params.k in
   let setup =
@@ -381,7 +381,7 @@ let test_speak_once_audit () =
       let key = post.Bulletin.author in
       Alcotest.(check bool) "author spoke once" false (Hashtbl.mem authors key);
       Hashtbl.add authors key ())
-    (Bulletin.posts board)
+    (Bulletin.posts (Yoso_net.Board.bulletin board))
 
 let () =
   Alcotest.run "core"

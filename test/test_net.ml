@@ -1,0 +1,493 @@
+module F = Yoso_field.Field.Fp
+module B = Yoso_bigint.Bigint
+module Cost = Yoso_runtime.Cost
+module Role = Yoso_runtime.Role
+module Splitmix = Yoso_hash.Splitmix
+module Wire = Yoso_net.Wire
+module Sim = Yoso_net.Sim
+module Meter = Yoso_net.Meter
+module Board = Yoso_net.Board
+module Params = Yoso_mpc.Params
+module Protocol = Yoso_mpc.Protocol
+module Gen = Yoso_circuit.Generators
+
+let rejects name f =
+  match f () with
+  | exception Wire.Decode_error _ -> ()
+  | _ -> Alcotest.failf "%s: expected Decode_error" name
+
+(* ------------------------------------------------------------------ *)
+(* Wire primitives                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let enc f =
+  let buf = Buffer.create 16 in
+  f buf;
+  Buffer.contents buf
+
+let test_varint_roundtrip () =
+  List.iter
+    (fun v ->
+      let s = enc (fun b -> Wire.put_varint b v) in
+      let d = { Wire.src = s; pos = 0 } in
+      Alcotest.(check int) (Printf.sprintf "varint %d" v) v (Wire.get_varint d);
+      Alcotest.(check int) "consumed" (String.length s) d.Wire.pos)
+    [ 0; 1; 127; 128; 255; 300; 16384; 1 lsl 24; (1 lsl 40) + 17 ]
+
+let test_varint_rejections () =
+  (* multi-byte encoding ending in zero: 0x80 0x00 re-encodes 0 *)
+  rejects "non-canonical" (fun () ->
+      Wire.get_varint { Wire.src = "\x80\x00"; pos = 0 });
+  rejects "truncated" (fun () -> Wire.get_varint { Wire.src = "\x80"; pos = 0 });
+  rejects "too long" (fun () ->
+      Wire.get_varint { Wire.src = String.make 9 '\x80' ^ "\x01"; pos = 0 })
+
+let test_field_codec () =
+  let vals = [ 0; 1; 12345; F.p - 1 ] in
+  List.iter
+    (fun v ->
+      let s = enc (fun b -> Wire.put_field b (F.of_int v)) in
+      Alcotest.(check int) "4 bytes" 4 (String.length s);
+      Alcotest.(check int) "roundtrip" v
+        (F.to_int (Wire.get_field { Wire.src = s; pos = 0 })))
+    vals;
+  (* out-of-range: p itself and anything above must be rejected *)
+  List.iter
+    (fun v ->
+      let s = enc (fun b -> Wire.put_fixed32 b v) in
+      rejects "field >= p" (fun () -> Wire.get_field { Wire.src = s; pos = 0 }))
+    [ F.p; F.p + 1; 0x7fffffff + 1 ]
+
+let test_bigint_codec () =
+  let st = Random.State.make [| 0xB17 |] in
+  let vals =
+    [ B.zero; B.of_int 1; B.of_int (-1); B.of_int max_int; B.random_bits st 521;
+      B.neg (B.random_bits st 300) ]
+  in
+  List.iter
+    (fun v ->
+      let s = enc (fun b -> Wire.put_bigint b v) in
+      Alcotest.(check bool) "roundtrip" true
+        (B.equal v (Wire.get_bigint { Wire.src = s; pos = 0 })))
+    vals;
+  rejects "bad sign byte" (fun () -> Wire.get_bigint { Wire.src = "\x03"; pos = 0 });
+  rejects "empty magnitude" (fun () ->
+      Wire.get_bigint { Wire.src = "\x01\x00"; pos = 0 });
+  (* sign 1, length 2, magnitude 0x00 0x05: non-canonical *)
+  rejects "leading zero" (fun () ->
+      Wire.get_bigint { Wire.src = "\x01\x02\x00\x05"; pos = 0 })
+
+let test_bytes_truncation () =
+  (* declared length exceeds what is actually there *)
+  rejects "length overrun" (fun () -> Wire.get_bytes { Wire.src = "\x05ab"; pos = 0 })
+
+(* ------------------------------------------------------------------ *)
+(* Messages and frames                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let item_equal a b =
+  match (a, b) with
+  | Wire.Field_elements x, Wire.Field_elements y ->
+    Array.length x = Array.length y && Array.for_all2 F.equal x y
+  | Wire.Packed_sharing { degree = d1; shares = x }, Wire.Packed_sharing { degree = d2; shares = y }
+    -> d1 = d2 && Array.length x = Array.length y && Array.for_all2 F.equal x y
+  | Wire.Ciphertexts x, Wire.Ciphertexts y
+  | Wire.Proofs x, Wire.Proofs y
+  | Wire.Partial_decs x, Wire.Partial_decs y
+  | Wire.Public_keys x, Wire.Public_keys y -> x = y
+  | Wire.Bigints x, Wire.Bigints y ->
+    Array.length x = Array.length y && Array.for_all2 B.equal x y
+  | _ -> false
+
+let sample_message () =
+  let st = Random.State.make [| 0x3E7 |] in
+  {
+    Wire.step = "test: every item kind";
+    items =
+      [
+        Wire.Field_elements (Array.init 9 (fun i -> F.of_int (i * i)));
+        Wire.Packed_sharing { degree = 4; shares = Array.init 8 (fun i -> F.of_int i) };
+        Wire.Ciphertexts [| "ct-one"; "ct-two" |];
+        Wire.Proofs [| String.make 32 'p' |];
+        Wire.Partial_decs [| "pd"; ""; "x" |];
+        Wire.Public_keys [| String.make 16 'k' |];
+        Wire.Bigints [| B.random_bits st 100; B.zero; B.neg (B.of_int 77) |];
+      ];
+  }
+
+let message_equal m1 m2 =
+  m1.Wire.step = m2.Wire.step
+  && List.length m1.Wire.items = List.length m2.Wire.items
+  && List.for_all2 item_equal m1.Wire.items m2.Wire.items
+
+let test_message_roundtrip () =
+  let m = sample_message () in
+  Alcotest.(check bool) "roundtrip" true (message_equal m (Wire.decode_message (Wire.encode_message m)))
+
+let test_message_trailing_garbage () =
+  let s = Wire.encode_message (sample_message ()) in
+  rejects "trailing garbage" (fun () -> Wire.decode_message (s ^ "\x00"))
+
+let test_frame_roundtrip () =
+  let m = sample_message () in
+  Alcotest.(check bool) "roundtrip" true (message_equal m (Wire.of_frame (Wire.to_frame m)))
+
+let test_frame_tamper_rejection () =
+  (* flipping any single byte of the frame must be caught *)
+  let frame = Wire.to_frame (sample_message ()) in
+  for i = 0 to String.length frame - 1 do
+    let b = Bytes.of_string frame in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x41));
+    rejects (Printf.sprintf "tampered byte %d" i) (fun () ->
+        Wire.of_frame (Bytes.unsafe_to_string b))
+  done;
+  rejects "truncated frame" (fun () ->
+      Wire.of_frame (String.sub frame 0 (String.length frame - 1)))
+
+let test_item_accounting () =
+  Alcotest.(check int) "field payload" 20
+    (Wire.item_payload_bytes (Wire.Field_elements (Array.make 5 F.one)));
+  Alcotest.(check int) "blob payload" 11
+    (Wire.item_payload_bytes (Wire.Ciphertexts [| "hello"; "world!" |]));
+  let m = sample_message () in
+  let s = Wire.summary m in
+  Alcotest.(check (option int)) "fields" (Some 17) (List.assoc_opt Cost.Field_element s);
+  (* bigints tally under the ciphertext kind: 2 blobs + 3 bigints *)
+  Alcotest.(check (option int)) "cts" (Some 5) (List.assoc_opt Cost.Ciphertext s)
+
+let test_items_of_cost () =
+  let rng = Splitmix.of_int 99 in
+  let items =
+    Wire.items_of_cost Wire.default_sizing rng
+      [ (Cost.Field_element, 3); (Cost.Ciphertext, 2); (Cost.Proof, 1); (Cost.Key, 0) ]
+  in
+  Alcotest.(check int) "zero-count kinds skipped" 3 (List.length items);
+  let payload = List.fold_left (fun acc it -> acc + Wire.item_payload_bytes it) 0 items in
+  Alcotest.(check int) "modeled sizes" ((3 * 4) + (2 * 512) + 32) payload
+
+let arb_message =
+  QCheck.map
+    (fun (seed, nitems) ->
+      let rng = Splitmix.of_int seed in
+      let item () =
+        match Splitmix.int rng 5 with
+        | 0 -> Wire.Field_elements (Array.init (Splitmix.int rng 20) (fun _ -> F.of_int (Splitmix.int rng F.p)))
+        | 1 -> Wire.Ciphertexts (Array.init (Splitmix.int rng 4) (fun _ -> Wire.random_blob rng (Splitmix.int rng 64)))
+        | 2 -> Wire.Proofs (Array.init (Splitmix.int rng 4) (fun _ -> Wire.random_blob rng 32))
+        | 3 ->
+          let n = 1 + Splitmix.int rng 16 in
+          Wire.Packed_sharing { degree = Splitmix.int rng n; shares = Array.init n (fun _ -> F.of_int (Splitmix.int rng F.p)) }
+        | _ -> Wire.Public_keys (Array.init (Splitmix.int rng 3) (fun _ -> Wire.random_blob rng 16))
+      in
+      { Wire.step = Printf.sprintf "step-%d" (seed land 0xff); items = List.init nitems (fun _ -> item ()) })
+    QCheck.(pair int (int_bound 6))
+
+let qcheck_props =
+  [
+    QCheck.Test.make ~count:200 ~name:"message roundtrip" arb_message (fun m ->
+        message_equal m (Wire.decode_message (Wire.encode_message m)));
+    QCheck.Test.make ~count:200 ~name:"frame roundtrip" arb_message (fun m ->
+        message_equal m (Wire.of_frame (Wire.to_frame m)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Sim                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_ideal_delivers () =
+  let sim = Sim.create ~seed:7 () in
+  for _ = 1 to 50 do
+    match Sim.transmit sim ~bytes:1000 () with
+    | Sim.Delivered, arrival -> Alcotest.(check (float 0.0)) "instant" 0.0 arrival
+    | _ -> Alcotest.fail "ideal network must deliver"
+  done;
+  let s = Sim.stats sim in
+  Alcotest.(check int) "all delivered" 50 s.Sim.delivered;
+  Alcotest.(check int) "no loss" 0 s.Sim.dropped
+
+let test_sim_late_and_drain () =
+  let sim = Sim.create ~round_ms:100. ~seed:7 () in
+  (match Sim.transmit sim ~extra_delay_ms:150. ~bytes:64 () with
+  | Sim.Late, _ -> ()
+  | _ -> Alcotest.fail "150ms past a 100ms deadline must be late");
+  Alcotest.(check int) "in flight" 1 (Sim.in_flight sim);
+  Sim.next_round sim;
+  Alcotest.(check int) "still in flight" 1 (Sim.in_flight sim);
+  Sim.next_round sim;
+  Alcotest.(check int) "drained" 0 (Sim.in_flight sim);
+  Alcotest.(check int) "bytes arrive late" 64 (Sim.stats sim).Sim.bytes_delivered
+
+let test_sim_latency_beyond_round () =
+  let model = { Sim.ideal with Sim.latency_ms = 250. } in
+  let sim = Sim.create ~model ~round_ms:100. ~seed:1 () in
+  match Sim.transmit sim ~bytes:8 () with
+  | Sim.Late, _ -> ()
+  | _ -> Alcotest.fail "latency past the deadline must be late"
+
+let test_sim_bandwidth () =
+  (* 1 Mbit/s: a 125000-byte frame takes 1000 ms > 100 ms deadline *)
+  let model = { Sim.ideal with Sim.bandwidth_mbps = 1. } in
+  let sim = Sim.create ~model ~round_ms:100. ~seed:1 () in
+  (match Sim.transmit sim ~bytes:125_000 () with
+  | Sim.Late, arrival -> Alcotest.(check (float 1e-6)) "serialization" 1000.0 arrival
+  | _ -> Alcotest.fail "big frame on thin pipe must be late");
+  match Sim.transmit sim ~bytes:100 () with
+  | Sim.Delivered, _ -> ()
+  | _ -> Alcotest.fail "small frame fits the round"
+
+let test_sim_drop () =
+  let model = { Sim.ideal with Sim.drop = 1.0 } in
+  let sim = Sim.create ~model ~seed:3 () in
+  (match Sim.transmit sim ~bytes:10 () with
+  | Sim.Dropped, _ -> ()
+  | _ -> Alcotest.fail "drop = 1 must drop");
+  Alcotest.(check int) "nothing in flight" 0 (Sim.in_flight sim)
+
+let test_sim_deterministic () =
+  let run () =
+    let sim = Sim.create ~model:Sim.wan ~round_ms:50. ~seed:0xD15C () in
+    List.init 300 (fun i ->
+        let v, a = Sim.transmit sim ~bytes:(100 + (i * 37 mod 5000)) () in
+        if i mod 10 = 0 then Sim.next_round sim;
+        (v, a))
+  in
+  Alcotest.(check bool) "replay identical" true (run () = run ())
+
+(* ------------------------------------------------------------------ *)
+(* Meter                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_meter_roles_and_phases () =
+  Alcotest.(check string) "family" "exec" (Meter.role_family "exec#3[5]");
+  Alcotest.(check string) "no counter" "Setup" (Meter.role_family "Setup");
+  let m = Meter.create () in
+  Meter.record m ~phase:"online" ~step:"mul" ~role:"On-L#1[0]" ~frame_bytes:100
+    ~payload:[ (Cost.Field_element, 40); (Cost.Proof, 32) ];
+  Meter.record m ~phase:"online" ~step:"mul" ~role:"On-L#2[4]" ~frame_bytes:50
+    ~payload:[ (Cost.Field_element, 40) ];
+  Meter.record m ~phase:"offline" ~step:"beaver" ~role:"Deal#1[2]" ~frame_bytes:600
+    ~payload:[ (Cost.Ciphertext, 512) ];
+  Alcotest.(check int) "kind bytes" 80 (Meter.kind_bytes m ~phase:"online" Cost.Field_element);
+  Alcotest.(check int) "data" 112 (Meter.data_bytes m ~phase:"online");
+  Alcotest.(check int) "framing" 38 (Meter.framing_bytes m ~phase:"online");
+  Alcotest.(check int) "phase total" 150 (Meter.phase_total m ~phase:"online");
+  Alcotest.(check (list (pair string int))) "steps" [ ("mul", 150) ] (Meter.steps m ~phase:"online");
+  Alcotest.(check (list (pair string int))) "roles"
+    [ ("Deal", 600); ("On-L", 150) ]
+    (Meter.roles m);
+  Alcotest.(check (list string)) "phases" [ "offline"; "online" ] (Meter.phases m);
+  Alcotest.(check int) "grand total" 750 (Meter.grand_total m);
+  Alcotest.check_raises "payload > frame"
+    (Invalid_argument "Meter.record: payload exceeds frame") (fun () ->
+      Meter.record m ~phase:"x" ~step:"s" ~role:"r" ~frame_bytes:1
+        ~payload:[ (Cost.Key, 2) ])
+
+(* ------------------------------------------------------------------ *)
+(* Board                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let author i = Role.id ~committee:"T#1" ~index:i
+
+let test_board_post_delivered () =
+  let b = Board.create () in
+  let outcome =
+    Board.post b ~author:(author 0) ~phase:"online" ~step:"hello"
+      ~items:[ Wire.Field_elements [| F.one; F.of_int 2 |] ]
+      ~cost:[ (Cost.Field_element, 2); (Cost.Proof, 1) ]
+      ()
+  in
+  Alcotest.(check string) "delivered" "delivered" (Board.outcome_to_string outcome);
+  Alcotest.(check int) "on the board" 1 (Board.length b);
+  (* element counts charged exactly as the abstract bulletin would *)
+  Alcotest.(check int) "elements" 3 (Cost.elements (Board.cost b) ~phase:"online");
+  (* real field data: 2 elements * 4 bytes *)
+  Alcotest.(check int) "field bytes" 8
+    (Meter.kind_bytes (Board.meter b) ~phase:"online" Cost.Field_element);
+  (* the proof the cost declares is synthesized at its modeled size *)
+  Alcotest.(check int) "proof bytes" 32
+    (Meter.kind_bytes (Board.meter b) ~phase:"online" Cost.Proof);
+  Alcotest.(check int) "byte dimension on Cost too" 8
+    (Cost.bytes (Board.cost b) ~phase:"online" Cost.Field_element)
+
+let test_board_corrupt_garbled () =
+  let b = Board.create () in
+  let outcome =
+    Board.post b ~author:(author 1) ~phase:"online" ~step:"evil" ~corrupt:true
+      ~cost:[ (Cost.Field_element, 1) ] ()
+  in
+  Alcotest.(check string) "garbled" "garbled" (Board.outcome_to_string outcome);
+  (* the slot is consumed: the frame landed, it just decodes to nothing *)
+  Alcotest.(check int) "still occupies a post" 1 (Board.length b)
+
+let test_board_force_late () =
+  let b = Board.create () in
+  let outcome =
+    Board.post b ~author:(author 2) ~phase:"online" ~step:"slow" ~force_late:true
+      ~cost:[] ()
+  in
+  Alcotest.(check string) "late" "late" (Board.outcome_to_string outcome);
+  match Yoso_runtime.Bulletin.posts (Board.bulletin b) with
+  | [ p ] ->
+    Alcotest.(check string) "deadline marker" "slow [past round deadline]"
+      p.Yoso_runtime.Bulletin.msg
+  | _ -> Alcotest.fail "expected one post"
+
+let test_board_drop_consumes_slot () =
+  let config =
+    { Board.default_config with Board.model = { Sim.ideal with Sim.drop = 1.0 } }
+  in
+  let b = Board.create ~config () in
+  let outcome =
+    Board.post b ~author:(author 3) ~phase:"online" ~step:"lost" ~cost:[] ()
+  in
+  Alcotest.(check string) "dropped" "dropped" (Board.outcome_to_string outcome);
+  Alcotest.(check int) "never reaches the board" 0 (Board.length b);
+  (* speak-once is still consumed: the role sent its message *)
+  Alcotest.(check bool) "spoke" true
+    (Role.Registry.has_spoken (Board.registry b) (author 3))
+
+let test_board_speak_once () =
+  let b = Board.create () in
+  ignore (Board.post b ~author:(author 4) ~phase:"p" ~step:"once" ~cost:[] ());
+  match Board.post b ~author:(author 4) ~phase:"p" ~step:"twice" ~cost:[] () with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "second post by the same role must be refused"
+
+let posts_script b =
+  ignore
+    (Board.post b ~author:(Role.id ~committee:"A#1" ~index:0) ~phase:"online" ~step:"s1"
+       ~items:[ Wire.Field_elements [| F.of_int 5 |] ]
+       ~cost:[ (Cost.Field_element, 1) ]
+       ());
+  Board.next_round b;
+  ignore
+    (Board.post b ~author:(Role.id ~committee:"A#1" ~index:1) ~phase:"online" ~step:"s2"
+       ~cost:[ (Cost.Ciphertext, 3) ]
+       ());
+  Board.transcript b
+
+let test_board_transcript_replay () =
+  let t1 = posts_script (Board.create ()) in
+  let t2 = posts_script (Board.create ()) in
+  Alcotest.(check bool) "byte-identical replay" true (t1 = t2);
+  Alcotest.(check int) "two frames" 2 t1.Board.frames;
+  (* a different net seed synthesizes different blob bytes *)
+  let t3 =
+    posts_script (Board.create ~config:{ Board.default_config with Board.net_seed = 2 } ())
+  in
+  Alcotest.(check bool) "seed changes the transcript" true (t1.Board.digest <> t3.Board.digest)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol integration                                                *)
+(* ------------------------------------------------------------------ *)
+
+let params16 = Params.create ~n:16 ~t:3 ~k:3 ()
+let circuit = Gen.dot_product ~len:4
+let inputs c = Array.init 4 (fun i -> F.of_int ((c * 10) + i + 1))
+
+let test_protocol_replay () =
+  let run () = Protocol.execute ~params:params16 ~seed:11 ~circuit ~inputs () in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check bool) "correct" true (Protocol.check r1 circuit ~inputs);
+  Alcotest.(check bool) "transcripts byte-identical" true (r1.Protocol.transcript = r2.Protocol.transcript);
+  Alcotest.(check bool) "frames flowed" true (r1.Protocol.transcript.Board.frames > 0);
+  Alcotest.(check int) "every post is a frame" r1.Protocol.net.Sim.sent
+    r1.Protocol.transcript.Board.frames
+
+let test_protocol_bytes_measured () =
+  let r = Protocol.execute ~params:params16 ~seed:11 ~circuit ~inputs () in
+  Alcotest.(check bool) "setup bytes" true (r.Protocol.setup_bytes > 0);
+  Alcotest.(check bool) "offline bytes" true (r.Protocol.offline_bytes > 0);
+  Alcotest.(check bool) "online bytes" true (r.Protocol.online_bytes > 0);
+  Alcotest.(check bool) "field data present" true (r.Protocol.online_field_bytes > 0);
+  Alcotest.(check int) "field data is 4 bytes/element" 0 (r.Protocol.online_field_bytes mod 4);
+  (* wire accounting can never undercut the data it carries *)
+  Alcotest.(check bool) "frames dominate data" true
+    (r.Protocol.online_bytes >= r.Protocol.online_field_bytes);
+  let total = r.Protocol.setup_bytes + r.Protocol.offline_bytes + r.Protocol.online_bytes in
+  Alcotest.(check int) "meter total = frames on the wire" total
+    r.Protocol.transcript.Board.frame_bytes
+
+let test_protocol_over_lan () =
+  let net = { Board.default_config with Board.model = Sim.lan; Board.round_ms = 200. } in
+  let r = Protocol.execute ~params:params16 ~seed:11 ~net ~circuit ~inputs () in
+  Alcotest.(check bool) "correct over lan" true (Protocol.check r circuit ~inputs);
+  Alcotest.(check bool) "time passed" true (r.Protocol.net.Sim.elapsed_ms > 0.)
+
+let test_protocol_lossy_never_wrong () =
+  (* under loss the protocol either completes correctly or aborts with
+     the structured failure — never a wrong output *)
+  let net = { Board.default_config with Board.model = { Sim.ideal with Sim.drop = 0.08 } } in
+  for seed = 1 to 5 do
+    match Protocol.execute ~params:params16 ~seed ~net ~circuit ~inputs () with
+    | r ->
+      Alcotest.(check bool) "correct despite loss" true (Protocol.check r circuit ~inputs)
+    | exception Yoso_runtime.Faults.Protocol_failure _ -> ()
+  done
+
+let test_report_json () =
+  let r = Protocol.execute ~params:params16 ~seed:11 ~circuit ~inputs () in
+  let js = Protocol.report_json r in
+  Alcotest.(check bool) "object" true (String.length js > 2 && js.[0] = '{');
+  List.iter
+    (fun key ->
+      let re = Printf.sprintf "\"%s\":" key in
+      let found =
+        let rec scan i =
+          i + String.length re <= String.length js
+          && (String.sub js i (String.length re) = re || scan (i + 1))
+        in
+        scan 0
+      in
+      Alcotest.(check bool) (key ^ " present") true found)
+    [
+      "num_mult"; "online_field_bytes_per_gate"; "offline_bytes"; "net"; "transcript";
+      "digest"; "outputs"; "blames";
+    ]
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "varint roundtrip" `Quick test_varint_roundtrip;
+          Alcotest.test_case "varint rejections" `Quick test_varint_rejections;
+          Alcotest.test_case "field codec" `Quick test_field_codec;
+          Alcotest.test_case "bigint codec" `Quick test_bigint_codec;
+          Alcotest.test_case "bytes truncation" `Quick test_bytes_truncation;
+          Alcotest.test_case "message roundtrip" `Quick test_message_roundtrip;
+          Alcotest.test_case "trailing garbage" `Quick test_message_trailing_garbage;
+          Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "frame tampering" `Quick test_frame_tamper_rejection;
+          Alcotest.test_case "payload accounting" `Quick test_item_accounting;
+          Alcotest.test_case "items of cost" `Quick test_items_of_cost;
+        ] );
+      ("wire-properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props);
+      ( "sim",
+        [
+          Alcotest.test_case "ideal delivers" `Quick test_sim_ideal_delivers;
+          Alcotest.test_case "late and drain" `Quick test_sim_late_and_drain;
+          Alcotest.test_case "latency" `Quick test_sim_latency_beyond_round;
+          Alcotest.test_case "bandwidth" `Quick test_sim_bandwidth;
+          Alcotest.test_case "drop" `Quick test_sim_drop;
+          Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+        ] );
+      ("meter", [ Alcotest.test_case "roles and phases" `Quick test_meter_roles_and_phases ]);
+      ( "board",
+        [
+          Alcotest.test_case "post delivered" `Quick test_board_post_delivered;
+          Alcotest.test_case "corrupt garbled" `Quick test_board_corrupt_garbled;
+          Alcotest.test_case "force late" `Quick test_board_force_late;
+          Alcotest.test_case "drop consumes slot" `Quick test_board_drop_consumes_slot;
+          Alcotest.test_case "speak once" `Quick test_board_speak_once;
+          Alcotest.test_case "transcript replay" `Quick test_board_transcript_replay;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "seeded replay" `Quick test_protocol_replay;
+          Alcotest.test_case "bytes measured" `Quick test_protocol_bytes_measured;
+          Alcotest.test_case "over lan" `Quick test_protocol_over_lan;
+          Alcotest.test_case "lossy never wrong" `Quick test_protocol_lossy_never_wrong;
+          Alcotest.test_case "report json" `Quick test_report_json;
+        ] );
+    ]

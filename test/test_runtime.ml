@@ -123,6 +123,74 @@ let test_cost_merge () =
   Alcotest.(check int) "merged" 7 (Cost.count a ~phase:"online" Cost.Field_element);
   Alcotest.(check int) "new phase" 1 (Cost.count a ~phase:"offline" Cost.Proof)
 
+let test_cost_bytes_dimension () =
+  let c = Cost.create () in
+  Cost.charge c ~phase:"online" Cost.Field_element 2;
+  Cost.charge_bytes c ~phase:"online" Cost.Field_element 8;
+  Cost.charge_bytes c ~phase:"online" Cost.Proof 32;
+  Cost.charge_bytes c ~phase:"online" Cost.Field_element 4;
+  Alcotest.(check int) "bytes accumulate" 12 (Cost.bytes c ~phase:"online" Cost.Field_element);
+  Alcotest.(check int) "phase bytes" 44 (Cost.phase_bytes c ~phase:"online");
+  Alcotest.(check int) "total bytes" 44 (Cost.total_bytes c);
+  (* the two dimensions are independent: bytes never inflate counts *)
+  Alcotest.(check int) "elements unchanged" 2 (Cost.elements c ~phase:"online");
+  (* a phase only bytes touched still shows up in the phase list *)
+  Cost.charge_bytes c ~phase:"setup" Cost.Key 256;
+  Alcotest.(check (list string)) "phases" [ "online"; "setup" ] (Cost.phases c);
+  Alcotest.check_raises "negative" (Invalid_argument "Cost.charge_bytes: negative amount")
+    (fun () -> Cost.charge_bytes c ~phase:"x" Cost.Key (-1))
+
+let test_cost_merge_bytes () =
+  let a = Cost.create () and b = Cost.create () in
+  Cost.charge_bytes a ~phase:"online" Cost.Ciphertext 100;
+  Cost.charge b ~phase:"online" Cost.Ciphertext 1;
+  Cost.charge_bytes b ~phase:"online" Cost.Ciphertext 24;
+  Cost.merge_into ~dst:a b;
+  Alcotest.(check int) "bytes merged" 124 (Cost.bytes a ~phase:"online" Cost.Ciphertext);
+  Alcotest.(check int) "counts merged" 1 (Cost.count a ~phase:"online" Cost.Ciphertext)
+
+let contains haystack needle =
+  let nl = String.length needle in
+  let rec scan i =
+    i + nl <= String.length haystack && (String.sub haystack i nl = needle || scan (i + 1))
+  in
+  scan 0
+
+let test_cost_pp () =
+  let c = Cost.create () in
+  Cost.charge c ~phase:"online" Cost.Field_element 7;
+  Cost.charge c ~phase:"online" Cost.Proof 2;
+  let plain = Format.asprintf "%a" Cost.pp c in
+  Alcotest.(check bool) "counts shown" true (contains plain "field=7");
+  Alcotest.(check bool) "proofs shown" true (contains plain "proof=2");
+  Alcotest.(check bool) "total shown" true (contains plain "total=9");
+  Alcotest.(check bool) "no bytes column without bytes" false (contains plain "bytes=");
+  Cost.charge_bytes c ~phase:"online" Cost.Field_element 28;
+  let with_bytes = Format.asprintf "%a" Cost.pp c in
+  Alcotest.(check bool) "bytes shown once charged" true (contains with_bytes "bytes=28")
+
+let test_bulletin_seq_monotonic () =
+  (* posts must come back in strictly increasing seq order, and the
+     forward-order cache must stay coherent across interleaved reads
+     and writes *)
+  let b : int Bulletin.t = Bulletin.create () in
+  for i = 0 to 63 do
+    Bulletin.post b ~author:(Role.id ~committee:"Seq" ~index:i) ~phase:"p" ~cost:[] i;
+    (* read between writes to exercise cache invalidation *)
+    let ps = Bulletin.posts b in
+    Alcotest.(check int) "length tracks" (i + 1) (List.length ps);
+    ignore (Bulletin.posts b)
+  done;
+  let seqs = List.map (fun p -> p.Bulletin.seq) (Bulletin.posts b) in
+  let rec monotonic = function
+    | a :: (c :: _ as rest) -> a < c && monotonic rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "strictly increasing" true (monotonic seqs);
+  Alcotest.(check (list int)) "seq = arrival order" (List.init 64 Fun.id) seqs;
+  (* repeated reads return the identical cached list *)
+  Alcotest.(check bool) "cache stable" true (Bulletin.posts b == Bulletin.posts b)
+
 let test_bulletin_charges_cost () =
   let b : unit Bulletin.t = Bulletin.create () in
   Bulletin.post b ~author:(Role.id ~committee:"C" ~index:0) ~phase:"online"
@@ -152,6 +220,10 @@ let () =
           Alcotest.test_case "speak once" `Quick test_bulletin_enforces_speak_once;
           Alcotest.test_case "cost accounting" `Quick test_cost_accounting;
           Alcotest.test_case "cost merge" `Quick test_cost_merge;
+          Alcotest.test_case "cost bytes" `Quick test_cost_bytes_dimension;
+          Alcotest.test_case "cost merge bytes" `Quick test_cost_merge_bytes;
+          Alcotest.test_case "cost pp" `Quick test_cost_pp;
+          Alcotest.test_case "seq monotonic" `Quick test_bulletin_seq_monotonic;
           Alcotest.test_case "bulletin charges" `Quick test_bulletin_charges_cost;
         ] );
     ]
