@@ -180,7 +180,8 @@ let net_bytes () =
   let inputs c = Array.init (2 * width) (fun i -> F.of_int ((c + 2) * (i + 3))) in
   let row n =
     let params = Params.create ~n ~t:(n / 4) ~k:(n / 4) () in
-    let r = Protocol.execute ~params ~seed:0xBE7 ~circuit ~inputs () in
+    let config = { Protocol.default_config with seed = 0xBE7 } in
+    let r = Protocol.execute ~params ~config ~circuit ~inputs () in
     assert (Protocol.check r circuit ~inputs);
     (n, params, r)
   in
@@ -273,7 +274,11 @@ let failstop () =
     in
     match Params.validate_adversary params adversary with
     | () ->
-      let r = Protocol.execute ~params ~adversary ~circuit ~inputs () in
+      let r =
+        Protocol.execute ~params
+          ~config:{ Protocol.default_config with adversary }
+          ~circuit ~inputs ()
+      in
       if Protocol.check r circuit ~inputs then "delivered" else "WRONG"
     | exception Invalid_argument _ -> "infeasible"
   in
@@ -334,11 +339,11 @@ let micro () =
   let sha_input = String.init 1024 (fun i -> Char.chr (i land 0xFF)) in
   let big_base = B.random_bits st 256 and big_exp = B.random_bits st 256 in
   let big_mod = B.add (B.random_bits st 256) B.one in
-  let pk, _sk = Yoso_paillier.Paillier.keygen ~bits:128 st in
+  let pk, _sk = Yoso_paillier.Paillier.keygen ~bits:128 ~rng:st () in
   let msg = B.random_below st pk.Yoso_paillier.Paillier.n in
   let ps = PS.make_params ~n:64 ~k:8 in
   let secrets = Array.init 8 (fun _ -> F.random st) in
-  let sharing = PS.share ps ~degree:39 ~secrets st in
+  let sharing = PS.share ps ~degree:39 ~secrets ~rng:st in
   let pairs = Array.to_list (Array.mapi (fun i v -> (i, v)) sharing.PS.shares) in
   let small_protocol () =
     let params = Params.create ~n:8 ~t:2 ~k:2 () in
@@ -351,8 +356,8 @@ let micro () =
       [
         Test.make ~name:"sha256-1KiB" (Staged.stage (fun () -> ignore (Yoso_hash.Sha256.digest_string sha_input)));
         Test.make ~name:"bigint-modpow-256b" (Staged.stage (fun () -> ignore (B.powmod big_base big_exp big_mod)));
-        Test.make ~name:"paillier-encrypt-128b" (Staged.stage (fun () -> ignore (Yoso_paillier.Paillier.encrypt pk st msg)));
-        Test.make ~name:"packed-share-n64-k8" (Staged.stage (fun () -> ignore (PS.share ps ~degree:39 ~secrets st)));
+        Test.make ~name:"paillier-encrypt-128b" (Staged.stage (fun () -> ignore (Yoso_paillier.Paillier.encrypt pk ~rng:st msg)));
+        Test.make ~name:"packed-share-n64-k8" (Staged.stage (fun () -> ignore (PS.share ps ~degree:39 ~secrets ~rng:st)));
         Test.make ~name:"packed-reconstruct-n64-k8" (Staged.stage (fun () -> ignore (PS.reconstruct ps ~degree:39 pairs)));
         Test.make ~name:"e2e-protocol-n8-dot4" (Staged.stage small_protocol);
       ]
@@ -372,6 +377,130 @@ let micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* E8: wall-clock timing, naive vs Montgomery arithmetic backends      *)
+(* ------------------------------------------------------------------ *)
+
+module P = Yoso_paillier.Paillier
+module T = Yoso_paillier.Threshold
+
+let smoke = ref false
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+(* per-operation wall-clock ms: grow the iteration count until the
+   measured window is long enough to trust, then average *)
+let per_op_ms f =
+  let min_total = if !smoke then 0.02 else 0.25 in
+  ignore (f ());
+  let rec go iters =
+    let t = wall (fun () -> for _ = 1 to iters do ignore (f ()) done) in
+    if t >= min_total then t *. 1000. /. float_of_int iters else go (iters * 4)
+  in
+  go 1
+
+let time_sweep () = if !smoke then [ 16 ] else [ 16; 32; 64; 128 ]
+
+let time_bench () =
+  header "E8. Wall-clock timing: naive vs Montgomery backends";
+  let bits = if !smoke then 96 else 256 in
+  let st = Random.State.make [| 0x71AE |] in
+  let keygen_ms = per_op_ms (fun () -> P.keygen ~bits ~rng:st ()) in
+  let tpk, shares = T.keygen ~bits ~n:5 ~t:2 ~rng:st () in
+  let pk = tpk.T.pk in
+  let pctx = P.context pk in
+  let tctx = T.context tpk in
+  let m = B.random_below st pk.P.n in
+  let r = P.sample_unit pk ~rng:st in
+  (* equal outputs first: both backends must agree bit for bit *)
+  let ct_naive = P.Reference.encrypt_with pk ~r m in
+  let ct_mont = P.Ctx.encrypt_with pctx ~r m in
+  if not (B.equal ct_naive.P.c ct_mont.P.c) then
+    failwith "bench time: naive and Montgomery encryptions differ";
+  let ct = ct_mont in
+  let subset = [ 1; 2; 3 ] in
+  let parts_naive = List.map (fun i -> T.Reference.partial_decrypt tpk shares.(i - 1) ct) subset in
+  let parts_mont = List.map (fun i -> T.Ctx.partial_decrypt tctx shares.(i - 1) ct) subset in
+  if parts_naive <> parts_mont then
+    failwith "bench time: naive and Montgomery partial decryptions differ";
+  let dec_naive = T.Reference.combine tpk parts_naive in
+  let dec_mont = T.Ctx.combine tctx parts_mont in
+  if not (B.equal dec_naive dec_mont && B.equal dec_naive m) then
+    failwith "bench time: combine results differ or decrypt wrong";
+  (* timings *)
+  let enc_naive = per_op_ms (fun () -> P.Reference.encrypt_with pk ~r m) in
+  let enc_mont = per_op_ms (fun () -> P.Ctx.encrypt_with pctx ~r m) in
+  let tpdec_naive = per_op_ms (fun () -> T.Reference.partial_decrypt tpk shares.(0) ct) in
+  let tpdec_mont = per_op_ms (fun () -> T.Ctx.partial_decrypt tctx shares.(0) ct) in
+  let comb_naive = per_op_ms (fun () -> T.Reference.combine tpk parts_naive) in
+  let comb_mont = per_op_ms (fun () -> T.Ctx.combine tctx parts_mont) in
+  let row name naive mont =
+    Printf.printf "  %-16s %10.4f ms %10.4f ms %8.2fx\n" name naive mont (naive /. mont)
+  in
+  Printf.printf "  %-16s %13s %13s %8s\n" "op" "naive" "mont" "speedup";
+  Printf.printf "  %-16s %10.4f ms\n" "keygen" keygen_ms;
+  row "encrypt" enc_naive enc_mont;
+  row "partial-decrypt" tpdec_naive tpdec_mont;
+  row "combine" comb_naive comb_mont;
+  (* full protocol wall clock over the sweep; equal seeds must give
+     byte-identical transcripts (arithmetic backend cannot leak into
+     the wire format) *)
+  let circuit = Gen.dot_product ~len:8 in
+  let inputs c = Array.init 8 (fun i -> F.of_int ((c + 2) * (i + 3))) in
+  let protocol_rows =
+    List.map
+      (fun n ->
+        let params = Params.create ~n ~t:(n / 4) ~k:(n / 4) () in
+        let run () =
+          Protocol.execute ~params
+            ~config:{ Protocol.default_config with seed = 0x7E11 }
+            ~circuit ~inputs ()
+        in
+        let r = ref None in
+        let ms = wall (fun () -> r := Some (run ())) *. 1000. in
+        let r = Option.get !r in
+        assert (Protocol.check r circuit ~inputs);
+        let identical = (run ()).Protocol.transcript = r.Protocol.transcript in
+        if not identical then failwith "bench time: transcript not reproducible";
+        Printf.printf "  protocol n=%-4d %10.1f ms  (transcript replay ok)\n" n ms;
+        (n, params.Params.k, ms))
+      (time_sweep ())
+  in
+  if not !smoke then begin
+    if enc_naive /. enc_mont < 3.0 then
+      failwith "bench time: encrypt speedup below 3x";
+    if tpdec_naive /. tpdec_mont < 3.0 then
+      failwith "bench time: partial-decrypt speedup below 3x"
+  end;
+  if not !smoke then begin
+    let b = Buffer.create 512 in
+    let pair name naive mont =
+      Buffer.add_string b
+        (Printf.sprintf
+           "\"%s\":{\"naive_ms\":%.4f,\"mont_ms\":%.4f,\"speedup\":%.2f}," name naive
+           mont (naive /. mont))
+    in
+    Buffer.add_string b (Printf.sprintf "{\"bits\":%d,\"keygen_ms\":%.4f," bits keygen_ms);
+    pair "encrypt" enc_naive enc_mont;
+    pair "partial_decrypt" tpdec_naive tpdec_mont;
+    pair "combine" comb_naive comb_mont;
+    Buffer.add_string b "\"protocol\":[";
+    List.iteri
+      (fun i (n, k, ms) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "{\"n\":%d,\"k\":%d,\"ms\":%.1f}" n k ms))
+      protocol_rows;
+    Buffer.add_string b "],\"transcript_identical\":true}";
+    let oc = open_out "BENCH_time.json" in
+    output_string oc (Buffer.contents b);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "  wrote BENCH_time.json\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -387,11 +516,17 @@ let experiments =
     ("sortition-mc", sortition_mc);
     ("randgen", randgen);
     ("micro", micro);
+    ("time", time_bench);
   ]
 
 let () =
   let args =
     Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--")
+  in
+  let args =
+    List.filter
+      (fun a -> if a = "--smoke" then (smoke := true; false) else true)
+      args
   in
   match args with
   | [] -> List.iter (fun (_, f) -> f ()) experiments

@@ -70,8 +70,11 @@ let run_cmd protocol kind size n t k eps malicious fail_stop seed fault_seed jso
   | "packed" ->
     let adversary = { Params.malicious; passive = 0; fail_stop } in
     let plan = Faults.random ~seed:(Option.value ~default:seed fault_seed) in
+    let config =
+      { Protocol.default_config with adversary; plan = Some plan; seed; net }
+    in
     let r =
-      try Protocol.execute ~params ~adversary ~plan ~seed ~net ~circuit ~inputs ()
+      try Protocol.execute ~params ~config ~circuit ~inputs ()
       with Faults.Protocol_failure f ->
         Format.eprintf
           "protocol failure: %s/%s (committee %s): %d contributions survived, %d \

@@ -32,7 +32,12 @@ let attempt ?(validate = true) params ~malicious ~dropped =
   let adversary = { Params.malicious; passive = 0; fail_stop = dropped } in
   let run () =
     let report =
-      Protocol.execute ~params ~adversary ~plan:(Faults.random ~seed:1234) ~validate
+      Protocol.execute ~params
+        ~config:
+          { Protocol.default_config with
+            adversary;
+            plan = Some (Faults.random ~seed:1234);
+            validate }
         ~circuit ~inputs ()
     in
     if Protocol.check report circuit ~inputs then `Delivered report.Protocol.faults_detected

@@ -31,7 +31,8 @@ let () =
     if client = 0 then [| F.of_int hospitals.(0); F.of_int parties; F.of_int (-1) |]
     else [| F.of_int hospitals.(client) |]
   in
-  let report = Protocol.execute ~params ~adversary ~circuit ~inputs () in
+  let config = { Protocol.default_config with adversary } in
+  let report = Protocol.execute ~params ~config ~circuit ~inputs () in
 
   let sum = Array.fold_left ( + ) 0 hospitals in
   let mean = float_of_int sum /. float_of_int parties in

@@ -27,7 +27,8 @@ let () =
   let inputs client = Array.map F.of_int (if client = 0 then x else y) in
 
   (* 5. Execute. *)
-  let report = Protocol.execute ~params ~adversary ~circuit ~inputs () in
+  let config = { Protocol.default_config with adversary } in
+  let report = Protocol.execute ~params ~config ~circuit ~inputs () in
 
   Format.printf "YOSO MPC quickstart: private dot product@.";
   Format.printf "  committee params: %a@." Params.pp params;

@@ -314,7 +314,7 @@ let erem a b =
   if r.sign < 0 then add r (abs b) else r
 
 let shift_left t k =
-  if k < 0 then invalid_arg "Bigint.shift_left";
+  if k < 0 then invalid_arg "Bigint.shift_left: negative shift";
   if t.sign = 0 then zero
   else begin
     let limbs = k / limb_bits and bits = k mod limb_bits in
@@ -322,7 +322,7 @@ let shift_left t k =
   end
 
 let shift_right t k =
-  if k < 0 then invalid_arg "Bigint.shift_right";
+  if k < 0 then invalid_arg "Bigint.shift_right: negative shift";
   if t.sign = 0 then zero
   else begin
     let limbs = k / limb_bits and bits = k mod limb_bits in
@@ -342,7 +342,246 @@ let pow b e =
 let addmod a b m = erem (add a b) m
 let mulmod a b m = erem (mul a b) m
 
-let powmod b e m =
+(* ------------------------------------------------------------------ *)
+(* Montgomery arithmetic                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Montgomery representation with R = base^l (l = limb count of the
+   modulus): a residue [x] is stored as [x * R mod m].  A Montgomery
+   product computes [a * b * R^-1 mod m] with CIOS interleaved
+   reduction — no division, one schoolbook pass — which is what makes
+   the Paillier hot path (modular exponentiation over Z_{N^2}) fast.
+   All inner loops work on raw 30-bit limb arrays with caller-owned
+   scratch buffers, so an exponentiation allocates O(1) arrays. *)
+module Mont = struct
+  type ctx = {
+    m_big : t;          (* the modulus, as a bigint *)
+    mm : int array;     (* modulus limbs, length l, no padding *)
+    l : int;
+    m' : int;           (* -m^-1 mod base *)
+    r2 : int array;     (* R^2 mod m, padded to l limbs *)
+    one_m : int array;  (* R mod m: Montgomery form of 1 *)
+    unit_arr : int array;  (* plain 1, for conversion out of Mont form *)
+  }
+
+  let create m =
+    if m.sign <= 0 || is_even m || (Array.length m.mag = 1 && m.mag.(0) < 3) then
+      invalid_arg "Bigint.Mont.create: modulus must be odd and >= 3";
+    let l = Array.length m.mag in
+    let mm = Array.copy m.mag in
+    let pad a =
+      if Array.length a = l then a
+      else Array.append a (Array.make (l - Array.length a) 0)
+    in
+    (* Newton iteration for m0^-1 mod base (m0 odd), then negate *)
+    let m0 = mm.(0) in
+    let x = ref 1 in
+    for _ = 1 to 5 do
+      x := (!x * (2 - (m0 * !x))) land mask
+    done;
+    let m' = (base - !x) land mask in
+    let r = shift_left one (l * limb_bits) in
+    let r2 = pad (erem (mul r r) m).mag in
+    let one_m = pad (erem r m).mag in
+    let unit_arr = Array.make l 0 in
+    unit_arr.(0) <- 1;
+    { m_big = m; mm; l; m'; r2; one_m; unit_arr }
+
+  let modulus ctx = ctx.m_big
+
+  let pad ctx a =
+    if Array.length a = ctx.l then a
+    else Array.append a (Array.make (ctx.l - Array.length a) 0)
+
+  (* dst <- a * b * R^-1 mod m.  [tbuf] is an l+2 scratch buffer; [dst]
+     may alias [a] or [b] (it is only written after all reads).  The
+     inner loops use unsafe accesses: every index is bounded by [l],
+     and all operands are padded to exactly [l] limbs ([tbuf] to
+     [l+2]) before we get here. *)
+  let mont_mul_into ctx tbuf dst a b =
+    let l = ctx.l and mm = ctx.mm and m' = ctx.m' in
+    Array.fill tbuf 0 (l + 2) 0;
+    for i = 0 to l - 1 do
+      let bi = Array.unsafe_get b i in
+      (* multiply-accumulate a*bi and the reduction fold in one pass:
+         mu is fixed by tbuf.(0) + a.(0)*bi, after which limb j of the
+         new accumulator is tbuf.(j) + a.(j)*bi + mu*mm.(j), shifted
+         down one position. *)
+      let t0 = Array.unsafe_get tbuf 0 + (Array.unsafe_get a 0 * bi) in
+      let mu = (t0 * m') land mask in
+      let c = ref ((t0 + (mu * Array.unsafe_get mm 0)) lsr limb_bits) in
+      for j = 1 to l - 1 do
+        let p =
+          Array.unsafe_get tbuf j
+          + (Array.unsafe_get a j * bi)
+          + (mu * Array.unsafe_get mm j)
+        in
+        (* p can reach ~2^62: split the two products' carries *)
+        let p = p + !c in
+        Array.unsafe_set tbuf (j - 1) (p land mask);
+        c := p lsr limb_bits
+      done;
+      let p = Array.unsafe_get tbuf l + !c in
+      Array.unsafe_set tbuf (l - 1) (p land mask);
+      Array.unsafe_set tbuf l (Array.unsafe_get tbuf (l + 1) + (p lsr limb_bits));
+      Array.unsafe_set tbuf (l + 1) 0
+    done;
+    (* t < 2m, so at most one subtraction; tbuf.(l) is 0 or 1 *)
+    let ge =
+      tbuf.(l) > 0
+      ||
+      let rec go i =
+        if i < 0 then true
+        else if tbuf.(i) <> ctx.mm.(i) then tbuf.(i) > ctx.mm.(i)
+        else go (i - 1)
+      in
+      go (l - 1)
+    in
+    if ge then begin
+      let borrow = ref 0 in
+      for j = 0 to l - 1 do
+        let d = Array.unsafe_get tbuf j - Array.unsafe_get mm j - !borrow in
+        if d < 0 then begin
+          Array.unsafe_set dst j (d + base);
+          borrow := 1
+        end
+        else begin
+          Array.unsafe_set dst j d;
+          borrow := 0
+        end
+      done
+    end
+    else Array.blit tbuf 0 dst 0 l
+
+  let scratch ctx = Array.make (ctx.l + 2) 0
+
+  let to_mont ctx x =
+    let x = erem x ctx.m_big in
+    let dst = Array.make ctx.l 0 in
+    mont_mul_into ctx (scratch ctx) dst (pad ctx x.mag) ctx.r2;
+    make 1 dst
+
+  let of_mont ctx x =
+    if x.sign < 0 || mag_cmp x.mag ctx.mm >= 0 then
+      invalid_arg "Bigint.Mont.of_mont: value out of range";
+    let dst = Array.make ctx.l 0 in
+    mont_mul_into ctx (scratch ctx) dst (pad ctx x.mag) ctx.unit_arr;
+    make 1 dst
+
+  let one_mont ctx = make 1 (Array.copy ctx.one_m)
+
+  let mulmod ctx a b =
+    if a.sign < 0 || b.sign < 0 || mag_cmp a.mag ctx.mm >= 0 || mag_cmp b.mag ctx.mm >= 0
+    then invalid_arg "Bigint.Mont.mulmod: operands out of range";
+    let dst = Array.make ctx.l 0 in
+    mont_mul_into ctx (scratch ctx) dst (pad ctx a.mag) (pad ctx b.mag);
+    make 1 dst
+
+  (* 4-bit window of |e| starting at bit 4j *)
+  let window e j =
+    let pos = 4 * j in
+    let limb = pos / limb_bits and off = pos mod limb_bits in
+    let mag = e.mag in
+    let len = Array.length mag in
+    let v = if limb < len then mag.(limb) lsr off else 0 in
+    let v =
+      if off + 4 > limb_bits && limb + 1 < len then
+        v lor (mag.(limb + 1) lsl (limb_bits - off))
+      else v
+    in
+    v land 15
+
+  let powmod ctx b e =
+    if sign e < 0 then invalid_arg "Bigint.Mont.powmod: negative exponent";
+    let b = erem b ctx.m_big in
+    let ebits = bit_length e in
+    if ebits = 0 then one
+    else begin
+      let l = ctx.l in
+      let tbuf = scratch ctx in
+      let bm = Array.make l 0 in
+      mont_mul_into ctx tbuf bm (pad ctx b.mag) ctx.r2;
+      (* window table: tbl.(w) = b^w in Montgomery form *)
+      let tbl = Array.make 16 ctx.one_m in
+      tbl.(1) <- bm;
+      for w = 2 to 15 do
+        let d = Array.make l 0 in
+        mont_mul_into ctx tbuf d tbl.(w - 1) bm;
+        tbl.(w) <- d
+      done;
+      let nw = (ebits + 3) / 4 in
+      let acc = Array.make l 0 in
+      Array.blit tbl.(window e (nw - 1)) 0 acc 0 l;
+      for j = nw - 2 downto 0 do
+        for _ = 1 to 4 do
+          mont_mul_into ctx tbuf acc acc acc
+        done;
+        let w = window e j in
+        if w <> 0 then mont_mul_into ctx tbuf acc acc tbl.(w)
+      done;
+      let dst = Array.make l 0 in
+      mont_mul_into ctx tbuf dst acc ctx.unit_arr;
+      make 1 dst
+    end
+
+  (* Fixed-base exponentiation: for a base reused across many
+     exponentiations, precompute g^(w * 16^j) for every window value w
+     and position j.  An exponentiation is then just ~bits/4 Montgomery
+     products and no squarings.  The table grows on demand with the
+     largest exponent seen. *)
+  type fixed_base = {
+    fb_ctx : ctx;
+    mutable fb_windows : int array array array;
+        (* fb_windows.(j).(w-1) = base^(w * 16^j), Montgomery form *)
+    mutable fb_next : int array;  (* base^(16^nwindows), Montgomery form *)
+  }
+
+  let fixed_base ctx b =
+    let b = erem b ctx.m_big in
+    let bm = Array.make ctx.l 0 in
+    mont_mul_into ctx (scratch ctx) bm (pad ctx b.mag) ctx.r2;
+    { fb_ctx = ctx; fb_windows = [||]; fb_next = bm }
+
+  let fb_extend fb nw =
+    let ctx = fb.fb_ctx in
+    let l = ctx.l in
+    let tbuf = scratch ctx in
+    while Array.length fb.fb_windows < nw do
+      let p = fb.fb_next in
+      let row = Array.make 15 p in
+      row.(0) <- Array.copy p;
+      for w = 2 to 15 do
+        let d = Array.make l 0 in
+        mont_mul_into ctx tbuf d row.(w - 2) p;
+        row.(w - 1) <- d
+      done;
+      let next = Array.make l 0 in
+      mont_mul_into ctx tbuf next row.(14) p;
+      fb.fb_windows <- Array.append fb.fb_windows [| row |];
+      fb.fb_next <- next
+    done
+
+  let fixed_powmod fb e =
+    if sign e < 0 then invalid_arg "Bigint.Mont.fixed_powmod: negative exponent";
+    let ctx = fb.fb_ctx in
+    let ebits = bit_length e in
+    if ebits = 0 then one
+    else begin
+      let nw = (ebits + 3) / 4 in
+      fb_extend fb nw;
+      let tbuf = scratch ctx in
+      let acc = Array.copy ctx.one_m in
+      for j = 0 to nw - 1 do
+        let w = window e j in
+        if w <> 0 then mont_mul_into ctx tbuf acc acc fb.fb_windows.(j).(w - 1)
+      done;
+      let dst = Array.make ctx.l 0 in
+      mont_mul_into ctx tbuf dst acc ctx.unit_arr;
+      make 1 dst
+    end
+end
+
+let powmod_naive b e m =
   if m.sign <= 0 then invalid_arg "Bigint.powmod: modulus must be positive";
   if sign e < 0 then invalid_arg "Bigint.powmod: negative exponent";
   if is_one m then zero
@@ -355,6 +594,17 @@ let powmod b e m =
     done;
     !acc
   end
+
+(* Montgomery pays for its context setup (two divisions) as soon as the
+   exponent has more than a few windows; below that, or for even moduli
+   where Montgomery does not apply, fall back to square-and-multiply. *)
+let powmod b e m =
+  if m.sign <= 0 then invalid_arg "Bigint.powmod: modulus must be positive";
+  if sign e < 0 then invalid_arg "Bigint.powmod: negative exponent";
+  if is_one m then zero
+  else if (not (is_even m)) && Array.length m.mag >= 2 && bit_length e > 8 then
+    Mont.powmod (Mont.create m) b e
+  else powmod_naive b e m
 
 let rec gcd a b = if is_zero b then abs a else gcd b (rem a b)
 
@@ -376,7 +626,7 @@ let invmod a m =
   erem x m
 
 let factorial n =
-  if n < 0 then invalid_arg "Bigint.factorial";
+  if n < 0 then invalid_arg "Bigint.factorial: negative argument";
   let acc = ref one in
   for i = 2 to n do
     acc := mul !acc (of_int i)
@@ -481,7 +731,7 @@ let to_bytes_be t =
 (* ------------------------------------------------------------------ *)
 
 let random_bits st bits =
-  if bits < 0 then invalid_arg "Bigint.random_bits";
+  if bits < 0 then invalid_arg "Bigint.random_bits: negative bit count";
   if bits = 0 then zero
   else begin
     let nlimbs = (bits + limb_bits - 1) / limb_bits in

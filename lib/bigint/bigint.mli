@@ -81,7 +81,10 @@ val pow : t -> int -> t
 (** @raise Invalid_argument on negative exponent. *)
 
 val shift_left : t -> int -> t
+(** @raise Invalid_argument on negative shift count. *)
+
 val shift_right : t -> int -> t
+(** @raise Invalid_argument on negative shift count. *)
 
 (** {1 Modular and number-theoretic operations} *)
 
@@ -89,7 +92,67 @@ val addmod : t -> t -> t -> t
 val mulmod : t -> t -> t -> t
 
 val powmod : t -> t -> t -> t
-(** [powmod b e m] with [e >= 0], [m > 0]. *)
+(** [powmod b e m] with [e >= 0], [m > 0].  Dispatches to Montgomery
+    exponentiation ({!Mont.powmod}) for odd multi-limb moduli and
+    non-trivial exponents, and to {!powmod_naive} otherwise; the two
+    always agree.
+    @raise Invalid_argument if [m <= 0] or [e < 0]. *)
+
+val powmod_naive : t -> t -> t -> t
+(** Reference square-and-multiply implementation of {!powmod}, kept as
+    a baseline for benchmarks and equivalence tests.
+    @raise Invalid_argument if [m <= 0] or [e < 0]. *)
+
+(** Montgomery arithmetic for a fixed odd modulus.
+
+    A context precomputes everything the CIOS reduction needs
+    ([-m^-1 mod 2^30], [R^2 mod m] for [R = 2^(30*limbs)]), after which
+    modular multiplication costs one interleaved schoolbook pass with
+    no division.  {!Mont.powmod} adds 4-bit windowed exponentiation on
+    top, and {!Mont.fixed_base} precomputes per-window power tables for
+    bases reused across many exponentiations (generators, public
+    randomizer bases), reducing an exponentiation to ~bits/4 products
+    with no squarings. *)
+module Mont : sig
+  type ctx
+  (** Precomputed reduction context for one odd modulus. *)
+
+  val create : t -> ctx
+  (** @raise Invalid_argument if the modulus is even or [< 3]. *)
+
+  val modulus : ctx -> t
+
+  val to_mont : ctx -> t -> t
+  (** Map [x] to Montgomery form [x * R mod m].  [x] is reduced
+      mod [m] first, so any sign/magnitude is accepted. *)
+
+  val of_mont : ctx -> t -> t
+  (** Inverse of {!to_mont}.
+      @raise Invalid_argument if the value is not in [\[0, m)]. *)
+
+  val one_mont : ctx -> t
+  (** Montgomery form of [1], i.e. [R mod m]. *)
+
+  val mulmod : ctx -> t -> t -> t
+  (** Product of two values {e in Montgomery form}, result in
+      Montgomery form.
+      @raise Invalid_argument if an operand is not in [\[0, m)]. *)
+
+  val powmod : ctx -> t -> t -> t
+  (** [powmod ctx b e]: ordinary-domain base and result ([b] is
+      reduced mod [m] internally); 4-bit windowed ladder.
+      @raise Invalid_argument if [e < 0]. *)
+
+  type fixed_base
+  (** Growable per-window power table for one base; extends itself to
+      the largest exponent seen. *)
+
+  val fixed_base : ctx -> t -> fixed_base
+
+  val fixed_powmod : fixed_base -> t -> t
+  (** Same result as [powmod ctx base e].
+      @raise Invalid_argument if [e < 0]. *)
+end
 
 val gcd : t -> t -> t
 
@@ -101,11 +164,13 @@ val invmod : t -> t -> t
     @raise Division_by_zero if not coprime. *)
 
 val factorial : int -> t
+(** @raise Invalid_argument on negative argument. *)
 
 (** {1 Randomness and primality} *)
 
 val random_bits : Random.State.t -> int -> t
-(** Uniform in [\[0, 2^bits)]. *)
+(** Uniform in [\[0, 2^bits)].
+    @raise Invalid_argument on negative bit count. *)
 
 val random_below : Random.State.t -> t -> t
 (** Uniform in [\[0, bound)]; [bound > 0]. *)

@@ -75,7 +75,7 @@ let execute ~n ~t ?(seed = 0xB6) ~circuit ~inputs () =
       | Circuit.Input { client; wire } ->
         let i = Option.value ~default:0 (Hashtbl.find_opt cursor client) in
         Hashtbl.replace cursor client (i + 1);
-        shares.(wire) <- Some (PS.share ps ~degree:t ~secrets:[| (inputs client).(i) |] st)
+        shares.(wire) <- Some (PS.share ps ~degree:t ~secrets:[| (inputs client).(i) |] ~rng:st)
       | Circuit.Add _ | Circuit.Mul _ | Circuit.Output _ -> ())
     circuit.Circuit.gates;
   List.iter
@@ -111,7 +111,7 @@ let execute ~n ~t ?(seed = 0xB6) ~circuit ~inputs () =
       (fun (w, sharing, _) ->
         let polys =
           Array.init n (fun i ->
-              PS.share ps ~degree:t ~secrets:[| (sharing : PS.sharing).PS.shares.(i) |] st)
+              PS.share ps ~degree:t ~secrets:[| (sharing : PS.sharing).PS.shares.(i) |] ~rng:st)
         in
         Hashtbl.add sub w polys)
       payload;

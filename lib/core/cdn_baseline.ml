@@ -32,7 +32,7 @@ let execute ~params ?(adversary = Params.no_adversary) ?(seed = 0xCD7) ~circuit 
   let board = Yoso_net.Board.create () in
   let ctx = Ops.create_ctx ~board ~params ~adversary ~seed () in
   let gpc = params.Params.gates_per_committee in
-  let te, tsk = Te.keygen ~n:params.Params.n ~t:params.Params.t (Splitmix.of_int seed) in
+  let te, tsk = Te.keygen ~n:params.Params.n ~t:params.Params.t ~rng:(Splitmix.of_int seed) in
   let frng = ctx.Ops.frng in
   let m = Circuit.num_mul circuit in
 

@@ -37,7 +37,12 @@ let expected ~modulus circuit ~inputs =
 
 let execute ~n ~t ?(bits = 96) ?(malicious = []) ?(seed = 0xBEEF) ~circuit ~inputs () =
   let st = Random.State.make [| seed |] in
-  let tpk, shares = T.keygen ~bits ~n ~t st in
+  let tpk, shares = T.keygen ~bits ~n ~t ~rng:st () in
+  (* contexts are built once here and threaded through every
+     committee: all Z_{N^2} exponentiation below is Montgomery, and
+     combine's Lagrange weights are cached across openings *)
+  let tctx = T.context tpk in
+  let pctx = T.Ctx.paillier tctx in
   let pk = tpk.T.pk in
   let modulus = pk.P.n in
   let rejected = ref 0 in
@@ -53,12 +58,12 @@ let execute ~n ~t ?(bits = 96) ?(malicious = []) ?(seed = 0xBEEF) ~circuit ~inpu
       List.init n (fun i ->
           let a = B.random_below st modulus in
           let r = sample_unit st modulus in
-          let c = P.encrypt_with pk ~r a in
+          let c = P.Ctx.encrypt_with pctx ~r a in
           let proof =
             if is_malicious i then
               (* lie about the plaintext: proof will not verify *)
-              Sigma.Plaintext_knowledge.prove pk st ~m:(B.add a B.one) ~r ~c
-            else Sigma.Plaintext_knowledge.prove pk st ~m:a ~r ~c
+              Sigma.Plaintext_knowledge.prove pk ~rng:st ~m:(B.add a B.one) ~r ~c
+            else Sigma.Plaintext_knowledge.prove pk ~rng:st ~m:a ~r ~c
           in
           (c, proof))
     in
@@ -72,19 +77,19 @@ let execute ~n ~t ?(bits = 96) ?(malicious = []) ?(seed = 0xBEEF) ~circuit ~inpu
     in
     match verified with
     | [] -> failwith "Cdn_paillier: all first-committee contributions rejected"
-    | (c0, _) :: rest -> List.fold_left (fun acc (c, _) -> P.add pk acc c) c0 rest
+    | (c0, _) :: rest -> List.fold_left (fun acc (c, _) -> P.Ctx.add pctx acc c) c0 rest
   in
   let second_committee c_a =
     let contribs =
       List.init n (fun i ->
           let b = B.random_below st modulus in
           let r = sample_unit st modulus in
-          let c_b = P.encrypt_with pk ~r b in
+          let c_b = P.Ctx.encrypt_with pctx ~r b in
           let c_c =
-            if is_malicious i then P.encrypt pk st (B.of_int 1337)
-            else P.scalar_mul pk b c_a
+            if is_malicious i then P.Ctx.encrypt pctx ~rng:st (B.of_int 1337)
+            else P.Ctx.scalar_mul pctx b c_a
           in
-          let proof = Sigma.Multiplication.prove pk st ~b ~r ~c_a ~c_b ~c_c in
+          let proof = Sigma.Multiplication.prove pk ~rng:st ~b ~r ~c_a ~c_b ~c_c in
           (c_b, c_c, proof))
     in
     let verified =
@@ -99,7 +104,8 @@ let execute ~n ~t ?(bits = 96) ?(malicious = []) ?(seed = 0xBEEF) ~circuit ~inpu
     | [] -> failwith "Cdn_paillier: all second-committee contributions rejected"
     | (b0, c0, _) :: rest ->
       List.fold_left
-        (fun (accb, accc) (cb, cc, _) -> (P.add pk accb cb, P.add pk accc cc))
+        (fun (accb, accc) (cb, cc, _) ->
+          (P.Ctx.add pctx accb cb, P.Ctx.add pctx accc cc))
         (b0, c0) rest
   in
   let triples =
@@ -117,7 +123,7 @@ let execute ~n ~t ?(bits = 96) ?(malicious = []) ?(seed = 0xBEEF) ~circuit ~inpu
        (no sigma protocol without extra setup); honest partials only *)
     let parts =
       List.init (t + 1) (fun i ->
-          let d = T.partial_decrypt tpk !shares.(i) ct in
+          let d = T.Ctx.partial_decrypt tctx !shares.(i) ct in
           let proof =
             Ideal.prove ~relation:"tpdec" ~statement:(string_of_int i) ~witness_ok:true
           in
@@ -125,12 +131,12 @@ let execute ~n ~t ?(bits = 96) ?(malicious = []) ?(seed = 0xBEEF) ~circuit ~inpu
           d)
     in
     incr opened_count;
-    T.combine tpk parts
+    T.Ctx.combine tctx parts
   in
   (* exercise TKRes/TKRec once mid-protocol: refresh every share *)
   let maybe_refresh () =
     if !opened_count = max 1 m then begin
-      let msgs = Array.map (fun s -> T.reshare tpk s st) !shares in
+      let msgs = Array.map (fun s -> T.reshare tpk s ~rng:st) !shares in
       let epoch = T.share_epoch !shares.(0) + 1 in
       shares :=
         Array.init n (fun j ->
@@ -157,20 +163,21 @@ let execute ~n ~t ?(bits = 96) ?(malicious = []) ?(seed = 0xBEEF) ~circuit ~inpu
         let v = B.erem (inputs client).(i) modulus in
         Hashtbl.replace cursor client (i + 1);
         let r = sample_unit st modulus in
-        let c = P.encrypt_with pk ~r v in
-        let proof = Sigma.Plaintext_knowledge.prove pk st ~m:v ~r ~c in
+        let c = P.Ctx.encrypt_with pctx ~r v in
+        let proof = Sigma.Plaintext_knowledge.prove pk ~rng:st ~m:v ~r ~c in
         if not (Sigma.Plaintext_knowledge.verify pk ~c proof) then
           failwith "Cdn_paillier: honest input proof failed";
         wire_ct.(wire) <- Some c
-      | Circuit.Add { a; b; out } -> wire_ct.(out) <- Some (P.add pk (get a) (get b))
+      | Circuit.Add { a; b; out } ->
+        wire_ct.(out) <- Some (P.Ctx.add pctx (get a) (get b))
       | Circuit.Mul { a; b; out } ->
         let c_a, c_b, c_c = triples.(!triple_cursor) in
         incr triple_cursor;
-        let eps = open_ct (P.add pk (get a) c_a) in
-        let delta = open_ct (P.add pk (get b) c_b) in
+        let eps = open_ct (P.Ctx.add pctx (get a) c_a) in
+        let delta = open_ct (P.Ctx.add pctx (get b) c_b) in
         maybe_refresh ();
         let c_out =
-          P.linear_combination pk
+          P.Ctx.linear_combination pctx
             [ get b; c_a; c_c ]
             [ eps; B.erem (B.neg delta) modulus; B.one ]
         in

@@ -8,7 +8,7 @@ type 'a partial = { p_key : int; p_index : int; p_epoch : int; p_value : 'a }
 
 let counter = ref 0
 
-let keygen ~n ~t rng =
+let keygen ~n ~t ~rng =
   if t < 0 || t >= n then invalid_arg "Ideal_te.keygen: need 0 <= t < n";
   ignore (Splitmix.next rng);
   incr counter;

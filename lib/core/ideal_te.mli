@@ -29,7 +29,7 @@ type share
 type 'a ct
 type 'a partial
 
-val keygen : n:int -> t:int -> Yoso_hash.Splitmix.t -> tpk * share array
+val keygen : n:int -> t:int -> rng:Yoso_hash.Splitmix.t -> tpk * share array
 (** @raise Invalid_argument unless [0 <= t < n]. *)
 
 val n_parties : tpk -> int

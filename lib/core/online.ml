@@ -174,7 +174,7 @@ let run (ctx : Ops.ctx) (setup : Setup.t) (prep : Offline.t) ~inputs =
                 (Array.map
                    (fun _ ->
                      let secrets = Array.init k (fun _ -> F.random frng) in
-                     (PS.share ps ~degree:(n - 1) ~secrets frng).PS.shares.(i))
+                     (PS.share ps ~degree:(n - 1) ~secrets ~rng:frng).PS.shares.(i))
                    preps)
             | _ -> Some (Array.map (fun _ -> F.random frng) preps))
           (fun i ->

@@ -42,15 +42,32 @@ let online_bytes_per_gate r = float_of_int r.online_bytes /. float_of_int (max 1
 let online_field_bytes_per_gate r =
   float_of_int r.online_field_bytes /. float_of_int (max 1 r.num_mult)
 
-let execute ~params ?(adversary = Params.no_adversary) ?plan ?(validate = true)
-    ?(seed = 0xC0FFEE) ?(net = Board.default_config) ~circuit ~inputs () =
+type config = {
+  adversary : Params.adversary;
+  plan : Faults.plan option;
+  validate : bool;
+  seed : int;
+  net : Board.config;
+}
+
+let default_config =
+  {
+    adversary = Params.no_adversary;
+    plan = None;
+    validate = true;
+    seed = 0xC0FFEE;
+    net = Board.default_config;
+  }
+
+let execute ~params ?(config = default_config) ~circuit ~inputs () =
+  let { adversary; plan; validate; seed; net } = config in
   let board = Board.create ~config:net () in
   let ctx = Ops.create_ctx ?plan ~validate ~board ~params ~adversary ~seed () in
   let layout = Layout.make circuit ~k:params.Params.k in
   let layers = Array.length layout.Layout.mult_layers in
   let setup =
     Setup.run ~board ~params ~layers ~clients:(Circuit.clients circuit)
-      (Splitmix.of_int (seed lxor 0x5E7))
+      ~rng:(Splitmix.of_int (seed lxor 0x5E7))
   in
   let prep = Offline.run ctx setup layout in
   let outputs = Online.run ctx setup prep ~inputs in
@@ -76,6 +93,11 @@ let execute ~params ?(adversary = Params.no_adversary) ?plan ?(validate = true)
     transcript = Board.transcript board;
     meter;
   }
+
+(* Deprecated optional-cluster entry point, one release *)
+let execute_opts ~params ?(adversary = Params.no_adversary) ?plan ?(validate = true)
+    ?(seed = 0xC0FFEE) ?(net = Board.default_config) ~circuit ~inputs () =
+  execute ~params ~config:{ adversary; plan; validate; seed; net } ~circuit ~inputs ()
 
 (* hand-rolled JSON: values are ints, floats and plain ASCII strings *)
 let report_json r =

@@ -41,7 +41,39 @@ val offline_bytes_per_gate : report -> float
 val online_bytes_per_gate : report -> float
 val online_field_bytes_per_gate : report -> float
 
+type config = {
+  adversary : Params.adversary;
+  plan : Yoso_runtime.Faults.plan option;
+      (** [None] means [Faults.random ~seed] *)
+  validate : bool;
+  seed : int;
+  net : Yoso_net.Board.config;
+}
+(** Execution knobs, grouped.  Build one with record update on
+    {!default_config}:
+    [{ Protocol.default_config with seed = 42; net }]. *)
+
+val default_config : config
+(** No adversary, random fault plan from the seed, validation on,
+    seed [0xC0FFEE], ideal network. *)
+
 val execute :
+  params:Params.t ->
+  ?config:config ->
+  circuit:Circuit.t ->
+  inputs:(int -> F.t array) ->
+  unit ->
+  report
+(** Runs setup -> offline -> online under [config] (default
+    {!default_config}): adversary structure and fault plan (default
+    [Faults.random ~seed]).  [config.validate] (default [true])
+    rejects beyond-bound adversaries up front with
+    [Invalid_argument]; with [validate = false] the protocol executes
+    anyway and aborts at run time with the structured
+    {!Yoso_runtime.Faults.Protocol_failure} once a committee step
+    retains too few verified contributions — never a wrong output. *)
+
+val execute_opts :
   params:Params.t ->
   ?adversary:Params.adversary ->
   ?plan:Yoso_runtime.Faults.plan ->
@@ -52,13 +84,7 @@ val execute :
   inputs:(int -> F.t array) ->
   unit ->
   report
-(** Runs setup -> offline -> online under the given adversary
-    structure and fault plan (default [Faults.random ~seed]).
-    [validate] (default [true]) rejects beyond-bound adversaries up
-    front with [Invalid_argument]; with [validate:false] the protocol
-    executes anyway and aborts at run time with the structured
-    {!Yoso_runtime.Faults.Protocol_failure} once a committee step
-    retains too few verified contributions — never a wrong output. *)
+[@@ocaml.deprecated "build a Protocol.config and call execute ?config"]
 
 val report_json : report -> string
 (** The report as a single JSON object (counts, per-gate metrics, byte

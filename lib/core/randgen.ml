@@ -29,7 +29,7 @@ let run ~n ~t ?(malicious_dealers = []) ?(malicious_revealers = []) ?(seed = 0xA
     Array.init n (fun i ->
         let st = Random.State.make [| seed; i |] in
         let secret = F.random st in
-        let d = Feldman.deal ~t ~n ~secret st in
+        let d = Feldman.deal ~t ~n ~secret ~rng:st in
         let d =
           if List.mem i malicious_dealers then begin
             (* corrupt one share: public verification must catch it *)

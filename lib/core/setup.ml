@@ -16,8 +16,8 @@ type t = {
   client_keys : (int * (Pke.pk * Pke.sk)) list;
 }
 
-let run ~board ~params ~layers ~clients rng =
-  let te, initial_tsk = Te.keygen ~n:params.Params.n ~t:params.Params.t rng in
+let run ~board ~params ~layers ~clients ~rng =
+  let te, initial_tsk = Te.keygen ~n:params.Params.n ~t:params.Params.t ~rng in
   let fresh_kff () =
     let pk, sk = Pke.gen rng in
     { kff_pk = pk; kff_sk_ct = Te.encrypt te sk }

@@ -31,7 +31,7 @@ val run :
   params:Params.t ->
   layers:int ->
   clients:int list ->
-  Yoso_hash.Splitmix.t ->
+  rng:Yoso_hash.Splitmix.t ->
   t
 (** Posts the published material (public keys and KFF ciphertexts) as
     the dealer role, charging phase ["setup"]. *)

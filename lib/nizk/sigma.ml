@@ -4,9 +4,15 @@ module P = Yoso_paillier.Paillier
 let chal_bits = 128
 let blind_bits = 128 (* statistical blinding of integer responses *)
 
-let sample_unit n st =
+(* All exponentiations below go through the memoized Paillier context
+   for [pk]: Montgomery contexts for N and N^2 are built once per key,
+   not once per proof. *)
+let pow_n2 pk b e = P.Ctx.pow_n2 (P.context pk) b e
+let pow_n pk b e = P.Ctx.pow_n (P.context pk) b e
+
+let sample_unit n rng =
   let rec go () =
-    let r = B.random_below st n in
+    let r = B.random_below rng n in
     if B.is_zero r || not (B.is_one (B.gcd r n)) then go () else r
   in
   go ()
@@ -25,14 +31,14 @@ module Plaintext_knowledge = struct
     Transcript.absorb_bigint ts ~label:"a" a;
     Transcript.challenge_bigint ts ~label:"e" ~bits:chal_bits
 
-  let prove pk st ~m ~r ~c =
+  let prove pk ~rng ~m ~r ~c =
     let n = pk.P.n and n2 = pk.P.n2 in
-    let x = B.random_below st n in
-    let u = sample_unit n st in
-    let a = B.mulmod (g_pow pk x) (B.powmod u n n2) n2 in
+    let x = B.random_below rng n in
+    let u = sample_unit n rng in
+    let a = B.mulmod (g_pow pk x) (pow_n2 pk u n) n2 in
     let e = transcript pk ~c ~a in
     let z_m = B.erem (B.add x (B.mul e m)) n in
-    let z_r = B.mulmod u (B.powmod r e n) n in
+    let z_r = B.mulmod u (pow_n pk r e) n in
     { a; z_m; z_r }
 
   let verify pk ~c proof =
@@ -40,10 +46,12 @@ module Plaintext_knowledge = struct
     if B.sign proof.z_r <= 0 || not (B.is_one (B.gcd proof.z_r n)) then false
     else begin
       let e = transcript pk ~c ~a:proof.a in
-      let lhs = B.mulmod (g_pow pk proof.z_m) (B.powmod proof.z_r n n2) n2 in
-      let rhs = B.mulmod proof.a (B.powmod (P.raw c) e n2) n2 in
+      let lhs = B.mulmod (g_pow pk proof.z_m) (pow_n2 pk proof.z_r n) n2 in
+      let rhs = B.mulmod proof.a (pow_n2 pk (P.raw c) e) n2 in
       B.equal lhs rhs
     end
+
+  let prove_st pk st ~m ~r ~c = prove pk ~rng:st ~m ~r ~c
 
   let size_bits pk = 4 * pk.P.bits (* a: 2|N|, z_m: |N|, z_r: |N| *)
 end
@@ -61,16 +69,16 @@ module Multiplication = struct
     Transcript.absorb_bigint ts ~label:"a2" a2;
     Transcript.challenge_bigint ts ~label:"e" ~bits:chal_bits
 
-  let prove pk st ~b ~r ~c_a ~c_b ~c_c =
+  let prove pk ~rng ~b ~r ~c_a ~c_b ~c_c =
     let n = pk.P.n and n2 = pk.P.n2 in
     (* x blinds e*b statistically: |x| = |N| + chal + blind bits *)
-    let x = B.random_bits st (B.bit_length n + chal_bits + blind_bits) in
-    let u = sample_unit n st in
-    let a1 = B.mulmod (g_pow pk x) (B.powmod u n n2) n2 in
-    let a2 = B.powmod (P.raw c_a) x n2 in
+    let x = B.random_bits rng (B.bit_length n + chal_bits + blind_bits) in
+    let u = sample_unit n rng in
+    let a1 = B.mulmod (g_pow pk x) (pow_n2 pk u n) n2 in
+    let a2 = pow_n2 pk (P.raw c_a) x in
     let e = transcript pk ~c_a ~c_b ~c_c ~a1 ~a2 in
     let z = B.add x (B.mul e b) in
-    let z_r = B.mulmod u (B.powmod r e n) n in
+    let z_r = B.mulmod u (pow_n pk r e) n in
     { a1; a2; z; z_r }
 
   let verify pk ~c_a ~c_b ~c_c proof =
@@ -79,12 +87,14 @@ module Multiplication = struct
     then false
     else begin
       let e = transcript pk ~c_a ~c_b ~c_c ~a1:proof.a1 ~a2:proof.a2 in
-      let lhs1 = B.mulmod (g_pow pk proof.z) (B.powmod proof.z_r n n2) n2 in
-      let rhs1 = B.mulmod proof.a1 (B.powmod (P.raw c_b) e n2) n2 in
-      let lhs2 = B.powmod (P.raw c_a) proof.z n2 in
-      let rhs2 = B.mulmod proof.a2 (B.powmod (P.raw c_c) e n2) n2 in
+      let lhs1 = B.mulmod (g_pow pk proof.z) (pow_n2 pk proof.z_r n) n2 in
+      let rhs1 = B.mulmod proof.a1 (pow_n2 pk (P.raw c_b) e) n2 in
+      let lhs2 = pow_n2 pk (P.raw c_a) proof.z in
+      let rhs2 = B.mulmod proof.a2 (pow_n2 pk (P.raw c_c) e) n2 in
       B.equal lhs1 rhs1 && B.equal lhs2 rhs2
     end
+
+  let prove_st pk st ~b ~r ~c_a ~c_b ~c_c = prove pk ~rng:st ~b ~r ~c_a ~c_b ~c_c
 
   let size_bits pk =
     (* a1, a2: 2|N| each; z: |N| + chal + blind; z_r: |N| *)

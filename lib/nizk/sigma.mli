@@ -13,7 +13,11 @@
 
     The challenge space is [2^chal_bits]; knowledge soundness error is
     [2^-chal_bits] per proof (statistical parameter, not a bottleneck
-    for the reproduction). *)
+    for the reproduction).
+
+    All exponentiations go through the memoized {!P.context} for the
+    key, so proving/verifying many statements under one key reuses the
+    Montgomery precomputation. *)
 
 module B = Yoso_bigint.Bigint
 module P = Yoso_paillier.Paillier
@@ -24,10 +28,19 @@ module Plaintext_knowledge : sig
   type proof = { a : B.t; z_m : B.t; z_r : B.t }
 
   val prove :
-    P.public_key -> Random.State.t -> m:B.t -> r:B.t -> c:P.ciphertext -> proof
+    P.public_key ->
+    rng:Random.State.t ->
+    m:B.t ->
+    r:B.t ->
+    c:P.ciphertext ->
+    proof
   (** [r] must be the randomness actually used in [c]. *)
 
   val verify : P.public_key -> c:P.ciphertext -> proof -> bool
+
+  val prove_st :
+    P.public_key -> Random.State.t -> m:B.t -> r:B.t -> c:P.ciphertext -> proof
+  [@@ocaml.deprecated "use prove ~rng"]
 
   val size_bits : P.public_key -> int
   (** Communication size of a proof, in bits (for cost accounting). *)
@@ -38,7 +51,7 @@ module Multiplication : sig
 
   val prove :
     P.public_key ->
-    Random.State.t ->
+    rng:Random.State.t ->
     b:B.t ->
     r:B.t ->
     c_a:P.ciphertext ->
@@ -48,6 +61,17 @@ module Multiplication : sig
 
   val verify :
     P.public_key -> c_a:P.ciphertext -> c_b:P.ciphertext -> c_c:P.ciphertext -> proof -> bool
+
+  val prove_st :
+    P.public_key ->
+    Random.State.t ->
+    b:B.t ->
+    r:B.t ->
+    c_a:P.ciphertext ->
+    c_b:P.ciphertext ->
+    c_c:P.ciphertext ->
+    proof
+  [@@ocaml.deprecated "use prove ~rng"]
 
   val size_bits : P.public_key -> int
 end

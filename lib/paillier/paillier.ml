@@ -12,12 +12,12 @@ type secret_key = {
 
 type ciphertext = { pk_n2 : B.t; c : B.t }
 
-let keygen ?(bits = 128) st =
+let keygen ?(bits = 128) ~rng () =
   if bits < 16 then invalid_arg "Paillier.keygen: modulus too small";
   let half = bits / 2 in
   let rec gen () =
-    let p = B.random_prime st ~bits:half in
-    let q = B.random_prime st ~bits:half in
+    let p = B.random_prime rng ~bits:half in
+    let q = B.random_prime rng ~bits:half in
     if B.equal p q then gen () else (p, q)
   in
   let p, q = gen () in
@@ -35,55 +35,135 @@ let g_pow pk m =
   let m = B.erem m pk.n in
   B.erem (B.add B.one (B.mul m pk.n)) pk.n2
 
-let sample_unit pk st =
+let sample_unit pk ~rng =
   let rec go () =
-    let r = B.random_below st pk.n in
+    let r = B.random_below rng pk.n in
     if B.is_zero r || not (B.is_one (B.gcd r pk.n)) then go () else r
   in
   go ()
 
-let encrypt_with pk ~r m =
-  if not (B.is_one (B.gcd r pk.n)) then
-    invalid_arg "Paillier.encrypt_with: randomness not a unit";
-  let c = B.mulmod (g_pow pk m) (B.powmod r pk.n pk.n2) pk.n2 in
-  { pk_n2 = pk.n2; c }
-
-let encrypt pk st m = encrypt_with pk ~r:(sample_unit pk st) m
-
 (* L(x) = (x - 1) / N for x = 1 mod N *)
 let l_function pk x = B.div (B.sub x B.one) pk.n
 
-let decrypt sk ct =
-  if not (B.equal ct.pk_n2 sk.pk.n2) then
-    invalid_arg "Paillier.decrypt: ciphertext under a different key";
-  let x = B.powmod ct.c sk.lambda sk.pk.n2 in
-  B.erem (B.mul (l_function sk.pk x) sk.mu) sk.pk.n
-
-let check_same pk ct =
+let check_same fn pk ct =
   if not (B.equal ct.pk_n2 pk.n2) then
-    invalid_arg "Paillier: ciphertext under a different key"
+    invalid_arg (fn ^ ": ciphertext under a different key")
 
-let add pk a b =
-  check_same pk a;
-  check_same pk b;
-  { pk_n2 = pk.n2; c = B.mulmod a.c b.c pk.n2 }
+module Ctx = struct
+  type t = {
+    pk : public_key;
+    mont_n : B.Mont.ctx;
+    mont_n2 : B.Mont.ctx;
+    fb_g : B.Mont.fixed_base;
+  }
 
-let scalar_mul pk s ct =
-  check_same pk ct;
-  { pk_n2 = pk.n2; c = B.powmod ct.c (B.erem s pk.n) pk.n2 }
+  let create pk =
+    let mont_n = B.Mont.create pk.n in
+    let mont_n2 = B.Mont.create pk.n2 in
+    let fb_g = B.Mont.fixed_base mont_n2 (B.add B.one pk.n) in
+    { pk; mont_n; mont_n2; fb_g }
 
-let linear_combination pk cts coeffs =
-  if List.length cts <> List.length coeffs then
-    invalid_arg "Paillier.linear_combination: length mismatch";
-  List.fold_left2
-    (fun acc ct coeff -> add pk acc (scalar_mul pk coeff ct))
-    { pk_n2 = pk.n2; c = B.one }
-    cts coeffs
+  let public_key ctx = ctx.pk
+  let pow_n ctx b e = B.Mont.powmod ctx.mont_n b e
+  let pow_n2 ctx b e = B.Mont.powmod ctx.mont_n2 b e
 
-let rerandomize pk st ct =
-  check_same pk ct;
-  let r = sample_unit pk st in
-  { pk_n2 = pk.n2; c = B.mulmod ct.c (B.powmod r pk.n pk.n2) pk.n2 }
+  (* the closed form 1 + m*N beats any exponentiation for s = 1 *)
+  let g_pow ctx m = g_pow ctx.pk m
 
+  (* table-driven g^m, kept for the Damgard-Jurik s > 1 generalisation
+     where no closed form exists; tests pin it to the closed form *)
+  let g_pow_table ctx m = B.Mont.fixed_powmod ctx.fb_g (B.erem m ctx.pk.n)
+
+  let randomizer ctx r = pow_n2 ctx r ctx.pk.n
+
+  let encrypt_with ctx ~r m =
+    if not (B.is_one (B.gcd r ctx.pk.n)) then
+      invalid_arg "Paillier.encrypt_with: randomness not a unit";
+    let c = B.mulmod (g_pow ctx m) (randomizer ctx r) ctx.pk.n2 in
+    { pk_n2 = ctx.pk.n2; c }
+
+  let encrypt ctx ~rng m = encrypt_with ctx ~r:(sample_unit ctx.pk ~rng) m
+
+  let decrypt ctx (sk : secret_key) ct =
+    if not (B.equal ct.pk_n2 sk.pk.n2) then
+      invalid_arg "Paillier.decrypt: ciphertext under a different key";
+    let x = pow_n2 ctx ct.c sk.lambda in
+    B.erem (B.mul (l_function sk.pk x) sk.mu) sk.pk.n
+
+  let add ctx a b =
+    check_same "Paillier.add" ctx.pk a;
+    check_same "Paillier.add" ctx.pk b;
+    { pk_n2 = ctx.pk.n2; c = B.mulmod a.c b.c ctx.pk.n2 }
+
+  let scalar_mul ctx s ct =
+    check_same "Paillier.scalar_mul" ctx.pk ct;
+    { pk_n2 = ctx.pk.n2; c = pow_n2 ctx ct.c (B.erem s ctx.pk.n) }
+
+  let linear_combination ctx cts coeffs =
+    if List.length cts <> List.length coeffs then
+      invalid_arg "Paillier.linear_combination: length mismatch";
+    List.fold_left2
+      (fun acc ct coeff -> add ctx acc (scalar_mul ctx coeff ct))
+      { pk_n2 = ctx.pk.n2; c = B.one }
+      cts coeffs
+
+  let rerandomize ctx ~rng ct =
+    check_same "Paillier.rerandomize" ctx.pk ct;
+    let r = sample_unit ctx.pk ~rng in
+    { pk_n2 = ctx.pk.n2; c = B.mulmod ct.c (randomizer ctx r) ctx.pk.n2 }
+
+  let of_raw ctx v = { pk_n2 = ctx.pk.n2; c = B.erem v ctx.pk.n2 }
+end
+
+(* Contexts are memoized on the physical identity of the key record:
+   protocol code builds one [public_key] per epoch and passes it
+   around, so a handful of cache slots suffices and lookups are a
+   short pointer scan. *)
+let ctx_cache : (public_key * Ctx.t) list ref = ref []
+let ctx_cache_cap = 8
+
+let context pk =
+  let rec find = function
+    | [] -> None
+    | (k, c) :: tl -> if k == pk then Some c else find tl
+  in
+  match find !ctx_cache with
+  | Some c -> c
+  | None ->
+    let c = Ctx.create pk in
+    let keep = List.filteri (fun i _ -> i < ctx_cache_cap - 1) !ctx_cache in
+    ctx_cache := (pk, c) :: keep;
+    c
+
+let encrypt_with pk ~r m = Ctx.encrypt_with (context pk) ~r m
+let encrypt pk ~rng m = Ctx.encrypt (context pk) ~rng m
+let decrypt sk ct = Ctx.decrypt (context sk.pk) sk ct
+let add pk a b = Ctx.add (context pk) a b
+let scalar_mul pk s ct = Ctx.scalar_mul (context pk) s ct
+let linear_combination pk cts coeffs = Ctx.linear_combination (context pk) cts coeffs
+let rerandomize pk ~rng ct = Ctx.rerandomize (context pk) ~rng ct
 let raw ct = ct.c
 let of_raw pk v = { pk_n2 = pk.n2; c = B.erem v pk.n2 }
+
+(* Deprecated positional-RNG aliases, one release *)
+let keygen_st ?bits st = keygen ?bits ~rng:st ()
+let encrypt_st pk st m = encrypt pk ~rng:st m
+let rerandomize_st pk st ct = rerandomize pk ~rng:st ct
+
+module Reference = struct
+  let encrypt_with pk ~r m =
+    if not (B.is_one (B.gcd r pk.n)) then
+      invalid_arg "Paillier.encrypt_with: randomness not a unit";
+    let c = B.mulmod (g_pow pk m) (B.powmod_naive r pk.n pk.n2) pk.n2 in
+    { pk_n2 = pk.n2; c }
+
+  let decrypt sk ct =
+    if not (B.equal ct.pk_n2 sk.pk.n2) then
+      invalid_arg "Paillier.decrypt: ciphertext under a different key";
+    let x = B.powmod_naive ct.c sk.lambda sk.pk.n2 in
+    B.erem (B.mul (l_function sk.pk x) sk.mu) sk.pk.n
+
+  let scalar_mul pk s ct =
+    check_same "Paillier.scalar_mul" pk ct;
+    { pk_n2 = pk.n2; c = B.powmod_naive ct.c (B.erem s pk.n) pk.n2 }
+end

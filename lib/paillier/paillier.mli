@@ -4,7 +4,14 @@
     encryption by "Shamir sharing a Paillier decryption key" [19, 29];
     this module provides the base (non-threshold) scheme over our
     {!Yoso_bigint}: plaintext ring [Z_N], ciphertexts in [Z_{N^2}],
-    [Enc(m; r) = (1 + N)^m * r^N mod N^2]. *)
+    [Enc(m; r) = (1 + N)^m * r^N mod N^2].
+
+    {b Contexts.} All modular exponentiation goes through a
+    {!Ctx.t}, which precomputes the Montgomery contexts for [N] and
+    [N^2] and the fixed-base table for [g] once per key.  Protocol
+    code should obtain one with {!context} (memoized per key record)
+    or {!Ctx.create} and thread it; the bare-[public_key] entry
+    points below remain as thin wrappers that look the context up. *)
 
 module B = Yoso_bigint.Bigint
 
@@ -24,33 +31,129 @@ type secret_key = {
 
 type ciphertext = private { pk_n2 : B.t; c : B.t }
 
-val keygen : ?bits:int -> Random.State.t -> public_key * secret_key
+val keygen : ?bits:int -> rng:Random.State.t -> unit -> public_key * secret_key
 (** Generates [bits/2]-bit primes [p, q] (default [bits = 128]; test
-    scale, not production scale — documented in DESIGN.md). *)
+    scale, not production scale — documented in DESIGN.md).
+    @raise Invalid_argument if [bits < 16]. *)
 
-val encrypt : public_key -> Random.State.t -> B.t -> ciphertext
-(** [encrypt pk st m] for [m] reduced into [Z_N]. *)
+(** {1 Context API}
+
+    The preferred interface: build once per key, reuse across
+    operations. *)
+
+module Ctx : sig
+  type t
+
+  val create : public_key -> t
+  val public_key : t -> public_key
+
+  val pow_n : t -> B.t -> B.t -> B.t
+  (** Montgomery exponentiation mod [N].
+      @raise Invalid_argument on negative exponent. *)
+
+  val pow_n2 : t -> B.t -> B.t -> B.t
+  (** Montgomery exponentiation mod [N^2].
+      @raise Invalid_argument on negative exponent. *)
+
+  val g_pow : t -> B.t -> B.t
+  (** [(1 + N)^m mod N^2] via the closed form [1 + m*N]. *)
+
+  val g_pow_table : t -> B.t -> B.t
+  (** Same value via the fixed-base table — the path the
+      Damgard-Jurik [s > 1] generalisation would need; equal to
+      {!g_pow} for all inputs. *)
+
+  val randomizer : t -> B.t -> B.t
+  (** [r^N mod N^2], the randomizer path of encryption. *)
+
+  val encrypt : t -> rng:Random.State.t -> B.t -> ciphertext
+  val encrypt_with : t -> r:B.t -> B.t -> ciphertext
+  (** @raise Invalid_argument if [r] is not a unit mod [N]. *)
+
+  val decrypt : t -> secret_key -> ciphertext -> B.t
+  (** @raise Invalid_argument if the ciphertext is under a key with a
+      different modulus. *)
+
+  val add : t -> ciphertext -> ciphertext -> ciphertext
+  val scalar_mul : t -> B.t -> ciphertext -> ciphertext
+  val linear_combination : t -> ciphertext list -> B.t list -> ciphertext
+  (** @raise Invalid_argument on list length mismatch or foreign
+      ciphertexts. *)
+
+  val rerandomize : t -> rng:Random.State.t -> ciphertext -> ciphertext
+  val of_raw : t -> B.t -> ciphertext
+end
+
+val context : public_key -> Ctx.t
+(** Memoized {!Ctx.create}: contexts are cached by physical identity
+    of the [public_key] record (a small LRU-ish list), so repeated
+    calls with the same key record are cheap. *)
+
+(** {1 Bare-key wrappers}
+
+    Thin wrappers over the context API, each doing a [context] lookup
+    per call. *)
+
+val encrypt : public_key -> rng:Random.State.t -> B.t -> ciphertext
+(** [encrypt pk ~rng m] for [m] reduced into [Z_N]. *)
 
 val encrypt_with : public_key -> r:B.t -> B.t -> ciphertext
 (** Deterministic variant with explicit randomness [r] coprime to [N]
-    (used by sigma-protocol tests). *)
+    (used by sigma-protocol tests).
+    @raise Invalid_argument if [r] is not a unit mod [N]. *)
 
 val decrypt : secret_key -> ciphertext -> B.t
+(** @raise Invalid_argument if the ciphertext is under a key with a
+    different modulus. *)
 
 val add : public_key -> ciphertext -> ciphertext -> ciphertext
-(** Homomorphic addition of plaintexts. *)
+(** Homomorphic addition of plaintexts.
+    @raise Invalid_argument on a foreign ciphertext. *)
 
 val scalar_mul : public_key -> B.t -> ciphertext -> ciphertext
-(** Homomorphic multiplication of the plaintext by a known scalar. *)
+(** Homomorphic multiplication of the plaintext by a known scalar.
+    @raise Invalid_argument on a foreign ciphertext. *)
 
 val linear_combination : public_key -> ciphertext list -> B.t list -> ciphertext
-(** [TEval]: ciphertext of [sum_i coeff_i * m_i]. *)
+(** [TEval]: ciphertext of [sum_i coeff_i * m_i].
+    @raise Invalid_argument on list length mismatch or foreign
+    ciphertexts. *)
 
-val rerandomize : public_key -> Random.State.t -> ciphertext -> ciphertext
-(** Fresh randomness, same plaintext. *)
+val rerandomize : public_key -> rng:Random.State.t -> ciphertext -> ciphertext
+(** Fresh randomness, same plaintext.
+    @raise Invalid_argument on a foreign ciphertext. *)
 
 val raw : ciphertext -> B.t
 (** The underlying [Z_{N^2}] element (for transcripts/hashing). *)
 
 val of_raw : public_key -> B.t -> ciphertext
 (** Inject a received value; reduced mod [N^2]. *)
+
+val sample_unit : public_key -> rng:Random.State.t -> B.t
+(** A uniform unit of [Z_N] (encryption randomness). *)
+
+val g_pow : public_key -> B.t -> B.t
+(** [(1 + N)^m mod N^2] via the closed form; context-free. *)
+
+(** {1 Deprecated aliases} *)
+
+val keygen_st : ?bits:int -> Random.State.t -> public_key * secret_key
+[@@ocaml.deprecated "use keygen ~rng"]
+
+val encrypt_st : public_key -> Random.State.t -> B.t -> ciphertext
+[@@ocaml.deprecated "use encrypt ~rng"]
+
+val rerandomize_st : public_key -> Random.State.t -> ciphertext -> ciphertext
+[@@ocaml.deprecated "use rerandomize ~rng"]
+
+(** {1 Reference implementations}
+
+    Naive square-and-multiply versions of the exponentiation-heavy
+    operations, kept as the baseline side of the [bench time]
+    naive-vs-Montgomery comparison and for equivalence tests. *)
+
+module Reference : sig
+  val encrypt_with : public_key -> r:B.t -> B.t -> ciphertext
+  val decrypt : secret_key -> ciphertext -> B.t
+  val scalar_mul : public_key -> B.t -> ciphertext -> ciphertext
+end

@@ -15,9 +15,10 @@ let share_epoch s = s.epoch
 let unsafe_share ~index ~epoch ~value = { index; epoch; value }
 let unsafe_partial ~index ~epoch ~d = { p_index = index; p_epoch = epoch; d }
 
-(* signed modular exponentiation: negative exponents via inverse *)
-let powmod_signed b e m =
-  if B.sign e >= 0 then B.powmod b e m else B.powmod (B.invmod b m) (B.neg e) m
+(* signed modular exponentiation over a given pow: negative exponents
+   via inverse *)
+let pow_signed ~pow b e m =
+  if B.sign e >= 0 then pow b e m else pow (B.invmod b m) (B.neg e) m
 
 (* integral Lagrange-at-zero weight: mu_i = Delta * prod_{j in s, j<>i} j / (j - i).
    Exact division is guaranteed because prod (j - i) divides Delta. *)
@@ -34,9 +35,9 @@ let mu_weight delta subset i =
   if not (B.is_zero r) then failwith "Threshold.mu_weight: non-integral weight";
   q
 
-let keygen ?(bits = 128) ~n ~t st =
+let keygen ?(bits = 128) ~n ~t ~rng () =
   if t < 0 || t >= n then invalid_arg "Threshold.keygen: need 0 <= t < n";
-  let pk, sk = Paillier.keygen ~bits st in
+  let pk, sk = Paillier.keygen ~bits ~rng () in
   let bigm = B.mul pk.Paillier.n sk.Paillier.lambda in
   (* d = 0 mod lambda, d = 1 mod N (CRT; gcd(lambda, N) = 1) *)
   let d =
@@ -45,7 +46,7 @@ let keygen ?(bits = 128) ~n ~t st =
     B.erem (B.mul lambda inv) bigm
   in
   (* integer polynomial f(x) = d + sum a_l x^l, a_l in [0, M) *)
-  let coeffs = Array.init t (fun _ -> B.random_below st bigm) in
+  let coeffs = Array.init t (fun _ -> B.random_below rng bigm) in
   let eval_f x =
     let xb = B.of_int x in
     let acc = ref B.zero in
@@ -57,13 +58,6 @@ let keygen ?(bits = 128) ~n ~t st =
   let tpk = { pk; n_parties = n; threshold = t; delta = B.factorial n } in
   let shares = Array.init n (fun i -> { index = i + 1; epoch = 0; value = eval_f (i + 1) }) in
   (tpk, shares)
-
-let encrypt tpk st m = Paillier.encrypt tpk.pk st m
-let eval tpk cts coeffs = Paillier.linear_combination tpk.pk cts coeffs
-
-let partial_decrypt tpk share ct =
-  let e = B.mul B.two (B.mul tpk.delta share.value) in
-  { p_index = share.index; p_epoch = share.epoch; d = powmod_signed (Paillier.raw ct) e tpk.pk.Paillier.n2 }
 
 (* theta_e = 4 Delta^2 (2 Delta^2)^e mod N: the scalar the plaintext is
    multiplied by after epoch-e reconstruction *)
@@ -85,7 +79,18 @@ let dedup_partials parts =
       end)
     parts
 
-let combine tpk parts =
+(* [TPDec] and [TDec] bodies, parameterized over the exponentiation
+   backend so the context-accelerated path and the naive Reference
+   path cannot drift apart.  [weights subset] must return the
+   [2 * mu_i] combining weight for each index of [subset];
+   [theta_inv epoch] the inverse of [theta] mod [N]. *)
+let partial_decrypt_with ~pow tpk share ct =
+  let e = B.mul B.two (B.mul tpk.delta share.value) in
+  { p_index = share.index;
+    p_epoch = share.epoch;
+    d = pow_signed ~pow (Paillier.raw ct) e tpk.pk.Paillier.n2 }
+
+let combine_with ~pow ~weights ~theta_inv tpk parts =
   let parts = dedup_partials parts in
   let need = tpk.threshold + 1 in
   if List.length parts < need then
@@ -99,26 +104,117 @@ let combine tpk parts =
       invalid_arg "Threshold.combine: partials from different epochs");
   let epoch = (List.hd chosen).p_epoch in
   let subset = List.map (fun p -> p.p_index) chosen in
+  let ws = weights subset in
   let n2 = tpk.pk.Paillier.n2 in
   let acc =
     List.fold_left
       (fun acc p ->
-        let w = B.mul B.two (mu_weight tpk.delta subset p.p_index) in
-        B.mulmod acc (powmod_signed p.d w n2) n2)
+        let w = List.assoc p.p_index ws in
+        B.mulmod acc (pow_signed ~pow p.d w n2) n2)
       B.one chosen
   in
   (* acc = 1 + (m * theta_e mod N) * N *)
   let l = B.div (B.sub acc B.one) tpk.pk.Paillier.n in
-  B.erem (B.mul l (B.invmod (theta tpk epoch) tpk.pk.Paillier.n)) tpk.pk.Paillier.n
+  B.erem (B.mul l (theta_inv epoch)) tpk.pk.Paillier.n
 
-let reshare tpk share st =
+let default_weights tpk subset =
+  List.map (fun i -> (i, B.mul B.two (mu_weight tpk.delta subset i))) subset
+
+module Ctx = struct
+  type t = {
+    tpk : tpk;
+    pctx : Paillier.Ctx.t;
+    weight_cache : (int list, (int * B.t) list) Hashtbl.t;
+    theta_inv_cache : (int, B.t) Hashtbl.t;
+  }
+
+  let create tpk =
+    {
+      tpk;
+      pctx = Paillier.context tpk.pk;
+      weight_cache = Hashtbl.create 4;
+      theta_inv_cache = Hashtbl.create 4;
+    }
+
+  let tpk ctx = ctx.tpk
+  let paillier ctx = ctx.pctx
+  let pow ctx b e _m = Paillier.Ctx.pow_n2 ctx.pctx b e
+
+  let weights ctx subset =
+    match Hashtbl.find_opt ctx.weight_cache subset with
+    | Some ws -> ws
+    | None ->
+      let ws = default_weights ctx.tpk subset in
+      Hashtbl.replace ctx.weight_cache subset ws;
+      ws
+
+  let theta_inv ctx epoch =
+    match Hashtbl.find_opt ctx.theta_inv_cache epoch with
+    | Some v -> v
+    | None ->
+      let v = B.invmod (theta ctx.tpk epoch) ctx.tpk.pk.Paillier.n in
+      Hashtbl.replace ctx.theta_inv_cache epoch v;
+      v
+
+  let encrypt ctx ~rng m = Paillier.Ctx.encrypt ctx.pctx ~rng m
+
+  let eval ctx cts coeffs = Paillier.Ctx.linear_combination ctx.pctx cts coeffs
+
+  let partial_decrypt ctx share ct =
+    partial_decrypt_with ~pow:(pow ctx) ctx.tpk share ct
+
+  let combine ctx parts =
+    combine_with ~pow:(pow ctx) ~weights:(weights ctx)
+      ~theta_inv:(theta_inv ctx) ctx.tpk parts
+
+  let sim_partial_decrypt ctx ct ~m ~honest =
+    if List.length honest < ctx.tpk.threshold + 1 then
+      invalid_arg "Threshold.sim_partial_decrypt: not enough honest shares";
+    (* decrypt beta using the honest shares themselves *)
+    let m0 = combine ctx (List.map (fun s -> partial_decrypt ctx s ct) honest) in
+    (* beta' = beta * (1+N)^(m - m0): same randomness component, target
+       plaintext *)
+    let n = ctx.tpk.pk.Paillier.n and n2 = ctx.tpk.pk.Paillier.n2 in
+    let diff = B.erem (B.sub m m0) n in
+    let adjust = B.erem (B.add B.one (B.mul diff n)) n2 in
+    let ct' = Paillier.Ctx.of_raw ctx.pctx (B.mulmod (Paillier.raw ct) adjust n2) in
+    List.map (fun s -> partial_decrypt ctx s ct') honest
+end
+
+(* memoized on the physical identity of the tpk record, like
+   Paillier.context *)
+let ctx_cache : (tpk * Ctx.t) list ref = ref []
+let ctx_cache_cap = 8
+
+let context tpk =
+  let rec find = function
+    | [] -> None
+    | (k, c) :: tl -> if k == tpk then Some c else find tl
+  in
+  match find !ctx_cache with
+  | Some c -> c
+  | None ->
+    let c = Ctx.create tpk in
+    let keep = List.filteri (fun i _ -> i < ctx_cache_cap - 1) !ctx_cache in
+    ctx_cache := (tpk, c) :: keep;
+    c
+
+let encrypt tpk ~rng m = Ctx.encrypt (context tpk) ~rng m
+let eval tpk cts coeffs = Ctx.eval (context tpk) cts coeffs
+let partial_decrypt tpk share ct = Ctx.partial_decrypt (context tpk) share ct
+let combine tpk parts = Ctx.combine (context tpk) parts
+
+let sim_partial_decrypt tpk ct ~m ~honest =
+  Ctx.sim_partial_decrypt (context tpk) ct ~m ~honest
+
+let reshare tpk share ~rng =
   let t = tpk.threshold in
   (* g(x) = Delta * s_i + sum_{l=1..t} a_l x^l with statistically
      blinding coefficients *)
   let bound =
     B.shift_left (B.add (B.abs share.value) (B.mul tpk.pk.Paillier.n tpk.pk.Paillier.n)) 64
   in
-  let coeffs = Array.init t (fun _ -> B.random_below st bound) in
+  let coeffs = Array.init t (fun _ -> B.random_below rng bound) in
   let base = B.mul tpk.delta share.value in
   Array.init tpk.n_parties (fun j ->
       let xb = B.of_int (j + 1) in
@@ -156,15 +252,17 @@ let recombine_share tpk ~index ~epoch subshares =
   in
   { index; epoch; value }
 
-let sim_partial_decrypt tpk ct ~m ~honest =
-  if List.length honest < tpk.threshold + 1 then
-    invalid_arg "Threshold.sim_partial_decrypt: not enough honest shares";
-  (* decrypt beta using the honest shares themselves *)
-  let m0 = combine tpk (List.map (fun s -> partial_decrypt tpk s ct) honest) in
-  (* beta' = beta * (1+N)^(m - m0): same randomness component, target
-     plaintext *)
-  let n = tpk.pk.Paillier.n and n2 = tpk.pk.Paillier.n2 in
-  let diff = B.erem (B.sub m m0) n in
-  let adjust = B.erem (B.add B.one (B.mul diff n)) n2 in
-  let ct' = Paillier.of_raw tpk.pk (B.mulmod (Paillier.raw ct) adjust n2) in
-  List.map (fun s -> partial_decrypt tpk s ct') honest
+(* Deprecated positional-RNG aliases, one release *)
+let keygen_st ?bits ~n ~t st = keygen ?bits ~n ~t ~rng:st ()
+let encrypt_st tpk st m = encrypt tpk ~rng:st m
+let reshare_st tpk share st = reshare tpk share ~rng:st
+
+module Reference = struct
+  let partial_decrypt tpk share ct =
+    partial_decrypt_with ~pow:B.powmod_naive tpk share ct
+
+  let combine tpk parts =
+    combine_with ~pow:B.powmod_naive ~weights:(default_weights tpk)
+      ~theta_inv:(fun epoch -> B.invmod (theta tpk epoch) tpk.pk.Paillier.n)
+      tpk parts
+end

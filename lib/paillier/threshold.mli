@@ -17,7 +17,13 @@
     compensates for via the epoch counter carried by shares and
     partials.  (Production systems bound the number of epochs; here
     shares grow by ~[2 log2 Delta + 1] bits per epoch, which is fine
-    at test scale.) *)
+    at test scale.)
+
+    {b Contexts.} Like {!Paillier.Ctx}, a {!Ctx.t} carries the
+    Montgomery contexts (via the underlying {!Paillier.Ctx.t}) plus
+    caches for the [Delta]-scaled Lagrange combining weights (per
+    partial subset) and the [theta^-1] epoch compensation scalars, so
+    repeated combines over the same committee recompute nothing. *)
 
 module B = Yoso_bigint.Bigint
 
@@ -37,11 +43,56 @@ type key_share = private {
 type partial = private { p_index : int; p_epoch : int; d : B.t }
 
 val keygen :
-  ?bits:int -> n:int -> t:int -> Random.State.t -> tpk * key_share array
+  ?bits:int ->
+  n:int ->
+  t:int ->
+  rng:Random.State.t ->
+  unit ->
+  tpk * key_share array
 (** [TKGen]: dealer-based setup.  @raise Invalid_argument unless
     [0 <= t < n]. *)
 
-val encrypt : tpk -> Random.State.t -> B.t -> Paillier.ciphertext
+(** {1 Context API} *)
+
+module Ctx : sig
+  type t
+
+  val create : tpk -> t
+  val tpk : t -> tpk
+
+  val paillier : t -> Paillier.Ctx.t
+  (** The underlying Paillier context for [pk] (shared with
+      {!Paillier.context}). *)
+
+  val encrypt : t -> rng:Random.State.t -> B.t -> Paillier.ciphertext
+  val eval : t -> Paillier.ciphertext list -> B.t list -> Paillier.ciphertext
+
+  val partial_decrypt : t -> key_share -> Paillier.ciphertext -> partial
+  (** [TPDec] via Montgomery exponentiation. *)
+
+  val combine : t -> partial list -> B.t
+  (** [TDec] with cached combining weights and [theta^-1].
+      @raise Invalid_argument as {!val-combine}. *)
+
+  val sim_partial_decrypt :
+    t -> Paillier.ciphertext -> m:B.t -> honest:key_share list -> partial list
+
+  val weights : t -> int list -> (int * B.t) list
+  (** [(i, 2 * mu_i)] combining weights for a partial subset, cached
+      per subset. *)
+
+  val theta_inv : t -> int -> B.t
+  (** [theta(epoch)^-1 mod N], cached per epoch. *)
+end
+
+val context : tpk -> Ctx.t
+(** Memoized {!Ctx.create}, keyed on physical identity of the [tpk]
+    record. *)
+
+(** {1 Bare-key wrappers} *)
+
+val encrypt : tpk -> rng:Random.State.t -> B.t -> Paillier.ciphertext
+
 val eval : tpk -> Paillier.ciphertext list -> B.t list -> Paillier.ciphertext
 (** [TEval], delegating to {!Paillier.linear_combination}. *)
 
@@ -53,7 +104,7 @@ val combine : tpk -> partial list -> B.t
     the same epoch; extras ignored.  @raise Invalid_argument
     otherwise. *)
 
-val reshare : tpk -> key_share -> Random.State.t -> B.t array
+val reshare : tpk -> key_share -> rng:Random.State.t -> B.t array
 (** [TKRes]: party [i]'s re-sharing messages; slot [j] (0-based) is
     the sub-share destined for party [j + 1]. *)
 
@@ -67,7 +118,8 @@ val recombine_share :
     practice: the broadcast-agreed set of senders whose proofs
     verified) — otherwise the new shares lie on different polynomials.
     Only the first [t + 1] distinct senders in the list are used, so
-    passing the same ordered list everywhere suffices. *)
+    passing the same ordered list everywhere suffices.
+    @raise Invalid_argument with fewer than [t + 1] distinct senders. *)
 
 val sim_partial_decrypt :
   tpk -> Paillier.ciphertext -> m:B.t -> honest:key_share list -> partial list
@@ -76,7 +128,19 @@ val sim_partial_decrypt :
     such that {!combine} on them returns [m] — by re-basing the
     partials on the adjusted ciphertext [beta * (1+N)^(m - Dec(beta))],
     which is distributed identically to a fresh encryption of [m] with
-    [beta]'s randomness component.  Needs [>= t + 1] honest shares. *)
+    [beta]'s randomness component.  Needs [>= t + 1] honest shares.
+    @raise Invalid_argument otherwise. *)
+
+val theta : tpk -> int -> B.t
+(** [theta_e = 4 Delta^2 (2 Delta^2)^e mod N]: the scalar a combined
+    plaintext is implicitly multiplied by after epoch-[e]
+    reconstruction (compensated inside {!val-combine}). *)
+
+val mu_weight : B.t -> int list -> int -> B.t
+(** [mu_weight delta subset i]: integral Lagrange-at-zero weight
+    [Delta * l_i(0)].  @raise Failure if the weight is non-integral
+    (can only happen if [delta] is not a multiple of [subset]'s
+    denominators). *)
 
 val share_index : key_share -> int
 val share_epoch : key_share -> int
@@ -86,3 +150,26 @@ val unsafe_share : index:int -> epoch:int -> value:B.t -> key_share
 val unsafe_partial : index:int -> epoch:int -> d:B.t -> partial
 (** Test/adversary constructor (e.g. a malicious role posting a junk
     partial decryption). *)
+
+(** {1 Deprecated aliases} *)
+
+val keygen_st :
+  ?bits:int -> n:int -> t:int -> Random.State.t -> tpk * key_share array
+[@@ocaml.deprecated "use keygen ~rng"]
+
+val encrypt_st : tpk -> Random.State.t -> B.t -> Paillier.ciphertext
+[@@ocaml.deprecated "use encrypt ~rng"]
+
+val reshare_st : tpk -> key_share -> Random.State.t -> B.t array
+[@@ocaml.deprecated "use reshare ~rng"]
+
+(** {1 Reference implementations}
+
+    Naive square-and-multiply [TPDec]/[TDec], sharing their bodies
+    with the context path (only the exponentiation backend differs);
+    baseline side of [bench time]. *)
+
+module Reference : sig
+  val partial_decrypt : tpk -> key_share -> Paillier.ciphertext -> partial
+  val combine : tpk -> partial list -> B.t
+end

@@ -20,16 +20,22 @@ let group =
      in
      { modulus; order = q; h = find_generator 2 })
 
+(* h is the one base every dealing and verification exponentiates, so
+   it gets a Montgomery fixed-base table; commitments (varying bases)
+   go through the group's shared Montgomery context. *)
+let mont = lazy (B.Mont.create (Lazy.force group).modulus)
+let fb_h = lazy (B.Mont.fixed_base (Lazy.force mont) (Lazy.force group).h)
+
 type commitment = B.t array
 
 type dealing = { commitment : commitment; shares : F.t array }
 
-let pow_h g e = B.powmod g.h (B.of_int e) g.modulus
+let pow_h _g e = B.Mont.fixed_powmod (Lazy.force fb_h) (B.of_int e)
 
-let deal ~t ~n ~secret st =
+let deal ~t ~n ~secret ~rng =
   if t < 0 || n < 1 || t >= n then invalid_arg "Feldman.deal: need 0 <= t < n";
   let g = Lazy.force group in
-  let coeffs = Array.init (t + 1) (fun j -> if j = 0 then secret else F.random st) in
+  let coeffs = Array.init (t + 1) (fun j -> if j = 0 then secret else F.random rng) in
   let commitment = Array.map (fun a -> pow_h g (F.to_int a)) coeffs in
   let eval x =
     let acc = ref F.zero in
@@ -43,13 +49,15 @@ let deal ~t ~n ~secret st =
 
 let verify_share commitment ~index ~share =
   let g = Lazy.force group in
+  let mctx = Lazy.force mont in
   (* h^share =? prod_j C_j^((index+1)^j); exponents live mod q = F.p *)
   let x = F.of_int (index + 1) in
   let rhs = ref B.one in
   let x_pow = ref F.one in
   Array.iter
     (fun c ->
-      rhs := B.mulmod !rhs (B.powmod c (B.of_int (F.to_int !x_pow)) g.modulus) g.modulus;
+      rhs :=
+        B.mulmod !rhs (B.Mont.powmod mctx c (B.of_int (F.to_int !x_pow))) g.modulus;
       x_pow := F.mul !x_pow x)
     commitment;
   B.equal (pow_h g (F.to_int share)) !rhs
@@ -87,3 +95,6 @@ let reconstruct ~t pairs =
   let points = Array.of_list (List.map (fun (i, _) -> F.of_int (i + 1)) chosen) in
   let values = Array.of_list (List.map snd chosen) in
   Lagrange.eval_from ~points ~values F.zero
+
+(* Deprecated positional-RNG alias, one release *)
+let deal_st ~t ~n ~secret st = deal ~t ~n ~secret ~rng:st

@@ -37,8 +37,14 @@ type dealing = {
   shares : F.t array;  (** share of party [i] (0-based) at point [i + 1] *)
 }
 
-val deal : t:int -> n:int -> secret:F.t -> Random.State.t -> dealing
-(** Degree-[t] verifiable dealing of [secret] to [n] parties. *)
+val deal : t:int -> n:int -> secret:F.t -> rng:Random.State.t -> dealing
+(** Degree-[t] verifiable dealing of [secret] to [n] parties.
+    Commitment exponentiations use a lazily built Montgomery
+    fixed-base table for [h].
+    @raise Invalid_argument unless [0 <= t < n]. *)
+
+val deal_st : t:int -> n:int -> secret:F.t -> Random.State.t -> dealing
+[@@ocaml.deprecated "use deal ~rng"]
 
 val verify_share : commitment -> index:int -> share:F.t -> bool
 val verify_dealing : n:int -> dealing -> bool

@@ -49,13 +49,13 @@ module Make (F : Yoso_field.Field.S) = struct
       Hashtbl.add p.bases d b;
       b
 
-  let share p ~degree ~secrets st =
+  let share p ~degree ~secrets ~rng =
     check_degree_range p degree;
     if Array.length secrets <> p.k then
       invalid_arg "Packed_shamir.share: secrets length <> k";
     let extra = degree + 1 - p.k in
     let anchor_values =
-      Array.append secrets (Array.init extra (fun _ -> F.random st))
+      Array.append secrets (Array.init extra (fun _ -> F.random rng))
     in
     let base = anchor_base p degree in
     (* the first [extra] share points are anchors themselves *)
@@ -65,6 +65,9 @@ module Make (F : Yoso_field.Field.S) = struct
           else Bary.eval base ~values:anchor_values p.share_points.(i))
     in
     { degree; shares }
+
+  (* Deprecated positional-RNG alias, one release *)
+  let share_st p ~degree ~secrets st = share p ~degree ~secrets ~rng:st
 
   let share_public p vec =
     if Array.length vec <> p.k then

@@ -41,9 +41,15 @@ module Make (F : Yoso_field.Field.S) : sig
       modules that inject malformed sharings; honest code should use
       {!share}. *)
 
-  val share : params -> degree:int -> secrets:F.t array -> Random.State.t -> sharing
+  val share :
+    params -> degree:int -> secrets:F.t array -> rng:Random.State.t -> sharing
   (** Random degree-[degree] packed sharing of [secrets] (length [k]).
-      @raise Invalid_argument if the degree is out of range. *)
+      @raise Invalid_argument if the degree is out of range or
+      [secrets] does not have length [k]. *)
+
+  val share_st :
+    params -> degree:int -> secrets:F.t array -> Random.State.t -> sharing
+  [@@ocaml.deprecated "use share ~rng"]
 
   val share_public : params -> F.t array -> sharing
   (** The unique degree-[(k-1)] sharing of a public vector: all shares

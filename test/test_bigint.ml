@@ -233,6 +233,77 @@ let test_random_below () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Montgomery engine                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let random_odd_modulus bits =
+  let m = B.add (B.shift_left B.one (bits - 1)) (B.random_bits st (bits - 1)) in
+  if B.is_even m then B.add m B.one else m
+
+let test_mont_matches_naive () =
+  List.iter
+    (fun bits ->
+      let m = random_odd_modulus bits in
+      let ctx = B.Mont.create m in
+      for _ = 1 to 25 do
+        let b = B.random_bits st (bits + 17) in
+        let e = B.random_bits st bits in
+        check_b "mont = naive" (B.powmod_naive b e m) (B.Mont.powmod ctx b e)
+      done)
+    [ 512; 1024 ]
+
+let test_mont_dispatch_matches_naive () =
+  (* the public powmod picks a backend by modulus shape; whatever it
+     picks must agree with the reference loop *)
+  for _ = 1 to 50 do
+    let bits = 2 + Random.State.int st 200 in
+    let m = B.add (B.random_bits st bits) B.two in
+    let b = B.random_bits st (bits + 9) in
+    let e = B.random_bits st 80 in
+    check_b "dispatch = naive" (B.powmod_naive b e m) (B.powmod b e m)
+  done
+
+let test_mont_fixed_base () =
+  List.iter
+    (fun bits ->
+      let m = random_odd_modulus bits in
+      let ctx = B.Mont.create m in
+      let base = B.random_bits st (bits - 1) in
+      let fb = B.Mont.fixed_base ctx base in
+      (* growing exponents force the table to extend across calls *)
+      List.iter
+        (fun ebits ->
+          let e = B.random_bits st ebits in
+          check_b "fixed = generic" (B.Mont.powmod ctx base e)
+            (B.Mont.fixed_powmod fb e))
+        [ 4; 30; 64; 200; 700 ])
+    [ 512; 1024 ]
+
+let test_mont_edge_cases () =
+  let m = random_odd_modulus 256 in
+  let ctx = B.Mont.create m in
+  let b = B.random_bits st 200 in
+  check_b "e = 0" B.one (B.Mont.powmod ctx b B.zero);
+  check_b "e = 1" (B.erem b m) (B.Mont.powmod ctx b B.one);
+  check_b "base = 0 mod m" B.zero (B.Mont.powmod ctx (B.mul m B.two) (B.of_int 5));
+  check_b "negative base" (B.powmod_naive (B.neg b) (B.of_int 7) m)
+    (B.Mont.powmod ctx (B.neg b) (B.of_int 7));
+  check_b "roundtrip" (B.erem b m) (B.Mont.of_mont ctx (B.Mont.to_mont ctx b));
+  let x = B.random_below st m and y = B.random_below st m in
+  check_b "mulmod agrees" (B.mulmod x y m)
+    (B.Mont.of_mont ctx
+       (B.Mont.mulmod ctx (B.Mont.to_mont ctx x) (B.Mont.to_mont ctx y)));
+  Alcotest.check_raises "even modulus"
+    (Invalid_argument "Bigint.Mont.create: modulus must be odd and >= 3") (fun () ->
+      ignore (B.Mont.create (B.of_int 100)));
+  Alcotest.check_raises "modulus 1"
+    (Invalid_argument "Bigint.Mont.create: modulus must be odd and >= 3") (fun () ->
+      ignore (B.Mont.create B.one));
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Bigint.Mont.powmod: negative exponent") (fun () ->
+      ignore (B.Mont.powmod ctx b (B.of_int (-1))))
+
+(* ------------------------------------------------------------------ *)
 (* QCheck                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -316,6 +387,13 @@ let () =
           Alcotest.test_case "random prime" `Quick test_random_prime;
           Alcotest.test_case "safe prime" `Quick test_random_safe_prime;
           Alcotest.test_case "random below" `Quick test_random_below;
+        ] );
+      ( "montgomery",
+        [
+          Alcotest.test_case "matches naive 512/1024" `Quick test_mont_matches_naive;
+          Alcotest.test_case "dispatch matches naive" `Quick test_mont_dispatch_matches_naive;
+          Alcotest.test_case "fixed base" `Quick test_mont_fixed_base;
+          Alcotest.test_case "edge cases" `Quick test_mont_edge_cases;
         ] );
       ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props);
     ]

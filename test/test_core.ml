@@ -45,7 +45,7 @@ let test_pke_nested_payload () =
 (* Ideal TE                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let te_fixture () = Te.keygen ~n:7 ~t:2 (rng ())
+let te_fixture () = Te.keygen ~n:7 ~t:2 ~rng:(rng ())
 
 let partials te shares ct who = List.map (fun i -> Te.partial_decrypt te shares.(i) ct) who
 
@@ -119,7 +119,7 @@ let test_te_misaddressed_subshare () =
 
 let test_te_foreign_ciphertext () =
   let te, _ = te_fixture () in
-  let te2, shares2 = Te.keygen ~n:5 ~t:1 (rng ()) in
+  let te2, shares2 = Te.keygen ~n:5 ~t:1 ~rng:(rng ()) in
   let ct = Te.encrypt te2 F.one in
   Alcotest.check_raises "foreign" (Invalid_argument "Ideal_te: foreign ciphertext")
     (fun () -> ignore (Te.add te ct ct));
@@ -219,7 +219,12 @@ let test_params_max_fail_stop_clamped () =
 let params16 = Params.create ~n:16 ~t:5 ~k:3 ()
 
 let run_and_check ?adversary circuit inputs =
-  let r = Protocol.execute ~params:params16 ?adversary ~circuit ~inputs () in
+  let config =
+    match adversary with
+    | None -> Protocol.default_config
+    | Some adversary -> { Protocol.default_config with adversary }
+  in
+  let r = Protocol.execute ~params:params16 ~config ~circuit ~inputs () in
   Alcotest.(check bool) "outputs match plain evaluation" true
     (Protocol.check r circuit ~inputs)
 
@@ -287,7 +292,11 @@ let test_e2e_failstop_mode_params () =
   let circuit = Gen.dot_product ~len:6 in
   let inputs c = Array.init 6 (fun i -> F.of_int ((c + 1) * (i + 1))) in
   let adversary = { Params.malicious = params.Params.t; passive = 0; fail_stop = headroom } in
-  let r = Protocol.execute ~params ~adversary ~circuit ~inputs () in
+  let r =
+    Protocol.execute ~params
+      ~config:{ Protocol.default_config with adversary }
+      ~circuit ~inputs ()
+  in
   Alcotest.(check bool) "GOD under t malicious + max fail-stop" true
     (Protocol.check r circuit ~inputs)
 
@@ -297,7 +306,9 @@ let test_e2e_rejects_invalid_adversary () =
     (Invalid_argument "Params.validate_adversary: 6 malicious exceeds t = 5") (fun () ->
       ignore
         (Protocol.execute ~params:params16
-           ~adversary:{ Params.malicious = 6; passive = 0; fail_stop = 0 }
+           ~config:
+             { Protocol.default_config with
+               adversary = { Params.malicious = 6; passive = 0; fail_stop = 0 } }
            ~circuit
            ~inputs:(fun _ -> [| F.one; F.one |])
            ()))
@@ -305,8 +316,9 @@ let test_e2e_rejects_invalid_adversary () =
 let test_e2e_deterministic_given_seed () =
   let circuit = Gen.dot_product ~len:3 in
   let inputs c = Array.init 3 (fun i -> F.of_int (c + i + 1)) in
-  let r1 = Protocol.execute ~params:params16 ~seed:9 ~circuit ~inputs () in
-  let r2 = Protocol.execute ~params:params16 ~seed:9 ~circuit ~inputs () in
+  let config = { Protocol.default_config with seed = 9 } in
+  let r1 = Protocol.execute ~params:params16 ~config ~circuit ~inputs () in
+  let r2 = Protocol.execute ~params:params16 ~config ~circuit ~inputs () in
   Alcotest.(check int) "same posts" r1.Protocol.posts r2.Protocol.posts;
   Alcotest.(check int) "same offline cost" r1.Protocol.offline_elements r2.Protocol.offline_elements
 
@@ -371,7 +383,7 @@ let test_speak_once_audit () =
     Setup.run ~board ~params
       ~layers:(Array.length layout.Yoso_circuit.Layout.mult_layers)
       ~clients:(Circuit.clients circuit)
-      (Splitmix.of_int 4)
+      ~rng:(Splitmix.of_int 4)
   in
   let prep = Yoso_mpc.Offline.run ctx setup layout in
   let _ = Online.run ctx setup prep ~inputs in

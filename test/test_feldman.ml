@@ -29,7 +29,7 @@ let test_group_parameters () =
 let test_deal_verify_reconstruct () =
   for _ = 1 to 10 do
     let secret = F.random st in
-    let d = Feldman.deal ~t:3 ~n:9 ~secret st in
+    let d = Feldman.deal ~t:3 ~n:9 ~secret ~rng:st in
     Alcotest.(check bool) "dealing verifies" true (Feldman.verify_dealing ~n:9 d);
     let pairs = [ (8, d.Feldman.shares.(8)); (2, d.Feldman.shares.(2));
                   (5, d.Feldman.shares.(5)); (0, d.Feldman.shares.(0)) ] in
@@ -37,7 +37,7 @@ let test_deal_verify_reconstruct () =
   done
 
 let test_corrupted_share_detected () =
-  let d = Feldman.deal ~t:2 ~n:6 ~secret:(F.of_int 77) st in
+  let d = Feldman.deal ~t:2 ~n:6 ~secret:(F.of_int 77) ~rng:st in
   Alcotest.(check bool) "good share ok" true
     (Feldman.verify_share d.Feldman.commitment ~index:4 ~share:d.Feldman.shares.(4));
   Alcotest.(check bool) "bad share caught" false
@@ -48,7 +48,7 @@ let test_corrupted_share_detected () =
     (Feldman.verify_share d.Feldman.commitment ~index:3 ~share:d.Feldman.shares.(4))
 
 let test_corrupted_dealing_detected () =
-  let d = Feldman.deal ~t:2 ~n:6 ~secret:(F.of_int 1) st in
+  let d = Feldman.deal ~t:2 ~n:6 ~secret:(F.of_int 1) ~rng:st in
   let shares = Array.copy d.Feldman.shares in
   shares.(2) <- F.add shares.(2) F.one;
   Alcotest.(check bool) "corrupted dealing rejected" false
@@ -56,8 +56,8 @@ let test_corrupted_dealing_detected () =
 
 let test_commitment_homomorphism () =
   let s1 = F.random st and s2 = F.random st in
-  let d1 = Feldman.deal ~t:2 ~n:5 ~secret:s1 st in
-  let d2 = Feldman.deal ~t:2 ~n:5 ~secret:s2 st in
+  let d1 = Feldman.deal ~t:2 ~n:5 ~secret:s1 ~rng:st in
+  let d2 = Feldman.deal ~t:2 ~n:5 ~secret:s2 ~rng:st in
   (* C_0 * C_0' commits to s1 + s2: the summed shares verify against
      the coefficient-wise product of commitments *)
   let agg =
@@ -74,7 +74,7 @@ let test_commitment_homomorphism () =
 
 let test_deal_validation () =
   Alcotest.check_raises "t >= n" (Invalid_argument "Feldman.deal: need 0 <= t < n")
-    (fun () -> ignore (Feldman.deal ~t:5 ~n:5 ~secret:F.one st));
+    (fun () -> ignore (Feldman.deal ~t:5 ~n:5 ~secret:F.one ~rng:st));
   Alcotest.check_raises "too few shares"
     (Invalid_argument "Feldman.reconstruct: not enough shares") (fun () ->
       ignore (Feldman.reconstruct ~t:2 [ (0, F.one); (0, F.one); (1, F.two) ]))

@@ -386,7 +386,11 @@ let circuit = Gen.dot_product ~len:4
 let inputs c = Array.init 4 (fun i -> F.of_int ((c * 10) + i + 1))
 
 let test_protocol_replay () =
-  let run () = Protocol.execute ~params:params16 ~seed:11 ~circuit ~inputs () in
+  let run () =
+    Protocol.execute ~params:params16
+      ~config:{ Protocol.default_config with seed = 11 }
+      ~circuit ~inputs ()
+  in
   let r1 = run () and r2 = run () in
   Alcotest.(check bool) "correct" true (Protocol.check r1 circuit ~inputs);
   Alcotest.(check bool) "transcripts byte-identical" true (r1.Protocol.transcript = r2.Protocol.transcript);
@@ -395,7 +399,11 @@ let test_protocol_replay () =
     r1.Protocol.transcript.Board.frames
 
 let test_protocol_bytes_measured () =
-  let r = Protocol.execute ~params:params16 ~seed:11 ~circuit ~inputs () in
+  let r =
+    Protocol.execute ~params:params16
+      ~config:{ Protocol.default_config with seed = 11 }
+      ~circuit ~inputs ()
+  in
   Alcotest.(check bool) "setup bytes" true (r.Protocol.setup_bytes > 0);
   Alcotest.(check bool) "offline bytes" true (r.Protocol.offline_bytes > 0);
   Alcotest.(check bool) "online bytes" true (r.Protocol.online_bytes > 0);
@@ -410,7 +418,11 @@ let test_protocol_bytes_measured () =
 
 let test_protocol_over_lan () =
   let net = { Board.default_config with Board.model = Sim.lan; Board.round_ms = 200. } in
-  let r = Protocol.execute ~params:params16 ~seed:11 ~net ~circuit ~inputs () in
+  let r =
+    Protocol.execute ~params:params16
+      ~config:{ Protocol.default_config with seed = 11; net }
+      ~circuit ~inputs ()
+  in
   Alcotest.(check bool) "correct over lan" true (Protocol.check r circuit ~inputs);
   Alcotest.(check bool) "time passed" true (r.Protocol.net.Sim.elapsed_ms > 0.)
 
@@ -419,14 +431,22 @@ let test_protocol_lossy_never_wrong () =
      the structured failure — never a wrong output *)
   let net = { Board.default_config with Board.model = { Sim.ideal with Sim.drop = 0.08 } } in
   for seed = 1 to 5 do
-    match Protocol.execute ~params:params16 ~seed ~net ~circuit ~inputs () with
+    match
+      Protocol.execute ~params:params16
+        ~config:{ Protocol.default_config with seed; net }
+        ~circuit ~inputs ()
+    with
     | r ->
       Alcotest.(check bool) "correct despite loss" true (Protocol.check r circuit ~inputs)
     | exception Yoso_runtime.Faults.Protocol_failure _ -> ()
   done
 
 let test_report_json () =
-  let r = Protocol.execute ~params:params16 ~seed:11 ~circuit ~inputs () in
+  let r =
+    Protocol.execute ~params:params16
+      ~config:{ Protocol.default_config with seed = 11 }
+      ~circuit ~inputs ()
+  in
   let js = Protocol.report_json r in
   Alcotest.(check bool) "object" true (String.length js > 2 && js.[0] = '{');
   List.iter

@@ -5,7 +5,7 @@ module Sigma = Yoso_nizk.Sigma
 module Ideal = Yoso_nizk.Ideal
 
 let st = Random.State.make [| 0x512A |]
-let pk, sk = P.keygen ~bits:128 st
+let pk, sk = P.keygen ~bits:128 ~rng:st ()
 
 let sample_unit () =
   let rec go () =
@@ -74,7 +74,7 @@ let test_ptk_roundtrip () =
     let m = B.random_below st pk.P.n in
     let r = sample_unit () in
     let c = P.encrypt_with pk ~r m in
-    let proof = Sigma.Plaintext_knowledge.prove pk st ~m ~r ~c in
+    let proof = Sigma.Plaintext_knowledge.prove pk ~rng:st ~m ~r ~c in
     Alcotest.(check bool) "verifies" true (Sigma.Plaintext_knowledge.verify pk ~c proof)
   done
 
@@ -82,8 +82,8 @@ let test_ptk_rejects_wrong_ciphertext () =
   let m = B.random_below st pk.P.n in
   let r = sample_unit () in
   let c = P.encrypt_with pk ~r m in
-  let proof = Sigma.Plaintext_knowledge.prove pk st ~m ~r ~c in
-  let c' = P.encrypt pk st m in
+  let proof = Sigma.Plaintext_knowledge.prove pk ~rng:st ~m ~r ~c in
+  let c' = P.encrypt pk ~rng:st m in
   Alcotest.(check bool) "different ciphertext rejected" false
     (Sigma.Plaintext_knowledge.verify pk ~c:c' proof)
 
@@ -91,7 +91,7 @@ let test_ptk_rejects_tampered_proof () =
   let m = B.random_below st pk.P.n in
   let r = sample_unit () in
   let c = P.encrypt_with pk ~r m in
-  let proof = Sigma.Plaintext_knowledge.prove pk st ~m ~r ~c in
+  let proof = Sigma.Plaintext_knowledge.prove pk ~rng:st ~m ~r ~c in
   let bad = { proof with Sigma.Plaintext_knowledge.z_m = B.add proof.Sigma.Plaintext_knowledge.z_m B.one } in
   Alcotest.(check bool) "tampered z_m rejected" false
     (Sigma.Plaintext_knowledge.verify pk ~c bad);
@@ -104,7 +104,7 @@ let test_ptk_rejects_wrong_witness_proof () =
   let m = B.random_below st pk.P.n in
   let r = sample_unit () in
   let c = P.encrypt_with pk ~r m in
-  let proof = Sigma.Plaintext_knowledge.prove pk st ~m:(B.add m B.one) ~r ~c in
+  let proof = Sigma.Plaintext_knowledge.prove pk ~rng:st ~m:(B.add m B.one) ~r ~c in
   Alcotest.(check bool) "wrong witness rejected" false
     (Sigma.Plaintext_knowledge.verify pk ~c proof)
 
@@ -119,7 +119,7 @@ let mult_instance () =
   let a = B.random_below st pk.P.n in
   let b = B.random_below st pk.P.n in
   let r = sample_unit () in
-  let c_a = P.encrypt pk st a in
+  let c_a = P.encrypt pk ~rng:st a in
   let c_b = P.encrypt_with pk ~r b in
   let c_c = P.scalar_mul pk b c_a in
   (a, b, r, c_a, c_b, c_c)
@@ -127,7 +127,7 @@ let mult_instance () =
 let test_mult_roundtrip () =
   for _ = 1 to 5 do
     let _, b, r, c_a, c_b, c_c = mult_instance () in
-    let proof = Sigma.Multiplication.prove pk st ~b ~r ~c_a ~c_b ~c_c in
+    let proof = Sigma.Multiplication.prove pk ~rng:st ~b ~r ~c_a ~c_b ~c_c in
     Alcotest.(check bool) "verifies" true
       (Sigma.Multiplication.verify pk ~c_a ~c_b ~c_c proof);
     (* plaintext of c_c really is a*b *)
@@ -139,20 +139,20 @@ let test_mult_roundtrip () =
 let test_mult_rejects_wrong_product () =
   let _, b, r, c_a, c_b, _ = mult_instance () in
   (* claim a different product ciphertext *)
-  let c_c_bad = P.encrypt pk st (B.of_int 999) in
-  let proof = Sigma.Multiplication.prove pk st ~b ~r ~c_a ~c_b ~c_c:c_c_bad in
+  let c_c_bad = P.encrypt pk ~rng:st (B.of_int 999) in
+  let proof = Sigma.Multiplication.prove pk ~rng:st ~b ~r ~c_a ~c_b ~c_c:c_c_bad in
   Alcotest.(check bool) "wrong product rejected" false
     (Sigma.Multiplication.verify pk ~c_a ~c_b ~c_c:c_c_bad proof)
 
 let test_mult_rejects_swapped_statement () =
   let _, b, r, c_a, c_b, c_c = mult_instance () in
-  let proof = Sigma.Multiplication.prove pk st ~b ~r ~c_a ~c_b ~c_c in
+  let proof = Sigma.Multiplication.prove pk ~rng:st ~b ~r ~c_a ~c_b ~c_c in
   Alcotest.(check bool) "swapped statement rejected" false
     (Sigma.Multiplication.verify pk ~c_a:c_b ~c_b:c_a ~c_c proof)
 
 let test_mult_rejects_negative_response () =
   let _, b, r, c_a, c_b, c_c = mult_instance () in
-  let proof = Sigma.Multiplication.prove pk st ~b ~r ~c_a ~c_b ~c_c in
+  let proof = Sigma.Multiplication.prove pk ~rng:st ~b ~r ~c_a ~c_b ~c_c in
   let bad = { proof with Sigma.Multiplication.z = B.neg B.one } in
   Alcotest.(check bool) "negative z rejected" false
     (Sigma.Multiplication.verify pk ~c_a ~c_b ~c_c bad)

@@ -8,8 +8,8 @@ let big = Alcotest.testable B.pp B.equal
 let check_b = Alcotest.check big
 
 (* key generation is the slow part; share one keypair across tests *)
-let pk, sk = P.keygen ~bits:128 st
-let tpk5, tshares5 = T.keygen ~bits:128 ~n:5 ~t:2 st
+let pk, sk = P.keygen ~bits:128 ~rng:st ()
+let tpk5, tshares5 = T.keygen ~bits:128 ~n:5 ~t:2 ~rng:st ()
 
 let rand_msg () = B.random_below st pk.P.n
 
@@ -20,29 +20,29 @@ let rand_msg () = B.random_below st pk.P.n
 let test_enc_dec_roundtrip () =
   for _ = 1 to 20 do
     let m = rand_msg () in
-    check_b "dec(enc(m)) = m" m (P.decrypt sk (P.encrypt pk st m))
+    check_b "dec(enc(m)) = m" m (P.decrypt sk (P.encrypt pk ~rng:st m))
   done;
-  check_b "zero" B.zero (P.decrypt sk (P.encrypt pk st B.zero));
-  check_b "N-1" (B.sub pk.P.n B.one) (P.decrypt sk (P.encrypt pk st (B.sub pk.P.n B.one)))
+  check_b "zero" B.zero (P.decrypt sk (P.encrypt pk ~rng:st B.zero));
+  check_b "N-1" (B.sub pk.P.n B.one) (P.decrypt sk (P.encrypt pk ~rng:st (B.sub pk.P.n B.one)))
 
 let test_additive_homomorphism () =
   for _ = 1 to 10 do
     let m1 = rand_msg () and m2 = rand_msg () in
-    let c = P.add pk (P.encrypt pk st m1) (P.encrypt pk st m2) in
+    let c = P.add pk (P.encrypt pk ~rng:st m1) (P.encrypt pk ~rng:st m2) in
     check_b "sum" (B.erem (B.add m1 m2) pk.P.n) (P.decrypt sk c)
   done
 
 let test_scalar_mul () =
   for _ = 1 to 10 do
     let m = rand_msg () and s = rand_msg () in
-    let c = P.scalar_mul pk s (P.encrypt pk st m) in
+    let c = P.scalar_mul pk s (P.encrypt pk ~rng:st m) in
     check_b "scalar" (B.erem (B.mul s m) pk.P.n) (P.decrypt sk c)
   done
 
 let test_linear_combination () =
   let ms = List.init 4 (fun _ -> rand_msg ()) in
   let coeffs = List.init 4 (fun _ -> B.random_below st (B.of_int 1000)) in
-  let cts = List.map (P.encrypt pk st) ms in
+  let cts = List.map (P.encrypt pk ~rng:st) ms in
   let c = P.linear_combination pk cts coeffs in
   let expected =
     B.erem (List.fold_left2 (fun acc m k -> B.add acc (B.mul m k)) B.zero ms coeffs) pk.P.n
@@ -51,8 +51,8 @@ let test_linear_combination () =
 
 let test_rerandomize () =
   let m = rand_msg () in
-  let c = P.encrypt pk st m in
-  let c' = P.rerandomize pk st c in
+  let c = P.encrypt pk ~rng:st m in
+  let c' = P.rerandomize pk ~rng:st c in
   Alcotest.(check bool) "ciphertext changed" false (B.equal (P.raw c) (P.raw c'));
   check_b "plaintext unchanged" m (P.decrypt sk c')
 
@@ -64,18 +64,18 @@ let test_deterministic_encrypt () =
 
 let test_ciphertexts_randomized () =
   let m = rand_msg () in
-  let c1 = P.encrypt pk st m and c2 = P.encrypt pk st m in
+  let c1 = P.encrypt pk ~rng:st m and c2 = P.encrypt pk ~rng:st m in
   Alcotest.(check bool) "fresh randomness" false (B.equal (P.raw c1) (P.raw c2))
 
 let test_wrong_key_rejected () =
-  let pk2, _ = P.keygen ~bits:64 st in
-  let c = P.encrypt pk st (rand_msg ()) in
+  let pk2, _ = P.keygen ~bits:64 ~rng:st () in
+  let c = P.encrypt pk ~rng:st (rand_msg ()) in
   Alcotest.check_raises "decrypt wrong key"
     (Invalid_argument "Paillier.decrypt: ciphertext under a different key") (fun () ->
-      let _, sk2 = P.keygen ~bits:64 st in
+      let _, sk2 = P.keygen ~bits:64 ~rng:st () in
       ignore (P.decrypt sk2 c));
   Alcotest.check_raises "add wrong key"
-    (Invalid_argument "Paillier: ciphertext under a different key") (fun () ->
+    (Invalid_argument "Paillier.add: ciphertext under a different key") (fun () ->
       ignore (P.add pk2 c c))
 
 (* ------------------------------------------------------------------ *)
@@ -90,20 +90,20 @@ let partials ?(who = [ 0; 1; 2; 3; 4 ]) shares ct =
 let test_threshold_roundtrip () =
   for _ = 1 to 5 do
     let m = tmsg () in
-    let ct = T.encrypt tpk5 st m in
+    let ct = T.encrypt tpk5 ~rng:st m in
     check_b "t+1 partials decrypt" m (T.combine tpk5 (partials tshares5 ct ~who:[ 0; 1; 2 ]));
     check_b "different subset" m (T.combine tpk5 (partials tshares5 ct ~who:[ 4; 2; 1 ]));
     check_b "all partials" m (T.combine tpk5 (partials tshares5 ct))
   done
 
 let test_threshold_too_few () =
-  let ct = T.encrypt tpk5 st (tmsg ()) in
+  let ct = T.encrypt tpk5 ~rng:st (tmsg ()) in
   Alcotest.check_raises "too few" (Invalid_argument "Threshold.combine: 2 partials, need 3")
     (fun () -> ignore (T.combine tpk5 (partials tshares5 ct ~who:[ 0; 1 ])))
 
 let test_threshold_duplicates_ignored () =
   let m = tmsg () in
-  let ct = T.encrypt tpk5 st m in
+  let ct = T.encrypt tpk5 ~rng:st m in
   let ps = partials tshares5 ct ~who:[ 0; 0; 1; 2 ] in
   (* duplicate index 0 must not be counted twice, so this has only 3
      distinct partials and succeeds *)
@@ -111,20 +111,20 @@ let test_threshold_duplicates_ignored () =
 
 let test_threshold_after_eval () =
   let m1 = tmsg () and m2 = tmsg () in
-  let ct = T.eval tpk5 [ T.encrypt tpk5 st m1; T.encrypt tpk5 st m2 ] [ B.of_int 3; B.of_int 5 ] in
+  let ct = T.eval tpk5 [ T.encrypt tpk5 ~rng:st m1; T.encrypt tpk5 ~rng:st m2 ] [ B.of_int 3; B.of_int 5 ] in
   let expected = B.erem (B.add (B.mul (B.of_int 3) m1) (B.mul (B.of_int 5) m2)) tpk5.T.pk.P.n in
   check_b "decrypt after eval" expected (T.combine tpk5 (partials tshares5 ct ~who:[ 1; 3; 4 ]))
 
 let reshare_all shares epoch =
   (* every party reshapes; recipients combine the same sender subset *)
-  let msgs = Array.map (fun s -> T.reshare tpk5 s st) shares in
+  let msgs = Array.map (fun s -> T.reshare tpk5 s ~rng:st) shares in
   Array.init 5 (fun j ->
       let subshares = List.init 5 (fun i -> (i + 1, msgs.(i).(j))) in
       T.recombine_share tpk5 ~index:(j + 1) ~epoch subshares)
 
 let test_key_rerandomization () =
   let m = tmsg () in
-  let ct = T.encrypt tpk5 st m in
+  let ct = T.encrypt tpk5 ~rng:st m in
   let shares1 = reshare_all tshares5 1 in
   check_b "epoch 1 decrypts" m (T.combine tpk5 (partials shares1 ct ~who:[ 0; 2; 4 ]));
   (* a second epoch *)
@@ -140,8 +140,8 @@ let test_key_rerandomization () =
 let test_rerandomization_partial_subset () =
   (* only t+1 = 3 parties reshare: still enough *)
   let m = tmsg () in
-  let ct = T.encrypt tpk5 st m in
-  let msgs = Array.map (fun s -> T.reshare tpk5 s st) tshares5 in
+  let ct = T.encrypt tpk5 ~rng:st m in
+  let msgs = Array.map (fun s -> T.reshare tpk5 s ~rng:st) tshares5 in
   let shares1 =
     Array.init 5 (fun j ->
         let subshares = List.map (fun i -> (i + 1, msgs.(i).(j))) [ 0; 2; 3 ] in
@@ -150,7 +150,7 @@ let test_rerandomization_partial_subset () =
   check_b "subset reshare decrypts" m (T.combine tpk5 (partials shares1 ct ~who:[ 0; 1; 4 ]))
 
 let test_mixed_epoch_rejected () =
-  let ct = T.encrypt tpk5 st (tmsg ()) in
+  let ct = T.encrypt tpk5 ~rng:st (tmsg ()) in
   let shares1 = reshare_all tshares5 1 in
   let mixed =
     [ T.partial_decrypt tpk5 tshares5.(0) ct;
@@ -163,7 +163,7 @@ let test_mixed_epoch_rejected () =
 
 let test_sim_partial_decrypt () =
   let m_real = tmsg () and m_target = tmsg () in
-  let ct = T.encrypt tpk5 st m_real in
+  let ct = T.encrypt tpk5 ~rng:st m_real in
   (* corrupt = parties 4,5; honest = 1,2,3 *)
   let honest = [ tshares5.(0); tshares5.(1); tshares5.(2) ] in
   let sims = T.sim_partial_decrypt tpk5 ct ~m:m_target ~honest in
@@ -173,7 +173,7 @@ let test_sim_partial_decrypt () =
     (T.combine tpk5 (partials tshares5 ct ~who:[ 0; 1; 2 ]))
 
 let test_sim_not_enough_honest () =
-  let ct = T.encrypt tpk5 st (tmsg ()) in
+  let ct = T.encrypt tpk5 ~rng:st (tmsg ()) in
   Alcotest.check_raises "not enough honest"
     (Invalid_argument "Threshold.sim_partial_decrypt: not enough honest shares")
     (fun () ->
@@ -181,14 +181,48 @@ let test_sim_not_enough_honest () =
 
 let test_keygen_validation () =
   Alcotest.check_raises "t >= n" (Invalid_argument "Threshold.keygen: need 0 <= t < n")
-    (fun () -> ignore (T.keygen ~bits:64 ~n:3 ~t:3 st))
+    (fun () -> ignore (T.keygen ~bits:64 ~n:3 ~t:3 ~rng:st ()))
 
 let test_threshold_t0 () =
   (* degenerate single-party "threshold" *)
-  let tpk, shares = T.keygen ~bits:64 ~n:2 ~t:0 st in
+  let tpk, shares = T.keygen ~bits:64 ~n:2 ~t:0 ~rng:st () in
   let m = B.random_below st tpk.T.pk.P.n in
-  let ct = T.encrypt tpk st m in
+  let ct = T.encrypt tpk ~rng:st m in
   check_b "t=0" m (T.combine tpk [ T.partial_decrypt tpk shares.(0) ct ])
+
+let test_reference_matches_ctx () =
+  (* full encrypt -> tpdec -> combine through both backends must give
+     bit-identical intermediate and final values *)
+  let tpk, shares = T.keygen ~bits:96 ~n:5 ~t:2 ~rng:st () in
+  let pk = tpk.T.pk in
+  let pctx = P.context pk in
+  let tctx = T.context tpk in
+  for _ = 1 to 5 do
+    let m = B.random_below st pk.P.n in
+    let r = P.sample_unit pk ~rng:st in
+    let ct_ref = P.Reference.encrypt_with pk ~r m in
+    let ct_ctx = P.Ctx.encrypt_with pctx ~r m in
+    check_b "encrypt" (P.raw ct_ref) (P.raw ct_ctx);
+    let subset = [ 1; 3; 5 ] in
+    let parts_ref =
+      List.map (fun i -> T.Reference.partial_decrypt tpk shares.(i - 1) ct_ref) subset
+    in
+    let parts_ctx =
+      List.map (fun i -> T.Ctx.partial_decrypt tctx shares.(i - 1) ct_ctx) subset
+    in
+    Alcotest.(check bool) "partials equal" true (parts_ref = parts_ctx);
+    check_b "combine ref" m (T.Reference.combine tpk parts_ref);
+    check_b "combine ctx" m (T.Ctx.combine tctx parts_ctx)
+  done
+
+let test_g_pow_table_matches_closed_form () =
+  let pk, _ = P.keygen ~bits:96 ~rng:st () in
+  let ctx = P.context pk in
+  check_b "m = 0" (P.Ctx.g_pow ctx B.zero) (P.Ctx.g_pow_table ctx B.zero);
+  for _ = 1 to 20 do
+    let m = B.random_below st pk.P.n in
+    check_b "table = closed form" (P.Ctx.g_pow ctx m) (P.Ctx.g_pow_table ctx m)
+  done
 
 let () =
   Alcotest.run "paillier"
@@ -217,5 +251,11 @@ let () =
           Alcotest.test_case "SimTPDec too few" `Quick test_sim_not_enough_honest;
           Alcotest.test_case "keygen validation" `Quick test_keygen_validation;
           Alcotest.test_case "t = 0" `Quick test_threshold_t0;
+        ] );
+    ( "backends",
+        [
+          Alcotest.test_case "reference = ctx" `Quick test_reference_matches_ctx;
+          Alcotest.test_case "g_pow table = closed form" `Quick
+            test_g_pow_table_matches_closed_form;
         ] );
     ]

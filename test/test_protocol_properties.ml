@@ -61,7 +61,11 @@ let prop_god_on_random_instances =
         let st = Random.State.make [| run_seed |] in
         let fixed = Array.init 2 (fun _ -> Array.init 2 (fun _ -> F.random st)) in
         let inputs c = fixed.(c) in
-        let r = Protocol.execute ~params ~adversary ~seed:run_seed ~circuit ~inputs () in
+        let r =
+          Protocol.execute ~params
+            ~config:{ Protocol.default_config with adversary; seed = run_seed }
+            ~circuit ~inputs ()
+        in
         Protocol.check r circuit ~inputs)
 
 let prop_cdn_agrees =
@@ -96,12 +100,17 @@ let prop_adversary_does_not_change_outputs =
       let fixed = Array.init 2 (fun _ -> Array.init 2 (fun _ -> F.random st)) in
       let inputs c = fixed.(c) in
       let clean =
-        Protocol.execute ~params ~seed ~circuit ~inputs ()
+        Protocol.execute ~params
+          ~config:{ Protocol.default_config with seed }
+          ~circuit ~inputs ()
       in
       let attacked =
         Protocol.execute ~params
-          ~adversary:{ Params.malicious; passive = 1; fail_stop = 1 }
-          ~seed ~circuit ~inputs ()
+          ~config:
+            { Protocol.default_config with
+              adversary = { Params.malicious; passive = 1; fail_stop = 1 };
+              seed }
+          ~circuit ~inputs ()
       in
       List.for_all2
         (fun a b -> F.equal a.Yoso_mpc.Online.value b.Yoso_mpc.Online.value)

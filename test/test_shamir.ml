@@ -58,7 +58,7 @@ let test_share_reconstruct_roundtrip () =
         (fun degree ->
           if degree >= k - 1 && degree <= n - 1 then begin
             let secrets = rand_secrets k in
-            let s = PS.share p ~degree ~secrets st in
+            let s = PS.share p ~degree ~secrets ~rng:st in
             Alcotest.check fvec
               (Printf.sprintf "n=%d k=%d d=%d" n k degree)
               secrets
@@ -72,7 +72,7 @@ let test_reconstruct_from_exactly_d1_shares () =
   let p = PS.make_params ~n ~k in
   let degree = 6 in
   let secrets = rand_secrets k in
-  let s = PS.share p ~degree ~secrets st in
+  let s = PS.share p ~degree ~secrets ~rng:st in
   (* take an arbitrary subset of exactly degree+1 shares, not a prefix *)
   let subset = List.filteri (fun i _ -> i mod 2 = 1 || i > 8) (all_pairs s) in
   let subset = List.filteri (fun i _ -> i < degree + 1) subset in
@@ -80,7 +80,7 @@ let test_reconstruct_from_exactly_d1_shares () =
 
 let test_reconstruct_too_few () =
   let p = PS.make_params ~n:8 ~k:2 in
-  let s = PS.share p ~degree:5 ~secrets:(rand_secrets 2) st in
+  let s = PS.share p ~degree:5 ~secrets:(rand_secrets 2) ~rng:st in
   let few = List.filteri (fun i _ -> i < 5) (all_pairs s) in
   Alcotest.check_raises "too few"
     (Invalid_argument "Packed_shamir.reconstruct: 5 shares, need 6") (fun () ->
@@ -89,7 +89,7 @@ let test_reconstruct_too_few () =
 let test_duplicate_party_shares_ignored () =
   let p = PS.make_params ~n:8 ~k:2 in
   let secrets = rand_secrets 2 in
-  let s = PS.share p ~degree:3 ~secrets st in
+  let s = PS.share p ~degree:3 ~secrets ~rng:st in
   let pairs = all_pairs s in
   (* prepend duplicates of party 0; they must not count twice *)
   let noisy = (0, s.PS.shares.(0)) :: (0, s.PS.shares.(0)) :: pairs in
@@ -101,13 +101,13 @@ let test_bad_params () =
   let p = PS.make_params ~n:5 ~k:2 in
   Alcotest.check_raises "degree too small"
     (Invalid_argument "Packed_shamir: degree 0 out of range [1, 4]") (fun () ->
-      ignore (PS.share p ~degree:0 ~secrets:(rand_secrets 2) st));
+      ignore (PS.share p ~degree:0 ~secrets:(rand_secrets 2) ~rng:st));
   Alcotest.check_raises "degree too large"
     (Invalid_argument "Packed_shamir: degree 5 out of range [1, 4]") (fun () ->
-      ignore (PS.share p ~degree:5 ~secrets:(rand_secrets 2) st));
+      ignore (PS.share p ~degree:5 ~secrets:(rand_secrets 2) ~rng:st));
   Alcotest.check_raises "wrong secret count"
     (Invalid_argument "Packed_shamir.share: secrets length <> k") (fun () ->
-      ignore (PS.share p ~degree:2 ~secrets:(rand_secrets 3) st))
+      ignore (PS.share p ~degree:2 ~secrets:(rand_secrets 3) ~rng:st))
 
 (* ------------------------------------------------------------------ *)
 (* Homomorphism                                                        *)
@@ -119,8 +119,8 @@ let test_linear_homomorphism () =
   let d = 7 in
   for _ = 1 to 20 do
     let x = rand_secrets k and y = rand_secrets k in
-    let sx = PS.share p ~degree:d ~secrets:x st in
-    let sy = PS.share p ~degree:d ~secrets:y st in
+    let sx = PS.share p ~degree:d ~secrets:x ~rng:st in
+    let sy = PS.share p ~degree:d ~secrets:y ~rng:st in
     let sum = PS.reconstruct p ~degree:d (all_pairs (PS.add p sx sy)) in
     Alcotest.check fvec "add" (Array.map2 F.add x y) sum;
     let diff = PS.reconstruct p ~degree:d (all_pairs (PS.sub p sx sy)) in
@@ -136,8 +136,8 @@ let test_share_multiplication () =
   let d1 = 4 and d2 = 5 in
   for _ = 1 to 20 do
     let x = rand_secrets k and y = rand_secrets k in
-    let sx = PS.share p ~degree:d1 ~secrets:x st in
-    let sy = PS.share p ~degree:d2 ~secrets:y st in
+    let sx = PS.share p ~degree:d1 ~secrets:x ~rng:st in
+    let sy = PS.share p ~degree:d2 ~secrets:y ~rng:st in
     let prod = PS.mul p sx sy in
     Alcotest.(check int) "degree adds" (d1 + d2) prod.PS.degree;
     Alcotest.check fvec "pointwise product"
@@ -147,8 +147,8 @@ let test_share_multiplication () =
 
 let test_mul_degree_overflow () =
   let p = PS.make_params ~n:8 ~k:2 in
-  let s1 = PS.share p ~degree:4 ~secrets:(rand_secrets 2) st in
-  let s2 = PS.share p ~degree:4 ~secrets:(rand_secrets 2) st in
+  let s1 = PS.share p ~degree:4 ~secrets:(rand_secrets 2) ~rng:st in
+  let s2 = PS.share p ~degree:4 ~secrets:(rand_secrets 2) ~rng:st in
   Alcotest.check_raises "degree overflow"
     (Invalid_argument "Packed_shamir.mul: product degree exceeds n - 1") (fun () ->
       ignore (PS.mul p s1 s2))
@@ -162,7 +162,7 @@ let test_public_vector_multiplication () =
   for _ = 1 to 20 do
     let x = rand_secrets k in
     let c = rand_secrets k in
-    let sx = PS.share p ~degree:d ~secrets:x st in
+    let sx = PS.share p ~degree:d ~secrets:x ~rng:st in
     let prod = PS.mul_public p c sx in
     Alcotest.(check int) "degree" (d + k - 1) prod.PS.degree;
     Alcotest.check fvec "c * x"
@@ -181,7 +181,7 @@ let test_add_constant () =
   let n = 12 and k = 3 in
   let p = PS.make_params ~n ~k in
   let x = rand_secrets k and c = rand_secrets k in
-  let s = PS.share p ~degree:6 ~secrets:x st in
+  let s = PS.share p ~degree:6 ~secrets:x ~rng:st in
   let s' = PS.add_constant p c s in
   Alcotest.check fvec "x + c"
     (Array.map2 F.add x c)
@@ -193,7 +193,7 @@ let test_add_constant () =
 
 let test_check_degree () =
   let p = PS.make_params ~n:12 ~k:3 in
-  let s = PS.share p ~degree:5 ~secrets:(rand_secrets 3) st in
+  let s = PS.share p ~degree:5 ~secrets:(rand_secrets 3) ~rng:st in
   Alcotest.(check bool) "honest sharing passes" true (PS.check_degree p s);
   (* corrupt one share *)
   let shares = Array.copy s.PS.shares in
@@ -203,7 +203,7 @@ let test_check_degree () =
 
 let test_recover_missing () =
   let p = PS.make_params ~n:10 ~k:2 in
-  let s = PS.share p ~degree:4 ~secrets:(rand_secrets 2) st in
+  let s = PS.share p ~degree:4 ~secrets:(rand_secrets 2) ~rng:st in
   let pairs = List.filter (fun (i, _) -> i <> 9) (all_pairs s) in
   Alcotest.check felt "recovered share" s.PS.shares.(9)
     (PS.recover_missing p ~degree:4 pairs 9)
@@ -211,7 +211,7 @@ let test_recover_missing () =
 let test_recover_missing_adversarial () =
   let p = PS.make_params ~n:10 ~k:2 in
   let degree = 4 in
-  let s = PS.share p ~degree ~secrets:(rand_secrets 2) st in
+  let s = PS.share p ~degree ~secrets:(rand_secrets 2) ~rng:st in
   let surviving = List.filter (fun (i, _) -> i <> 9) (all_pairs s) in
   (* one tampered share among the interpolation set silently poisons
      the recovered value — recovery trusts its inputs, which is why
@@ -232,7 +232,7 @@ let test_reconstruct_checked_clean () =
   let p = PS.make_params ~n:12 ~k:3 in
   let degree = 6 in
   let secrets = rand_secrets 3 in
-  let s = PS.share p ~degree ~secrets st in
+  let s = PS.share p ~degree ~secrets ~rng:st in
   (match PS.reconstruct_checked p ~degree (all_pairs s) with
   | Ok back -> Alcotest.check fvec "all shares consistent" secrets back
   | Error bad ->
@@ -247,7 +247,7 @@ let test_reconstruct_checked_clean () =
 let test_reconstruct_checked_flags_tampered () =
   let p = PS.make_params ~n:12 ~k:3 in
   let degree = 6 in
-  let s = PS.share p ~degree ~secrets:(rand_secrets 3) st in
+  let s = PS.share p ~degree ~secrets:(rand_secrets 3) ~rng:st in
   (* perturb shares strictly beyond the interpolation prefix so the
      candidate polynomial stays honest and the liars are localized *)
   let tampered = [ 8; 10 ] in
@@ -276,7 +276,7 @@ let test_reconstruct_checked_flags_tampered () =
 let test_check_degree_adversarial_sweep () =
   let p = PS.make_params ~n:16 ~k:4 in
   for degree = 3 to 15 do
-    let s = PS.share p ~degree ~secrets:(rand_secrets 4) st in
+    let s = PS.share p ~degree ~secrets:(rand_secrets 4) ~rng:st in
     for victim = 0 to 15 do
       let shares = Array.copy s.PS.shares in
       shares.(victim) <- F.add shares.(victim) (F.of_int (victim + 1));
@@ -300,7 +300,7 @@ let test_shares_are_randomized () =
   let secrets = rand_secrets 2 in
   let observed = Hashtbl.create 64 in
   for _ = 1 to 64 do
-    let s = PS.share p ~degree:4 ~secrets st in
+    let s = PS.share p ~degree:4 ~secrets ~rng:st in
     Hashtbl.replace observed (F.to_int s.PS.shares.(7)) ()
   done;
   Alcotest.(check bool) "share of party 8 varies" true (Hashtbl.length observed > 32)
@@ -309,7 +309,7 @@ let test_minimal_degree_is_deterministic_given_secrets () =
   (* at degree k-1 there is no randomness: sharing = share_public *)
   let p = PS.make_params ~n:8 ~k:3 in
   let secrets = rand_secrets 3 in
-  let s = PS.share p ~degree:2 ~secrets st in
+  let s = PS.share p ~degree:2 ~secrets ~rng:st in
   Alcotest.check fvec "degree k-1 determined" (PS.share_public p secrets).PS.shares
     s.PS.shares
 
@@ -327,7 +327,7 @@ let qcheck_props =
         let p = PS.make_params ~n ~k in
         let degree = k - 1 + Random.State.int st (n - k + 1) in
         let secrets = Array.init k (fun _ -> F.random st) in
-        let s = PS.share p ~degree ~secrets st in
+        let s = PS.share p ~degree ~secrets ~rng:st in
         let back = PS.reconstruct p ~degree (all_pairs s) in
         Array.for_all2 F.equal secrets back);
     QCheck.Test.make ~count:100 ~name:"linearity under random combo"
@@ -338,8 +338,8 @@ let qcheck_props =
         let x = Array.init 3 (fun _ -> F.random st) in
         let y = Array.init 3 (fun _ -> F.random st) in
         let c = F.of_int cint in
-        let sx = PS.share p ~degree:5 ~secrets:x st in
-        let sy = PS.share p ~degree:5 ~secrets:y st in
+        let sx = PS.share p ~degree:5 ~secrets:x ~rng:st in
+        let sy = PS.share p ~degree:5 ~secrets:y ~rng:st in
         let combo = PS.add p (PS.scale p c sx) sy in
         let back = PS.reconstruct p ~degree:5 (all_pairs combo) in
         Array.for_all2 F.equal (Array.map2 (fun a b -> F.add (F.mul c a) b) x y) back);
