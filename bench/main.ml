@@ -6,7 +6,7 @@
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- table1       -- one experiment
    Experiments: table1 improvements online-comm offline-comm failstop
-                sortition-mc micro *)
+                sortition-mc micro time par *)
 
 module F = Yoso_field.Field.Fp
 module B = Yoso_bigint.Bigint
@@ -429,13 +429,28 @@ let time_bench () =
   let dec_mont = T.Ctx.combine tctx parts_mont in
   if not (B.equal dec_naive dec_mont && B.equal dec_naive m) then
     failwith "bench time: combine results differ or decrypt wrong";
+  (* combine gets its own committee-sized configuration: at 3-of-5 the
+     Lagrange weights are a dozen bits and there is nothing for the
+     multiexp to amortize; 33-of-128 is the shape the protocol runs *)
+  let comb_n = if !smoke then 8 else 128 in
+  let comb_t = comb_n / 4 in
+  let tpk_c, shares_c = T.keygen ~bits ~n:comb_n ~t:comb_t ~rng:st () in
+  let tctx_c = T.context tpk_c in
+  let m_c = B.random_below st tpk_c.T.pk.P.n in
+  let ct_c = T.Ctx.encrypt tctx_c ~rng:st m_c in
+  let parts_c =
+    List.init (comb_t + 1) (fun i -> T.Ctx.partial_decrypt tctx_c shares_c.(i) ct_c)
+  in
+  if not (B.equal (T.Reference.combine tpk_c parts_c) m_c)
+     || not (B.equal (T.Ctx.combine tctx_c parts_c) m_c)
+  then failwith "bench time: committee-sized combine results differ or decrypt wrong";
   (* timings *)
   let enc_naive = per_op_ms (fun () -> P.Reference.encrypt_with pk ~r m) in
   let enc_mont = per_op_ms (fun () -> P.Ctx.encrypt_with pctx ~r m) in
   let tpdec_naive = per_op_ms (fun () -> T.Reference.partial_decrypt tpk shares.(0) ct) in
   let tpdec_mont = per_op_ms (fun () -> T.Ctx.partial_decrypt tctx shares.(0) ct) in
-  let comb_naive = per_op_ms (fun () -> T.Reference.combine tpk parts_naive) in
-  let comb_mont = per_op_ms (fun () -> T.Ctx.combine tctx parts_mont) in
+  let comb_naive = per_op_ms (fun () -> T.Reference.combine tpk_c parts_c) in
+  let comb_mont = per_op_ms (fun () -> T.Ctx.combine tctx_c parts_c) in
   let row name naive mont =
     Printf.printf "  %-16s %10.4f ms %10.4f ms %8.2fx\n" name naive mont (naive /. mont)
   in
@@ -443,7 +458,7 @@ let time_bench () =
   Printf.printf "  %-16s %10.4f ms\n" "keygen" keygen_ms;
   row "encrypt" enc_naive enc_mont;
   row "partial-decrypt" tpdec_naive tpdec_mont;
-  row "combine" comb_naive comb_mont;
+  row (Printf.sprintf "combine %d-of-%d" (comb_t + 1) comb_n) comb_naive comb_mont;
   (* full protocol wall clock over the sweep; equal seeds must give
      byte-identical transcripts (arithmetic backend cannot leak into
      the wire format) *)
@@ -472,7 +487,9 @@ let time_bench () =
     if enc_naive /. enc_mont < 3.0 then
       failwith "bench time: encrypt speedup below 3x";
     if tpdec_naive /. tpdec_mont < 3.0 then
-      failwith "bench time: partial-decrypt speedup below 3x"
+      failwith "bench time: partial-decrypt speedup below 3x";
+    if comb_naive /. comb_mont < 3.0 then
+      failwith "bench time: combine speedup below 3x"
   end;
   if not !smoke then begin
     let b = Buffer.create 512 in
@@ -485,7 +502,10 @@ let time_bench () =
     Buffer.add_string b (Printf.sprintf "{\"bits\":%d,\"keygen_ms\":%.4f," bits keygen_ms);
     pair "encrypt" enc_naive enc_mont;
     pair "partial_decrypt" tpdec_naive tpdec_mont;
-    pair "combine" comb_naive comb_mont;
+    Buffer.add_string b
+      (Printf.sprintf "\"combine\":{\"parties\":%d,\"threshold\":%d,\"naive_ms\":%.4f,\
+                       \"multiexp_ms\":%.4f,\"speedup\":%.2f}," comb_n comb_t comb_naive
+         comb_mont (comb_naive /. comb_mont));
     Buffer.add_string b "\"protocol\":[";
     List.iteri
       (fun i (n, k, ms) ->
@@ -498,6 +518,126 @@ let time_bench () =
     output_char oc '\n';
     close_out oc;
     Printf.printf "  wrote BENCH_time.json\n"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* E9: multicore committee execution + multi-exponentiation kernels    *)
+(* ------------------------------------------------------------------ *)
+
+let par_bench () =
+  header "E9. Multicore committee execution: domains sweep + multiexp combine";
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "  hardware: %d core(s) recommended by the runtime\n" cores;
+
+  (* --- combine: one Straus multiexp vs one powmod per partial,
+     33-of-128, the acceptance configuration ----------------------- *)
+  let bits = if !smoke then 96 else 256 in
+  let n_parties = if !smoke then 16 else 128 in
+  let t = (n_parties / 4) in
+  let st = Random.State.make [| 0x9A12 |] in
+  let tpk, shares = T.keygen ~bits ~n:n_parties ~t ~rng:st () in
+  let tctx = T.context tpk in
+  let m = B.random_below st tpk.T.pk.P.n in
+  let ct = T.Ctx.encrypt tctx ~rng:st m in
+  let parts =
+    List.init (t + 1) (fun i -> T.Ctx.partial_decrypt tctx shares.(i) ct)
+  in
+  (* equal outputs before any timing *)
+  let dec_multi = T.Ctx.combine tctx parts in
+  let dec_powmods = T.Ctx.combine_powmods tctx parts in
+  if not (B.equal dec_multi dec_powmods && B.equal dec_multi m) then
+    failwith "bench par: multiexp and per-partial combine disagree";
+  let comb_multi = per_op_ms (fun () -> T.Ctx.combine tctx parts) in
+  let comb_powmods = per_op_ms (fun () -> T.Ctx.combine_powmods tctx parts) in
+  Printf.printf
+    "  combine %d-of-%d (%d-bit): powmods %.2f ms, multiexp %.2f ms, %.2fx\n"
+    (t + 1) n_parties bits comb_powmods comb_multi (comb_powmods /. comb_multi);
+  if (not !smoke) && comb_powmods /. comb_multi < 2.0 then
+    failwith "bench par: multiexp combine speedup below 2x";
+
+  (* --- protocol wall clock over an n x domains grid; the transcript
+     digest must be identical in every cell of a row ---------------- *)
+  let circuit = Gen.dot_product ~len:8 in
+  let inputs c = Array.init 8 (fun i -> F.of_int ((c + 2) * (i + 3))) in
+  let domain_sweep = if !smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let n_sweep = if !smoke then [ 16 ] else [ 16; 32; 64; 128 ] in
+  Printf.printf "  %-6s" "n";
+  List.iter (fun d -> Printf.printf " %9s" (Printf.sprintf "d=%d (ms)" d)) domain_sweep;
+  Printf.printf " %9s\n" "digest ok";
+  let grid =
+    List.map
+      (fun n ->
+        let params = Params.create ~n ~t:(n / 4) ~k:(n / 4) () in
+        let cells =
+          List.map
+            (fun domains ->
+              let config = { Protocol.default_config with seed = 0x9A12; domains } in
+              let r = ref None in
+              let ms =
+                wall (fun () ->
+                    r := Some (Protocol.execute ~params ~config ~circuit ~inputs ()))
+                *. 1000.
+              in
+              let r = Option.get !r in
+              assert (Protocol.check r circuit ~inputs);
+              (domains, ms, r.Protocol.transcript.Yoso_net.Board.digest))
+            domain_sweep
+        in
+        let _, _, base_digest = List.hd cells in
+        let digests_equal =
+          List.for_all (fun (_, _, d) -> d = base_digest) cells
+        in
+        if not digests_equal then
+          failwith
+            (Printf.sprintf "bench par: transcript digest varies with domains at n=%d" n);
+        Printf.printf "  %-6d" n;
+        List.iter (fun (_, ms, _) -> Printf.printf " %9.1f" ms) cells;
+        Printf.printf " %9b\n" digests_equal;
+        (n, params.Params.k, cells, base_digest))
+      n_sweep
+  in
+  (* speedup acceptance only means something on real multicore
+     hardware; the determinism checks above always run *)
+  if (not !smoke) && cores >= 4 then begin
+    let _, _, cells, _ = List.nth grid (List.length grid - 1) in
+    let ms_at d = match List.assoc_opt d (List.map (fun (d, ms, _) -> (d, ms)) cells) with
+      | Some ms -> ms
+      | None -> failwith "bench par: missing grid cell"
+    in
+    let speedup = ms_at 1 /. ms_at 4 in
+    Printf.printf "  n=128 speedup at 4 domains: %.2fx\n" speedup;
+    if speedup < 2.5 then failwith "bench par: n=128 speedup at 4 domains below 2.5x"
+  end
+  else
+    Printf.printf
+      "  (speedup assertion skipped: %s)\n"
+      (if !smoke then "smoke mode" else "fewer than 4 cores");
+
+  if not !smoke then begin
+    let b = Buffer.create 1024 in
+    Buffer.add_string b
+      (Printf.sprintf "{\"experiment\":\"par\",\"cores\":%d,\"combine\":{\"parties\":%d,\
+                       \"threshold\":%d,\"bits\":%d,\"powmods_ms\":%.4f,\"multiexp_ms\":\
+                       %.4f,\"speedup\":%.2f},\"grid\":["
+         cores n_parties t bits comb_powmods comb_multi (comb_powmods /. comb_multi));
+    List.iteri
+      (fun i (n, k, cells, digest) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "{\"n\":%d,\"k\":%d,\"cells\":[" n k);
+        List.iteri
+          (fun j (d, ms, _) ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b (Printf.sprintf "{\"domains\":%d,\"ms\":%.1f}" d ms))
+          cells;
+        Buffer.add_string b
+          (Printf.sprintf "],\"transcript_digest\":%d,\"digest_identical\":true}" digest))
+      grid;
+    Buffer.add_string b "]}";
+    let oc = open_out "BENCH_par.json" in
+    output_string oc (Buffer.contents b);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "  wrote BENCH_par.json\n"
   end
 
 (* ------------------------------------------------------------------ *)
@@ -517,6 +657,7 @@ let experiments =
     ("randgen", randgen);
     ("micro", micro);
     ("time", time_bench);
+    ("par", par_bench);
   ]
 
 let () =

@@ -48,7 +48,7 @@ let demo_inputs kind size len client =
 (* ------------------------------------------------------------------ *)
 
 let run_cmd protocol kind size n t k eps malicious fail_stop seed fault_seed json net_seed
-    latency drop =
+    latency drop domains =
   let params =
     match eps with
     | Some eps -> Params.of_gap ~n ~eps ()
@@ -71,7 +71,7 @@ let run_cmd protocol kind size n t k eps malicious fail_stop seed fault_seed jso
     let adversary = { Params.malicious; passive = 0; fail_stop } in
     let plan = Faults.random ~seed:(Option.value ~default:seed fault_seed) in
     let config =
-      { Protocol.default_config with adversary; plan = Some plan; seed; net }
+      { Protocol.default_config with adversary; plan = Some plan; seed; net; domains }
     in
     let r =
       try Protocol.execute ~params ~config ~circuit ~inputs ()
@@ -257,11 +257,20 @@ let run_t =
              vanish are treated like fail-stops; the run may abort with a protocol \
              failure if too few contributions survive).")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ]
+          ~doc:
+            "Worker domains for committee fan-out (packed protocol only).  Outputs, \
+             blames and the transcript digest are identical at every value; only \
+             wall-clock time changes.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute YOSO MPC on a generated circuit")
     Term.(
       const run_cmd $ protocol $ kind $ size $ n_arg $ t_arg $ k_arg $ eps $ malicious
-      $ fail_stop $ seed_arg $ fault_seed $ json $ net_seed $ latency $ drop)
+      $ fail_stop $ seed_arg $ fault_seed $ json $ net_seed $ latency $ drop $ domains)
 
 let analyze_t =
   let c_param = Arg.(value & opt int 1000 & info [ "big-c"; "C" ] ~doc:"Sortition parameter C.") in

@@ -561,6 +561,13 @@ module Mont = struct
       fb.fb_next <- next
     done
 
+  (* The window table grows in place: racy if a fixed base is shared
+     across domains.  Growing it up front for the largest exponent that
+     will be seen makes subsequent [fixed_powmod] calls read-only. *)
+  let preload fb ~bits =
+    if bits < 0 then invalid_arg "Bigint.Mont.preload: negative bits";
+    fb_extend fb ((bits + 3) / 4)
+
   let fixed_powmod fb e =
     if sign e < 0 then invalid_arg "Bigint.Mont.fixed_powmod: negative exponent";
     let ctx = fb.fb_ctx in
@@ -632,6 +639,167 @@ let factorial n =
     acc := mul !acc (of_int i)
   done;
   !acc
+
+(* ------------------------------------------------------------------ *)
+(* Multi-exponentiation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* prod_i b_i^{e_i} mod m, sharing the squaring chain across all bases.
+   A product of k independent window exponentiations costs about
+   k*(bits + bits/4) Montgomery products; interleaving (Straus) pays
+   the bits squarings once, and bucketing (Pippenger) additionally
+   drops the per-base window tables — the classic trade-off from
+   multi-scalar multiplication, applied here to the Lagrange
+   combination of threshold Paillier partials (few bases, huge
+   Delta-scaled exponents => Straus) and batched commitment checks
+   (many bases, short exponents => Pippenger). *)
+module Multiexp = struct
+  (* c-bit digit of a magnitude starting at bit [pos]; c <= 16 so a
+     digit spans at most two 30-bit limbs *)
+  let digit mag pos c =
+    let limb = pos / limb_bits and off = pos mod limb_bits in
+    let len = Array.length mag in
+    let v = if limb < len then mag.(limb) lsr off else 0 in
+    let v =
+      if off + c > limb_bits && limb + 1 < len then
+        v lor (mag.(limb + 1) lsl (limb_bits - off))
+      else v
+    in
+    v land ((1 lsl c) - 1)
+
+  (* drop zero exponents, flip negative ones through the inverse, and
+     convert the bases to Montgomery form *)
+  let normalize ctx pairs =
+    let m = ctx.Mont.m_big in
+    let tbuf = Mont.scratch ctx in
+    let keep =
+      List.filter_map
+        (fun (b, e) ->
+          if is_zero e then None
+          else begin
+            let b, e = if sign e < 0 then (invmod b m, neg e) else (b, e) in
+            let b = erem b m in
+            let bm = Array.make ctx.Mont.l 0 in
+            Mont.mont_mul_into ctx tbuf bm (Mont.pad ctx b.mag) ctx.Mont.r2;
+            Some (bm, e)
+          end)
+        (Array.to_list pairs)
+    in
+    Array.of_list keep
+
+  let max_bits ps = Array.fold_left (fun acc (_, e) -> Stdlib.max acc (bit_length e)) 0 ps
+
+  let finish ctx acc =
+    let dst = Array.make ctx.Mont.l 0 in
+    Mont.mont_mul_into ctx (Mont.scratch ctx) dst acc ctx.Mont.unit_arr;
+    make 1 dst
+
+  (* reference: independent powmods folded into one product *)
+  let naive ctx pairs =
+    let m = ctx.Mont.m_big in
+    Array.fold_left
+      (fun acc (b, e) ->
+        let b, e = if sign e < 0 then (invmod b m, neg e) else (b, e) in
+        mulmod acc (Mont.powmod ctx b e) m)
+      one pairs
+
+  (* Straus interleaving: per-base window tables, one shared squaring
+     chain.  Window width adapts to the exponent size — short
+     exponents cannot amortize a large table. *)
+  let straus ctx pairs =
+    let ps = normalize ctx pairs in
+    if Array.length ps = 0 then one
+    else begin
+      let l = ctx.Mont.l in
+      let tbuf = Mont.scratch ctx in
+      let bits = max_bits ps in
+      let c = if bits <= 16 then 2 else if bits <= 64 then 3 else 4 in
+      let tsize = (1 lsl c) - 1 in
+      let tables =
+        Array.map
+          (fun (bm, _) ->
+            let row = Array.make tsize bm in
+            for w = 2 to tsize do
+              let d = Array.make l 0 in
+              Mont.mont_mul_into ctx tbuf d row.(w - 2) bm;
+              row.(w - 1) <- d
+            done;
+            row)
+          ps
+      in
+      let nw = (bits + c - 1) / c in
+      let acc = Array.copy ctx.Mont.one_m in
+      for j = nw - 1 downto 0 do
+        if j < nw - 1 then
+          for _ = 1 to c do
+            Mont.mont_mul_into ctx tbuf acc acc acc
+          done;
+        Array.iteri
+          (fun i (_, e) ->
+            let w = digit e.mag (j * c) c in
+            if w <> 0 then Mont.mont_mul_into ctx tbuf acc acc tables.(i).(w - 1))
+          ps
+      done;
+      finish ctx acc
+    end
+
+  (* Pippenger bucketing: no per-base tables; each digit position
+     sorts bases into 2^c - 1 buckets and aggregates them with the
+     suffix-product trick (sum_d d*B_d as a running product). *)
+  let pippenger ctx pairs =
+    let ps = normalize ctx pairs in
+    if Array.length ps = 0 then one
+    else begin
+      let l = ctx.Mont.l in
+      let tbuf = Mont.scratch ctx in
+      let bits = max_bits ps in
+      let npairs = Array.length ps in
+      (* pick c minimizing (bits/c) * (npairs + 2^(c+1)) *)
+      let cost c =
+        ((bits + c - 1) / c) * (npairs + (1 lsl (c + 1)))
+      in
+      let c = ref 2 in
+      for cand = 3 to 12 do
+        if cost cand < cost !c then c := cand
+      done;
+      let c = !c in
+      let nbuckets = (1 lsl c) - 1 in
+      let buckets = Array.init nbuckets (fun _ -> Array.make l 0) in
+      let occupied = Array.make nbuckets false in
+      let run = Array.make l 0 and sum = Array.make l 0 in
+      let acc = Array.copy ctx.Mont.one_m in
+      let nw = (bits + c - 1) / c in
+      for j = nw - 1 downto 0 do
+        if j < nw - 1 then
+          for _ = 1 to c do
+            Mont.mont_mul_into ctx tbuf acc acc acc
+          done;
+        Array.fill occupied 0 nbuckets false;
+        Array.iter
+          (fun (bm, e) ->
+            let d = digit e.mag (j * c) c in
+            if d > 0 then
+              if occupied.(d - 1) then
+                Mont.mont_mul_into ctx tbuf buckets.(d - 1) buckets.(d - 1) bm
+              else begin
+                Array.blit bm 0 buckets.(d - 1) 0 l;
+                occupied.(d - 1) <- true
+              end)
+          ps;
+        Array.blit ctx.Mont.one_m 0 run 0 l;
+        Array.blit ctx.Mont.one_m 0 sum 0 l;
+        for b = nbuckets - 1 downto 0 do
+          if occupied.(b) then Mont.mont_mul_into ctx tbuf run run buckets.(b);
+          if b < nbuckets - 1 || occupied.(b) then
+            Mont.mont_mul_into ctx tbuf sum sum run
+        done;
+        Mont.mont_mul_into ctx tbuf acc acc sum
+      done;
+      finish ctx acc
+    end
+
+  let run ctx pairs = if Array.length pairs >= 64 then pippenger ctx pairs else straus ctx pairs
+end
 
 (* ------------------------------------------------------------------ *)
 (* Conversions                                                          *)

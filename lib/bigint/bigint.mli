@@ -152,6 +152,13 @@ module Mont : sig
   val fixed_powmod : fixed_base -> t -> t
   (** Same result as [powmod ctx base e].
       @raise Invalid_argument if [e < 0]. *)
+
+  val preload : fixed_base -> bits:int -> unit
+  (** Grow the window table to cover [bits]-bit exponents now.  The
+      table otherwise extends itself lazily inside {!fixed_powmod},
+      which is a write — call [preload] before sharing a fixed base
+      across domains so that parallel readers never race the growth.
+      @raise Invalid_argument on negative [bits]. *)
 end
 
 val gcd : t -> t -> t
@@ -165,6 +172,32 @@ val invmod : t -> t -> t
 
 val factorial : int -> t
 (** @raise Invalid_argument on negative argument. *)
+
+(** Simultaneous multi-exponentiation: [prod_i b_i^(e_i) mod m] much
+    faster than independent {!powmod}s, by sharing one squaring chain
+    across all bases (Straus) or bucketing digits (Pippenger).
+    Negative exponents go through the modular inverse, so every base
+    with a negative exponent must be coprime to the modulus. *)
+module Multiexp : sig
+  val run : Mont.ctx -> (t * t) array -> t
+  (** [run ctx pairs] is [prod (b, e) in pairs. b^e mod m].  Picks
+      {!straus} for small batches and {!pippenger} for large ones.
+      The empty product is [1].
+      @raise Division_by_zero if some [e < 0] with [gcd b m <> 1]. *)
+
+  val straus : Mont.ctx -> (t * t) array -> t
+  (** Interleaved windows: per-base tables, shared squarings.  Best
+      for few bases with long exponents (Lagrange combination). *)
+
+  val pippenger : Mont.ctx -> (t * t) array -> t
+  (** Digit bucketing with suffix-product aggregation; window width
+      chosen from batch size and exponent length.  Best for many
+      bases (batched verification). *)
+
+  val naive : Mont.ctx -> (t * t) array -> t
+  (** Reference product of independent exponentiations, for tests and
+      benchmark baselines. *)
+end
 
 (** {1 Randomness and primality} *)
 

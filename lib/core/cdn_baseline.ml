@@ -33,7 +33,6 @@ let execute ~params ?(adversary = Params.no_adversary) ?(seed = 0xCD7) ~circuit 
   let ctx = Ops.create_ctx ~board ~params ~adversary ~seed () in
   let gpc = params.Params.gates_per_committee in
   let te, tsk = Te.keygen ~n:params.Params.n ~t:params.Params.t ~rng:(Splitmix.of_int seed) in
-  let frng = ctx.Ops.frng in
   let m = Circuit.num_mul circuit in
 
   (* ---- offline: Beaver triples (Protocol 3) ----------------------- *)
@@ -41,7 +40,7 @@ let execute ~params ?(adversary = Params.no_adversary) ?(seed = 0xCD7) ~circuit 
   let xs =
     Ops.contributions ctx b1 ~phase:"offline" ~step:"beaver a"
       ~cost:[ (Cost.Ciphertext, m) ]
-      (fun _ -> Array.init m (fun _ -> Te.encrypt te (F.random frng)))
+      (fun rng _ -> Array.init m (fun _ -> Te.encrypt te (F.random rng)))
   in
   let sum_col verified col =
     match verified with
@@ -54,9 +53,9 @@ let execute ~params ?(adversary = Params.no_adversary) ?(seed = 0xCD7) ~circuit 
   let yz =
     Ops.contributions ctx b2 ~phase:"offline" ~step:"beaver b, c"
       ~cost:[ (Cost.Ciphertext, 2 * m) ]
-      (fun _ ->
+      (fun rng _ ->
         Array.init m (fun g ->
-            let y = F.random frng in
+            let y = F.random rng in
             (Te.encrypt te y, Te.scale te y c_a.(g))))
   in
   let c_b = Array.init m (fun g -> sum_col yz (fun cts -> fst cts.(g))) in

@@ -10,11 +10,13 @@ module Splitmix = Yoso_hash.Splitmix
 module Nizk = Yoso_nizk.Ideal
 module Board = Yoso_net.Board
 module Wire = Yoso_net.Wire
+module Pool = Yoso_parallel.Pool
 
 type ctx = {
   board : Board.t;
   rng : Splitmix.t;
   frng : Random.State.t;
+  pool : Pool.t;
   params : Params.t;
   adversary : Params.adversary;
   plan : Faults.plan;
@@ -22,12 +24,14 @@ type ctx = {
   mutable committee_counter : int;
 }
 
-let create_ctx ?plan ?(validate = true) ~board ~params ~adversary ~seed () =
+let create_ctx ?plan ?(validate = true) ?(pool = Pool.sequential) ~board ~params ~adversary
+    ~seed () =
   if validate then Params.validate_adversary params adversary;
   {
     board;
     rng = Splitmix.of_int seed;
     frng = Random.State.make [| seed lxor 0x5EED |];
+    pool;
     params;
     adversary;
     plan = (match plan with Some p -> p | None -> Faults.random ~seed);
@@ -57,67 +61,94 @@ let fresh_committee ctx prefix =
    declared cost covers beyond that is synthesized at modeled sizes,
    so the frame carries the full byte weight of the post.  Under the
    ideal network model every frame is Delivered and the outcomes below
-   collapse to the abstract bulletin-board behaviour. *)
+   collapse to the abstract bulletin-board behaviour.
+
+   The fan-out runs in two phases.  Phase A — per-member payload
+   construction and frame encoding — is pure given the member index
+   (fault-plan lookups are hash-based, payload randomness comes from a
+   per-index derived RNG, blob bytes from the tag-derived stream) and
+   runs under the ctx's domain pool.  Phase B walks members in index
+   order on the calling domain, committing frames to the board and
+   running verification, so board order, digest chain, blame log and
+   the returned list are identical at every domain count. *)
+
+(* what member [i] intends to put on the wire, computed in Phase A *)
+type 'a intent =
+  | Contribute of 'a * Board.prepared  (* honest/passive, or Bad_proof *)
+  | Tampered of Faults.kind * 'a option * Board.prepared
+  | Delayed_post of Faults.kind * Board.prepared  (* posts past the deadline *)
+  | Stays_silent of Faults.kind
+
 let contributions ?tamper ?wire ?(required = 1) ctx committee ~phase ~step ~cost f =
   Board.next_round ctx.board;
   let proofed_cost = (Cost.Proof, 1) :: cost in
   let relation = "contribution:" ^ step in
   let name = committee.Committee.name in
   let items_of payload = match wire with Some w -> w payload | None -> [] in
+  let round = Board.round ctx.board in
+  (* one draw from the shared stream, before the fan-out; every member
+     derives its own RNG from (step_seed, index) *)
+  let step_seed = Random.State.bits ctx.frng in
+  (* Phase A: build every member's payload and frame in parallel *)
+  let intents =
+    Pool.map ctx.pool committee.Committee.size (fun i ->
+        let author = Committee.role committee i in
+        let rng = Pool.derive_rng ~seed:step_seed i in
+        let prep ?items ?corrupt ?force_late () =
+          Board.prepare ctx.board ~author ~phase ~step ?items ?corrupt ?force_late
+            ~cost:proofed_cost ~tag:(Splitmix.mix round i) ()
+        in
+        match Committee.status committee i with
+        | Committee.Honest | Committee.Passive ->
+          let payload = f rng i in
+          Contribute (payload, prep ~items:(items_of payload) ())
+        | Committee.Fail_stop -> (
+          match Faults.fail_stop_kind ctx.plan ~committee:name ~index:i with
+          | Faults.Delayed -> Delayed_post (Faults.Delayed, prep ~force_late:true ())
+          | _ -> Stays_silent Faults.Silent)
+        | Committee.Malicious -> (
+          match Faults.malicious_kind ctx.plan ~committee:name ~index:i with
+          | Faults.Silent -> Stays_silent Faults.Silent
+          | Faults.Delayed -> Delayed_post (Faults.Delayed, prep ~force_late:true ())
+          | Faults.Bad_proof ->
+            (* correct data, equivocated proof *)
+            let payload = f rng i in
+            Tampered (Faults.Bad_proof, Some payload, prep ~items:(items_of payload) ())
+          | active -> (
+            (* build the corrupted payload the role actually posts *)
+            let payload = match tamper with Some t -> t rng active i | None -> None in
+            match payload with
+            | None ->
+              (* undecodable blob: a frame corrupted in the sender's
+                 hand, caught by the receiver's integrity check *)
+              Tampered (active, None, prep ~corrupt:true ())
+            | Some p -> Tampered (active, payload, prep ~items:(items_of p) ()))))
+  in
+  (* Phase B: commit to the board and verify, in index order *)
   let out = ref [] in
-  for i = 0 to committee.Committee.size - 1 do
-    let author = Committee.role committee i in
-    let statement = Role.to_string author in
-    let blame kind = Faults.record ctx.log { Faults.role = author; kind; phase; step } in
-    let post_late () =
-      ignore
-        (Board.post ctx.board ~author ~phase ~step ~force_late:true ~cost:proofed_cost ())
-    in
-    match Committee.status committee i with
-    | Committee.Honest | Committee.Passive -> (
-      let payload = f i in
-      match
-        Board.post ctx.board ~author ~phase ~step ~items:(items_of payload)
-          ~cost:proofed_cost ()
-      with
-      | Board.Delivered ->
-        let proof = Nizk.prove ~relation ~statement ~witness_ok:true in
-        if Nizk.verify ~relation ~statement proof then out := (i, payload) :: !out
-        else assert false (* ideal NIZK is complete *)
-      (* an honest frame the network delays or loses is observationally
-         a fail-stop: the step excludes the role *)
-      | Board.Late -> blame Faults.Delayed
-      | Board.Dropped -> blame Faults.Silent
-      | Board.Garbled -> blame Faults.Tamper_share (* unreachable: honest encode *))
-    | Committee.Fail_stop -> (
-      match Faults.fail_stop_kind ctx.plan ~committee:name ~index:i with
-      | Faults.Delayed ->
-        post_late ();
-        blame Faults.Delayed
-      | _ -> blame Faults.Silent)
-    | Committee.Malicious -> (
-      match Faults.malicious_kind ctx.plan ~committee:name ~index:i with
-      | Faults.Silent -> blame Faults.Silent
-      | Faults.Delayed ->
-        post_late ();
-        blame Faults.Delayed
-      | active ->
-        (* build the corrupted payload the role actually posts *)
-        let payload =
-          match active with
-          | Faults.Bad_proof -> Some (f i) (* correct data, equivocated proof *)
-          | _ -> ( match tamper with Some t -> t active i | None -> None)
-        in
-        let outcome =
-          match payload with
-          | None ->
-            (* undecodable blob: a frame corrupted in the sender's hand,
-               caught by the receiver's integrity check *)
-            Board.post ctx.board ~author ~phase ~step ~corrupt:true ~cost:proofed_cost ()
-          | Some p ->
-            Board.post ctx.board ~author ~phase ~step ~items:(items_of p)
-              ~cost:proofed_cost ()
-        in
+  Array.iteri
+    (fun i intent ->
+      let author = Committee.role committee i in
+      let statement = Role.to_string author in
+      let blame kind = Faults.record ctx.log { Faults.role = author; kind; phase; step } in
+      match intent with
+      | Contribute (payload, p) -> (
+        match Board.commit ctx.board p with
+        | Board.Delivered ->
+          let proof = Nizk.prove ~relation ~statement ~witness_ok:true in
+          if Nizk.verify ~relation ~statement proof then out := (i, payload) :: !out
+          else assert false (* ideal NIZK is complete *)
+        (* an honest frame the network delays or loses is observationally
+           a fail-stop: the step excludes the role *)
+        | Board.Late -> blame Faults.Delayed
+        | Board.Dropped -> blame Faults.Silent
+        | Board.Garbled -> blame Faults.Tamper_share (* unreachable: honest encode *))
+      | Stays_silent kind -> blame kind
+      | Delayed_post (kind, p) ->
+        ignore (Board.commit ctx.board p);
+        blame kind
+      | Tampered (kind, payload, p) ->
+        let outcome = Board.commit ctx.board p in
         let proof = Nizk.forge ~relation ~statement in
         let accepted =
           match (payload, outcome) with
@@ -125,8 +156,8 @@ let contributions ?tamper ?wire ?(required = 1) ctx committee ~phase ~step ~cost
           | Some _, (Board.Late | Board.Dropped | Board.Garbled) -> false
           | Some _, Board.Delivered -> Nizk.verify ~relation ~statement proof
         in
-        if accepted then out := (i, Option.get payload) :: !out else blame active)
-  done;
+        if accepted then out := (i, Option.get payload) :: !out else blame kind)
+    intents;
   let out = List.rev !out in
   let surviving = List.length out in
   if surviving < required then
@@ -167,37 +198,37 @@ let pass_key ctx te next_prefix verified =
 (* junk partial decryptions under the holder's true epoch: syntactically
    valid, wrong values — exactly what combine would choke on if the
    forged proof were not caught first *)
-let tampered_partials ctx te holder cts i =
+let tampered_partials te holder cts rng i =
   let share = member_share holder i in
   let epoch = Te.share_epoch share in
-  Array.map
-    (fun _ -> Te.junk_partial te ~index:(i + 1) ~epoch (F.random ctx.frng))
-    cts
+  Array.map (fun _ -> Te.junk_partial te ~index:(i + 1) ~epoch (F.random rng)) cts
 
 let decrypt_batch ctx te holder ~phase ~step cts =
   let n = ctx.params.Params.n in
   let cost = [ (Cost.Partial_decryption, Array.length cts); (Cost.Ciphertext, n) ] in
-  let tamper kind i =
+  let tamper rng kind i =
     match kind with
     | Faults.Garbage_ciphertext -> None
     | _ ->
       (* corrupted partials; reshares kept honest so the tampering is
          only caught by transcript verification, not by accident *)
-      Some (tampered_partials ctx te holder cts i, Te.reshare te (member_share holder i))
+      Some (tampered_partials te holder cts rng i, Te.reshare te (member_share holder i))
   in
   let verified =
     contributions ~tamper
       ~required:(Te.threshold te + 1)
       ctx holder.committee ~phase ~step ~cost
-      (fun i ->
+      (fun _rng i ->
         let share = member_share holder i in
         let partials = Array.map (Te.partial_decrypt te share) cts in
         let reshares = Te.reshare te share in
         (partials, reshares))
   in
+  let varr = Array.of_list verified in
   let values =
-    Array.init (Array.length cts) (fun c ->
-        Te.combine te (List.map (fun (_, (partials, _)) -> partials.(c)) verified))
+    Pool.map ctx.pool (Array.length cts) (fun c ->
+        Te.combine te
+          (Array.to_list (Array.map (fun (_, (partials, _)) -> partials.(c)) varr)))
   in
   let next = pass_key ctx te holder.prefix (List.map (fun (i, (_, r)) -> (i, r)) verified) in
   (values, next)
@@ -218,7 +249,7 @@ let reencrypt_generic ctx te holder ~phase ~step ~reshare values =
     if reshare then [ (Cost.Ciphertext, Array.length values + n) ]
     else [ (Cost.Ciphertext, Array.length values) ]
   in
-  let tamper kind i =
+  let tamper _rng kind i =
     match kind with
     | Faults.Garbage_ciphertext -> None
     | _ ->
@@ -240,19 +271,22 @@ let reencrypt_generic ctx te holder ~phase ~step ~reshare values =
     contributions ~tamper
       ~required:(Te.threshold te + 1)
       ctx holder.committee ~phase ~step ~cost
-      (fun i ->
+      (fun _rng i ->
         let share = member_share holder i in
         let partials = Array.map (fun (_, ct) -> Te.partial_decrypt te share ct) values in
         let reshares = if reshare then Some (Te.reshare te share) else None in
         (partials, reshares))
   in
   let senders = List.map fst verified in
+  let varr = Array.of_list verified in
   let packages =
-    Array.mapi
-      (fun v (target, _) ->
-        let value = Te.combine te (List.map (fun (_, (partials, _)) -> partials.(v)) verified) in
+    Pool.map ctx.pool (Array.length values) (fun v ->
+        let target, _ = values.(v) in
+        let value =
+          Te.combine te
+            (Array.to_list (Array.map (fun (_, (partials, _)) -> partials.(v)) varr))
+        in
         { senders; target; guarded = Pke.enc target value })
-      values
   in
   (packages, verified)
 

@@ -34,6 +34,7 @@ type ctx = {
   board : Yoso_net.Board.t;
   rng : Yoso_hash.Splitmix.t;
   frng : Random.State.t;  (** field-element randomness *)
+  pool : Yoso_parallel.Pool.t;  (** domain pool for committee fan-out *)
   params : Params.t;
   adversary : Params.adversary;
   plan : Faults.plan;  (** how corrupted roles misbehave *)
@@ -44,6 +45,7 @@ type ctx = {
 val create_ctx :
   ?plan:Faults.plan ->
   ?validate:bool ->
+  ?pool:Yoso_parallel.Pool.t ->
   board:Yoso_net.Board.t ->
   params:Params.t ->
   adversary:Params.adversary ->
@@ -53,14 +55,17 @@ val create_ctx :
 (** [plan] defaults to [Faults.random ~seed].  [validate] (default
     [true]) runs {!Params.validate_adversary}; chaos harnesses pass
     [false] to execute beyond-bound adversaries and observe the
-    structured runtime abort instead. *)
+    structured runtime abort instead.  [pool] (default
+    {!Yoso_parallel.Pool.sequential}) runs per-member work of every
+    committee step across its domains; results are identical at any
+    pool size. *)
 
 val fresh_committee : ctx -> string -> Committee.t
 (** Samples a committee with the ctx's adversary structure; names are
     suffixed with a running counter. *)
 
 val contributions :
-  ?tamper:(Faults.kind -> int -> 'a option) ->
+  ?tamper:(Random.State.t -> Faults.kind -> int -> 'a option) ->
   ?wire:('a -> Yoso_net.Wire.item list) ->
   ?required:int ->
   ctx ->
@@ -68,17 +73,24 @@ val contributions :
   phase:string ->
   step:string ->
   cost:(Cost.kind * int) list ->
-  (int -> 'a) ->
+  (Random.State.t -> int -> 'a) ->
   (int * 'a) list
 (** [contributions ctx committee ~phase ~step ~cost f]: every speaking
     role posts once ([cost] plus one proof each).  Honest roles post
-    [f i] with a valid proof.  Malicious roles post real corruption:
-    [tamper kind i] builds the payload they put on the board ([None]
-    models an undecodable blob — on the wire, a frame that fails its
-    integrity check; without [tamper] every active fault degrades to
-    one), always under a forged proof — verification rejects it and
-    the blame log gains an entry.  Fail-stop roles stay silent or post
-    past the round deadline per the fault plan.
+    [f rng i] with a valid proof.  Malicious roles post real
+    corruption: [tamper rng kind i] builds the payload they put on the
+    board ([None] models an undecodable blob — on the wire, a frame
+    that fails its integrity check; without [tamper] every active
+    fault degrades to one), always under a forged proof — verification
+    rejects it and the blame log gains an entry.  Fail-stop roles stay
+    silent or post past the round deadline per the fault plan.
+
+    Member payloads are built concurrently on the ctx pool; the [rng]
+    handed to [f]/[tamper] is derived per index from one draw on the
+    shared stream, so payloads (and hence transcripts) are independent
+    of scheduling and domain count.  [f] and [tamper] must draw all
+    their randomness from that [rng] and must not touch shared mutable
+    state.
 
     Every post is a real transmission through the ctx's
     {!Yoso_net.Board}: the step opens a fresh network round, [wire]

@@ -5,6 +5,7 @@ module Layout = Yoso_circuit.Layout
 module Circuit = Yoso_circuit.Circuit
 module Cost = Yoso_runtime.Cost
 module Ops = Committee_ops
+module Pool = Yoso_parallel.Pool
 
 type input_prep = {
   client : int;
@@ -34,8 +35,8 @@ let phase = "offline"
 (* corrupted payload for additive-contribution steps: ciphertexts of
    junk the role never proved knowledge of (Garbage_ciphertext posts
    an undecodable blob instead) *)
-let junk_cts te frng kind build =
-  match kind with Faults.Garbage_ciphertext -> None | _ -> Some (build te frng)
+let junk_cts te rng kind build =
+  match kind with Faults.Garbage_ciphertext -> None | _ -> Some (build te rng)
 
 (* sum verified members' ciphertext contributions, column by column *)
 let sum_contributions te verified column =
@@ -61,7 +62,6 @@ let run (ctx : Ops.ctx) (setup : Setup.t) layout =
   let n = p.Params.n and t = p.Params.t and k = p.Params.k in
   let gpc = p.Params.gates_per_committee in
   let circuit = layout.Layout.circuit in
-  let frng = ctx.Ops.frng in
   let zero_ct = Te.encrypt te F.zero in
 
   (* ---- enumerate multiplication gates (traversal order) ---------- *)
@@ -82,29 +82,30 @@ let run (ctx : Ops.ctx) (setup : Setup.t) layout =
   let xs =
     Ops.contributions ctx b1 ~phase ~step:"beaver: first-committee shares"
       ~cost:[ (Cost.Ciphertext, m) ]
-      ~tamper:(fun kind _ ->
-        junk_cts te frng kind (fun te frng ->
-            Array.init m (fun _ -> Te.encrypt te (F.random frng))))
-      (fun _ -> Array.init m (fun _ -> Te.encrypt te (F.random frng)))
+      ~tamper:(fun rng kind _ ->
+        junk_cts te rng kind (fun te rng ->
+            Array.init m (fun _ -> Te.encrypt te (F.random rng))))
+      (fun rng _ -> Array.init m (fun _ -> Te.encrypt te (F.random rng)))
   in
-  let c_x = Array.init m (fun g -> sum_contributions te xs (fun cts -> cts.(g))) in
+  let pool = ctx.Ops.pool in
+  let c_x = Pool.map pool m (fun g -> sum_contributions te xs (fun cts -> cts.(g))) in
   let b2 = Ops.fresh_committee ctx "Off-B2" in
   let yzs =
     Ops.contributions ctx b2 ~phase ~step:"beaver: second-committee shares and products"
       ~cost:[ (Cost.Ciphertext, 2 * m) ]
-      ~tamper:(fun kind _ ->
+      ~tamper:(fun rng kind _ ->
         (* inconsistent product: z contribution uses a different y than
            the posted encryption — accepting it would break the triple *)
-        junk_cts te frng kind (fun te frng ->
+        junk_cts te rng kind (fun te rng ->
             Array.init m (fun g ->
-                (Te.encrypt te (F.random frng), Te.scale te (F.random frng) c_x.(g)))))
-      (fun _ ->
+                (Te.encrypt te (F.random rng), Te.scale te (F.random rng) c_x.(g)))))
+      (fun rng _ ->
         Array.init m (fun g ->
-            let y = F.random frng in
+            let y = F.random rng in
             (Te.encrypt te y, Te.scale te y c_x.(g))))
   in
-  let c_y = Array.init m (fun g -> sum_contributions te yzs (fun cts -> fst cts.(g))) in
-  let c_z = Array.init m (fun g -> sum_contributions te yzs (fun cts -> snd cts.(g))) in
+  let c_y = Pool.map pool m (fun g -> sum_contributions te yzs (fun cts -> fst cts.(g))) in
+  let c_z = Pool.map pool m (fun g -> sum_contributions te yzs (fun cts -> snd cts.(g))) in
 
   (* ---- Step 2: random wire values -------------------------------- *)
   let random_wires =
@@ -120,10 +121,10 @@ let run (ctx : Ops.ctx) (setup : Setup.t) layout =
   let lambda_contribs =
     Ops.contributions ctx r_committee ~phase ~step:"random wire values"
       ~cost:[ (Cost.Ciphertext, Array.length random_wires) ]
-      ~tamper:(fun kind _ ->
-        junk_cts te frng kind (fun te frng ->
-            Array.map (fun _ -> Te.encrypt te (F.random frng)) random_wires))
-      (fun _ -> Array.map (fun _ -> Te.encrypt te (F.random frng)) random_wires)
+      ~tamper:(fun rng kind _ ->
+        junk_cts te rng kind (fun te rng ->
+            Array.map (fun _ -> Te.encrypt te (F.random rng)) random_wires))
+      (fun rng _ -> Array.map (fun _ -> Te.encrypt te (F.random rng)) random_wires)
   in
   let wire_lambda = Array.make circuit.Circuit.wire_count zero_ct in
   Array.iteri
@@ -140,7 +141,7 @@ let run (ctx : Ops.ctx) (setup : Setup.t) layout =
     circuit.Circuit.gates;
   (* masked openings eps = lambda_a + x, delta = lambda_b + y *)
   let masked =
-    Array.init (2 * m) (fun i ->
+    Pool.map pool (2 * m) (fun i ->
         let g = i / 2 in
         let a, b, _ = mult_gates.(g) in
         if i mod 2 = 0 then Te.add te wire_lambda.(a) c_x.(g)
@@ -160,7 +161,7 @@ let run (ctx : Ops.ctx) (setup : Setup.t) layout =
     (chunks (2 * gpc) masked);
   (* Gamma_g = lambda_a * lambda_b - lambda_out, homomorphically *)
   let gamma_ct =
-    Array.init m (fun g ->
+    Pool.map pool m (fun g ->
         let _, b, out = mult_gates.(g) in
         let eps = opened.(2 * g) and delta = opened.((2 * g) + 1) in
         Te.eval te
@@ -190,17 +191,17 @@ let run (ctx : Ops.ctx) (setup : Setup.t) layout =
       let contribs =
         Ops.contributions ctx committee ~phase ~step:"packing helper randoms"
           ~cost:[ (Cost.Ciphertext, 3 * t * Array.length batch_chunk) ]
-          ~tamper:(fun kind _ ->
-            junk_cts te frng kind (fun te frng ->
+          ~tamper:(fun rng kind _ ->
+            junk_cts te rng kind (fun te rng ->
                 Array.map
                   (fun _ ->
                     Array.init 3 (fun _ ->
-                        Array.init t (fun _ -> Te.encrypt te (F.random frng))))
+                        Array.init t (fun _ -> Te.encrypt te (F.random rng))))
                   batch_chunk))
-          (fun _ ->
+          (fun rng _ ->
             Array.map
               (fun _ ->
-                Array.init 3 (fun _ -> Array.init t (fun _ -> Te.encrypt te (F.random frng))))
+                Array.init 3 (fun _ -> Array.init t (fun _ -> Te.encrypt te (F.random rng))))
               batch_chunk)
       in
       Array.iteri
@@ -216,7 +217,7 @@ let run (ctx : Ops.ctx) (setup : Setup.t) layout =
   (* homomorphic Lagrange evaluation: n encrypted packed shares per vector *)
   let pack cts help =
     let anchors = Array.append cts help in
-    Array.init n (fun i -> Te.eval te anchors pack_matrix.(i))
+    Pool.map pool n (fun i -> Te.eval te anchors pack_matrix.(i))
   in
   let padded f batch =
     let raw = Array.map f batch.Layout.mult_gates in

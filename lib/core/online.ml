@@ -12,6 +12,7 @@ module Faults = Yoso_runtime.Faults
 module Ops = Committee_ops
 module Board = Yoso_net.Board
 module Wire = Yoso_net.Wire
+module Pool = Yoso_parallel.Pool
 
 type output = { client : int; wire : Circuit.wire; value : F.t }
 
@@ -150,20 +151,22 @@ let run (ctx : Ops.ctx) (setup : Setup.t) (prep : Offline.t) ~inputs =
         let raw = Array.map f batch.Layout.mult_gates in
         Array.append raw (Array.make (k - Array.length raw) F.zero)
       in
+      let pool = ctx.Ops.pool in
       let mu_alpha_sharing =
-        Array.map (fun mp -> PS.share_public ps (padded_mu (fun (a, _, _) -> get_mu a) mp.Offline.batch)) preps
+        Pool.map pool nbatches (fun bi ->
+            PS.share_public ps (padded_mu (fun (a, _, _) -> get_mu a) preps.(bi).Offline.batch))
       in
       let mu_beta_sharing =
-        Array.map (fun mp -> PS.share_public ps (padded_mu (fun (_, b, _) -> get_mu b) mp.Offline.batch)) preps
+        Pool.map pool nbatches (fun bi ->
+            PS.share_public ps (padded_mu (fun (_, b, _) -> get_mu b) preps.(bi).Offline.batch))
       in
       let step = "multiplication: publish mu-gamma shares" in
-      let frng = ctx.Ops.frng in
       let verified =
         Ops.contributions ctx committee ~phase ~step
           ~cost:[ (Cost.Field_element, nbatches) ]
           ~wire:(fun shares -> [ Wire.Field_elements shares ])
           ~required:(Params.reconstruction_threshold p)
-          ~tamper:(fun kind i ->
+          ~tamper:(fun rng kind i ->
             match kind with
             | Faults.Garbage_ciphertext -> None
             | Faults.Wrong_degree ->
@@ -173,11 +176,11 @@ let run (ctx : Ops.ctx) (setup : Setup.t) (prep : Offline.t) ~inputs =
               Some
                 (Array.map
                    (fun _ ->
-                     let secrets = Array.init k (fun _ -> F.random frng) in
-                     (PS.share ps ~degree:(n - 1) ~secrets ~rng:frng).PS.shares.(i))
+                     let secrets = Array.init k (fun _ -> F.random rng) in
+                     (PS.share ps ~degree:(n - 1) ~secrets ~rng).PS.shares.(i))
                    preps)
-            | _ -> Some (Array.map (fun _ -> F.random frng) preps))
-          (fun i ->
+            | _ -> Some (Array.map (fun _ -> F.random rng) preps))
+          (fun _rng i ->
             let kff_sk = role_kff_sk li i in
             Array.mapi
               (fun bi mp ->

@@ -48,6 +48,7 @@ type config = {
   validate : bool;
   seed : int;
   net : Board.config;
+  domains : int;
 }
 
 let default_config =
@@ -57,47 +58,47 @@ let default_config =
     validate = true;
     seed = 0xC0FFEE;
     net = Board.default_config;
+    domains = 1;
   }
 
 let execute ~params ?(config = default_config) ~circuit ~inputs () =
-  let { adversary; plan; validate; seed; net } = config in
+  let { adversary; plan; validate; seed; net; domains } = config in
   let board = Board.create ~config:net () in
-  let ctx = Ops.create_ctx ?plan ~validate ~board ~params ~adversary ~seed () in
-  let layout = Layout.make circuit ~k:params.Params.k in
-  let layers = Array.length layout.Layout.mult_layers in
-  let setup =
-    Setup.run ~board ~params ~layers ~clients:(Circuit.clients circuit)
-      ~rng:(Splitmix.of_int (seed lxor 0x5E7))
-  in
-  let prep = Offline.run ctx setup layout in
-  let outputs = Online.run ctx setup prep ~inputs in
-  let cost = Board.cost board in
-  let meter = Board.meter board in
-  {
-    outputs;
-    setup_elements = Cost.elements cost ~phase:"setup";
-    offline_elements = Cost.elements cost ~phase:"offline";
-    online_elements = Cost.elements cost ~phase:"online";
-    setup_bytes = Meter.phase_total meter ~phase:"setup";
-    offline_bytes = Meter.phase_total meter ~phase:"offline";
-    online_bytes = Meter.phase_total meter ~phase:"online";
-    online_field_bytes = Meter.kind_bytes meter ~phase:"online" Cost.Field_element;
-    posts = Board.length board;
-    committees = ctx.Ops.committee_counter;
-    num_gates = Circuit.size circuit;
-    num_mult = Circuit.num_mul circuit;
-    faults_detected = Faults.faults_detected ctx.Ops.log;
-    posts_rejected = Faults.posts_rejected ctx.Ops.log;
-    blames = Faults.blames ctx.Ops.log;
-    net = Board.sim_stats board;
-    transcript = Board.transcript board;
-    meter;
-  }
-
-(* Deprecated optional-cluster entry point, one release *)
-let execute_opts ~params ?(adversary = Params.no_adversary) ?plan ?(validate = true)
-    ?(seed = 0xC0FFEE) ?(net = Board.default_config) ~circuit ~inputs () =
-  execute ~params ~config:{ adversary; plan; validate; seed; net } ~circuit ~inputs ()
+  let pool = Yoso_parallel.Pool.create ~domains in
+  Fun.protect
+    ~finally:(fun () -> Yoso_parallel.Pool.shutdown pool)
+    (fun () ->
+      let ctx = Ops.create_ctx ?plan ~validate ~pool ~board ~params ~adversary ~seed () in
+      let layout = Layout.make circuit ~k:params.Params.k in
+      let layers = Array.length layout.Layout.mult_layers in
+      let setup =
+        Setup.run ~board ~params ~layers ~clients:(Circuit.clients circuit)
+          ~rng:(Splitmix.of_int (seed lxor 0x5E7))
+      in
+      let prep = Offline.run ctx setup layout in
+      let outputs = Online.run ctx setup prep ~inputs in
+      let cost = Board.cost board in
+      let meter = Board.meter board in
+      {
+        outputs;
+        setup_elements = Cost.elements cost ~phase:"setup";
+        offline_elements = Cost.elements cost ~phase:"offline";
+        online_elements = Cost.elements cost ~phase:"online";
+        setup_bytes = Meter.phase_total meter ~phase:"setup";
+        offline_bytes = Meter.phase_total meter ~phase:"offline";
+        online_bytes = Meter.phase_total meter ~phase:"online";
+        online_field_bytes = Meter.kind_bytes meter ~phase:"online" Cost.Field_element;
+        posts = Board.length board;
+        committees = ctx.Ops.committee_counter;
+        num_gates = Circuit.size circuit;
+        num_mult = Circuit.num_mul circuit;
+        faults_detected = Faults.faults_detected ctx.Ops.log;
+        posts_rejected = Faults.posts_rejected ctx.Ops.log;
+        blames = Faults.blames ctx.Ops.log;
+        net = Board.sim_stats board;
+        transcript = Board.transcript board;
+        meter;
+      })
 
 (* hand-rolled JSON: values are ints, floats and plain ASCII strings *)
 let report_json r =

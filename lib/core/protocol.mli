@@ -48,6 +48,10 @@ type config = {
   validate : bool;
   seed : int;
   net : Yoso_net.Board.config;
+  domains : int;
+      (** worker domains for committee fan-out (see
+          {!Yoso_parallel.Pool}); outputs, blames and the transcript
+          digest are identical at every value *)
 }
 (** Execution knobs, grouped.  Build one with record update on
     {!default_config}:
@@ -55,7 +59,7 @@ type config = {
 
 val default_config : config
 (** No adversary, random fault plan from the seed, validation on,
-    seed [0xC0FFEE], ideal network. *)
+    seed [0xC0FFEE], ideal network, 1 domain. *)
 
 val execute :
   params:Params.t ->
@@ -72,19 +76,6 @@ val execute :
     anyway and aborts at run time with the structured
     {!Yoso_runtime.Faults.Protocol_failure} once a committee step
     retains too few verified contributions — never a wrong output. *)
-
-val execute_opts :
-  params:Params.t ->
-  ?adversary:Params.adversary ->
-  ?plan:Yoso_runtime.Faults.plan ->
-  ?validate:bool ->
-  ?seed:int ->
-  ?net:Yoso_net.Board.config ->
-  circuit:Circuit.t ->
-  inputs:(int -> F.t array) ->
-  unit ->
-  report
-[@@ocaml.deprecated "build a Protocol.config and call execute ?config"]
 
 val report_json : report -> string
 (** The report as a single JSON object (counts, per-gate metrics, byte

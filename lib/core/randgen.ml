@@ -4,6 +4,7 @@ module Bulletin = Yoso_runtime.Bulletin
 module Committee = Yoso_runtime.Committee
 module Cost = Yoso_runtime.Cost
 module Role = Yoso_runtime.Role
+module Pool = Yoso_parallel.Pool
 
 type outcome = {
   value : F.t;
@@ -14,7 +15,8 @@ type outcome = {
   elements : int;
 }
 
-let run ~n ~t ?(malicious_dealers = []) ?(malicious_revealers = []) ?(seed = 0xABCD) () =
+let run ~n ~t ?(malicious_dealers = []) ?(malicious_revealers = []) ?(seed = 0xABCD)
+    ?(pool = Pool.sequential) () =
   if t < 0 || t >= n then invalid_arg "Randgen.run: need 0 <= t < n";
   if List.length malicious_dealers > n - t - 1 || List.length malicious_revealers > n - t - 1
   then invalid_arg "Randgen.run: too many malicious roles";
@@ -44,11 +46,11 @@ let run ~n ~t ?(malicious_dealers = []) ?(malicious_revealers = []) ?(seed = 0xA
           "randgen dealing";
         d)
   in
-  let qualified =
-    List.filter
-      (fun i -> Feldman.verify_dealing ~n dealings.(i))
-      (List.init n (fun i -> i))
-  in
+  (* public verification is embarrassingly parallel: every dealing is
+     checked independently against read-only group state *)
+  Feldman.prepare ();
+  let verdicts = Pool.map pool n (fun i -> Feldman.verify_dealing ~n dealings.(i)) in
+  let qualified = List.filter (fun i -> verdicts.(i)) (List.init n (fun i -> i)) in
   let rejected_dealers = n - List.length qualified in
 
   (* aggregate commitments of the qualified set, coefficient-wise *)

@@ -36,9 +36,12 @@ val run :
   ?malicious_dealers:int list ->
   ?malicious_revealers:int list ->
   ?seed:int ->
+  ?pool:Yoso_parallel.Pool.t ->
   unit ->
   outcome
-(** @raise Invalid_argument unless [0 <= t < n] and at least [t + 1]
+(** [pool] (default sequential) fans the public dealing verification
+    out across domains; the outcome is identical at any pool size.
+    @raise Invalid_argument unless [0 <= t < n] and at least [t + 1]
     honest roles remain in each committee. *)
 
 val honest_reference : n:int -> t:int -> ?seed:int -> unit -> F.t

@@ -30,3 +30,8 @@ let bool t = Int64.logand (next t) 1L = 1L
 let split t =
   let seed = next t in
   create (mix64 seed)
+
+let mix a b =
+  let z = Int64.add (Int64.mul (Int64.of_int a) golden_gamma) (Int64.of_int b) in
+  let z = mix64 (Int64.add z golden_gamma) in
+  Int64.to_int (Int64.shift_right_logical z 2)

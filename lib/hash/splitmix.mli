@@ -23,3 +23,10 @@ val bool : t -> bool
 
 val split : t -> t
 (** An independent stream (gamma-derived), leaving [t] usable. *)
+
+val mix : int -> int -> int
+(** [mix a b] is a stateless avalanche combine of two ints into a
+    62-bit non-negative value.  Used to derive independent child seeds
+    from a (seed, index) pair: unlike drawing from a shared stream,
+    the result depends only on its inputs, so derived seeds are stable
+    under any evaluation order. *)

@@ -27,11 +27,11 @@ type t = {
   bulletin : string Bulletin.t;
   sim : Sim.t;
   meter : Meter.t;
-  blob_rng : Splitmix.t;
   config : config;
   mutable frames : int;
   mutable frame_bytes : int;
   mutable digest : int;
+  mutable round_posts : int;  (* sequential posts tagged within the round *)
 }
 
 let create ?(config = default_config) () =
@@ -39,11 +39,11 @@ let create ?(config = default_config) () =
     bulletin = Bulletin.create ();
     sim = Sim.create ~model:config.model ~round_ms:config.round_ms ~seed:config.net_seed ();
     meter = Meter.create ();
-    blob_rng = Splitmix.of_int (config.net_seed lxor 0x0b10b5);
     config;
     frames = 0;
     frame_bytes = 0;
     digest = 0x9e3779b9;
+    round_posts = 0;
   }
 
 let bulletin t = t.bulletin
@@ -59,7 +59,8 @@ let transcript t = { frames = t.frames; frame_bytes = t.frame_bytes; digest = t.
 
 let next_round t =
   Bulletin.next_round t.bulletin;
-  Sim.next_round t.sim
+  Sim.next_round t.sim;
+  t.round_posts <- 0
 
 let tally_payload items =
   let tbl = Hashtbl.create 8 in
@@ -96,12 +97,26 @@ let corrupt_frame frame =
   Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
   Bytes.unsafe_to_string b
 
-(* post = encode -> transmit -> deliver -> decode -> verify.  Provided
-   [items] carry the real element data (online field payloads);
-   whatever of [cost] they do not cover is synthesized at modeled
-   sizes, so every frame has the full wire weight of its post. *)
-let post t ~author ~phase ~step ?(items = []) ?(corrupt = false) ?(force_late = false) ~cost ()
-    =
+type prepared = {
+  p_author : Role.id;
+  p_phase : string;
+  p_step : string;
+  p_items : Wire.item list;
+  p_frame : string;
+  p_force_late : bool;
+  p_cost : (Cost.kind * int) list;
+  p_decodes : bool;  (* receiver-side decode + step check, precomputed *)
+}
+
+(* The pure half of a post: synthesize the missing wire weight, encode
+   the frame, and pre-run the receiver's decode check.  Blob bytes come
+   from an RNG derived statelessly from [(net_seed, tag)], so a frame's
+   content depends only on its tag — never on how many frames other
+   domains have prepared, which is what keeps the transcript digest
+   identical at any domain count. *)
+let prepare t ~author ~phase ~step ?(items = []) ?(corrupt = false) ?(force_late = false)
+    ~cost ~tag () =
+  let blob_rng = Splitmix.of_int (Splitmix.mix (t.config.net_seed lxor 0x0b10b5) tag) in
   let missing =
     List.filter_map
       (fun (kind, n) ->
@@ -109,10 +124,31 @@ let post t ~author ~phase ~step ?(items = []) ?(corrupt = false) ?(force_late = 
         if m > 0 then Some (kind, m) else None)
       cost
   in
-  let items = items @ Wire.items_of_cost t.config.sizing t.blob_rng missing in
+  let items = items @ Wire.items_of_cost t.config.sizing blob_rng missing in
   let msg = { Wire.step; items } in
   let frame = Wire.to_frame msg in
   let frame = if corrupt then corrupt_frame frame else frame in
+  let p_decodes =
+    match Wire.of_frame frame with
+    | exception Wire.Decode_error _ -> false
+    | decoded -> decoded.Wire.step = step
+  in
+  {
+    p_author = author;
+    p_phase = phase;
+    p_step = step;
+    p_items = items;
+    p_frame = frame;
+    p_force_late = force_late;
+    p_cost = cost;
+    p_decodes;
+  }
+
+(* The sequential half: transcript digest, cost charging, transmission
+   and bulletin slot — everything whose order is the board's order. *)
+let commit t p =
+  let { p_author = author; p_phase = phase; p_step = step; p_items = items; p_frame = frame;
+        p_force_late = force_late; p_cost = cost; p_decodes; } = p in
   let frame_bytes = String.length frame in
   t.frames <- t.frames + 1;
   t.frame_bytes <- t.frame_bytes + frame_bytes;
@@ -133,18 +169,17 @@ let post t ~author ~phase ~step ?(items = []) ?(corrupt = false) ?(force_late = 
   | Sim.Late ->
     Bulletin.post t.bulletin ~author ~phase ~cost (step ^ " [past round deadline]");
     Late
-  | Sim.Delivered -> (
-    match Wire.of_frame frame with
-    | exception Wire.Decode_error _ ->
-      (* the post occupies its slot on the board but decodes to
-         nothing; verification will exclude the author *)
-      Bulletin.post t.bulletin ~author ~phase ~cost step;
-      Garbled
-    | decoded ->
-      if decoded.Wire.step <> step then (
-        Bulletin.post t.bulletin ~author ~phase ~cost step;
-        Garbled)
-      else begin
-        Bulletin.post t.bulletin ~author ~phase ~cost step;
-        Delivered
-      end)
+  | Sim.Delivered ->
+    (* a frame that fails its integrity check (or decodes to another
+       step) occupies its slot on the board but contributes nothing;
+       verification will exclude the author *)
+    Bulletin.post t.bulletin ~author ~phase ~cost step;
+    if p_decodes then Delivered else Garbled
+
+(* post = prepare + commit with a tag drawn from the per-round post
+   counter; single-threaded callers never see the split. *)
+let post t ~author ~phase ~step ?(items = []) ?(corrupt = false) ?(force_late = false) ~cost ()
+    =
+  let tag = Splitmix.mix (Bulletin.round t.bulletin) t.round_posts in
+  t.round_posts <- t.round_posts + 1;
+  commit t (prepare t ~author ~phase ~step ~items ~corrupt ~force_late ~cost ~tag ())

@@ -60,7 +60,45 @@ val post :
     [force_late] stalls the sender past the round deadline.  Element
     counts are charged to the bulletin's {!Cost.t} exactly as before;
     measured bytes are charged alongside and broken down in the
-    {!Meter}. *)
+    {!Meter}.
+
+    Equivalent to {!prepare} (tagged by a per-round post counter)
+    followed immediately by {!commit}. *)
+
+(** {1 Split posting}
+
+    A post factors into a pure, parallelizable half ({!prepare}:
+    payload synthesis, frame encoding, checksum, receiver-side decode
+    check) and a sequential half ({!commit}: transcript digest chain,
+    cost metering, transmission, bulletin slot).  Committee fan-out
+    prepares all members' frames concurrently, then commits them in
+    index order, so the board observes the same sequence — and hashes
+    to the same digest — as a fully sequential run. *)
+
+type prepared
+(** A frame ready to commit: encoded, checksummed, pre-decoded. *)
+
+val prepare :
+  t ->
+  author:Role.id ->
+  phase:string ->
+  step:string ->
+  ?items:Wire.item list ->
+  ?corrupt:bool ->
+  ?force_late:bool ->
+  cost:(Cost.kind * int) list ->
+  tag:int ->
+  unit ->
+  prepared
+(** Pure given [(config, tag)]: safe to call from worker domains.
+    [tag] seeds the synthesized blob bytes (via a stateless mix with
+    the net seed) and must be unique per post within a round —
+    committee fan-out uses the member index. *)
+
+val commit : t -> prepared -> outcome
+(** Mutates the board: digest chain, meters, network transmission,
+    bulletin slot.  Must be called from one domain, in the intended
+    board order. *)
 
 val next_round : t -> unit
 

@@ -51,8 +51,6 @@ module Plaintext_knowledge = struct
       B.equal lhs rhs
     end
 
-  let prove_st pk st ~m ~r ~c = prove pk ~rng:st ~m ~r ~c
-
   let size_bits pk = 4 * pk.P.bits (* a: 2|N|, z_m: |N|, z_r: |N| *)
 end
 
@@ -93,8 +91,6 @@ module Multiplication = struct
       let rhs2 = B.mulmod proof.a2 (pow_n2 pk (P.raw c_c) e) n2 in
       B.equal lhs1 rhs1 && B.equal lhs2 rhs2
     end
-
-  let prove_st pk st ~b ~r ~c_a ~c_b ~c_c = prove pk ~rng:st ~b ~r ~c_a ~c_b ~c_c
 
   let size_bits pk =
     (* a1, a2: 2|N| each; z: |N| + chal + blind; z_r: |N| *)

@@ -38,10 +38,6 @@ module Plaintext_knowledge : sig
 
   val verify : P.public_key -> c:P.ciphertext -> proof -> bool
 
-  val prove_st :
-    P.public_key -> Random.State.t -> m:B.t -> r:B.t -> c:P.ciphertext -> proof
-  [@@ocaml.deprecated "use prove ~rng"]
-
   val size_bits : P.public_key -> int
   (** Communication size of a proof, in bits (for cost accounting). *)
 end
@@ -61,17 +57,6 @@ module Multiplication : sig
 
   val verify :
     P.public_key -> c_a:P.ciphertext -> c_b:P.ciphertext -> c_c:P.ciphertext -> proof -> bool
-
-  val prove_st :
-    P.public_key ->
-    Random.State.t ->
-    b:B.t ->
-    r:B.t ->
-    c_a:P.ciphertext ->
-    c_b:P.ciphertext ->
-    c_c:P.ciphertext ->
-    proof
-  [@@ocaml.deprecated "use prove ~rng"]
 
   val size_bits : P.public_key -> int
 end

@@ -64,6 +64,7 @@ module Ctx = struct
     { pk; mont_n; mont_n2; fb_g }
 
   let public_key ctx = ctx.pk
+  let mont_n2 ctx = ctx.mont_n2
   let pow_n ctx b e = B.Mont.powmod ctx.mont_n b e
   let pow_n2 ctx b e = B.Mont.powmod ctx.mont_n2 b e
 
@@ -146,10 +147,6 @@ let raw ct = ct.c
 let of_raw pk v = { pk_n2 = pk.n2; c = B.erem v pk.n2 }
 
 (* Deprecated positional-RNG aliases, one release *)
-let keygen_st ?bits st = keygen ?bits ~rng:st ()
-let encrypt_st pk st m = encrypt pk ~rng:st m
-let rerandomize_st pk st ct = rerandomize pk ~rng:st ct
-
 module Reference = struct
   let encrypt_with pk ~r m =
     if not (B.is_one (B.gcd r pk.n)) then

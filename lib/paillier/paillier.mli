@@ -47,6 +47,10 @@ module Ctx : sig
   val create : public_key -> t
   val public_key : t -> public_key
 
+  val mont_n2 : t -> B.Mont.ctx
+  (** The Montgomery context for [N^2] — the domain of ciphertext
+      arithmetic; lets callers drive {!B.Multiexp} over it. *)
+
   val pow_n : t -> B.t -> B.t -> B.t
   (** Montgomery exponentiation mod [N].
       @raise Invalid_argument on negative exponent. *)
@@ -134,17 +138,6 @@ val sample_unit : public_key -> rng:Random.State.t -> B.t
 
 val g_pow : public_key -> B.t -> B.t
 (** [(1 + N)^m mod N^2] via the closed form; context-free. *)
-
-(** {1 Deprecated aliases} *)
-
-val keygen_st : ?bits:int -> Random.State.t -> public_key * secret_key
-[@@ocaml.deprecated "use keygen ~rng"]
-
-val encrypt_st : public_key -> Random.State.t -> B.t -> ciphertext
-[@@ocaml.deprecated "use encrypt ~rng"]
-
-val rerandomize_st : public_key -> Random.State.t -> ciphertext -> ciphertext
-[@@ocaml.deprecated "use rerandomize ~rng"]
 
 (** {1 Reference implementations}
 

@@ -90,7 +90,12 @@ let partial_decrypt_with ~pow tpk share ct =
     p_epoch = share.epoch;
     d = pow_signed ~pow (Paillier.raw ct) e tpk.pk.Paillier.n2 }
 
-let combine_with ~pow ~weights ~theta_inv tpk parts =
+(* the combination step factored over a product-of-powers kernel:
+   [prodpow] receives the full [(partial, 2*mu_i)] batch and must
+   return [prod d_i ^ w_i mod N^2] (negative weights included).  The
+   multi-exponentiation path and the per-partial fold share everything
+   else. *)
+let combine_core ~prodpow ~weights ~theta_inv tpk parts =
   let parts = dedup_partials parts in
   let need = tpk.threshold + 1 in
   if List.length parts < need then
@@ -105,17 +110,22 @@ let combine_with ~pow ~weights ~theta_inv tpk parts =
   let epoch = (List.hd chosen).p_epoch in
   let subset = List.map (fun p -> p.p_index) chosen in
   let ws = weights subset in
-  let n2 = tpk.pk.Paillier.n2 in
-  let acc =
-    List.fold_left
-      (fun acc p ->
-        let w = List.assoc p.p_index ws in
-        B.mulmod acc (pow_signed ~pow p.d w n2) n2)
-      B.one chosen
+  let pairs =
+    Array.of_list (List.map (fun p -> (p.d, List.assoc p.p_index ws)) chosen)
   in
+  let acc = prodpow pairs in
   (* acc = 1 + (m * theta_e mod N) * N *)
   let l = B.div (B.sub acc B.one) tpk.pk.Paillier.n in
   B.erem (B.mul l (theta_inv epoch)) tpk.pk.Paillier.n
+
+let combine_with ~pow ~weights ~theta_inv tpk parts =
+  let n2 = tpk.pk.Paillier.n2 in
+  let prodpow pairs =
+    Array.fold_left
+      (fun acc (b, e) -> B.mulmod acc (pow_signed ~pow b e n2) n2)
+      B.one pairs
+  in
+  combine_core ~prodpow ~weights ~theta_inv tpk parts
 
 let default_weights tpk subset =
   List.map (fun i -> (i, B.mul B.two (mu_weight tpk.delta subset i))) subset
@@ -163,7 +173,18 @@ module Ctx = struct
   let partial_decrypt ctx share ct =
     partial_decrypt_with ~pow:(pow ctx) ctx.tpk share ct
 
+  (* Straus/Pippenger multi-exponentiation over the Montgomery context
+     for N^2: one shared-window pass over all t+1 partials instead of
+     t+1 independent powmods *)
   let combine ctx parts =
+    let mont = Paillier.Ctx.mont_n2 ctx.pctx in
+    combine_core
+      ~prodpow:(fun pairs -> B.Multiexp.run mont pairs)
+      ~weights:(weights ctx) ~theta_inv:(theta_inv ctx) ctx.tpk parts
+
+  (* the pre-multiexp path — one Montgomery powmod per partial — kept
+     callable so benchmarks can measure the speedup against it *)
+  let combine_powmods ctx parts =
     combine_with ~pow:(pow ctx) ~weights:(weights ctx)
       ~theta_inv:(theta_inv ctx) ctx.tpk parts
 
@@ -251,11 +272,6 @@ let recombine_share tpk ~index ~epoch subshares =
       B.zero chosen
   in
   { index; epoch; value }
-
-(* Deprecated positional-RNG aliases, one release *)
-let keygen_st ?bits ~n ~t st = keygen ?bits ~n ~t ~rng:st ()
-let encrypt_st tpk st m = encrypt tpk ~rng:st m
-let reshare_st tpk share st = reshare tpk share ~rng:st
 
 module Reference = struct
   let partial_decrypt tpk share ct =

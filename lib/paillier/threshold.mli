@@ -71,8 +71,16 @@ module Ctx : sig
   (** [TPDec] via Montgomery exponentiation. *)
 
   val combine : t -> partial list -> B.t
-  (** [TDec] with cached combining weights and [theta^-1].
+  (** [TDec] with cached combining weights and [theta^-1].  The
+      [prod d_i ^ (2 mu_i)] core runs as one {!B.Multiexp} batch over
+      the Montgomery context for [N^2] (Straus for committee-sized
+      batches, Pippenger beyond) instead of one powmod per partial.
       @raise Invalid_argument as {!val-combine}. *)
+
+  val combine_powmods : t -> partial list -> B.t
+  (** [TDec] on the pre-multi-exponentiation path: one independent
+      Montgomery powmod per partial.  Same output as {!combine} on
+      every input; kept as the measured baseline of [bench par]. *)
 
   val sim_partial_decrypt :
     t -> Paillier.ciphertext -> m:B.t -> honest:key_share list -> partial list
@@ -150,18 +158,6 @@ val unsafe_share : index:int -> epoch:int -> value:B.t -> key_share
 val unsafe_partial : index:int -> epoch:int -> d:B.t -> partial
 (** Test/adversary constructor (e.g. a malicious role posting a junk
     partial decryption). *)
-
-(** {1 Deprecated aliases} *)
-
-val keygen_st :
-  ?bits:int -> n:int -> t:int -> Random.State.t -> tpk * key_share array
-[@@ocaml.deprecated "use keygen ~rng"]
-
-val encrypt_st : tpk -> Random.State.t -> B.t -> Paillier.ciphertext
-[@@ocaml.deprecated "use encrypt ~rng"]
-
-val reshare_st : tpk -> key_share -> Random.State.t -> B.t array
-[@@ocaml.deprecated "use reshare ~rng"]
 
 (** {1 Reference implementations}
 

@@ -1,0 +1,159 @@
+module Splitmix = Yoso_hash.Splitmix
+
+(* One batch of work: [chunks] are closures over disjoint index
+   ranges, claimed greedily under the pool lock.  Results land in
+   arrays pre-sized by the caller, so nothing here depends on which
+   domain runs which chunk. *)
+type job = {
+  chunks : (unit -> unit) array;
+  mutable next : int;  (* next unclaimed chunk *)
+  mutable completed : int;  (* chunks finished (or failed) *)
+  mutable failed : exn option;  (* first exception, in claim order *)
+}
+
+type t = {
+  domains : int;
+  lock : Mutex.t;
+  has_work : Condition.t;
+  work_done : Condition.t;
+  mutable job : job option;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+}
+
+(* Claim and run chunks of [j] until none remain.  Called (and
+   returns) with [t.lock] held; the lock is released around each chunk
+   body. *)
+let drain t j =
+  let len = Array.length j.chunks in
+  while j.next < len do
+    let c = j.next in
+    j.next <- j.next + 1;
+    Mutex.unlock t.lock;
+    let error =
+      match j.chunks.(c) () with () -> None | exception e -> Some e
+    in
+    Mutex.lock t.lock;
+    (match error with
+    | Some e when j.failed = None -> j.failed <- Some e
+    | _ -> ());
+    j.completed <- j.completed + 1;
+    if j.completed = len then Condition.broadcast t.work_done
+  done
+
+let worker t =
+  Mutex.lock t.lock;
+  let rec loop () =
+    if t.stopping then Mutex.unlock t.lock
+    else
+      match t.job with
+      | Some j when j.next < Array.length j.chunks ->
+        drain t j;
+        loop ()
+      | _ ->
+        Condition.wait t.has_work t.lock;
+        loop ()
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 || domains > 128 then
+    invalid_arg "Pool.create: domains must be in [1, 128]";
+  let t =
+    {
+      domains;
+      lock = Mutex.create ();
+      has_work = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      stopping = false;
+      workers = [||];
+    }
+  in
+  if domains > 1 then
+    t.workers <- Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let domains t = t.domains
+let sequential = create ~domains:1
+
+let shutdown t =
+  if Array.length t.workers > 0 then begin
+    Mutex.lock t.lock;
+    t.stopping <- true;
+    Condition.broadcast t.has_work;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+(* Submit [chunks], participate in draining them, wait for stragglers,
+   then re-raise the first failure if any. *)
+let run_job t chunks =
+  let len = Array.length chunks in
+  if len > 0 then begin
+    let j = { chunks; next = 0; completed = 0; failed = None } in
+    Mutex.lock t.lock;
+    t.job <- Some j;
+    Condition.broadcast t.has_work;
+    drain t j;
+    while j.completed < len do
+      Condition.wait t.work_done t.lock
+    done;
+    t.job <- None;
+    Mutex.unlock t.lock;
+    match j.failed with Some e -> raise e | None -> ()
+  end
+
+(* Static chunking: [min domains n] contiguous ranges of near-equal
+   size.  The partition depends only on [n] and the pool size — never
+   on scheduling. *)
+let chunk_bounds t n =
+  let nchunks = min t.domains n in
+  Array.init nchunks (fun c -> (c * n / nchunks, ((c + 1) * n / nchunks) - 1))
+
+let iter t n f =
+  if n < 0 then invalid_arg "Pool.iter: negative size";
+  if n > 0 then
+    if t.domains = 1 || n = 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else
+      run_job t
+        (Array.map
+           (fun (lo, hi) ->
+             fun () ->
+              for i = lo to hi do
+                f i
+              done)
+           (chunk_bounds t n))
+
+let map t n f =
+  if n < 0 then invalid_arg "Pool.map: negative size";
+  if n = 0 then [||]
+  else if t.domains = 1 || n = 1 then begin
+    let r0 = f 0 in
+    let out = Array.make n r0 in
+    for i = 1 to n - 1 do
+      out.(i) <- f i
+    done;
+    out
+  end
+  else begin
+    let out = Array.make n None in
+    iter t n (fun i -> out.(i) <- Some (f i));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map_reduce t n ~map:f ~reduce ~init =
+  if t.domains = 1 || n <= 1 then begin
+    let acc = ref init in
+    for i = 0 to n - 1 do
+      acc := reduce !acc (f i)
+    done;
+    !acc
+  end
+  else Array.fold_left reduce init (map t n f)
+
+let derive_rng ~seed i = Random.State.make [| Splitmix.mix seed i |]

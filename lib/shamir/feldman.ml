@@ -32,6 +32,14 @@ type dealing = { commitment : commitment; shares : F.t array }
 
 let pow_h _g e = B.Mont.fixed_powmod (Lazy.force fb_h) (B.of_int e)
 
+(* force the lazy group/Montgomery state and grow the h table to cover
+   full-width (31-bit) exponents; afterwards verification is read-only
+   and safe to fan out across domains *)
+let prepare () =
+  ignore (Lazy.force group);
+  ignore (Lazy.force mont);
+  B.Mont.preload (Lazy.force fb_h) ~bits:31
+
 let deal ~t ~n ~secret ~rng =
   if t < 0 || n < 1 || t >= n then invalid_arg "Feldman.deal: need 0 <= t < n";
   let g = Lazy.force group in
@@ -50,25 +58,69 @@ let deal ~t ~n ~secret ~rng =
 let verify_share commitment ~index ~share =
   let g = Lazy.force group in
   let mctx = Lazy.force mont in
-  (* h^share =? prod_j C_j^((index+1)^j); exponents live mod q = F.p *)
+  (* h^share =? prod_j C_j^((index+1)^j); exponents live mod q = F.p.
+     The right-hand side is one Straus multi-exponentiation over the
+     t+1 commitment coefficients instead of t+1 independent powmods. *)
   let x = F.of_int (index + 1) in
-  let rhs = ref B.one in
   let x_pow = ref F.one in
-  Array.iter
-    (fun c ->
-      rhs :=
-        B.mulmod !rhs (B.Mont.powmod mctx c (B.of_int (F.to_int !x_pow))) g.modulus;
-      x_pow := F.mul !x_pow x)
-    commitment;
-  B.equal (pow_h g (F.to_int share)) !rhs
+  let pairs =
+    Array.map
+      (fun c ->
+        let e = B.of_int (F.to_int !x_pow) in
+        x_pow := F.mul !x_pow x;
+        (c, e))
+      commitment
+  in
+  B.equal (pow_h g (F.to_int share)) (B.Multiexp.run mctx pairs)
 
-let verify_dealing ~n d =
+let verify_dealing_each ~n d =
   Array.length d.shares = n
   && (let ok = ref true in
       Array.iteri
         (fun i s -> if not (verify_share d.commitment ~index:i ~share:s) then ok := false)
         d.shares;
       !ok)
+
+(* random-linear-combination batch check:
+   h^(sum_i r_i s_i) =? prod_j C_j^(sum_i r_i (i+1)^j), all exponents
+   mod q.  A dealing whose shares all verify passes identically; a bad
+   dealing survives with probability 1/q over the r_i.  Without [rng]
+   the coefficients are derived Fiat-Shamir-style from the dealing
+   itself — heuristic, but so is the 31-bit group. *)
+let verify_dealing ?rng ~n d =
+  Array.length d.shares = n
+  && Array.length d.commitment > 0
+  &&
+  let g = Lazy.force group in
+  let mctx = Lazy.force mont in
+  let rng =
+    match rng with
+    | Some st -> st
+    | None ->
+      let mix = Hashtbl.hash (Array.map B.to_string d.commitment, d.shares) in
+      Random.State.make [| 0xF31D; mix |]
+  in
+  (* r_i in [1, q): a zero coefficient would blind share i entirely *)
+  let rec nonzero () =
+    let v = F.random rng in
+    if F.equal v F.zero then nonzero () else v
+  in
+  let r = Array.init n (fun _ -> nonzero ()) in
+  let lhs_exp = ref F.zero in
+  Array.iteri (fun i s -> lhs_exp := F.add !lhs_exp (F.mul r.(i) s)) d.shares;
+  let x_pow = Array.make n F.one in
+  let pairs =
+    Array.map
+      (fun c ->
+        let e = ref F.zero in
+        for i = 0 to n - 1 do
+          e := F.add !e (F.mul r.(i) x_pow.(i));
+          x_pow.(i) <- F.mul x_pow.(i) (F.of_int (i + 1))
+        done;
+        (c, B.of_int (F.to_int !e)))
+      d.commitment
+  in
+  B.equal (pow_h g (F.to_int !lhs_exp)) (B.Multiexp.run mctx pairs)
 
 let secret_commitment c =
   if Array.length c = 0 then invalid_arg "Feldman: empty commitment";
@@ -95,6 +147,3 @@ let reconstruct ~t pairs =
   let points = Array.of_list (List.map (fun (i, _) -> F.of_int (i + 1)) chosen) in
   let values = Array.of_list (List.map snd chosen) in
   Lagrange.eval_from ~points ~values F.zero
-
-(* Deprecated positional-RNG alias, one release *)
-let deal_st ~t ~n ~secret st = deal ~t ~n ~secret ~rng:st

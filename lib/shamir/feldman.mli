@@ -43,11 +43,29 @@ val deal : t:int -> n:int -> secret:F.t -> rng:Random.State.t -> dealing
     fixed-base table for [h].
     @raise Invalid_argument unless [0 <= t < n]. *)
 
-val deal_st : t:int -> n:int -> secret:F.t -> Random.State.t -> dealing
-[@@ocaml.deprecated "use deal ~rng"]
+val prepare : unit -> unit
+(** Forces the lazy group, Montgomery context and fixed-base table for
+    [h] (grown to full 31-bit exponent coverage).  Call once before
+    fanning verification out across domains — afterwards all
+    verification state is read-only. *)
 
 val verify_share : commitment -> index:int -> share:F.t -> bool
-val verify_dealing : n:int -> dealing -> bool
+(** [h^share =? prod_j C_j^((index+1)^j)], the product computed as one
+    Straus multi-exponentiation over the [t + 1] coefficients. *)
+
+val verify_dealing : ?rng:Random.State.t -> n:int -> dealing -> bool
+(** Random-linear-combination batch verification:
+    [h^(sum_i r_i s_i) =? prod_j C_j^(sum_i r_i (i+1)^j)] with random
+    [r_i] in [\[1, q)] — one multi-exponentiation for the whole dealing
+    instead of [n] share checks.  Accepts every dealing
+    {!verify_share} accepts; a bad dealing slips through with
+    probability [1/q] over the [r_i].  Without [rng] the coefficients
+    are derived deterministically from the dealing (Fiat-Shamir
+    heuristic, matching the toy-sized group). *)
+
+val verify_dealing_each : n:int -> dealing -> bool
+(** Per-share verification — [n] independent {!verify_share} calls.
+    The definitional check the batch variant is tested against. *)
 
 val secret_commitment : commitment -> B.t
 (** [h^secret = C_0]; contributions aggregate by multiplying these. *)

@@ -67,8 +67,6 @@ module Make (F : Yoso_field.Field.S) = struct
     { degree; shares }
 
   (* Deprecated positional-RNG alias, one release *)
-  let share_st p ~degree ~secrets st = share p ~degree ~secrets ~rng:st
-
   let share_public p vec =
     if Array.length vec <> p.k then
       invalid_arg "Packed_shamir.share_public: vector length <> k";

@@ -47,10 +47,6 @@ module Make (F : Yoso_field.Field.S) : sig
       @raise Invalid_argument if the degree is out of range or
       [secrets] does not have length [k]. *)
 
-  val share_st :
-    params -> degree:int -> secrets:F.t array -> Random.State.t -> sharing
-  [@@ocaml.deprecated "use share ~rng"]
-
   val share_public : params -> F.t array -> sharing
   (** The unique degree-[(k-1)] sharing of a public vector: all shares
       are determined by the secrets, so every party can compute it

@@ -307,6 +307,66 @@ let test_mont_edge_cases () =
 (* QCheck                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Multi-exponentiation                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* both kernels against the naive product of independent powmods, on
+   random 512/1024-bit bases and exponents, small and large batches *)
+let test_multiexp_matches_naive () =
+  List.iter
+    (fun bits ->
+      let m = random_odd_modulus bits in
+      let ctx = B.Mont.create m in
+      List.iter
+        (fun npairs ->
+          let pairs =
+            Array.init npairs (fun _ ->
+                (B.random_bits st (bits + 13), B.random_bits st bits))
+          in
+          let expect = B.Multiexp.naive ctx pairs in
+          check_b "straus = naive" expect (B.Multiexp.straus ctx pairs);
+          check_b "pippenger = naive" expect (B.Multiexp.pippenger ctx pairs);
+          check_b "run = naive" expect (B.Multiexp.run ctx pairs))
+        [ 1; 3; 33; 80 ])
+    [ 512; 1024 ]
+
+(* short exponents exercise the narrow-window Straus path and the
+   Pippenger window-choice heuristic *)
+let test_multiexp_short_exponents () =
+  let m = random_odd_modulus 512 in
+  let ctx = B.Mont.create m in
+  List.iter
+    (fun ebits ->
+      let pairs =
+        Array.init 24 (fun _ -> (B.random_bits st 512, B.random_bits st ebits))
+      in
+      let expect = B.Multiexp.naive ctx pairs in
+      check_b "straus short" expect (B.Multiexp.straus ctx pairs);
+      check_b "pippenger short" expect (B.Multiexp.pippenger ctx pairs))
+    [ 5; 31; 64 ]
+
+let test_multiexp_edge_cases () =
+  let m = random_odd_modulus 512 in
+  let ctx = B.Mont.create m in
+  check_b "empty product" B.one (B.Multiexp.run ctx [||]);
+  check_b "all zero exponents" B.one
+    (B.Multiexp.run ctx [| (B.of_int 7, B.zero); (B.of_int 11, B.zero) |]);
+  (* zero base annihilates the product *)
+  check_b "zero base" B.zero
+    (B.Multiexp.straus ctx [| (B.zero, B.of_int 3); (B.of_int 5, B.of_int 2) |]);
+  (* negative exponents go through the inverse; compare against the
+     explicitly inverted naive form *)
+  let b1 = random_odd_modulus 300 and b2 = random_odd_modulus 200 in
+  let e1 = B.random_bits st 100 and e2 = B.random_bits st 100 in
+  let pairs = [| (b1, B.neg e1); (b2, e2) |] in
+  let expect =
+    B.mulmod (B.powmod (B.invmod b1 m) e1 m) (B.powmod b2 e2 m) m
+  in
+  check_b "negative exponent straus" expect (B.Multiexp.straus ctx pairs);
+  check_b "negative exponent pippenger" expect (B.Multiexp.pippenger ctx pairs);
+  check_b "negative exponent naive" expect (B.Multiexp.naive ctx pairs)
+
 let arb_big =
   QCheck.map
     (fun (bits, seed) ->
@@ -394,6 +454,12 @@ let () =
           Alcotest.test_case "dispatch matches naive" `Quick test_mont_dispatch_matches_naive;
           Alcotest.test_case "fixed base" `Quick test_mont_fixed_base;
           Alcotest.test_case "edge cases" `Quick test_mont_edge_cases;
+        ] );
+      ( "multiexp",
+        [
+          Alcotest.test_case "matches naive 512/1024" `Quick test_multiexp_matches_naive;
+          Alcotest.test_case "short exponents" `Quick test_multiexp_short_exponents;
+          Alcotest.test_case "edge cases" `Quick test_multiexp_edge_cases;
         ] );
       ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props);
     ]

@@ -1,0 +1,279 @@
+(* Determinism matrix for the worker pool and everything wired through
+   it: the parallel primitives must be extensionally equal to their
+   sequential specification, and a full protocol run — faults, blames,
+   transcript digest, byte totals — must be byte-identical at every
+   domain count. *)
+
+module F = Yoso_field.Field.Fp
+module Pool = Yoso_parallel.Pool
+module B = Yoso_bigint.Bigint
+module Params = Yoso_mpc.Params
+module Protocol = Yoso_mpc.Protocol
+module Randgen = Yoso_mpc.Randgen
+module Gen = Yoso_circuit.Generators
+module Faults = Yoso_runtime.Faults
+module Feldman = Yoso_shamir.Feldman
+module Threshold = Yoso_paillier.Threshold
+
+let with_pool ~domains f =
+  let pool = Pool.create ~domains in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* ------------------------------------------------------------------ *)
+(* pool primitives                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_matches_sequential () =
+  let f i = (i * i) + (i mod 7) in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun n ->
+          let expected = Array.init n f in
+          let got = with_pool ~domains (fun pool -> Pool.map pool n f) in
+          Alcotest.(check (array int))
+            (Printf.sprintf "map domains=%d n=%d" domains n)
+            expected got)
+        [ 0; 1; 2; 3; 7; 64; 1000 ])
+    [ 1; 2; 4; 8 ]
+
+let test_map_calls_each_index_once () =
+  List.iter
+    (fun domains ->
+      let n = 257 in
+      let counts = Array.make n 0 in
+      let mutex = Mutex.create () in
+      ignore
+        (with_pool ~domains (fun pool ->
+             Pool.map pool n (fun i ->
+                 Mutex.protect mutex (fun () -> counts.(i) <- counts.(i) + 1))));
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check int) (Printf.sprintf "domains=%d index %d" domains i) 1 c)
+        counts)
+    [ 1; 3; 8 ]
+
+let test_map_reduce_non_associative () =
+  (* subtraction is not associative or commutative: only a sequential
+     in-order fold gives this value *)
+  let n = 101 in
+  let expected = List.fold_left (fun acc i -> (2 * acc) - i) 1 (List.init n Fun.id) in
+  List.iter
+    (fun domains ->
+      let got =
+        with_pool ~domains (fun pool ->
+            Pool.map_reduce pool n ~map:Fun.id ~reduce:(fun acc i -> (2 * acc) - i) ~init:1)
+      in
+      Alcotest.(check int) (Printf.sprintf "domains=%d" domains) expected got)
+    [ 1; 2; 4 ]
+
+let test_iter_fills_slots () =
+  let n = 500 in
+  List.iter
+    (fun domains ->
+      let slots = Array.make n (-1) in
+      with_pool ~domains (fun pool -> Pool.iter pool n (fun i -> slots.(i) <- 3 * i));
+      Alcotest.(check (array int))
+        (Printf.sprintf "domains=%d" domains)
+        (Array.init n (fun i -> 3 * i))
+        slots)
+    [ 1; 4 ]
+
+exception Boom of int
+
+let test_exception_propagates () =
+  List.iter
+    (fun domains ->
+      match
+        with_pool ~domains (fun pool ->
+            Pool.map pool 64 (fun i -> if i = 41 then raise (Boom i) else i))
+      with
+      | _ -> Alcotest.failf "domains=%d: exception swallowed" domains
+      | exception Boom 41 -> ()
+      | exception e ->
+        Alcotest.failf "domains=%d: wrong exception %s" domains (Printexc.to_string e))
+    [ 1; 2; 8 ];
+  (* the pool survives a failed map *)
+  with_pool ~domains:4 (fun pool ->
+      (try ignore (Pool.map pool 16 (fun i -> if i = 3 then raise (Boom i) else i))
+       with Boom _ -> ());
+      Alcotest.(check (array int)) "usable after failure" (Array.init 16 Fun.id)
+        (Pool.map pool 16 Fun.id))
+
+let test_create_validation () =
+  Alcotest.check_raises "domains = 0" (Invalid_argument "Pool.create: domains must be in [1, 128]")
+    (fun () -> ignore (Pool.create ~domains:0));
+  Alcotest.check_raises "domains = 129" (Invalid_argument "Pool.create: domains must be in [1, 128]")
+    (fun () -> ignore (Pool.create ~domains:129));
+  let pool = Pool.create ~domains:2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *)
+
+let test_derive_rng_deterministic () =
+  let a = Pool.derive_rng ~seed:42 7 in
+  let b = Pool.derive_rng ~seed:42 7 in
+  let draws st = Array.init 16 (fun _ -> Random.State.bits st) in
+  Alcotest.(check (array int)) "same (seed, i), same stream" (draws a) (draws b);
+  let c = Pool.derive_rng ~seed:42 8 in
+  let d = Pool.derive_rng ~seed:43 7 in
+  Alcotest.(check bool) "distinct index, distinct stream" false (draws a = draws c);
+  Alcotest.(check bool) "distinct seed, distinct stream" false (draws b = draws d)
+
+(* ------------------------------------------------------------------ *)
+(* protocol determinism across domain counts                           *)
+(* ------------------------------------------------------------------ *)
+
+let protocol_report ~domains =
+  let params = Params.create ~n:32 ~t:10 ~k:6 () in
+  let circuit = Gen.dot_product ~len:6 in
+  let inputs c = Array.init 6 (fun i -> F.of_int ((c + 2) * (i + 5))) in
+  let adversary = { Params.malicious = 6; passive = 0; fail_stop = 2 } in
+  let config =
+    { Protocol.default_config with adversary; seed = 0x9A7; domains }
+  in
+  let r = Protocol.execute ~params ~config ~circuit ~inputs () in
+  Alcotest.(check bool)
+    (Printf.sprintf "domains=%d delivers correct output" domains)
+    true
+    (Protocol.check r circuit ~inputs);
+  r
+
+let test_protocol_identical_across_domains () =
+  let base = protocol_report ~domains:1 in
+  Alcotest.(check bool) "faults are actually exercised" true (base.Protocol.faults_detected > 0);
+  List.iter
+    (fun domains ->
+      let r = protocol_report ~domains in
+      Alcotest.(check string)
+        (Printf.sprintf "report domains=%d == domains=1" domains)
+        (Protocol.report_json base) (Protocol.report_json r);
+      Alcotest.(check int)
+        (Printf.sprintf "offline bytes domains=%d" domains)
+        base.Protocol.offline_bytes r.Protocol.offline_bytes;
+      Alcotest.(check int)
+        (Printf.sprintf "online bytes domains=%d" domains)
+        base.Protocol.online_bytes r.Protocol.online_bytes;
+      Alcotest.(check int)
+        (Printf.sprintf "transcript digest domains=%d" domains)
+        base.Protocol.transcript.Yoso_net.Board.digest
+        r.Protocol.transcript.Yoso_net.Board.digest)
+    [ 2; 4 ]
+
+let test_randgen_identical_across_pools () =
+  let base = Randgen.run ~n:10 ~t:3 ~malicious_dealers:[ 2 ] ~seed:77 () in
+  List.iter
+    (fun domains ->
+      let o =
+        with_pool ~domains (fun pool ->
+            Randgen.run ~n:10 ~t:3 ~malicious_dealers:[ 2 ] ~seed:77 ~pool ())
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "randgen value domains=%d" domains)
+        true
+        (F.equal base.Randgen.value o.Randgen.value);
+      Alcotest.(check int)
+        (Printf.sprintf "qualified dealers domains=%d" domains)
+        base.Randgen.qualified_dealers o.Randgen.qualified_dealers)
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* multiexp-backed combine and batch verification                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_combine_backends_agree () =
+  let rng = Random.State.make [| 0x7E57C0 |] in
+  let tpk, shares = Threshold.keygen ~bits:96 ~n:9 ~t:3 ~rng () in
+  let ctx = Threshold.context tpk in
+  List.iter
+    (fun m ->
+      let m = B.of_int m in
+      let ct = Threshold.Ctx.encrypt ctx ~rng m in
+      let partials =
+        Array.to_list (Array.map (fun s -> Threshold.Ctx.partial_decrypt ctx s ct) shares)
+      in
+      let multi = Threshold.Ctx.combine ctx partials in
+      let powmods = Threshold.Ctx.combine_powmods ctx partials in
+      let reference = Threshold.Reference.combine tpk partials in
+      Alcotest.(check string) "multiexp == per-partial powmods" (B.to_string powmods)
+        (B.to_string multi);
+      Alcotest.(check string) "multiexp == naive reference" (B.to_string reference)
+        (B.to_string multi))
+    [ 0; 1; 42; 987654 ]
+
+let test_combine_after_reshare () =
+  (* epoch-1 partials exercise negative and Delta-grown weights through
+     the multiexp path *)
+  let rng = Random.State.make [| 0xE70C |] in
+  let tpk, shares = Threshold.keygen ~bits:96 ~n:5 ~t:2 ~rng () in
+  let ctx = Threshold.context tpk in
+  let resharings = Array.map (fun s -> Threshold.reshare tpk s ~rng) shares in
+  let next =
+    Array.init 5 (fun j ->
+        Threshold.recombine_share tpk ~index:(j + 1) ~epoch:1
+          (List.init 5 (fun i -> (i + 1, resharings.(i).(j)))))
+  in
+  let m = B.of_int 31337 in
+  let ct = Threshold.Ctx.encrypt ctx ~rng m in
+  let partials =
+    Array.to_list (Array.map (fun s -> Threshold.Ctx.partial_decrypt ctx s ct) next)
+  in
+  Alcotest.(check string) "epoch-1 combine" (B.to_string m)
+    (B.to_string (Threshold.Ctx.combine ctx partials));
+  Alcotest.(check string) "epoch-1 combine_powmods agrees"
+    (B.to_string (Threshold.Ctx.combine_powmods ctx partials))
+    (B.to_string (Threshold.Ctx.combine ctx partials))
+
+let test_feldman_batch_verify () =
+  let rng = Random.State.make [| 0xFE1D7 |] in
+  for trial = 0 to 9 do
+    let n = 6 + (trial mod 5) and t = 2 + (trial mod 3) in
+    let d = Feldman.deal ~t ~n ~secret:(F.random rng) ~rng in
+    Alcotest.(check bool) "good dealing: batch accepts" true (Feldman.verify_dealing ~n d);
+    Alcotest.(check bool) "good dealing: per-share accepts" true
+      (Feldman.verify_dealing_each ~n d);
+    Alcotest.(check bool) "good dealing: explicit rng accepts" true
+      (Feldman.verify_dealing ~rng ~n d);
+    (* corrupt one share: both paths must reject *)
+    let bad_shares = Array.copy d.Feldman.shares in
+    let victim = trial mod n in
+    bad_shares.(victim) <- F.add bad_shares.(victim) F.one;
+    let bad = { d with Feldman.shares = bad_shares } in
+    Alcotest.(check bool) "bad dealing: batch rejects" false (Feldman.verify_dealing ~n bad);
+    Alcotest.(check bool) "bad dealing: per-share rejects" false
+      (Feldman.verify_dealing_each ~n bad);
+    Alcotest.(check bool) "bad dealing: explicit rng rejects" false
+      (Feldman.verify_dealing ~rng ~n bad)
+  done;
+  (* wrong share count and empty commitment are structural rejects *)
+  let d = Feldman.deal ~t:2 ~n:5 ~secret:F.one ~rng in
+  Alcotest.(check bool) "wrong n" false (Feldman.verify_dealing ~n:6 d);
+  Alcotest.(check bool) "empty commitment" false
+    (Feldman.verify_dealing ~n:5 { d with Feldman.commitment = [||] })
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches sequential" `Quick test_map_matches_sequential;
+          Alcotest.test_case "each index once" `Quick test_map_calls_each_index_once;
+          Alcotest.test_case "map_reduce in order" `Quick test_map_reduce_non_associative;
+          Alcotest.test_case "iter fills slots" `Quick test_iter_fills_slots;
+          Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "derive_rng deterministic" `Quick test_derive_rng_deterministic;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "protocol identical across domains" `Slow
+            test_protocol_identical_across_domains;
+          Alcotest.test_case "randgen identical across pools" `Quick
+            test_randgen_identical_across_pools;
+        ] );
+      ( "multiexp paths",
+        [
+          Alcotest.test_case "combine backends agree" `Quick test_combine_backends_agree;
+          Alcotest.test_case "combine after reshare" `Quick test_combine_after_reshare;
+          Alcotest.test_case "feldman batch verify" `Quick test_feldman_batch_verify;
+        ] );
+    ]
