@@ -6,7 +6,7 @@
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- table1       -- one experiment
    Experiments: table1 improvements online-comm offline-comm failstop
-                sortition-mc micro time par *)
+                sortition-mc micro time par transport *)
 
 module F = Yoso_field.Field.Fp
 module B = Yoso_bigint.Bigint
@@ -641,6 +641,89 @@ let par_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E10: multi-process socket transport vs in-process sim               *)
+(* ------------------------------------------------------------------ *)
+
+module Runner = Yoso_transport.Runner
+module Daemon = Yoso_transport.Daemon
+
+let transport_bench () =
+  header "E10. Socket transport: one OS process per committee member vs in-process sim";
+  let n_sweep = if !smoke then [ 16 ] else [ 16; 32 ] in
+  let circuit = Gen.dot_product ~len:8 in
+  let inputs c = Array.init 8 (fun i -> F.of_int ((c + 2) * (i + 3))) in
+  Printf.printf "  %-5s %10s %10s %8s | %19s %9s\n" "n" "sim (ms)" "unix (ms)" "agree"
+    "digest" "equal";
+  let rows =
+    List.map
+      (fun n ->
+        let params = Params.create ~n ~t:(n / 4) ~k:(n / 4) () in
+        let seed = 0xE10 in
+        let r = ref None in
+        let sim_ms =
+          wall (fun () ->
+              r :=
+                Some
+                  (Protocol.execute ~params
+                     ~config:{ Protocol.default_config with seed }
+                     ~circuit ~inputs ()))
+          *. 1000.
+        in
+        let sim_r = Option.get !r in
+        assert (Protocol.check sim_r circuit ~inputs);
+        let child ~slot:_ ~link =
+          let config =
+            { Protocol.default_config with seed; transport = "unix"; link = Some link }
+          in
+          Protocol.report_json (Protocol.execute ~params ~config ~circuit ~inputs ())
+        in
+        let meter = Yoso_net.Meter.create () in
+        let res = Runner.run ~meter ~nslots:n ~seed ~child () in
+        let report = match res.Runner.reports with (_, j) :: _ -> j | [] -> "{}" in
+        let field f = Runner.json_int_field report ~field:f in
+        let digest_equal =
+          field "digest" = Some sim_r.Protocol.transcript.Yoso_net.Board.digest
+          && field "frames" = Some sim_r.Protocol.transcript.Yoso_net.Board.frames
+          && field "frame_bytes" = Some sim_r.Protocol.transcript.Yoso_net.Board.frame_bytes
+        in
+        Printf.printf "  %-5d %10.1f %10.1f %8b | %19d %9b\n" n sim_ms res.Runner.wall_ms
+          res.Runner.agree sim_r.Protocol.transcript.Yoso_net.Board.digest digest_equal;
+        if not (res.Runner.agree && digest_equal && res.Runner.down = []) then
+          failwith
+            (Printf.sprintf
+               "bench transport: n=%d loopback run diverged from sim (agree=%b equal=%b)"
+               n res.Runner.agree digest_equal);
+        (n, sim_ms, res, sim_r))
+      n_sweep
+  in
+  Printf.printf
+    "  (every report unanimous; frames crossed real sockets yet the transcript is\n\
+    \   byte-identical to the in-process run: the transport adds carriage, not behaviour)\n";
+  if not !smoke then begin
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\"experiment\":\"transport\",\"endpoint\":\"unix\",\"rows\":[";
+    List.iteri
+      (fun i (n, sim_ms, res, sim_r) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"n\":%d,\"sim_ms\":%.1f,\"unix_ms\":%.1f,\"agree\":%b,\
+              \"transcript_digest\":%d,\"digest_identical\":true,\"frames_in\":%d,\
+              \"frames_out\":%d,\"daemon_bytes_in\":%d,\"daemon_bytes_out\":%d}"
+             n sim_ms res.Runner.wall_ms res.Runner.agree
+             sim_r.Protocol.transcript.Yoso_net.Board.digest
+             res.Runner.stats.Daemon.frames_in res.Runner.stats.Daemon.frames_out
+             res.Runner.stats.Daemon.bytes_in res.Runner.stats.Daemon.bytes_out))
+      rows;
+    Buffer.add_string b "]}";
+    let oc = open_out "BENCH_transport.json" in
+    output_string oc (Buffer.contents b);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "  wrote BENCH_transport.json\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -658,6 +741,7 @@ let experiments =
     ("micro", micro);
     ("time", time_bench);
     ("par", par_bench);
+    ("transport", transport_bench);
   ]
 
 let () =

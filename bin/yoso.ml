@@ -19,6 +19,7 @@ module Sampler = Yoso_sortition.Sampler
 module Faults = Yoso_runtime.Faults
 module Board = Yoso_net.Board
 module Sim = Yoso_net.Sim
+module Runner = Yoso_transport.Runner
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -47,8 +48,84 @@ let demo_inputs kind size len client =
 (* run                                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* Multi-process execution: every committee member is a forked OS
+   process replaying the same seeded protocol; frames cross real
+   sockets through the bulletin-board daemon.  The parent serves the
+   board and prints the (unanimous) report. *)
+let run_transport ~transport ~deadline_ms ~params ~circuit ~inputs ~adversary ~plan ~seed
+    ~net ~domains ~json n =
+  let endpoint =
+    match transport with
+    | "unix" -> `Unix_socket
+    | "tcp" -> `Tcp
+    | other -> failwith (Printf.sprintf "unknown transport %S (sim|unix|tcp)" other)
+  in
+  let child ~slot:_ ~link =
+    let config =
+      {
+        Protocol.default_config with
+        adversary;
+        plan = Some plan;
+        seed;
+        net;
+        domains;
+        transport;
+        link = Some link;
+      }
+    in
+    match Protocol.execute ~params ~config ~circuit ~inputs () with
+    | r -> Protocol.report_json r
+    | exception Faults.Protocol_failure f ->
+      (* still deterministic: every replica fails at the same step, so
+         the reports agree on the failure too *)
+      Printf.sprintf "{\"protocol_failure\":\"%s/%s (committee %s)\"}" f.Faults.f_phase
+        f.Faults.f_step f.Faults.f_committee
+  in
+  let meter = Yoso_net.Meter.create () in
+  let res = Runner.run ~endpoint ~deadline_ms ~meter ~nslots:n ~seed ~child () in
+  (match res.Runner.reports with
+  | [] ->
+    Format.eprintf "transport run produced no reports (down: %s)@."
+      (String.concat "," (List.map string_of_int res.Runner.down));
+    exit 2
+  | (_, first) :: _ ->
+    if json then begin
+      let b = Buffer.create 1024 in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"transport\":%S,\"nslots\":%d,\"agree\":%b,\"wall_ms\":%.1f,\"down\":[%s],\
+            \"daemon\":{\"frames_in\":%d,\"frames_out\":%d,\"garbled_frames\":%d,\
+            \"bytes_in\":%d,\"bytes_out\":%d},\"report\":"
+           transport n res.Runner.agree res.Runner.wall_ms
+           (String.concat "," (List.map string_of_int res.Runner.down))
+           res.Runner.stats.Yoso_transport.Daemon.frames_in
+           res.Runner.stats.Yoso_transport.Daemon.frames_out
+           res.Runner.stats.Yoso_transport.Daemon.garbled_frames
+           res.Runner.stats.Yoso_transport.Daemon.bytes_in
+           res.Runner.stats.Yoso_transport.Daemon.bytes_out);
+      Buffer.add_string b first;
+      Buffer.add_char b '}';
+      print_endline (Buffer.contents b)
+    end
+    else begin
+      Format.printf "transport: %s, %d member processes + board daemon@." transport n;
+      Format.printf "reports: %d collected, unanimous: %b, down: [%s]@."
+        (List.length res.Runner.reports) res.Runner.agree
+        (String.concat ";" (List.map string_of_int res.Runner.down));
+      (match Runner.json_int_field first ~field:"digest" with
+      | Some d -> Format.printf "transcript digest: %d@." d
+      | None -> ());
+      Format.printf "daemon: %d frames in, %d delivered, %d B in, %d B out@."
+        res.Runner.stats.Yoso_transport.Daemon.frames_in
+        res.Runner.stats.Yoso_transport.Daemon.frames_out
+        res.Runner.stats.Yoso_transport.Daemon.bytes_in
+        res.Runner.stats.Yoso_transport.Daemon.bytes_out;
+      Format.printf "wall: %.1f ms@." res.Runner.wall_ms
+    end);
+  if res.Runner.agree && res.Runner.down = [] then 0 else 2
+
 let run_cmd protocol kind size n t k eps malicious fail_stop seed fault_seed json net_seed
-    latency drop domains =
+    latency drop domains transport deadline_ms =
   let params =
     match eps with
     | Some eps -> Params.of_gap ~n ~eps ()
@@ -70,6 +147,10 @@ let run_cmd protocol kind size n t k eps malicious fail_stop seed fault_seed jso
   | "packed" ->
     let adversary = { Params.malicious; passive = 0; fail_stop } in
     let plan = Faults.random ~seed:(Option.value ~default:seed fault_seed) in
+    if transport <> "sim" then
+      exit
+        (run_transport ~transport ~deadline_ms ~params ~circuit ~inputs ~adversary ~plan
+           ~seed ~net ~domains ~json n);
     let config =
       { Protocol.default_config with adversary; plan = Some plan; seed; net; domains }
     in
@@ -83,7 +164,7 @@ let run_cmd protocol kind size n t k eps malicious fail_stop seed fault_seed jso
           f.Faults.required;
         exit 2
     in
-    if json then print_endline (Protocol.report_json r)
+    if json then print_endline (Protocol.report_json ~timings:true r)
     else begin
       List.iter
         (fun o ->
@@ -266,11 +347,31 @@ let run_t =
              blames and the transcript digest are identical at every value; only \
              wall-clock time changes.")
   in
+  let transport =
+    Arg.(
+      value & opt string "sim"
+      & info [ "transport" ]
+          ~doc:
+            "How frames travel (packed protocol only).  $(b,sim) keeps everything \
+             in-process; $(b,unix) and $(b,tcp) fork one OS process per committee \
+             member and route every frame through a bulletin-board daemon over \
+             Unix-domain or loopback TCP sockets.  Equal seeds give transcripts \
+             byte-identical to the sim run.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 10000.
+      & info [ "deadline" ]
+          ~doc:
+            "Round deadline in wall-clock ms for socket transports: a peer that \
+             stays silent past it is treated like a fail-stop.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute YOSO MPC on a generated circuit")
     Term.(
       const run_cmd $ protocol $ kind $ size $ n_arg $ t_arg $ k_arg $ eps $ malicious
-      $ fail_stop $ seed_arg $ fault_seed $ json $ net_seed $ latency $ drop $ domains)
+      $ fail_stop $ seed_arg $ fault_seed $ json $ net_seed $ latency $ drop $ domains
+      $ transport $ deadline)
 
 let analyze_t =
   let c_param = Arg.(value & opt int 1000 & info [ "big-c"; "C" ] ~doc:"Sortition parameter C.") in

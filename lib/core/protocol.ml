@@ -29,6 +29,8 @@ type report = {
   net : Sim.stats;
   transcript : Board.transcript;
   meter : Meter.t;
+  transport : string;
+  phase_ms : (string * float) list;
 }
 
 let offline_per_gate r = float_of_int r.offline_elements /. float_of_int (max 1 r.num_mult)
@@ -49,6 +51,8 @@ type config = {
   seed : int;
   net : Board.config;
   domains : int;
+  transport : string;
+  link : Board.link option;
 }
 
 let default_config =
@@ -59,11 +63,14 @@ let default_config =
     seed = 0xC0FFEE;
     net = Board.default_config;
     domains = 1;
+    transport = "sim";
+    link = None;
   }
 
 let execute ~params ?(config = default_config) ~circuit ~inputs () =
-  let { adversary; plan; validate; seed; net; domains } = config in
+  let { adversary; plan; validate; seed; net; domains; transport; link } = config in
   let board = Board.create ~config:net () in
+  Board.set_link board link;
   let pool = Yoso_parallel.Pool.create ~domains in
   Fun.protect
     ~finally:(fun () -> Yoso_parallel.Pool.shutdown pool)
@@ -71,12 +78,16 @@ let execute ~params ?(config = default_config) ~circuit ~inputs () =
       let ctx = Ops.create_ctx ?plan ~validate ~pool ~board ~params ~adversary ~seed () in
       let layout = Layout.make circuit ~k:params.Params.k in
       let layers = Array.length layout.Layout.mult_layers in
+      let t0 = Unix.gettimeofday () in
       let setup =
         Setup.run ~board ~params ~layers ~clients:(Circuit.clients circuit)
           ~rng:(Splitmix.of_int (seed lxor 0x5E7))
       in
+      let t1 = Unix.gettimeofday () in
       let prep = Offline.run ctx setup layout in
+      let t2 = Unix.gettimeofday () in
       let outputs = Online.run ctx setup prep ~inputs in
+      let t3 = Unix.gettimeofday () in
       let cost = Board.cost board in
       let meter = Board.meter board in
       {
@@ -98,10 +109,20 @@ let execute ~params ?(config = default_config) ~circuit ~inputs () =
         net = Board.sim_stats board;
         transcript = Board.transcript board;
         meter;
+        transport;
+        phase_ms =
+          [
+            ("setup", (t1 -. t0) *. 1000.);
+            ("offline", (t2 -. t1) *. 1000.);
+            ("online", (t3 -. t2) *. 1000.);
+          ];
       })
 
-(* hand-rolled JSON: values are ints, floats and plain ASCII strings *)
-let report_json r =
+(* hand-rolled JSON: values are ints, floats and plain ASCII strings.
+   [timings] is opt-in because wall-clock fields would break the
+   byte-equality oracles (cross-domain and cross-process reports must
+   be identical). *)
+let report_json ?(timings = false) r =
   let b = Buffer.create 1024 in
   let first = ref true in
   let sep () = if !first then first := false else Buffer.add_char b ',' in
@@ -132,6 +153,15 @@ let report_json r =
   flt "online_field_bytes_per_gate" (online_field_bytes_per_gate r);
   int "faults_detected" r.faults_detected;
   int "posts_rejected" r.posts_rejected;
+  str "transport" r.transport;
+  if timings then begin
+    sep ();
+    Buffer.add_string b "\"phase_ms\":{";
+    first := true;
+    List.iter (fun (phase, ms) -> flt phase ms) r.phase_ms;
+    Buffer.add_char b '}';
+    first := false
+  end;
   sep ();
   Buffer.add_string b "\"net\":{";
   first := true;

@@ -33,6 +33,11 @@ type report = {
       (** rolling digest of every frame on the wire; equal seeds give
           equal transcripts *)
   meter : Yoso_net.Meter.t;        (** full byte breakdown *)
+  transport : string;  (** which transport carried the frames: ["sim"], ["unix"], ["tcp"] *)
+  phase_ms : (string * float) list;
+      (** wall-clock per phase ([setup]/[offline]/[online]); excluded
+          from {!report_json} unless [timings] is set, since wall time
+          is not deterministic *)
 }
 
 val offline_per_gate : report -> float
@@ -52,6 +57,15 @@ type config = {
       (** worker domains for committee fan-out (see
           {!Yoso_parallel.Pool}); outputs, blames and the transcript
           digest are identical at every value *)
+  transport : string;
+      (** label recorded in the report; the sim path uses ["sim"], the
+          socket runner sets ["unix"]/["tcp"] *)
+  link : Yoso_net.Board.link option;
+      (** [Some link] makes every committed frame cross a real process
+          boundary (see {!Yoso_net.Board.link}); [None] keeps the
+          exchange in-process.  Verdicts and the transcript are
+          identical either way — the link only adds the physical
+          carrier and its failure modes *)
 }
 (** Execution knobs, grouped.  Build one with record update on
     {!default_config}:
@@ -59,7 +73,8 @@ type config = {
 
 val default_config : config
 (** No adversary, random fault plan from the seed, validation on,
-    seed [0xC0FFEE], ideal network, 1 domain. *)
+    seed [0xC0FFEE], ideal network, 1 domain, sim transport, no
+    link. *)
 
 val execute :
   params:Params.t ->
@@ -77,9 +92,12 @@ val execute :
     {!Yoso_runtime.Faults.Protocol_failure} once a committee step
     retains too few verified contributions — never a wrong output. *)
 
-val report_json : report -> string
+val report_json : ?timings:bool -> report -> string
 (** The report as a single JSON object (counts, per-gate metrics, byte
-    totals, network stats, transcript digest, outputs, blames). *)
+    totals, network stats, transcript digest, outputs, blames,
+    transport kind).  [timings] (default [false]) additionally emits
+    the per-phase wall-clock object ["phase_ms"]; it is off by default
+    so equal-seed reports stay byte-identical. *)
 
 val expected : Circuit.t -> inputs:(int -> F.t array) -> (int * F.t) list
 (** Plain (in-the-clear) evaluation, for cross-checking. *)

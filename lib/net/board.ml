@@ -15,6 +15,17 @@ let default_config =
 
 type outcome = Delivered | Late | Dropped | Garbled
 
+(* A transport link turns each committed frame into a genuine exchange
+   between OS processes.  Every process replays the same deterministic
+   post sequence; the link decides, per author, whether this process
+   physically sends the frame or blocks until the board daemon
+   broadcasts it. *)
+type link = {
+  owns : Role.id -> bool;
+  send : seq:int -> author:Role.id -> frame:string -> unit;
+  recv : seq:int -> author:Role.id -> [ `Frame of string | `Down ];
+}
+
 let outcome_to_string = function
   | Delivered -> "delivered"
   | Late -> "late"
@@ -32,6 +43,7 @@ type t = {
   mutable frame_bytes : int;
   mutable digest : int;
   mutable round_posts : int;  (* sequential posts tagged within the round *)
+  mutable link : link option;
 }
 
 let create ?(config = default_config) () =
@@ -44,7 +56,10 @@ let create ?(config = default_config) () =
     frame_bytes = 0;
     digest = 0x9e3779b9;
     round_posts = 0;
+    link = None;
   }
+
+let set_link t link = t.link <- link
 
 let bulletin t = t.bulletin
 let sim t = t.sim
@@ -159,22 +174,58 @@ let commit t p =
   Meter.record t.meter ~phase ~step ~role:(Role.to_string author) ~frame_bytes ~payload;
   let extra_delay_ms = if force_late then 2. *. t.config.round_ms else 0. in
   let verdict, _arrival = Sim.transmit t.sim ~extra_delay_ms ~bytes:frame_bytes () in
-  match verdict with
-  | Sim.Dropped ->
-    (* the role spoke — its one shot is consumed and the bytes were
-       sent — but nothing ever reaches the board *)
+  (* Transport exchange: under a link the frame crosses a real process
+     boundary.  The owning process physically sends it; every other
+     process blocks until the board daemon broadcasts it (or reports
+     the owner gone).  The sequence number is the frame counter, which
+     advances identically in every replica, so all processes exchange
+     the same frames in the same order.  All per-process state above
+     (digest chain, meters, sim transmission) was already mutated
+     identically, so a loopback multi-process run hashes to the same
+     transcript as the in-process run. *)
+  let exchange =
+    match t.link with
+    | None -> `Local
+    | Some link ->
+      let seq = t.frames - 1 in
+      if link.owns author then begin
+        link.send ~seq ~author ~frame;
+        `Local
+      end
+      else (link.recv ~seq ~author :> [ `Local | `Frame of string | `Down ])
+  in
+  match exchange with
+  | `Down ->
+    (* the owning process vanished mid-round: nothing ever reached the
+       board.  Observationally a fail-stop — same path as a Sim drop,
+       so the verify/exclude/blame machinery handles it unchanged. *)
     Role.Registry.speak (Bulletin.registry t.bulletin) author;
     List.iter (fun (kind, n) -> Cost.charge tally ~phase kind n) cost;
     Dropped
-  | Sim.Late ->
-    Bulletin.post t.bulletin ~author ~phase ~cost (step ^ " [past round deadline]");
-    Late
-  | Sim.Delivered ->
-    (* a frame that fails its integrity check (or decodes to another
-       step) occupies its slot on the board but contributes nothing;
-       verification will exclude the author *)
-    Bulletin.post t.bulletin ~author ~phase ~cost step;
-    if p_decodes then Delivered else Garbled
+  | (`Local | `Frame _) as exchange -> (
+    (* a received frame must equal the locally replayed one (tampering
+       is part of the seeded fault plan, so even malicious frames are
+       predictable); a mismatch means a byzantine *process* and is
+       treated as a frame that fails verification *)
+    let consistent =
+      match exchange with `Frame f -> String.equal f frame | `Local -> true
+    in
+    match verdict with
+    | Sim.Dropped ->
+      (* the role spoke — its one shot is consumed and the bytes were
+         sent — but nothing ever reaches the board *)
+      Role.Registry.speak (Bulletin.registry t.bulletin) author;
+      List.iter (fun (kind, n) -> Cost.charge tally ~phase kind n) cost;
+      Dropped
+    | Sim.Late ->
+      Bulletin.post t.bulletin ~author ~phase ~cost (step ^ " [past round deadline]");
+      Late
+    | Sim.Delivered ->
+      (* a frame that fails its integrity check (or decodes to another
+         step) occupies its slot on the board but contributes nothing;
+         verification will exclude the author *)
+      Bulletin.post t.bulletin ~author ~phase ~cost step;
+      if p_decodes && consistent then Delivered else Garbled)
 
 (* post = prepare + commit with a tag drawn from the per-round post
    counter; single-threaded callers never see the split. *)

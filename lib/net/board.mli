@@ -32,6 +32,29 @@ type outcome = Delivered | Late | Dropped | Garbled
 
 val outcome_to_string : outcome -> string
 
+(** {1 Transport link}
+
+    A link plugs a genuine inter-process transport behind the board
+    façade.  Every committee-member process replays the same
+    deterministic protocol; the board walks the same commit sequence
+    in each of them and uses the link to make every frame cross a real
+    process boundary: the process that {e owns} the author sends the
+    encoded frame to the board daemon, every other process blocks
+    until the daemon broadcasts it.  [seq] is the frame counter (the
+    commit index), identical in all replicas.
+
+    [recv] returning [`Down] means the owning process is gone (socket
+    EOF or round-deadline timeout); the commit is treated exactly like
+    a dropped frame, so silent peers flow into the fault-detection
+    path unchanged.  A received frame that differs from the locally
+    replayed one is treated like a frame that fails its integrity
+    check ([Garbled]). *)
+type link = {
+  owns : Role.id -> bool;
+  send : seq:int -> author:Role.id -> frame:string -> unit;
+  recv : seq:int -> author:Role.id -> [ `Frame of string | `Down ];
+}
+
 type transcript = { frames : int; frame_bytes : int; digest : int }
 (** Rolling summary of every frame ever put on the wire (including
     dropped and garbled ones); two runs with equal seeds produce equal
@@ -40,6 +63,11 @@ type transcript = { frames : int; frame_bytes : int; digest : int }
 type t
 
 val create : ?config:config -> unit -> t
+
+val set_link : t -> link option -> unit
+(** Installs (or clears) the transport behind the façade.  With no
+    link every exchange is local and behaviour is exactly the
+    simulated board of PR 2. *)
 
 val post :
   t ->

@@ -5,6 +5,7 @@ type t = {
   by_step : (string * string, int) Hashtbl.t; (* frame bytes per (phase, step) *)
   by_role : (string, int) Hashtbl.t; (* frame bytes per role family *)
   framing : (string, int) Hashtbl.t; (* non-payload bytes per phase *)
+  by_conn : (string, int * int) Hashtbl.t; (* (sent, received) per connection *)
 }
 
 let create () =
@@ -13,6 +14,7 @@ let create () =
     by_step = Hashtbl.create 16;
     by_role = Hashtbl.create 16;
     framing = Hashtbl.create 8;
+    by_conn = Hashtbl.create 8;
   }
 
 let add tbl key n = Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
@@ -61,6 +63,19 @@ let phases t =
 
 let grand_total t = Hashtbl.fold (fun _ v acc -> acc + v) t.by_step 0
 
+(* transport-level socket accounting: envelope bytes per connection,
+   kept apart from the frame tables so phase/kind totals stay equal to
+   an unsocketed run of the same seeds *)
+let record_conn t ~conn ~sent ~received =
+  if sent < 0 || received < 0 then invalid_arg "Meter.record_conn: negative byte count";
+  let s0, r0 = Option.value ~default:(0, 0) (Hashtbl.find_opt t.by_conn conn) in
+  Hashtbl.replace t.by_conn conn (s0 + sent, r0 + received)
+
+let connections t = sorted_bindings t.by_conn
+
+let conn_total t =
+  Hashtbl.fold (fun _ (s, r) (ts, tr) -> (ts + s, tr + r)) t.by_conn (0, 0)
+
 let pp ppf t =
   List.iter
     (fun phase ->
@@ -72,4 +87,8 @@ let pp ppf t =
         Cost.all_kinds;
       Format.fprintf ppf " framing=%dB total=%dB@]@." (framing_bytes t ~phase)
         (phase_total t ~phase))
-    (phases t)
+    (phases t);
+  List.iter
+    (fun (conn, (s, r)) ->
+      Format.fprintf ppf "@[<h>conn %-12s sent=%dB received=%dB@]@." conn s r)
+    (connections t)

@@ -29,6 +29,19 @@ val record :
 val role_family : string -> string
 (** Strips the committee uniqueness counter: ["exec#3"] -> ["exec"]. *)
 
+val record_conn : t -> conn:string -> sent:int -> received:int -> unit
+(** Adds transport-level socket bytes (envelope bytes on a genuine
+    connection) to the per-connection tally.  Kept in its own bucket:
+    connection bytes never feed the phase/kind/role totals, so those
+    stay equal to an unsocketed run of the same seeds. *)
+
+val connections : t -> (string * (int * int)) list
+(** Per-connection [(sent, received)] envelope bytes, sorted by
+    connection name. *)
+
+val conn_total : t -> int * int
+(** Summed [(sent, received)] over every connection. *)
+
 val kind_bytes : t -> phase:string -> Cost.kind -> int
 val data_bytes : t -> phase:string -> int
 val framing_bytes : t -> phase:string -> int

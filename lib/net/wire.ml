@@ -233,6 +233,13 @@ let magic0 = 'Y'
 let magic1 = 'W'
 let version = 1
 
+(* Decode-time cap on frame payloads.  A peer that declares a huge
+   payload length must be rejected *before* the decoder commits to
+   materializing it, otherwise a single malicious frame forces an
+   unbounded allocation.  Mutable so transports (and tests) can tighten
+   it; the default comfortably holds every frame the protocol emits. *)
+let max_frame_len = ref (1 lsl 26)
+
 let to_frame m =
   let payload = encode_message m in
   let buf = Buffer.create (String.length payload + 16) in
@@ -250,7 +257,12 @@ let of_frame s =
   d.pos <- 2;
   let v = get_u8 d in
   if v <> version then fail "unsupported version %d" v;
-  let payload = get_bytes d in
+  let len = get_varint d in
+  if len > !max_frame_len then
+    fail "frame payload %d exceeds max_frame_len %d" len !max_frame_len;
+  if len > remaining d then fail "length prefix %d exceeds remaining %d" len (remaining d);
+  let payload = String.sub d.src d.pos len in
+  d.pos <- d.pos + len;
   if remaining d <> 8 then fail "bad frame trailer";
   let h = ref 0 in
   for i = 7 downto 0 do

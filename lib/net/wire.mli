@@ -79,7 +79,15 @@ val to_frame : message -> string
 (** [magic "YW"; version; length-prefixed payload; 8-byte checksum]. *)
 
 val of_frame : string -> message
-(** Verifies magic, version, framing and checksum before decoding. *)
+(** Verifies magic, version, framing and checksum before decoding.
+    Frames whose declared payload length exceeds {!max_frame_len} are
+    rejected before the payload is materialized. *)
+
+val max_frame_len : int ref
+(** Configurable cap on a frame's declared payload length (default
+    64 MiB).  A malicious peer announcing an oversized frame is
+    rejected with a structured {!Decode_error} instead of forcing an
+    unbounded allocation; transports apply the same cap on ingest. *)
 
 (** {1 Size model for ideal-functionality objects} *)
 

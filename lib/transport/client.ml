@@ -1,0 +1,108 @@
+type t = {
+  fd : Unix.file_descr;
+  slot : int;
+  nslots : int;
+  deadline_ms : float;
+  stream : Envelope.stream;
+  pending : (int, string) Hashtbl.t;  (* seq -> frame, non-own deliveries *)
+  down : bool array;
+  mutable next_deliver : int;  (* low-water mark: deliveries are monotone *)
+  mutable own_posts : int;
+  mutable shutdown : bool;
+}
+
+exception Protocol_error of string
+
+let violate fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+let slot t = t.slot
+let own_posts t = t.own_posts
+
+(* Pull one envelope off the socket, blocking at most until [deadline].
+   [Envelope.needed] tells us exactly how many bytes complete the
+   front envelope, so the blocking reads are always right-sized. *)
+let rec recv t ~deadline =
+  match Envelope.next t.stream with
+  | Some m -> m
+  | None ->
+    let k = max 1 (Envelope.needed t.stream) in
+    Envelope.feed t.stream (Sockio.read_exactly ?deadline t.fd k);
+    recv t ~deadline
+
+(* Deliveries arrive in daemon commit order, so a [Peer_down] can only
+   be seen after every frame its slot managed to post — marking the
+   slot down never races a frame we still owe to [pending]. *)
+let absorb t msg =
+  match msg with
+  | Envelope.Deliver { seq; slot; frame } ->
+    if seq < t.next_deliver then violate "deliver seq %d after %d" seq t.next_deliver;
+    t.next_deliver <- seq + 1;
+    if slot <> t.slot then Hashtbl.replace t.pending seq frame
+  | Envelope.Peer_down { slot } ->
+    if slot < 0 || slot >= t.nslots then violate "peer-down for slot %d" slot;
+    t.down.(slot) <- true
+  | Envelope.Shutdown -> t.shutdown <- true
+  | Envelope.Start -> violate "start after start"
+  | Envelope.Hello _ | Envelope.Post _ | Envelope.Report _ ->
+    violate "daemon sent a client-only message"
+
+let connect ?(deadline_ms = 10_000.) ~addr ~slot ~nslots ~seed () =
+  if slot < 0 || slot >= nslots then invalid_arg "Client.connect: slot out of range";
+  let fd = Sockio.connect_with_retry addr in
+  let t =
+    {
+      fd;
+      slot;
+      nslots;
+      deadline_ms;
+      stream = Envelope.stream ();
+      pending = Hashtbl.create 64;
+      down = Array.make nslots false;
+      next_deliver = 0;
+      own_posts = 0;
+      shutdown = false;
+    }
+  in
+  Sockio.write_all fd (Envelope.encode (Envelope.Hello { slot; nslots; seed }));
+  let deadline = Some (Sockio.deadline_after deadline_ms) in
+  let rec await_start () =
+    match recv t ~deadline with
+    | Envelope.Start -> ()
+    | Envelope.Peer_down { slot } when slot >= 0 && slot < nslots ->
+      t.down.(slot) <- true;
+      await_start ()
+    | m -> violate "expected start, got %s" (Format.asprintf "%a" Envelope.pp_msg m)
+  in
+  await_start ();
+  t
+
+let post t ~seq ~frame =
+  Sockio.write_all t.fd (Envelope.encode (Envelope.Post { seq; slot = t.slot; frame }));
+  t.own_posts <- t.own_posts + 1
+
+let fetch t ~seq ~owner =
+  let deadline = Some (Sockio.deadline_after t.deadline_ms) in
+  let rec go () =
+    match Hashtbl.find_opt t.pending seq with
+    | Some frame ->
+      Hashtbl.remove t.pending seq;
+      `Frame frame
+    | None ->
+      if t.down.(owner) || t.shutdown then `Down
+      else (
+        match recv t ~deadline with
+        | msg ->
+          absorb t msg;
+          go ()
+        | exception (Sockio.Timeout | Sockio.Closed) ->
+          (* round deadline expired, or the board itself went away:
+             either way this frame is not coming *)
+          t.down.(owner) <- true;
+          `Down)
+  in
+  go ()
+
+let report t ~json =
+  try Sockio.write_all t.fd (Envelope.encode (Envelope.Report { slot = t.slot; json }))
+  with Sockio.Closed | Unix.Unix_error _ -> ()
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

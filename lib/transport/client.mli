@@ -1,0 +1,51 @@
+(** Committee-member side of the transport: a blocking socket client
+    speaking the {!Envelope} protocol against a {!Daemon}.
+
+    The client is driven synchronously from inside the protocol's
+    commit path: the member that owns board frame [seq] calls {!post};
+    everyone calls {!fetch} and blocks until the daemon's [Deliver]
+    for that sequence number arrives (deliveries come in strict [seq]
+    order, so out-of-order frames are stashed and replayed).  A peer
+    that the daemon declared down — or a round deadline expiring while
+    we wait — surfaces as [`Down], which the caller maps onto the
+    silent-fault path. *)
+
+type t
+
+exception Protocol_error of string
+(** The daemon broke the envelope protocol (bad message order,
+    unexpected sequence number, shutdown mid-round). *)
+
+val connect :
+  ?deadline_ms:float ->
+  addr:Unix.sockaddr ->
+  slot:int ->
+  nslots:int ->
+  seed:int ->
+  unit ->
+  t
+(** Connects (with bounded retry-and-backoff, so racing the daemon's
+    [listen] is safe), sends [Hello] and blocks until [Start].
+    [deadline_ms] is the per-round receive deadline used by every
+    subsequent blocking wait; default 10s. *)
+
+val slot : t -> int
+val own_posts : t -> int
+(** Number of frames this client has posted so far (drives the
+    deterministic crash drill). *)
+
+val post : t -> seq:int -> frame:string -> unit
+(** Ship board frame [seq], owned by this slot, to the daemon.  The
+    matching [Deliver] echo is consumed internally when it comes back;
+    it is not returned by {!fetch}. *)
+
+val fetch : t -> seq:int -> owner:int -> [ `Frame of string | `Down ]
+(** Block until the daemon delivers frame [seq] (posted by slot
+    [owner]), or return [`Down] if that slot is known dead, went dead
+    while we waited, or the round deadline expired. *)
+
+val report : t -> json:string -> unit
+(** Send the final report.  Best-effort: a daemon that already went
+    away is ignored. *)
+
+val close : t -> unit

@@ -1,0 +1,261 @@
+module Wire = Yoso_net.Wire
+module Meter = Yoso_net.Meter
+
+type config = { max_body : int; total_timeout_s : float; tick_s : float }
+
+let default_config =
+  { max_body = Envelope.default_max_body; total_timeout_s = 120.; tick_s = 0.1 }
+
+type stats = {
+  connections : int;
+  frames_in : int;
+  frames_out : int;
+  garbled_frames : int;
+  bytes_in : int;
+  bytes_out : int;
+  peer_downs : int;
+  timed_out : bool;
+}
+
+type result = { reports : (int * string) list; down : int list; stats : stats }
+
+type conn = {
+  fd : Unix.file_descr;
+  id : int;  (* accept order, names pre-hello connections *)
+  stream : Envelope.stream;
+  outq : string Queue.t;
+  mutable out_off : int;  (* bytes of the queue head already written *)
+  mutable slot : int option;
+  mutable reported : bool;
+  mutable closed : bool;
+  mutable sent_b : int;  (* daemon -> peer *)
+  mutable recv_b : int;  (* peer -> daemon *)
+}
+
+let conn_name c =
+  match c.slot with Some s -> Printf.sprintf "slot%d" s | None -> Printf.sprintf "conn#%d" c.id
+
+exception Protocol_violation of string
+
+let violate fmt = Printf.ksprintf (fun s -> raise (Protocol_violation s)) fmt
+
+let serve ?(config = default_config) ?meter ~listen ~nslots () =
+  if nslots < 1 then invalid_arg "Daemon.serve: nslots must be >= 1";
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let conns = ref [] in
+  let accepted = ref 0 in
+  let next_seq = ref 0 in
+  let started = ref false in
+  let reports = Hashtbl.create 8 in
+  let down = ref [] in
+  let frames_in = ref 0 in
+  let frames_out = ref 0 in
+  let garbled = ref 0 in
+  let timed_out = ref false in
+  let scratch = Bytes.create 65536 in
+  let t0 = Unix.gettimeofday () in
+
+  let enqueue c payload =
+    if not c.closed then begin
+      Queue.add payload c.outq;
+      (* opportunistic flush happens in the select loop *)
+    end
+  in
+  let broadcast msg =
+    let payload = Envelope.encode msg in
+    List.iter (fun c -> enqueue c payload) !conns;
+    match msg with
+    | Envelope.Deliver _ ->
+      frames_out := !frames_out + List.length (List.filter (fun c -> not c.closed) !conns)
+    | _ -> ()
+  in
+  let mark_down c =
+    match c.slot with
+    | Some s when (not c.reported) && not (List.mem s !down) ->
+      down := s :: !down;
+      broadcast (Envelope.Peer_down { slot = s })
+    | _ -> ()
+  in
+  let close_conn c =
+    if not c.closed then begin
+      c.closed <- true;
+      (try Unix.close c.fd with Unix.Unix_error _ -> ());
+      mark_down c
+    end
+  in
+  let hellos () =
+    List.length (List.filter (fun c -> c.slot <> None && not c.closed) !conns)
+  in
+  let handle c msg =
+    match msg with
+    | Envelope.Hello { slot; nslots = peer_nslots; seed = _ } ->
+      if peer_nslots <> nslots then
+        violate "hello: peer expects %d slots, run has %d" peer_nslots nslots;
+      if slot < 0 || slot >= nslots then violate "hello: slot %d out of range" slot;
+      if List.exists (fun c' -> c'.slot = Some slot && not c'.closed) !conns then
+        violate "hello: slot %d already connected" slot;
+      c.slot <- Some slot;
+      if (not !started) && hellos () = nslots then begin
+        started := true;
+        broadcast Envelope.Start
+      end
+    | Envelope.Post { seq; slot; frame } ->
+      if not !started then violate "post before start";
+      if c.slot <> Some slot then violate "post: slot %d on connection %s" slot (conn_name c);
+      (* strictly monotone, gaps allowed: a frame owned by a dead slot
+         is never posted and survivors continue past it *)
+      if seq < !next_seq then violate "post: seq %d, already at %d" seq !next_seq;
+      next_seq := seq + 1;
+      incr frames_in;
+      (* integrity check on ingest: the envelope checksum already
+         passed; now try the inner bulletin frame.  Garbled frames are
+         counted and still forwarded — exclusion is the verifiers' job *)
+      (match Wire.of_frame frame with
+      | (_ : Wire.message) -> ()
+      | exception Wire.Decode_error _ -> incr garbled);
+      broadcast (Envelope.Deliver { seq; slot; frame })
+    | Envelope.Report { slot; json } ->
+      if c.slot <> Some slot then violate "report: slot %d on connection %s" slot (conn_name c);
+      Hashtbl.replace reports slot json;
+      c.reported <- true
+    | Envelope.Start | Envelope.Deliver _ | Envelope.Peer_down _ | Envelope.Shutdown ->
+      violate "client sent a daemon-only message"
+  in
+  let read_conn c =
+    match Unix.read c.fd scratch 0 (Bytes.length scratch) with
+    | 0 -> close_conn c
+    | n -> (
+      c.recv_b <- c.recv_b + n;
+      Envelope.feed_bytes c.stream scratch n;
+      try
+        let rec drain () =
+          match Envelope.next c.stream with
+          | Some msg ->
+            handle c msg;
+            drain ()
+          | None -> ()
+        in
+        drain ()
+      with Envelope.Envelope_error _ | Protocol_violation _ -> close_conn c)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> close_conn c
+  in
+  let write_conn c =
+    if (not c.closed) && not (Queue.is_empty c.outq) then
+      let head = Queue.peek c.outq in
+      let len = String.length head - c.out_off in
+      match Unix.single_write_substring c.fd head c.out_off len with
+      | n ->
+        c.sent_b <- c.sent_b + n;
+        if n = len then begin
+          ignore (Queue.pop c.outq);
+          c.out_off <- 0
+        end
+        else c.out_off <- c.out_off + n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      | exception Unix.Unix_error _ -> close_conn c
+  in
+  let accept_conn () =
+    match Unix.accept ~cloexec:true listen with
+    | fd, _addr ->
+      Unix.set_nonblock fd;
+      incr accepted;
+      conns :=
+        !conns
+        @ [
+            {
+              fd;
+              id = !accepted;
+              stream = Envelope.stream ~max_body:config.max_body ();
+              outq = Queue.create ();
+              out_off = 0;
+              slot = None;
+              reported = false;
+              closed = false;
+              sent_b = 0;
+              recv_b = 0;
+            };
+          ]
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  in
+  let slots_settled () =
+    !started
+    && List.for_all
+         (fun s -> Hashtbl.mem reports s || List.mem s !down)
+         (List.init nslots Fun.id)
+  in
+  let pending_writes () =
+    List.exists (fun c -> (not c.closed) && not (Queue.is_empty c.outq)) !conns
+  in
+  (* main event loop *)
+  let rec loop () =
+    if Unix.gettimeofday () -. t0 > config.total_timeout_s then timed_out := true
+    else if slots_settled () && not (pending_writes ()) then ()
+    else begin
+      let live = List.filter (fun c -> not c.closed) !conns in
+      let rds = listen :: List.map (fun c -> c.fd) live in
+      let wrs =
+        List.filter_map
+          (fun c -> if Queue.is_empty c.outq then None else Some c.fd)
+          live
+      in
+      (match Unix.select rds wrs [] config.tick_s with
+      | rready, wready, _ ->
+        if List.memq listen rready then accept_conn ();
+        List.iter (fun c -> if List.memq c.fd wready then write_conn c) live;
+        List.iter
+          (fun c -> if (not c.closed) && List.memq c.fd rready then read_conn c)
+          live
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  (* orderly shutdown: tell everyone, best-effort flush, close *)
+  if not !timed_out then begin
+    broadcast Envelope.Shutdown;
+    let flush_deadline = Unix.gettimeofday () +. 1.0 in
+    let rec flush () =
+      if pending_writes () && Unix.gettimeofday () < flush_deadline then begin
+        let live = List.filter (fun c -> not c.closed) !conns in
+        let wrs =
+          List.filter_map
+            (fun c -> if Queue.is_empty c.outq then None else Some c.fd)
+            live
+        in
+        (match Unix.select [] wrs [] 0.05 with
+        | _, wready, _ -> List.iter (fun c -> if List.memq c.fd wready then write_conn c) live
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        flush ()
+      end
+    in
+    flush ()
+  end;
+  List.iter
+    (fun c ->
+      (match meter with
+      | Some m -> Meter.record_conn m ~conn:(conn_name c) ~sent:c.sent_b ~received:c.recv_b
+      | None -> ());
+      if not c.closed then begin
+        c.closed <- true;
+        try Unix.close c.fd with Unix.Unix_error _ -> ()
+      end)
+    !conns;
+  let bytes_in = List.fold_left (fun a c -> a + c.recv_b) 0 !conns in
+  let bytes_out = List.fold_left (fun a c -> a + c.sent_b) 0 !conns in
+  {
+    reports =
+      Hashtbl.fold (fun s j acc -> (s, j) :: acc) reports [] |> List.sort compare;
+    down = List.sort compare !down;
+    stats =
+      {
+        connections = !accepted;
+        frames_in = !frames_in;
+        frames_out = !frames_out;
+        garbled_frames = !garbled;
+        bytes_in;
+        bytes_out;
+        peer_downs = List.length !down;
+        timed_out = !timed_out;
+      };
+  }

@@ -1,0 +1,65 @@
+(** The bulletin-board daemon: a single-threaded, nonblocking
+    select/poll event loop serving {!Envelope} traffic over TCP or
+    Unix-domain sockets.
+
+    Protocol, per run:
+    + every committee-member process connects and sends [Hello];
+    + once all [nslots] slots are present the daemon broadcasts
+      [Start];
+    + the owner of board frame [seq] sends [Post {seq; ...}]; the
+      daemon verifies the envelope checksum on ingest, checks [seq]
+      against the global post counter (posts arrive in strictly
+      increasing order — the protocol's commit order is total) and
+      broadcasts [Deliver {seq; ...}] to every connection;
+    + a connection that dies before delivering its [Report] triggers a
+      [Peer_down] broadcast, which surviving members map onto the
+      silent-fault path;
+    + when every slot has either reported or gone down, the daemon
+      flushes, sends [Shutdown] and returns.
+
+    Each connection has its own read-reassembly buffer and write
+    queue; the daemon never blocks on any single peer.  Inner bulletin
+    frames are additionally run through [Wire.of_frame] on ingest so
+    the stats expose how many garbled frames crossed the wire (they
+    are still forwarded — a tampered frame must reach the board and be
+    excluded by verifiers, not vanish in transit). *)
+
+module Meter = Yoso_net.Meter
+
+type config = {
+  max_body : int;  (** envelope ingest cap, default {!Envelope.default_max_body} *)
+  total_timeout_s : float;  (** watchdog on the whole run *)
+  tick_s : float;  (** select granularity *)
+}
+
+val default_config : config
+
+type stats = {
+  connections : int;
+  frames_in : int;  (** [Post] envelopes accepted *)
+  frames_out : int;  (** [Deliver] envelopes enqueued (per recipient) *)
+  garbled_frames : int;  (** inner frames failing [Wire.of_frame] on ingest *)
+  bytes_in : int;
+  bytes_out : int;
+  peer_downs : int;
+  timed_out : bool;
+}
+
+type result = {
+  reports : (int * string) list;  (** slot-sorted final reports *)
+  down : int list;  (** slots that vanished before reporting *)
+  stats : stats;
+}
+
+val serve :
+  ?config:config ->
+  ?meter:Meter.t ->
+  listen:Unix.file_descr ->
+  nslots:int ->
+  unit ->
+  result
+(** Runs the event loop on an already-listening socket until the run
+    completes (or the watchdog fires, in which case [stats.timed_out]
+    is set and partial results are returned).  Per-connection envelope
+    bytes are recorded into [meter] under ["slotN"] names.  The listen
+    socket is left open; the caller owns it. *)

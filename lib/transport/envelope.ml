@@ -1,0 +1,179 @@
+module Wire = Yoso_net.Wire
+
+exception Envelope_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Envelope_error s)) fmt
+
+type msg =
+  | Hello of { slot : int; nslots : int; seed : int }
+  | Start
+  | Post of { seq : int; slot : int; frame : string }
+  | Deliver of { seq : int; slot : int; frame : string }
+  | Peer_down of { slot : int }
+  | Report of { slot : int; json : string }
+  | Shutdown
+
+let pp_msg ppf = function
+  | Hello { slot; nslots; seed } ->
+    Format.fprintf ppf "hello{slot=%d;nslots=%d;seed=%d}" slot nslots seed
+  | Start -> Format.fprintf ppf "start"
+  | Post { seq; slot; frame } ->
+    Format.fprintf ppf "post{seq=%d;slot=%d;%dB}" seq slot (String.length frame)
+  | Deliver { seq; slot; frame } ->
+    Format.fprintf ppf "deliver{seq=%d;slot=%d;%dB}" seq slot (String.length frame)
+  | Peer_down { slot } -> Format.fprintf ppf "peer-down{slot=%d}" slot
+  | Report { slot; json } ->
+    Format.fprintf ppf "report{slot=%d;%dB}" slot (String.length json)
+  | Shutdown -> Format.fprintf ppf "shutdown"
+
+let magic0 = 'Y'
+let magic1 = 'T'
+let version = 1
+let header_len = 8 (* magic(2) version(1) type(1) length(4, LE) *)
+let trailer_len = 8 (* Wire.checksum, 8 bytes LE *)
+
+(* envelopes carry whole bulletin frames plus a little framing of
+   their own; cap accordingly *)
+let default_max_body = !Wire.max_frame_len + 4096
+
+let tag = function
+  | Hello _ -> 1
+  | Start -> 2
+  | Post _ -> 3
+  | Deliver _ -> 4
+  | Peer_down _ -> 5
+  | Report _ -> 6
+  | Shutdown -> 7
+
+let encode_body buf = function
+  | Hello { slot; nslots; seed } ->
+    Wire.put_varint buf slot;
+    Wire.put_varint buf nslots;
+    Wire.put_varint buf seed
+  | Start | Shutdown -> ()
+  | Post { seq; slot; frame } | Deliver { seq; slot; frame } ->
+    Wire.put_varint buf seq;
+    Wire.put_varint buf slot;
+    Wire.put_bytes buf frame
+  | Peer_down { slot } -> Wire.put_varint buf slot
+  | Report { slot; json } ->
+    Wire.put_varint buf slot;
+    Wire.put_bytes buf json
+
+let decode_body ~tag body =
+  let d = { Wire.src = body; pos = 0 } in
+  let msg =
+    match tag with
+    | 1 ->
+      let slot = Wire.get_varint d in
+      let nslots = Wire.get_varint d in
+      let seed = Wire.get_varint d in
+      Hello { slot; nslots; seed }
+    | 2 -> Start
+    | 3 | 4 ->
+      let seq = Wire.get_varint d in
+      let slot = Wire.get_varint d in
+      let frame = Wire.get_bytes d in
+      if tag = 3 then Post { seq; slot; frame } else Deliver { seq; slot; frame }
+    | 5 -> Peer_down { slot = Wire.get_varint d }
+    | 6 ->
+      let slot = Wire.get_varint d in
+      let json = Wire.get_bytes d in
+      Report { slot; json }
+    | 7 -> Shutdown
+    | t -> fail "unknown envelope type %d" t
+  in
+  if d.Wire.pos <> String.length body then
+    fail "envelope body: %d trailing bytes" (String.length body - d.Wire.pos);
+  msg
+
+let encode msg =
+  let body =
+    let buf = Buffer.create 64 in
+    encode_body buf msg;
+    Buffer.contents buf
+  in
+  let blen = String.length body in
+  let buf = Buffer.create (header_len + blen + trailer_len) in
+  Buffer.add_char buf magic0;
+  Buffer.add_char buf magic1;
+  Buffer.add_char buf (Char.chr version);
+  Buffer.add_char buf (Char.chr (tag msg));
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((blen lsr (8 * i)) land 0xff))
+  done;
+  Buffer.add_string buf body;
+  let h = Wire.checksum body in
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((h lsr (8 * i)) land 0xff))
+  done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Streaming reassembly                                                *)
+(* ------------------------------------------------------------------ *)
+
+type stream = { mutable acc : string; mutable pos : int; max_body : int }
+
+let stream ?(max_body = default_max_body) () = { acc = ""; pos = 0; max_body }
+
+let buffered st = String.length st.acc - st.pos
+
+let compact st =
+  (* drop consumed prefix once it dominates the buffer *)
+  if st.pos > 4096 && st.pos * 2 > String.length st.acc then begin
+    st.acc <- String.sub st.acc st.pos (String.length st.acc - st.pos);
+    st.pos <- 0
+  end
+
+let feed st chunk =
+  if chunk <> "" then begin
+    compact st;
+    if st.pos = String.length st.acc then begin
+      st.acc <- chunk;
+      st.pos <- 0
+    end
+    else st.acc <- st.acc ^ chunk
+  end
+
+let feed_bytes st buf len = feed st (Bytes.sub_string buf 0 len)
+
+let byte st i = Char.code st.acc.[st.pos + i]
+
+(* header fields of the envelope currently at the front of the buffer;
+   validates everything the header alone can prove wrong *)
+let peek_header st =
+  if st.acc.[st.pos] <> magic0 || st.acc.[st.pos + 1] <> magic1 then
+    fail "bad envelope magic";
+  if byte st 2 <> version then fail "unsupported envelope version %d" (byte st 2);
+  let t = byte st 3 in
+  let blen = byte st 4 lor (byte st 5 lsl 8) lor (byte st 6 lsl 16) lor (byte st 7 lsl 24) in
+  (* the length guard fires on the header alone, before the body is
+     allowed to accumulate *)
+  if blen > st.max_body then fail "envelope body %d exceeds cap %d" blen st.max_body;
+  (t, blen)
+
+let needed st =
+  if buffered st < header_len then header_len - buffered st
+  else
+    let _, blen = peek_header st in
+    max 0 (header_len + blen + trailer_len - buffered st)
+
+let next st =
+  if buffered st < header_len then None
+  else begin
+    let t, blen = peek_header st in
+    if buffered st < header_len + blen + trailer_len then None
+    else begin
+      let body = String.sub st.acc (st.pos + header_len) blen in
+      let h = ref 0 in
+      let toff = st.pos + header_len + blen in
+      for i = 7 downto 0 do
+        h := (!h lsl 8) lor Char.code st.acc.[toff + i]
+      done;
+      if !h <> Wire.checksum body then fail "envelope checksum mismatch";
+      st.pos <- st.pos + header_len + blen + trailer_len;
+      compact st;
+      Some (decode_body ~tag:t body)
+    end
+  end

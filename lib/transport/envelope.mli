@@ -1,0 +1,78 @@
+(** Transport envelope: the daemon protocol's message codec.
+
+    Everything that crosses a transport socket is one envelope:
+
+    {v magic "YT" | version | type | body length (4B LE) | body | checksum (8B LE) v}
+
+    The checksum ({!Yoso_net.Wire.checksum} over the body) is verified
+    on ingest, so a corrupted envelope is rejected at the transport
+    layer; the bulletin frames carried {e inside} [Post]/[Deliver]
+    bodies keep their own [Wire] checksums and are re-verified by the
+    receiving protocol code (a tampered frame must land on the board
+    and be excluded there, not vanish in transit).
+
+    The declared body length is capped ({!default_max_body}, tied to
+    {!Yoso_net.Wire.max_frame_len}): an oversized header is rejected
+    {e before} any body byte is buffered, so a malicious peer cannot
+    force unbounded allocation. *)
+
+exception Envelope_error of string
+(** Malformed envelope: bad magic/version/type, body over the cap,
+    checksum mismatch, or an undecodable body. *)
+
+type msg =
+  | Hello of { slot : int; nslots : int; seed : int }
+      (** client -> daemon, once per connection *)
+  | Start  (** daemon -> clients when all [nslots] slots said hello *)
+  | Post of { seq : int; slot : int; frame : string }
+      (** client -> daemon: the owner ships board frame [seq] *)
+  | Deliver of { seq : int; slot : int; frame : string }
+      (** daemon -> all clients, in strict [seq] order *)
+  | Peer_down of { slot : int }
+      (** daemon -> all clients: that slot's connection died *)
+  | Report of { slot : int; json : string }
+      (** client -> daemon: final protocol report *)
+  | Shutdown  (** daemon -> clients: orderly end of the run *)
+
+val pp_msg : Format.formatter -> msg -> unit
+
+val header_len : int
+(** Fixed envelope header size (magic + version + type + length). *)
+
+val trailer_len : int
+(** Checksum trailer size. *)
+
+val default_max_body : int
+(** Default cap on the declared body length. *)
+
+val encode : msg -> string
+(** Full envelope bytes: header, body, checksum. *)
+
+(** {1 Streaming decoder}
+
+    Sockets deliver envelopes in arbitrary chunks; the stream
+    reassembles them.  Feed whatever arrived, then drain with
+    {!next} — an envelope split at every byte boundary still
+    decodes. *)
+
+type stream
+
+val stream : ?max_body:int -> unit -> stream
+
+val feed : stream -> string -> unit
+val feed_bytes : stream -> bytes -> int -> unit
+(** [feed_bytes st buf len] appends the first [len] bytes of [buf]. *)
+
+val next : stream -> msg option
+(** The next complete envelope, or [None] if more bytes are needed.
+    @raise Envelope_error on a malformed envelope (the stream is then
+    poisoned — the connection must be dropped). *)
+
+val needed : stream -> int
+(** Bytes still missing before {!next} can produce the envelope at the
+    front of the buffer; [0] when one is already complete.  Lets a
+    blocking reader ask for exactly the right amount.
+    @raise Envelope_error if the buffered header is malformed. *)
+
+val buffered : stream -> int
+(** Bytes currently held waiting for a complete envelope. *)

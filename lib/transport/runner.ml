@@ -1,0 +1,148 @@
+module Board = Yoso_net.Board
+module Meter = Yoso_net.Meter
+module Role = Yoso_runtime.Role
+
+type endpoint = [ `Unix_socket | `Tcp ]
+
+type result = {
+  reports : (int * string) list;
+  down : int list;
+  agree : bool;
+  wall_ms : float;
+  stats : Daemon.stats;
+  conn_bytes : (string * (int * int)) list;
+  children : (int * Unix.process_status) list;
+}
+
+let link_of_client ?crash_after ~nslots client =
+  let me = Client.slot client in
+  {
+    Board.owns = (fun (r : Role.id) -> r.index mod nslots = me);
+    send =
+      (fun ~seq ~author:_ ~frame ->
+        (match crash_after with
+        | Some m when Client.own_posts client >= m ->
+          (* the crash drill: vanish mid-round, right before our next
+             owned post, so survivors must blame us for it *)
+          Unix._exit 13
+        | _ -> ());
+        Client.post client ~seq ~frame);
+    recv =
+      (fun ~seq ~author ->
+        Client.fetch client ~seq ~owner:(author.Role.index mod nslots));
+  }
+
+let sock_counter = ref 0
+
+let make_listener endpoint =
+  match endpoint with
+  | `Unix_socket ->
+    incr sock_counter;
+    let path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "yoso-%d-%d.sock" (Unix.getpid ()) !sock_counter)
+    in
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    (fd, Unix.ADDR_UNIX path, Some path)
+  | `Tcp ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    Unix.listen fd 64;
+    (fd, Unix.getsockname fd, None)
+
+let run ?(endpoint = `Unix_socket) ?config ?(deadline_ms = 10_000.) ?crash ?meter
+    ~nslots ~seed ~child () =
+  if nslots < 1 then invalid_arg "Runner.run: nslots must be >= 1";
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let t0 = Unix.gettimeofday () in
+  (* listen before forking: the backlog holds children that connect
+     before the daemon's event loop starts accepting *)
+  let listen, addr, unlink_path = make_listener endpoint in
+  let spawn slot =
+    match Unix.fork () with
+    | 0 ->
+      (* child: its whole life is connect -> replay protocol -> report *)
+      let status =
+        try
+          Unix.close listen;
+          let client = Client.connect ~deadline_ms ~addr ~slot ~nslots ~seed () in
+          let crash_after =
+            match crash with Some (s, m) when s = slot -> Some m | _ -> None
+          in
+          let link = link_of_client ?crash_after ~nslots client in
+          let json = child ~slot ~link in
+          Client.report client ~json;
+          Client.close client;
+          0
+        with e ->
+          Printf.eprintf "[yoso-transport] slot %d: %s\n%!" slot (Printexc.to_string e);
+          3
+      in
+      Unix._exit status
+    | pid -> (slot, pid)
+  in
+  let pids = List.init nslots spawn in
+  let finish () =
+    let children =
+      List.map
+        (fun (slot, pid) ->
+          let _, status = Unix.waitpid [] pid in
+          (slot, status))
+        pids
+    in
+    (try Unix.close listen with Unix.Unix_error _ -> ());
+    (match unlink_path with
+    | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+    | None -> ());
+    children
+  in
+  match Daemon.serve ?config ?meter ~listen ~nslots () with
+  | d ->
+    let children = finish () in
+    let agree =
+      match d.Daemon.reports with
+      | [] -> false
+      | (_, first) :: rest -> List.for_all (fun (_, j) -> String.equal j first) rest
+    in
+    {
+      reports = d.reports;
+      down = d.down;
+      agree;
+      wall_ms = (Unix.gettimeofday () -. t0) *. 1000.;
+      stats = d.stats;
+      conn_bytes =
+        (match meter with Some m -> Meter.connections m | None -> []);
+      children;
+    }
+  | exception e ->
+    (* daemon blew up: don't leak children *)
+    List.iter (fun (_, pid) -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()) pids;
+    ignore (finish ());
+    raise e
+
+let json_int_field json ~field =
+  let needle = Printf.sprintf "\"%s\":" field in
+  match String.index_opt json '{' with
+  | None -> None
+  | Some _ -> (
+    let nlen = String.length needle in
+    let jlen = String.length json in
+    let rec find i =
+      if i + nlen > jlen then None
+      else if String.sub json i nlen = needle then Some (i + nlen)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some start ->
+      let i = ref start in
+      while !i < jlen && json.[!i] = ' ' do incr i done;
+      let stop = ref !i in
+      if !stop < jlen && json.[!stop] = '-' then incr stop;
+      while !stop < jlen && json.[!stop] >= '0' && json.[!stop] <= '9' do incr stop done;
+      if !stop = !i then None else int_of_string_opt (String.sub json !i (!stop - !i)))

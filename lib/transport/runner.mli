@@ -1,0 +1,60 @@
+(** Orchestrator: forks one OS process per committee slot, stands up
+    the bulletin-board {!Daemon} in the parent, hands each child a
+    {!Yoso_net.Board.link} wired to a {!Client}, and collects the
+    final reports.
+
+    The execution model is replicated determinism: every child runs
+    the {e same} seeded protocol; the link decides, per board frame,
+    whether this child physically ships the frame or blocks on the
+    daemon's broadcast.  All children therefore produce byte-identical
+    reports — [agree] is the cheap agreement oracle — and the
+    transcript digest matches a plain in-process run with the same
+    seeds. *)
+
+module Board = Yoso_net.Board
+module Meter = Yoso_net.Meter
+
+type endpoint = [ `Unix_socket | `Tcp ]
+(** [`Unix_socket] binds a fresh socket under the temp dir;
+    [`Tcp] binds 127.0.0.1 on an ephemeral port. *)
+
+type result = {
+  reports : (int * string) list;  (** slot-sorted report JSON from each child *)
+  down : int list;  (** slots that died before reporting *)
+  agree : bool;  (** all collected reports byte-identical *)
+  wall_ms : float;
+  stats : Daemon.stats;
+  conn_bytes : (string * (int * int)) list;
+      (** per-connection (sent, received) daemon-side byte counts *)
+  children : (int * Unix.process_status) list;  (** slot -> exit status *)
+}
+
+val link_of_client :
+  ?crash_after:int -> nslots:int -> Client.t -> Board.link
+(** The link a child plugs into its board: [owns] maps role index
+    [mod nslots] onto this client's slot; [send] posts owned frames;
+    [recv] blocks on the daemon's broadcast.  [crash_after m] makes
+    the process die ([Unix._exit 13]) when it is about to post its
+    [m+1]-th own frame — the deterministic mid-round crash drill. *)
+
+val run :
+  ?endpoint:endpoint ->
+  ?config:Daemon.config ->
+  ?deadline_ms:float ->
+  ?crash:int * int ->
+  ?meter:Meter.t ->
+  nslots:int ->
+  seed:int ->
+  child:(slot:int -> link:Board.link -> string) ->
+  unit ->
+  result
+(** Runs one full multi-process committee execution.  [child] is
+    executed in each forked process and returns its report JSON;
+    [crash = (slot, m)] arms the crash drill on one slot.  The parent
+    never runs [child]; it serves the board and reaps the children.
+    Default endpoint is [`Unix_socket], default round deadline 10s. *)
+
+val json_int_field : string -> field:string -> int option
+(** Tiny extractor for ["field": <int>] from the flat report JSON —
+    enough to pull digests out of reports for equality checks without
+    a JSON dependency. *)

@@ -1,0 +1,42 @@
+(** EINTR-safe socket I/O primitives.
+
+    Every loop in the transport is built on these two calls:
+    {!read_exactly} keeps reading until it has the requested byte
+    count (sockets deliver frames in arbitrary chunks — a frame split
+    at any byte boundary must still assemble), {!write_all} keeps
+    writing until the whole string is on the wire.  Both retry
+    [EINTR] transparently, park on [select] for [EAGAIN], and enforce
+    an optional absolute wall-clock deadline. *)
+
+exception Timeout
+(** The deadline passed before the operation completed. *)
+
+exception Closed
+(** The peer closed the connection ([read] returned 0, or the write
+    side took [EPIPE]/[ECONNRESET]). *)
+
+val read_exactly : ?deadline:float -> Unix.file_descr -> int -> string
+(** [read_exactly fd n] returns exactly [n] bytes, looping over
+    however many partial reads the kernel delivers.  [deadline] is an
+    absolute [Unix.gettimeofday] instant.
+    @raise Timeout if the deadline passes first.
+    @raise Closed on EOF. *)
+
+val write_all : ?deadline:float -> Unix.file_descr -> string -> unit
+(** Writes the whole string, looping over partial writes.
+    @raise Timeout if the deadline passes first.
+    @raise Closed if the peer is gone. *)
+
+val connect_with_retry :
+  ?attempts:int -> ?backoff_ms:float -> Unix.sockaddr -> Unix.file_descr
+(** Creates a stream socket for the address family and connects,
+    retrying transient failures ([ECONNREFUSED], [ENOENT],
+    [EAGAIN], ...) with exponential backoff: [backoff_ms] (default 20)
+    doubling per attempt, at most [attempts] (default 10) tries.
+    Ignores [SIGPIPE] for the process as a side effect — transport
+    code must see write failures as exceptions, not signals.
+    @raise Unix.Unix_error when the final attempt fails. *)
+
+val deadline_after : float -> float
+(** [deadline_after ms] is the absolute instant [ms] milliseconds from
+    now. *)

@@ -1,0 +1,370 @@
+(* Socket transport: envelope codec, EINTR-safe socket I/O, the
+   bulletin-board daemon, and the sim/loopback equivalence the whole
+   design rests on — same seeds through the in-process board and
+   through forked processes over real sockets must yield identical
+   transcripts. *)
+
+module F = Yoso_field.Field.Fp
+module Wire = Yoso_net.Wire
+module Meter = Yoso_net.Meter
+module Params = Yoso_mpc.Params
+module Protocol = Yoso_mpc.Protocol
+module Gen = Yoso_circuit.Generators
+module Envelope = Yoso_transport.Envelope
+module Sockio = Yoso_transport.Sockio
+module Runner = Yoso_transport.Runner
+
+(* ------------------------------------------------------------------ *)
+(* Wire frame cap                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let with_cap cap f =
+  let saved = !Wire.max_frame_len in
+  Wire.max_frame_len := cap;
+  Fun.protect ~finally:(fun () -> Wire.max_frame_len := saved) f
+
+let test_frame_cap () =
+  let msg =
+    { Wire.step = "cap"; items = [ Wire.Field_elements (Array.init 8 F.of_int) ] }
+  in
+  let payload_len = String.length (Wire.encode_message msg) in
+  let frame = Wire.to_frame msg in
+  (* one byte over the cap: structured rejection, not an allocation *)
+  with_cap (payload_len - 1) (fun () ->
+      match Wire.of_frame frame with
+      | _ -> Alcotest.fail "frame one byte over cap must be rejected"
+      | exception Wire.Decode_error e ->
+        Alcotest.(check bool) "mentions cap" true
+          (String.length e > 0 && String.index_opt e 'm' <> None));
+  (* exactly at the cap: decodes *)
+  with_cap payload_len (fun () ->
+      let m = Wire.of_frame frame in
+      Alcotest.(check string) "step survives" "cap" m.Wire.step)
+
+(* ------------------------------------------------------------------ *)
+(* Envelope codec                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sample_msgs =
+  [
+    Envelope.Hello { slot = 3; nslots = 16; seed = 0xC0FFEE };
+    Envelope.Start;
+    Envelope.Post { seq = 0; slot = 3; frame = "frame-zero" };
+    Envelope.Deliver { seq = 0; slot = 3; frame = "frame-zero" };
+    Envelope.Post { seq = 12345; slot = 0; frame = String.make 600 '\x7f' };
+    Envelope.Peer_down { slot = 7 };
+    Envelope.Report { slot = 1; json = "{\"digest\":42}" };
+    Envelope.Shutdown;
+  ]
+
+let msg_eq a b =
+  Format.asprintf "%a" Envelope.pp_msg a = Format.asprintf "%a" Envelope.pp_msg b
+
+let test_envelope_roundtrip () =
+  List.iter
+    (fun m ->
+      let st = Envelope.stream () in
+      Envelope.feed st (Envelope.encode m);
+      (match Envelope.next st with
+      | Some m' -> Alcotest.(check bool) "roundtrip" true (msg_eq m m')
+      | None -> Alcotest.fail "complete envelope did not decode");
+      Alcotest.(check (option reject)) "nothing left" None
+        (Option.map (fun _ -> ()) (Envelope.next st)))
+    sample_msgs
+
+(* an envelope split at every byte boundary still decodes *)
+let test_envelope_split_every_boundary () =
+  let wire = String.concat "" (List.map Envelope.encode sample_msgs) in
+  for split = 0 to String.length wire do
+    let st = Envelope.stream () in
+    Envelope.feed st (String.sub wire 0 split);
+    let got = ref [] in
+    let drain () =
+      let rec go () =
+        match Envelope.next st with
+        | Some m ->
+          got := m :: !got;
+          go ()
+        | None -> ()
+      in
+      go ()
+    in
+    drain ();
+    Envelope.feed st (String.sub wire split (String.length wire - split));
+    drain ();
+    let got = List.rev !got in
+    Alcotest.(check int)
+      (Printf.sprintf "split at %d: count" split)
+      (List.length sample_msgs) (List.length got);
+    List.iter2
+      (fun a b -> Alcotest.(check bool) "msg equal" true (msg_eq a b))
+      sample_msgs got
+  done
+
+let test_envelope_byte_at_a_time () =
+  let wire = String.concat "" (List.map Envelope.encode sample_msgs) in
+  let st = Envelope.stream () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      Envelope.feed st (String.make 1 c);
+      match Envelope.next st with Some m -> got := m :: !got | None -> ())
+    wire;
+  Alcotest.(check int) "all decoded" (List.length sample_msgs) (List.length !got)
+
+let test_envelope_rejections () =
+  (* body over the stream's cap is rejected from the header alone *)
+  let st = Envelope.stream ~max_body:16 () in
+  let big = Envelope.encode (Envelope.Report { slot = 0; json = String.make 64 'j' }) in
+  Envelope.feed st (String.sub big 0 Envelope.header_len);
+  (match Envelope.next st with
+  | exception Envelope.Envelope_error _ -> ()
+  | _ -> Alcotest.fail "oversized body must be rejected at the header");
+  (* corrupted checksum *)
+  let st = Envelope.stream () in
+  let e = Bytes.of_string (Envelope.encode Envelope.Start) in
+  let last = Bytes.length e - 1 in
+  Bytes.set e last (Char.chr (Char.code (Bytes.get e last) lxor 1));
+  Envelope.feed st (Bytes.to_string e);
+  (match Envelope.next st with
+  | exception Envelope.Envelope_error _ -> ()
+  | _ -> Alcotest.fail "checksum corruption must be detected");
+  (* bad magic *)
+  let st = Envelope.stream () in
+  Envelope.feed st "XXXXXXXX";
+  match Envelope.next st with
+  | exception Envelope.Envelope_error _ -> ()
+  | _ -> Alcotest.fail "bad magic must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Sockio: chunked delivery, deadlines, closed peers                   *)
+(* ------------------------------------------------------------------ *)
+
+(* write a payload through a socketpair in randomly sized chunks and
+   read it back in randomly sized chunks: every chunking reassembles
+   the identical bytes.  Interleaved (write some, read some) so the
+   payload can exceed the kernel socket buffer. *)
+let test_sockio_random_chunks () =
+  let st = Random.State.make [| 0x50C7 |] in
+  for round = 1 to 25 do
+    let len = 1 + Random.State.int st 65536 in
+    let payload =
+      String.init len (fun i -> Char.chr ((i * 131 + round) land 0xff))
+    in
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.set_nonblock a;
+    let wrote = ref 0 and got = Buffer.create len in
+    (* writer is nonblocking + select-driven inside write_all, reader
+       drains concurrently from this same loop *)
+    while !wrote < len || Buffer.length got < len do
+      if !wrote < len then begin
+        let chunk = min (1 + Random.State.int st 4096) (len - !wrote) in
+        Sockio.write_all ~deadline:(Sockio.deadline_after 5000.) a
+          (String.sub payload !wrote chunk);
+        wrote := !wrote + chunk
+      end;
+      while Buffer.length got < !wrote do
+        let want = min (1 + Random.State.int st 4096) (!wrote - Buffer.length got) in
+        Buffer.add_string got
+          (Sockio.read_exactly ~deadline:(Sockio.deadline_after 5000.) b want)
+      done
+    done;
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d: %d bytes intact" round len)
+      true
+      (String.equal payload (Buffer.contents got));
+    Unix.close a;
+    Unix.close b
+  done
+
+(* every envelope chunking still decodes when carried over a real
+   socketpair rather than fed to the stream directly *)
+let test_sockio_envelope_over_socketpair () =
+  let wire = String.concat "" (List.map Envelope.encode sample_msgs) in
+  let st = Random.State.make [| 0xE2E |] in
+  for _ = 1 to 10 do
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let off = ref 0 in
+    while !off < String.length wire do
+      let chunk = min (1 + Random.State.int st 13) (String.length wire - !off) in
+      Sockio.write_all a (String.sub wire !off chunk);
+      off := !off + chunk
+    done;
+    let stream = Envelope.stream () in
+    let got = ref [] in
+    while List.length !got < List.length sample_msgs do
+      let k = max 1 (Envelope.needed stream) in
+      Envelope.feed stream
+        (Sockio.read_exactly ~deadline:(Sockio.deadline_after 5000.) b k);
+      let rec drain () =
+        match Envelope.next stream with
+        | Some m ->
+          got := m :: !got;
+          drain ()
+        | None -> ()
+      in
+      drain ()
+    done;
+    List.iter2
+      (fun x y -> Alcotest.(check bool) "socketpair msg" true (msg_eq x y))
+      sample_msgs (List.rev !got);
+    Unix.close a;
+    Unix.close b
+  done
+
+let test_sockio_deadline_and_close () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* nothing to read: the deadline must fire, not hang *)
+  (match Sockio.read_exactly ~deadline:(Sockio.deadline_after 50.) b 4 with
+  | _ -> Alcotest.fail "read from silent peer must time out"
+  | exception Sockio.Timeout -> ());
+  (* peer closes: EOF surfaces as Closed, even mid-message *)
+  Sockio.write_all a "ab";
+  Unix.close a;
+  (match Sockio.read_exactly ~deadline:(Sockio.deadline_after 1000.) b 4 with
+  | _ -> Alcotest.fail "truncated stream must raise Closed"
+  | exception Sockio.Closed -> ());
+  Unix.close b
+
+(* ------------------------------------------------------------------ *)
+(* Sim vs loopback equivalence                                         *)
+(* ------------------------------------------------------------------ *)
+
+let params8 = Params.create ~n:8 ~t:2 ~k:2 ()
+let circuit = Gen.dot_product ~len:4
+let inputs c = Array.init 4 (fun i -> F.of_int ((c * 10) + i + 1))
+
+(* the one legitimate difference between the reports is the transport
+   label; normalize it away and demand byte equality on the rest *)
+let relabel ~from:a ~to_:b json =
+  let na = Printf.sprintf "\"transport\":%S" a in
+  let nb = Printf.sprintf "\"transport\":%S" b in
+  let rec find i =
+    if i + String.length na > String.length json then None
+    else if String.sub json i (String.length na) = na then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> json
+  | Some i ->
+    String.sub json 0 i ^ nb
+    ^ String.sub json (i + String.length na)
+        (String.length json - i - String.length na)
+
+let equivalence_case ~name ~adversary ~plan ~seed () =
+  let sim_config =
+    { Protocol.default_config with adversary; plan; seed }
+  in
+  let sim_r = Protocol.execute ~params:params8 ~config:sim_config ~circuit ~inputs () in
+  let sim_json = Protocol.report_json sim_r in
+  let child ~slot:_ ~link =
+    let config =
+      { sim_config with transport = "unix"; link = Some link }
+    in
+    Protocol.report_json (Protocol.execute ~params:params8 ~config ~circuit ~inputs ())
+  in
+  let meter = Meter.create () in
+  let res = Runner.run ~meter ~deadline_ms:10_000. ~nslots:8 ~seed ~child () in
+  Alcotest.(check int) (name ^ ": all reported") 8 (List.length res.Runner.reports);
+  Alcotest.(check bool) (name ^ ": unanimous") true res.Runner.agree;
+  Alcotest.(check (list int)) (name ^ ": nobody down") [] res.Runner.down;
+  let loop_json = match res.Runner.reports with (_, j) :: _ -> j | [] -> "{}" in
+  (* full report equality modulo the transport label: same posts, same
+     meter totals, same blames, same transcript digest *)
+  Alcotest.(check string)
+    (name ^ ": report byte-identical to sim")
+    sim_json
+    (relabel ~from:"unix" ~to_:"sim" loop_json);
+  (* daemon-side accounting saw every physically shipped frame *)
+  Alcotest.(check int)
+    (name ^ ": every frame crossed the wire")
+    sim_r.Protocol.transcript.Yoso_net.Board.frames
+    res.Runner.stats.Yoso_transport.Daemon.frames_in;
+  Alcotest.(check bool)
+    (name ^ ": per-connection bytes recorded")
+    true
+    (List.length (Meter.connections meter) = 8
+    && List.for_all (fun (_, (s, r)) -> s > 0 && r > 0) (Meter.connections meter))
+
+let test_equivalence_fault_free () =
+  equivalence_case ~name:"fault-free" ~adversary:Params.no_adversary ~plan:None
+    ~seed:0xE8 ()
+
+let test_equivalence_faulty () =
+  let adversary = { Params.malicious = 1; passive = 0; fail_stop = 1 } in
+  equivalence_case ~name:"faulty"
+    ~adversary
+    ~plan:(Some (Yoso_runtime.Faults.random ~seed:0xBAD))
+    ~seed:0xE9 ()
+
+(* ------------------------------------------------------------------ *)
+(* Crash drill: a member dies mid-round                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_mid_round () =
+  let seed = 0xDEAD in
+  let child ~slot:_ ~link =
+    let config =
+      { Protocol.default_config with seed; transport = "unix"; link = Some link }
+    in
+    match Protocol.execute ~params:params8 ~config ~circuit ~inputs () with
+    | r -> Protocol.report_json r
+    | exception Yoso_runtime.Faults.Protocol_failure f ->
+      Printf.sprintf "{\"protocol_failure\":\"%s/%s\"}" f.Yoso_runtime.Faults.f_phase
+        f.Yoso_runtime.Faults.f_step
+  in
+  let res =
+    Runner.run ~deadline_ms:10_000. ~crash:(3, 2) ~nslots:8 ~seed ~child ()
+  in
+  (* no hang: the run completed, the dead slot was noticed, everyone
+     else agreed on a report that blames the silence *)
+  Alcotest.(check bool) "daemon did not time out" false
+    res.Runner.stats.Yoso_transport.Daemon.timed_out;
+  Alcotest.(check (list int)) "slot 3 detected down" [ 3 ] res.Runner.down;
+  Alcotest.(check int) "seven survivors reported" 7 (List.length res.Runner.reports);
+  Alcotest.(check bool) "survivors unanimous" true res.Runner.agree;
+  (match List.assoc_opt 3 res.Runner.children with
+  | Some (Unix.WEXITED 13) -> ()
+  | other ->
+    Alcotest.failf "crash slot: expected exit 13, got %s"
+      (match other with
+      | Some (Unix.WEXITED c) -> Printf.sprintf "exit %d" c
+      | Some (Unix.WSIGNALED s) -> Printf.sprintf "signal %d" s
+      | Some (Unix.WSTOPPED s) -> Printf.sprintf "stopped %d" s
+      | None -> "no status"));
+  let report = match res.Runner.reports with (_, j) :: _ -> j | [] -> "{}" in
+  match Runner.json_int_field report ~field:"faults_detected" with
+  | Some fd -> Alcotest.(check bool) "silence blamed" true (fd > 0)
+  | None -> Alcotest.failf "no faults_detected in report: %s" report
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "transport"
+    [
+      ( "wire",
+        [ Alcotest.test_case "frame one byte over cap" `Quick test_frame_cap ] );
+      ( "envelope",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_envelope_roundtrip;
+          Alcotest.test_case "split at every boundary" `Quick
+            test_envelope_split_every_boundary;
+          Alcotest.test_case "byte at a time" `Quick test_envelope_byte_at_a_time;
+          Alcotest.test_case "rejections" `Quick test_envelope_rejections;
+        ] );
+      ( "sockio",
+        [
+          Alcotest.test_case "random chunking" `Quick test_sockio_random_chunks;
+          Alcotest.test_case "envelopes over socketpair" `Quick
+            test_sockio_envelope_over_socketpair;
+          Alcotest.test_case "deadline and close" `Quick test_sockio_deadline_and_close;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "sim = loopback, fault-free" `Quick
+            test_equivalence_fault_free;
+          Alcotest.test_case "sim = loopback, faulty" `Quick test_equivalence_faulty;
+        ] );
+      ( "crash",
+        [ Alcotest.test_case "member dies mid-round" `Quick test_crash_mid_round ] );
+    ]
