@@ -6,7 +6,7 @@
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- table1       -- one experiment
    Experiments: table1 improvements online-comm offline-comm failstop
-                sortition-mc micro time par transport *)
+                sortition-mc micro time par transport chaos *)
 
 module F = Yoso_field.Field.Fp
 module B = Yoso_bigint.Bigint
@@ -724,6 +724,135 @@ let transport_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E11: chaos sweep — faults below the protocol, transcript unchanged  *)
+(* ------------------------------------------------------------------ *)
+
+module Chaos = Yoso_transport.Chaos
+
+let chaos_bench () =
+  header
+    "E11. Chaos harness: severs/delays/truncations/duplicates + daemon kill, \
+     digest byte-identical to fault-free sim";
+  let n = 8 in
+  let params = Params.create ~n ~t:2 ~k:2 () in
+  let circuit = Gen.dot_product ~len:8 in
+  let inputs c = Array.init 8 (fun i -> F.of_int ((c + 2) * (i + 3))) in
+  let seed = 0xE11 in
+  let sim_r =
+    Protocol.execute ~params ~config:{ Protocol.default_config with seed } ~circuit
+      ~inputs ()
+  in
+  assert (Protocol.check sim_r circuit ~inputs);
+  let frames = sim_r.Protocol.transcript.Yoso_net.Board.frames in
+  let digest = sim_r.Protocol.transcript.Yoso_net.Board.digest in
+  let child ~slot:_ ~link =
+    let config =
+      { Protocol.default_config with seed; transport = "unix"; link = Some link }
+    in
+    Protocol.report_json (Protocol.execute ~params ~config ~circuit ~inputs ())
+  in
+  let with_journal f =
+    let path = Filename.temp_file "yoso-bench-chaos" ".wal" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        Sys.remove path;
+        f path)
+  in
+  let run_case ~label ~chaos_config =
+    with_journal (fun journal ->
+        let chaos = Chaos.create chaos_config in
+        let r = ref None in
+        let wall_ms =
+          wall (fun () ->
+              r := Some (Runner.run ~journal ~chaos ~nslots:n ~seed ~child ()))
+          *. 1000.
+        in
+        let res = Option.get !r in
+        let report = match res.Runner.reports with (_, j) :: _ -> j | [] -> "{}" in
+        let digest_equal = Runner.json_int_field report ~field:"digest" = Some digest in
+        let clean =
+          res.Runner.agree && res.Runner.down = [] && digest_equal
+          && Runner.json_int_field report ~field:"faults_detected" = Some 0
+          && List.length res.Runner.reports = n
+        in
+        if not clean then
+          failwith
+            (Printf.sprintf
+               "bench chaos: case %s diverged (agree=%b down=%d digest_equal=%b)"
+               label res.Runner.agree (List.length res.Runner.down) digest_equal);
+        (label, wall_ms, res, digest_equal))
+  in
+  (* the drill from the issue: daemon killed mid-round, one forced
+     disconnect per protocol phase (early/middle/late thirds) *)
+  let drill_config =
+    { Chaos.none with
+      Chaos.seed;
+      kill_at = [ frames / 2 ];
+      sever_at = [ (frames / 6, 1); ((frames / 2) + (frames / 8), 2); (5 * frames / 6, 3) ];
+    }
+  in
+  let rates = if !smoke then [ 0.05 ] else [ 0.0; 0.02; 0.05; 0.1 ] in
+  let rate_config r =
+    { Chaos.none with
+      Chaos.seed;
+      sever_rate = r;
+      trunc_rate = r /. 2.;
+      dup_rate = r /. 2.;
+      delay_rate = r;
+      delay_ms = 20.;
+    }
+  in
+  Printf.printf "  %-12s %9s %9s %11s %9s %13s %7s\n" "case" "wall(ms)" "restarts"
+    "reconnects" "replayed" "journal(B)" "digest";
+  let cases =
+    ("kill+sever", drill_config)
+    :: List.map (fun r -> (Printf.sprintf "rate=%.2f" r, rate_config r)) rates
+  in
+  let rows =
+    List.map
+      (fun (label, cfg) ->
+        let ((_, wall_ms, res, digest_equal) as row) = run_case ~label ~chaos_config:cfg in
+        let st = res.Runner.stats in
+        Printf.printf "  %-12s %9.1f %9d %11d %9d %13d %7b\n" label wall_ms
+          res.Runner.restarts st.Daemon.reconnects st.Daemon.replayed_frames
+          st.Daemon.journal_bytes digest_equal;
+        if label = "kill+sever" && res.Runner.restarts <> 1 then
+          failwith "bench chaos: kill point did not restart the daemon exactly once";
+        row)
+      cases
+  in
+  Printf.printf
+    "  (every case: unanimous reports, zero blames, transcript digest byte-identical\n\
+    \   to the fault-free sim — faults live below the protocol, recovery hides them)\n";
+  if not !smoke then begin
+    let b = Buffer.create 1024 in
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"experiment\":\"chaos\",\"n\":%d,\"frames\":%d,\"transcript_digest\":%d,\"rows\":["
+         n frames digest);
+    List.iteri
+      (fun i (label, wall_ms, res, digest_equal) ->
+        if i > 0 then Buffer.add_char b ',';
+        let st = res.Runner.stats in
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"case\":%S,\"wall_ms\":%.1f,\"restarts\":%d,\"reconnects\":%d,\
+              \"replayed\":%d,\"recovered\":%d,\"journal_bytes\":%d,\
+              \"digest_identical\":%b}"
+             label wall_ms res.Runner.restarts st.Daemon.reconnects
+             st.Daemon.replayed_frames st.Daemon.recovered_frames
+             st.Daemon.journal_bytes digest_equal))
+      rows;
+    Buffer.add_string b "]}";
+    let oc = open_out "BENCH_chaos.json" in
+    output_string oc (Buffer.contents b);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "  wrote BENCH_chaos.json\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -742,6 +871,7 @@ let experiments =
     ("time", time_bench);
     ("par", par_bench);
     ("transport", transport_bench);
+    ("chaos", chaos_bench);
   ]
 
 let () =

@@ -52,13 +52,18 @@ let demo_inputs kind size len client =
    process replaying the same seeded protocol; frames cross real
    sockets through the bulletin-board daemon.  The parent serves the
    board and prints the (unanimous) report. *)
-let run_transport ~transport ~deadline_ms ~params ~circuit ~inputs ~adversary ~plan ~seed
-    ~net ~domains ~json n =
+let run_transport ~transport ~deadline_ms ~journal ~chaos ~params ~circuit ~inputs
+    ~adversary ~plan ~seed ~net ~domains ~json n =
   let endpoint =
     match transport with
     | "unix" -> `Unix_socket
     | "tcp" -> `Tcp
     | other -> failwith (Printf.sprintf "unknown transport %S (sim|unix|tcp)" other)
+  in
+  let chaos =
+    match chaos with
+    | None -> None
+    | Some spec -> Some (Yoso_transport.Chaos.create (Yoso_transport.Chaos.parse spec))
   in
   let child ~slot:_ ~link =
     let config =
@@ -82,7 +87,9 @@ let run_transport ~transport ~deadline_ms ~params ~circuit ~inputs ~adversary ~p
         f.Faults.f_step f.Faults.f_committee
   in
   let meter = Yoso_net.Meter.create () in
-  let res = Runner.run ~endpoint ~deadline_ms ~meter ~nslots:n ~seed ~child () in
+  let res =
+    Runner.run ~endpoint ~deadline_ms ~meter ?journal ?chaos ~nslots:n ~seed ~child ()
+  in
   (match res.Runner.reports with
   | [] ->
     Format.eprintf "transport run produced no reports (down: %s)@."
@@ -94,15 +101,22 @@ let run_transport ~transport ~deadline_ms ~params ~circuit ~inputs ~adversary ~p
       Buffer.add_string b
         (Printf.sprintf
            "{\"transport\":%S,\"nslots\":%d,\"agree\":%b,\"wall_ms\":%.1f,\"down\":[%s],\
+            \"restarts\":%d,\
             \"daemon\":{\"frames_in\":%d,\"frames_out\":%d,\"garbled_frames\":%d,\
-            \"bytes_in\":%d,\"bytes_out\":%d},\"report\":"
+            \"bytes_in\":%d,\"bytes_out\":%d,\"reconnects\":%d,\"replayed_frames\":%d,\
+            \"recovered_frames\":%d,\"journal_bytes\":%d},\"report\":"
            transport n res.Runner.agree res.Runner.wall_ms
            (String.concat "," (List.map string_of_int res.Runner.down))
+           res.Runner.restarts
            res.Runner.stats.Yoso_transport.Daemon.frames_in
            res.Runner.stats.Yoso_transport.Daemon.frames_out
            res.Runner.stats.Yoso_transport.Daemon.garbled_frames
            res.Runner.stats.Yoso_transport.Daemon.bytes_in
-           res.Runner.stats.Yoso_transport.Daemon.bytes_out);
+           res.Runner.stats.Yoso_transport.Daemon.bytes_out
+           res.Runner.stats.Yoso_transport.Daemon.reconnects
+           res.Runner.stats.Yoso_transport.Daemon.replayed_frames
+           res.Runner.stats.Yoso_transport.Daemon.recovered_frames
+           res.Runner.stats.Yoso_transport.Daemon.journal_bytes);
       Buffer.add_string b first;
       Buffer.add_char b '}';
       print_endline (Buffer.contents b)
@@ -120,12 +134,30 @@ let run_transport ~transport ~deadline_ms ~params ~circuit ~inputs ~adversary ~p
         res.Runner.stats.Yoso_transport.Daemon.frames_out
         res.Runner.stats.Yoso_transport.Daemon.bytes_in
         res.Runner.stats.Yoso_transport.Daemon.bytes_out;
+      if
+        res.Runner.restarts > 0
+        || res.Runner.stats.Yoso_transport.Daemon.reconnects > 0
+        || res.Runner.stats.Yoso_transport.Daemon.journal_bytes > 0
+      then
+        Format.printf
+          "recovery: %d daemon restarts, %d reconnects, %d frames replayed, %d \
+           recovered from journal (%d B)@."
+          res.Runner.restarts res.Runner.stats.Yoso_transport.Daemon.reconnects
+          res.Runner.stats.Yoso_transport.Daemon.replayed_frames
+          res.Runner.stats.Yoso_transport.Daemon.recovered_frames
+          res.Runner.stats.Yoso_transport.Daemon.journal_bytes;
+      (match res.Runner.stats.Yoso_transport.Daemon.chaos_events with
+      | [] -> ()
+      | evs ->
+        Format.printf "chaos: %s@."
+          (String.concat ", "
+             (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) evs)));
       Format.printf "wall: %.1f ms@." res.Runner.wall_ms
     end);
   if res.Runner.agree && res.Runner.down = [] then 0 else 2
 
 let run_cmd protocol kind size n t k eps malicious fail_stop seed fault_seed json net_seed
-    latency drop domains transport deadline_ms =
+    latency drop domains transport deadline_ms journal chaos =
   let params =
     match eps with
     | Some eps -> Params.of_gap ~n ~eps ()
@@ -149,8 +181,10 @@ let run_cmd protocol kind size n t k eps malicious fail_stop seed fault_seed jso
     let plan = Faults.random ~seed:(Option.value ~default:seed fault_seed) in
     if transport <> "sim" then
       exit
-        (run_transport ~transport ~deadline_ms ~params ~circuit ~inputs ~adversary ~plan
-           ~seed ~net ~domains ~json n);
+        (run_transport ~transport ~deadline_ms ~journal ~chaos ~params ~circuit ~inputs
+           ~adversary ~plan ~seed ~net ~domains ~json n);
+    if journal <> None || chaos <> None then
+      failwith "--journal and --chaos need a socket transport (--transport unix|tcp)";
     let config =
       { Protocol.default_config with adversary; plan = Some plan; seed; net; domains }
     in
@@ -366,12 +400,33 @@ let run_t =
             "Round deadline in wall-clock ms for socket transports: a peer that \
              stays silent past it is treated like a fail-stop.")
   in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"PATH"
+          ~doc:
+            "Write-ahead journal for the board daemon (socket transports only): \
+             every accepted frame is appended before broadcast, and a daemon \
+             restarted on the same path recovers the board and resumes serving.")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Seeded socket-fault injection (socket transports only), e.g. \
+             $(b,sever=0.05,dup=0.02,delay=0.05,delay-ms=20,trunc=0.01,kill=40,seed=7): \
+             per-delivery sever/truncate/duplicate/delay rates plus scheduled \
+             daemon kill points ($(b,kill) needs $(b,--journal)).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute YOSO MPC on a generated circuit")
     Term.(
       const run_cmd $ protocol $ kind $ size $ n_arg $ t_arg $ k_arg $ eps $ malicious
       $ fail_stop $ seed_arg $ fault_seed $ json $ net_seed $ latency $ drop $ domains
-      $ transport $ deadline)
+      $ transport $ deadline $ journal $ chaos)
 
 let analyze_t =
   let c_param = Arg.(value & opt int 1000 & info [ "big-c"; "C" ] ~doc:"Sortition parameter C.") in

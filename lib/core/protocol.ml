@@ -30,6 +30,8 @@ type report = {
   transcript : Board.transcript;
   meter : Meter.t;
   transport : string;
+  reconnects : int;
+  replays : int;
   phase_ms : (string * float) list;
 }
 
@@ -110,6 +112,9 @@ let execute ~params ?(config = default_config) ~circuit ~inputs () =
         transcript = Board.transcript board;
         meter;
         transport;
+        reconnects =
+          (match link with Some l -> fst (l.Board.stats ()) | None -> 0);
+        replays = (match link with Some l -> snd (l.Board.stats ()) | None -> 0);
         phase_ms =
           [
             ("setup", (t1 -. t0) *. 1000.);
@@ -121,8 +126,10 @@ let execute ~params ?(config = default_config) ~circuit ~inputs () =
 (* hand-rolled JSON: values are ints, floats and plain ASCII strings.
    [timings] is opt-in because wall-clock fields would break the
    byte-equality oracles (cross-domain and cross-process reports must
-   be identical). *)
-let report_json ?(timings = false) r =
+   be identical); [transport_stats] is opt-in for the same reason —
+   under chaos, different slots survive different reconnect counts,
+   and the agreement check must still compare equal. *)
+let report_json ?(timings = false) ?(transport_stats = false) r =
   let b = Buffer.create 1024 in
   let first = ref true in
   let sep () = if !first then first := false else Buffer.add_char b ',' in
@@ -154,6 +161,10 @@ let report_json ?(timings = false) r =
   int "faults_detected" r.faults_detected;
   int "posts_rejected" r.posts_rejected;
   str "transport" r.transport;
+  if transport_stats then begin
+    int "reconnects" r.reconnects;
+    int "replays" r.replays
+  end;
   if timings then begin
     sep ();
     Buffer.add_string b "\"phase_ms\":{";

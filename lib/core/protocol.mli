@@ -34,6 +34,10 @@ type report = {
           equal transcripts *)
   meter : Yoso_net.Meter.t;        (** full byte breakdown *)
   transport : string;  (** which transport carried the frames: ["sim"], ["unix"], ["tcp"] *)
+  reconnects : int;
+      (** connection recoveries this member's transport link survived
+          (0 without a link, or for a link that cannot drop) *)
+  replays : int;  (** deliveries caught up through those recoveries *)
   phase_ms : (string * float) list;
       (** wall-clock per phase ([setup]/[offline]/[online]); excluded
           from {!report_json} unless [timings] is set, since wall time
@@ -92,12 +96,15 @@ val execute :
     {!Yoso_runtime.Faults.Protocol_failure} once a committee step
     retains too few verified contributions — never a wrong output. *)
 
-val report_json : ?timings:bool -> report -> string
+val report_json : ?timings:bool -> ?transport_stats:bool -> report -> string
 (** The report as a single JSON object (counts, per-gate metrics, byte
     totals, network stats, transcript digest, outputs, blames,
     transport kind).  [timings] (default [false]) additionally emits
-    the per-phase wall-clock object ["phase_ms"]; it is off by default
-    so equal-seed reports stay byte-identical. *)
+    the per-phase wall-clock object ["phase_ms"]; [transport_stats]
+    (default [false]) emits ["reconnects"]/["replays"].  Both are off
+    by default so equal-seed reports stay byte-identical — under
+    chaos, different slots survive different reconnect counts, and the
+    cross-process agreement oracle compares reports byte for byte. *)
 
 val expected : Circuit.t -> inputs:(int -> F.t array) -> (int * F.t) list
 (** Plain (in-the-clear) evaluation, for cross-checking. *)

@@ -24,6 +24,9 @@ type link = {
   owns : Role.id -> bool;
   send : seq:int -> author:Role.id -> frame:string -> unit;
   recv : seq:int -> author:Role.id -> [ `Frame of string | `Down ];
+  stats : unit -> int * int;
+      (* (reconnects, caught-up deliveries) survived so far; (0, 0)
+         for a transport that cannot drop connections *)
 }
 
 let outcome_to_string = function

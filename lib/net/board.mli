@@ -53,6 +53,10 @@ type link = {
   owns : Role.id -> bool;
   send : seq:int -> author:Role.id -> frame:string -> unit;
   recv : seq:int -> author:Role.id -> [ `Frame of string | `Down ];
+  stats : unit -> int * int;
+      (** [(reconnects, caught_up)]: connection recoveries this link's
+          transport survived and deliveries replayed through them;
+          [(0, 0)] for a transport that cannot drop connections *)
 }
 
 type transcript = { frames : int; frame_bytes : int; digest : int }

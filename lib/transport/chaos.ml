@@ -1,0 +1,141 @@
+module Splitmix = Yoso_hash.Splitmix
+
+type action = Pass | Sever | Truncate of float | Duplicate | Delay of float
+
+type config = {
+  seed : int;
+  kill_at : int list;
+  sever_at : (int * int) list;
+  sever_rate : float;
+  trunc_rate : float;
+  dup_rate : float;
+  delay_rate : float;
+  delay_ms : float;
+}
+
+let none =
+  {
+    seed = 1;
+    kill_at = [];
+    sever_at = [];
+    sever_rate = 0.;
+    trunc_rate = 0.;
+    dup_rate = 0.;
+    delay_rate = 0.;
+    delay_ms = 20.;
+  }
+
+let active c =
+  c.kill_at <> [] || c.sever_at <> []
+  || c.sever_rate > 0. || c.trunc_rate > 0. || c.dup_rate > 0. || c.delay_rate > 0.
+
+let validate c =
+  let rate name r =
+    if r < 0. || r > 1. then
+      invalid_arg (Printf.sprintf "Chaos: %s must be in [0,1], got %g" name r)
+  in
+  rate "sever" c.sever_rate;
+  rate "trunc" c.trunc_rate;
+  rate "dup" c.dup_rate;
+  rate "delay" c.delay_rate;
+  if c.sever_rate +. c.trunc_rate +. c.dup_rate +. c.delay_rate > 1. then
+    invalid_arg "Chaos: fault rates must sum to at most 1";
+  if c.delay_ms < 0. then invalid_arg "Chaos: delay-ms must be >= 0";
+  c
+
+(* "sever=0.05,dup=0.02,delay=0.05,delay-ms=20,trunc=0.01,kill=40,kill=90,seed=7" *)
+let parse spec =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let parts =
+    String.split_on_char ',' spec |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let cfg =
+    List.fold_left
+      (fun c part ->
+        match String.index_opt part '=' with
+        | None -> fail "Chaos.parse: expected key=value, got %S" part
+        | Some i ->
+          let key = String.sub part 0 i in
+          let v = String.sub part (i + 1) (String.length part - i - 1) in
+          let f () =
+            match float_of_string_opt v with
+            | Some f -> f
+            | None -> fail "Chaos.parse: %s wants a number, got %S" key v
+          in
+          let n () =
+            match int_of_string_opt v with
+            | Some n -> n
+            | None -> fail "Chaos.parse: %s wants an int, got %S" key v
+          in
+          (match key with
+          | "seed" -> { c with seed = n () }
+          | "kill" -> { c with kill_at = c.kill_at @ [ n () ] }
+          | "sever" -> { c with sever_rate = f () }
+          | "trunc" -> { c with trunc_rate = f () }
+          | "dup" -> { c with dup_rate = f () }
+          | "delay" -> { c with delay_rate = f () }
+          | "delay-ms" -> { c with delay_ms = f () }
+          | other ->
+            fail
+              "Chaos.parse: unknown key %S (seed, kill, sever, trunc, dup, delay, \
+               delay-ms)"
+              other))
+      none parts
+  in
+  validate cfg
+
+type t = { cfg : config; events : (string, int) Hashtbl.t }
+
+let create cfg = { cfg = validate cfg; events = Hashtbl.create 8 }
+let config t = t.cfg
+
+let count t name =
+  Hashtbl.replace t.events name (1 + Option.value ~default:0 (Hashtbl.find_opt t.events name))
+
+let events t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.events [] |> List.sort compare
+
+let kill_now t ~seq =
+  if List.mem seq t.cfg.kill_at then begin
+    count t "kill";
+    true
+  end
+  else false
+
+(* every decision is a stateless function of (seed, seq, slot): the
+   same run replays the same faults regardless of select timing, and
+   a restarted daemon does not re-draw history *)
+let on_deliver t ~seq ~slot =
+  if List.mem (seq, slot) t.cfg.sever_at then begin
+    count t "sever";
+    Sever
+  end
+  else begin
+    let c = t.cfg in
+    let rng =
+      Splitmix.of_int (Splitmix.mix (Splitmix.mix c.seed 0xC4A05) (Splitmix.mix seq slot))
+    in
+    let u = Splitmix.float rng in
+    let s = c.sever_rate in
+    let st = s +. c.trunc_rate in
+    let std = st +. c.dup_rate in
+    let stdd = std +. c.delay_rate in
+    if u < s then begin
+      count t "sever";
+      Sever
+    end
+    else if u < st then begin
+      count t "truncate";
+      Truncate (0.1 +. (0.8 *. Splitmix.float rng))
+    end
+    else if u < std then begin
+      count t "duplicate";
+      Duplicate
+    end
+    else if u < stdd then begin
+      count t "delay";
+      Delay c.delay_ms
+    end
+    else Pass
+  end

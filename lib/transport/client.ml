@@ -1,14 +1,23 @@
+module Splitmix = Yoso_hash.Splitmix
+
 type t = {
-  fd : Unix.file_descr;
+  mutable fd : Unix.file_descr;
+  addr : Unix.sockaddr;
   slot : int;
   nslots : int;
+  seed : int;
   deadline_ms : float;
-  stream : Envelope.stream;
+  policy : Transport_policy.t;
+  mutable stream : Envelope.stream;  (* reset on reconnect: torn bytes die with the socket *)
   pending : (int, string) Hashtbl.t;  (* seq -> frame, non-own deliveries *)
+  unacked : (int, string) Hashtbl.t;  (* own posts without a Deliver echo yet *)
   down : bool array;
   mutable next_deliver : int;  (* low-water mark: deliveries are monotone *)
   mutable own_posts : int;
+  mutable started : bool;
   mutable shutdown : bool;
+  mutable reconnects : int;
+  mutable replayed : int;
 }
 
 exception Protocol_error of string
@@ -16,6 +25,7 @@ exception Protocol_error of string
 let violate fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
 let slot t = t.slot
 let own_posts t = t.own_posts
+let stats t = (t.reconnects, t.replayed)
 
 (* Pull one envelope off the socket, blocking at most until [deadline].
    [Envelope.needed] tells us exactly how many bytes complete the
@@ -30,54 +40,133 @@ let rec recv t ~deadline =
 
 (* Deliveries arrive in daemon commit order, so a [Peer_down] can only
    be seen after every frame its slot managed to post — marking the
-   slot down never races a frame we still owe to [pending]. *)
+   slot down never races a frame we still owe to [pending].  A
+   delivery below the low-water mark is a duplicate (chaos injection,
+   or replay overlapping an in-flight frame) and is absorbed
+   silently — the board's total order makes re-delivery idempotent. *)
 let absorb t msg =
   match msg with
   | Envelope.Deliver { seq; slot; frame } ->
-    if seq < t.next_deliver then violate "deliver seq %d after %d" seq t.next_deliver;
-    t.next_deliver <- seq + 1;
-    if slot <> t.slot then Hashtbl.replace t.pending seq frame
+    if seq >= t.next_deliver then begin
+      t.next_deliver <- seq + 1;
+      if slot = t.slot then Hashtbl.remove t.unacked seq
+      else Hashtbl.replace t.pending seq frame
+    end
   | Envelope.Peer_down { slot } ->
     if slot < 0 || slot >= t.nslots then violate "peer-down for slot %d" slot;
     t.down.(slot) <- true
   | Envelope.Shutdown -> t.shutdown <- true
-  | Envelope.Start -> violate "start after start"
-  | Envelope.Hello _ | Envelope.Post _ | Envelope.Report _ ->
+  | Envelope.Start -> t.started <- true
+  | Envelope.Recovered _ -> violate "recovered outside a recover handshake"
+  | Envelope.Hello _ | Envelope.Post _ | Envelope.Report _ | Envelope.Recover _ ->
     violate "daemon sent a client-only message"
 
-let connect ?(deadline_ms = 10_000.) ~addr ~slot ~nslots ~seed () =
+(* Reconnect and catch up: fresh socket, [Recover] handshake carrying
+   the next delivery we have not seen, then re-post any own frames the
+   daemon never acknowledged (they form a consecutive run from the
+   daemon's recovered counter — replicated execution blocks on every
+   earlier frame, so the re-post can introduce no gap).  Bounded by
+   the reconnect policy's attempt and elapsed budgets; exhaustion
+   raises [Sockio.Closed] and the caller takes the silent-fault
+   path. *)
+let recover t =
+  if t.shutdown then raise Sockio.Closed;
+  let retry = t.policy.Transport_policy.reconnect in
+  let t0 = Unix.gettimeofday () in
+  let handshakes = 3 in
+  let rec go attempt =
+    (try Unix.close t.fd with Unix.Unix_error _ -> ());
+    match
+      let fd =
+        Sockio.connect_with_retry ~retry
+          ~seed:(Splitmix.mix t.seed (t.slot + (attempt lsl 16)))
+          t.addr
+      in
+      t.fd <- fd;
+      t.stream <- Envelope.stream ();
+      Sockio.write_all fd
+        (Envelope.encode
+           (Envelope.Recover
+              { slot = t.slot; nslots = t.nslots; seed = t.seed; next_seq = t.next_deliver }));
+      let deadline = Some (Sockio.deadline_after t.deadline_ms) in
+      match recv t ~deadline with
+      | Envelope.Recovered { next_seq; started } ->
+        if started then t.started <- true;
+        t.replayed <- t.replayed + max 0 (next_seq - t.next_deliver);
+        Hashtbl.fold
+          (fun seq frame acc -> if seq >= next_seq then (seq, frame) :: acc else acc)
+          t.unacked []
+        |> List.sort compare
+        |> List.iter (fun (seq, frame) ->
+               Sockio.write_all fd
+                 (Envelope.encode (Envelope.Post { seq; slot = t.slot; frame })))
+      | m -> violate "expected recovered, got %s" (Format.asprintf "%a" Envelope.pp_msg m)
+    with
+    | () -> t.reconnects <- t.reconnects + 1
+    | exception ((Sockio.Closed | Sockio.Timeout | Unix.Unix_error _) as e) ->
+      let elapsed = (Unix.gettimeofday () -. t0) *. 1000. in
+      if attempt >= handshakes || elapsed > retry.Transport_policy.max_elapsed_ms then
+        match e with
+        | Sockio.Timeout | Sockio.Closed -> raise Sockio.Closed
+        | e -> raise e
+      else go (attempt + 1)
+  in
+  go 1
+
+let connect ?deadline_ms ?(policy = Transport_policy.default) ~addr ~slot ~nslots ~seed () =
   if slot < 0 || slot >= nslots then invalid_arg "Client.connect: slot out of range";
-  let fd = Sockio.connect_with_retry addr in
+  let deadline_ms =
+    match deadline_ms with Some d -> d | None -> policy.Transport_policy.round_deadline_ms
+  in
+  let fd =
+    Sockio.connect_with_retry ~retry:policy.Transport_policy.connect
+      ~seed:(Splitmix.mix seed slot) addr
+  in
   let t =
     {
       fd;
+      addr;
       slot;
       nslots;
+      seed;
       deadline_ms;
+      policy;
       stream = Envelope.stream ();
       pending = Hashtbl.create 64;
+      unacked = Hashtbl.create 8;
       down = Array.make nslots false;
       next_deliver = 0;
       own_posts = 0;
+      started = false;
       shutdown = false;
+      reconnects = 0;
+      replayed = 0;
     }
   in
   Sockio.write_all fd (Envelope.encode (Envelope.Hello { slot; nslots; seed }));
   let deadline = Some (Sockio.deadline_after deadline_ms) in
   let rec await_start () =
-    match recv t ~deadline with
-    | Envelope.Start -> ()
-    | Envelope.Peer_down { slot } when slot >= 0 && slot < nslots ->
-      t.down.(slot) <- true;
-      await_start ()
-    | m -> violate "expected start, got %s" (Format.asprintf "%a" Envelope.pp_msg m)
+    if not t.started then
+      match recv t ~deadline with
+      | msg ->
+        absorb t msg;
+        await_start ()
+      | exception Sockio.Closed ->
+        (* daemon died between accept and start: recover re-hellos via
+           the Recover handshake, which also reports the start flag *)
+        recover t;
+        await_start ()
   in
   await_start ();
   t
 
 let post t ~seq ~frame =
-  Sockio.write_all t.fd (Envelope.encode (Envelope.Post { seq; slot = t.slot; frame }));
-  t.own_posts <- t.own_posts + 1
+  (* recorded before the write: if the daemon dies mid-flight the
+     recover handshake decides whether this frame needs re-posting *)
+  Hashtbl.replace t.unacked seq frame;
+  t.own_posts <- t.own_posts + 1;
+  try Sockio.write_all t.fd (Envelope.encode (Envelope.Post { seq; slot = t.slot; frame }))
+  with Sockio.Closed -> recover t
 
 let fetch t ~seq ~owner =
   let deadline = Some (Sockio.deadline_after t.deadline_ms) in
@@ -93,16 +182,29 @@ let fetch t ~seq ~owner =
         | msg ->
           absorb t msg;
           go ()
-        | exception (Sockio.Timeout | Sockio.Closed) ->
-          (* round deadline expired, or the board itself went away:
-             either way this frame is not coming *)
+        | exception Sockio.Timeout ->
+          (* round deadline expired: this frame is not coming *)
           t.down.(owner) <- true;
-          `Down)
+          `Down
+        | exception Sockio.Closed -> (
+          (* the board went away mid-wait: reconnect, catch up, keep
+             waiting; only an exhausted retry budget blames the owner *)
+          match recover t with
+          | () -> go ()
+          | exception (Sockio.Closed | Unix.Unix_error _) ->
+            t.down.(owner) <- true;
+            `Down))
   in
   go ()
 
 let report t ~json =
-  try Sockio.write_all t.fd (Envelope.encode (Envelope.Report { slot = t.slot; json }))
-  with Sockio.Closed | Unix.Unix_error _ -> ()
+  let payload = Envelope.encode (Envelope.Report { slot = t.slot; json }) in
+  try Sockio.write_all t.fd payload
+  with Sockio.Closed | Unix.Unix_error _ -> (
+    (* one recovery round for the final report; past that, best-effort *)
+    try
+      recover t;
+      Sockio.write_all t.fd payload
+    with Sockio.Closed | Sockio.Timeout | Unix.Unix_error _ | Protocol_error _ -> ())
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -8,7 +8,17 @@
     order, so out-of-order frames are stashed and replayed).  A peer
     that the daemon declared down — or a round deadline expiring while
     we wait — surfaces as [`Down], which the caller maps onto the
-    silent-fault path. *)
+    silent-fault path.
+
+    {b Reconnect.}  A connection that dies mid-run (daemon restart,
+    injected fault) is re-established transparently: the client
+    redials under the {!Transport_policy.reconnect_retry} budget,
+    sends [Recover] with the next delivery it has not seen, absorbs
+    the daemon's ordered catch-up replay, and re-posts any own frames
+    the daemon never acknowledged.  Duplicate deliveries (chaos
+    injection, replay overlap) are absorbed idempotently.  Only an
+    exhausted retry budget surfaces as [`Down] — a timely recovery is
+    pure latency. *)
 
 type t
 
@@ -18,6 +28,7 @@ exception Protocol_error of string
 
 val connect :
   ?deadline_ms:float ->
+  ?policy:Transport_policy.t ->
   addr:Unix.sockaddr ->
   slot:int ->
   nslots:int ->
@@ -25,27 +36,38 @@ val connect :
   unit ->
   t
 (** Connects (with bounded retry-and-backoff, so racing the daemon's
-    [listen] is safe), sends [Hello] and blocks until [Start].
+    [listen] is safe), sends [Hello] and blocks until [Start] — riding
+    out a daemon restart in between via the recover path.
     [deadline_ms] is the per-round receive deadline used by every
-    subsequent blocking wait; default 10s. *)
+    subsequent blocking wait; defaults to [policy]'s
+    [round_deadline_ms]. *)
 
 val slot : t -> int
 val own_posts : t -> int
 (** Number of frames this client has posted so far (drives the
     deterministic crash drill). *)
 
+val stats : t -> int * int
+(** [(reconnects, caught_up)]: successful [Recover] handshakes, and
+    deliveries caught up through them. *)
+
 val post : t -> seq:int -> frame:string -> unit
 (** Ship board frame [seq], owned by this slot, to the daemon.  The
     matching [Deliver] echo is consumed internally when it comes back;
-    it is not returned by {!fetch}. *)
+    it is not returned by {!fetch}.  A connection lost mid-write
+    triggers recovery (the frame is re-posted if the daemon never
+    accepted it).
+    @raise Sockio.Closed when the reconnect budget is exhausted. *)
 
 val fetch : t -> seq:int -> owner:int -> [ `Frame of string | `Down ]
 (** Block until the daemon delivers frame [seq] (posted by slot
     [owner]), or return [`Down] if that slot is known dead, went dead
-    while we waited, or the round deadline expired. *)
+    while we waited, or the round deadline expired.  A dropped
+    connection is recovered in place; only an exhausted reconnect
+    budget maps to [`Down]. *)
 
 val report : t -> json:string -> unit
-(** Send the final report.  Best-effort: a daemon that already went
-    away is ignored. *)
+(** Send the final report.  Best-effort with one recovery round: a
+    daemon that stays unreachable is ignored. *)
 
 val close : t -> unit

@@ -1,10 +1,22 @@
 module Wire = Yoso_net.Wire
 module Meter = Yoso_net.Meter
 
-type config = { max_body : int; total_timeout_s : float; tick_s : float }
+type config = {
+  max_body : int;
+  total_timeout_s : float;
+  tick_s : float;
+  grace_s : float;
+  fsync_every : int;
+}
 
 let default_config =
-  { max_body = Envelope.default_max_body; total_timeout_s = 120.; tick_s = 0.1 }
+  {
+    max_body = Envelope.default_max_body;
+    total_timeout_s = Transport_policy.default.watchdog_s;
+    tick_s = 0.1;
+    grace_s = Transport_policy.default.grace_ms /. 1000.;
+    fsync_every = Transport_policy.default.fsync_every;
+  }
 
 type stats = {
   connections : int;
@@ -14,10 +26,17 @@ type stats = {
   bytes_in : int;
   bytes_out : int;
   peer_downs : int;
+  reconnects : int;
+  replayed_frames : int;
+  recovered_frames : int;
+  journal_bytes : int;
+  chaos_events : (string * int) list;
   timed_out : bool;
 }
 
 type result = { reports : (int * string) list; down : int list; stats : stats }
+
+exception Crashed of stats
 
 type conn = {
   fd : Unix.file_descr;
@@ -28,8 +47,11 @@ type conn = {
   mutable slot : int option;
   mutable reported : bool;
   mutable closed : bool;
+  mutable stall_until : float;  (* chaos delay: writes parked until then *)
+  mutable sever_after_flush : bool;  (* chaos truncate: close once outq drains *)
   mutable sent_b : int;  (* daemon -> peer *)
   mutable recv_b : int;  (* peer -> daemon *)
+  mutable replay_b : int;  (* portion of sent_b that was catch-up replay *)
 }
 
 let conn_name c =
@@ -39,52 +61,156 @@ exception Protocol_violation of string
 
 let violate fmt = Printf.ksprintf (fun s -> raise (Protocol_violation s)) fmt
 
-let serve ?(config = default_config) ?meter ~listen ~nslots () =
+(* internal: a chaos kill point fired; unwinds to the crash handler *)
+exception Crash_now
+
+let serve ?(config = default_config) ?meter ?journal:journal_path ?chaos ~listen ~nslots () =
   if nslots < 1 then invalid_arg "Daemon.serve: nslots must be >= 1";
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   let conns = ref [] in
   let accepted = ref 0 in
+  let board : (int, int * string) Hashtbl.t = Hashtbl.create 64 in
   let next_seq = ref 0 in
   let started = ref false in
   let reports = Hashtbl.create 8 in
   let down = ref [] in
+  (* slots whose connection died: blamed only after the grace window,
+     so a successful reconnect degrades to latency instead of blame *)
+  let pending_down : (int, float) Hashtbl.t = Hashtbl.create 8 in
   let frames_in = ref 0 in
   let frames_out = ref 0 in
   let garbled = ref 0 in
+  let reconnects = ref 0 in
+  let replayed = ref 0 in
+  let recovered = ref 0 in
   let timed_out = ref false in
   let scratch = Bytes.create 65536 in
   let t0 = Unix.gettimeofday () in
 
+  (* crash recovery: the journal is the only state that survives a
+     daemon death — rebuild board, sequence counter, start flag and
+     report table from its intact prefix before accepting traffic *)
+  (match journal_path with
+  | None -> ()
+  | Some p ->
+    List.iter
+      (function
+        | Journal.Started { nslots = n } ->
+          if n <> nslots then
+            invalid_arg
+              (Printf.sprintf "Daemon.serve: journal is for %d slots, run has %d" n nslots);
+          started := true
+        | Journal.Posted { seq; slot; frame } ->
+          Hashtbl.replace board seq (slot, frame);
+          if seq >= !next_seq then next_seq := seq + 1;
+          incr recovered
+        | Journal.Reported { slot; json } -> Hashtbl.replace reports slot json)
+      (Journal.replay p));
+  let journal =
+    Option.map
+      (fun p -> Journal.open_append ~fsync_every:config.fsync_every ~path:p ())
+      journal_path
+  in
+  let jappend r = Option.iter (fun j -> Journal.append j r) journal in
+
   let enqueue c payload =
-    if not c.closed then begin
-      Queue.add payload c.outq;
-      (* opportunistic flush happens in the select loop *)
-    end
+    if (not c.closed) && not c.sever_after_flush then Queue.add payload c.outq
   in
-  let broadcast msg =
-    let payload = Envelope.encode msg in
-    List.iter (fun c -> enqueue c payload) !conns;
-    match msg with
-    | Envelope.Deliver _ ->
-      frames_out := !frames_out + List.length (List.filter (fun c -> not c.closed) !conns)
-    | _ -> ()
-  in
-  let mark_down c =
-    match c.slot with
-    | Some s when (not c.reported) && not (List.mem s !down) ->
-      down := s :: !down;
-      broadcast (Envelope.Peer_down { slot = s })
-    | _ -> ()
-  in
-  let close_conn c =
+  (* abrupt connection loss: close now, blame only after the grace
+     window (unless the slot already reported) *)
+  let drop_conn c =
     if not c.closed then begin
       c.closed <- true;
       (try Unix.close c.fd with Unix.Unix_error _ -> ());
-      mark_down c
+      match c.slot with
+      | Some s
+        when (not c.reported)
+             && (not (Hashtbl.mem reports s))
+             && (not (List.mem s !down))
+             && not (Hashtbl.mem pending_down s) ->
+        Hashtbl.replace pending_down s (Unix.gettimeofday () +. config.grace_s)
+      | _ -> ()
     end
+  in
+  (* a reconnect took over the slot: retire the old connection without
+     scheduling blame — the daemon may not have seen its EOF yet *)
+  let supersede c =
+    if not c.closed then begin
+      c.closed <- true;
+      try Unix.close c.fd with Unix.Unix_error _ -> ()
+    end
+  in
+  (* chaos consult for one first-time delivery to one peer; replay
+     traffic bypasses this (fault schedules stay finite).  Returns
+     whether the frame was actually enqueued. *)
+  let deliver_to c ~seq ~slot payload =
+    match chaos with
+    | Some ch when not c.sever_after_flush -> (
+      match Chaos.on_deliver ch ~seq ~slot with
+      | Chaos.Pass ->
+        enqueue c payload;
+        true
+      | Chaos.Duplicate ->
+        enqueue c payload;
+        enqueue c payload;
+        true
+      | Chaos.Delay ms ->
+        (* stall the whole connection, never one frame: per-connection
+           FIFO order is what the client's catch-up logic relies on *)
+        enqueue c payload;
+        let until = Unix.gettimeofday () +. (ms /. 1000.) in
+        if until > c.stall_until then c.stall_until <- until;
+        true
+      | Chaos.Sever ->
+        drop_conn c;
+        false
+      | Chaos.Truncate f ->
+        let len = String.length payload in
+        let k = max 1 (min (len - 1) (int_of_float (f *. float_of_int len))) in
+        enqueue c (String.sub payload 0 k);
+        c.sever_after_flush <- true;
+        false)
+    | _ ->
+      enqueue c payload;
+      true
+  in
+  (* only slot-bound connections receive broadcasts: a reconnecting
+     connection must get its ordered replay first, or new frames would
+     arrive out of order and be dropped as stale by the client *)
+  let broadcast msg =
+    let payload = Envelope.encode msg in
+    let targets = List.filter (fun c -> (not c.closed) && c.slot <> None) !conns in
+    match msg with
+    | Envelope.Deliver { seq; _ } ->
+      List.iter
+        (fun c ->
+          let tslot = match c.slot with Some s -> s | None -> assert false in
+          if deliver_to c ~seq ~slot:tslot payload then incr frames_out)
+        targets
+    | _ -> List.iter (fun c -> enqueue c payload) targets
+  in
+  let expire_pending now =
+    let expired =
+      Hashtbl.fold (fun s d acc -> if d <= now then s :: acc else acc) pending_down []
+    in
+    List.iter
+      (fun s ->
+        Hashtbl.remove pending_down s;
+        if (not (List.mem s !down)) && not (Hashtbl.mem reports s) then begin
+          down := s :: !down;
+          broadcast (Envelope.Peer_down { slot = s })
+        end)
+      expired
   in
   let hellos () =
     List.length (List.filter (fun c -> c.slot <> None && not c.closed) !conns)
+  in
+  let maybe_start () =
+    if (not !started) && hellos () = nslots then begin
+      started := true;
+      jappend (Journal.Started { nslots });
+      broadcast Envelope.Start
+    end
   in
   let handle c msg =
     match msg with
@@ -95,35 +221,78 @@ let serve ?(config = default_config) ?meter ~listen ~nslots () =
       if List.exists (fun c' -> c'.slot = Some slot && not c'.closed) !conns then
         violate "hello: slot %d already connected" slot;
       c.slot <- Some slot;
-      if (not !started) && hellos () = nslots then begin
-        started := true;
-        broadcast Envelope.Start
-      end
+      Hashtbl.remove pending_down slot;
+      if !started then enqueue c (Envelope.encode Envelope.Start) else maybe_start ()
+    | Envelope.Recover { slot; nslots = peer_nslots; seed = _; next_seq = client_next } ->
+      if peer_nslots <> nslots then
+        violate "recover: peer expects %d slots, run has %d" peer_nslots nslots;
+      if slot < 0 || slot >= nslots then violate "recover: slot %d out of range" slot;
+      if c.slot <> None then violate "recover on an already-bound connection";
+      if client_next < 0 || client_next > !next_seq then
+        violate "recover: slot %d claims %d deliveries, board has %d" slot client_next
+          !next_seq;
+      List.iter (fun c' -> if c'.slot = Some slot && not c'.closed then supersede c') !conns;
+      Hashtbl.remove pending_down slot;
+      c.slot <- Some slot;
+      c.reported <- Hashtbl.mem reports slot;
+      incr reconnects;
+      enqueue c
+        (Envelope.encode (Envelope.Recovered { next_seq = !next_seq; started = !started }));
+      (* ordered catch-up: replay the board gap; a missing seq is a
+         gap left by a dead slot and the survivors skipped it too *)
+      for seq = client_next to !next_seq - 1 do
+        match Hashtbl.find_opt board seq with
+        | Some (s, frame) ->
+          let payload = Envelope.encode (Envelope.Deliver { seq; slot = s; frame }) in
+          enqueue c payload;
+          incr replayed;
+          c.replay_b <- c.replay_b + String.length payload
+        | None -> ()
+      done;
+      maybe_start ()
     | Envelope.Post { seq; slot; frame } ->
       if not !started then violate "post before start";
       if c.slot <> Some slot then violate "post: slot %d on connection %s" slot (conn_name c);
-      (* strictly monotone, gaps allowed: a frame owned by a dead slot
-         is never posted and survivors continue past it *)
-      if seq < !next_seq then violate "post: seq %d, already at %d" seq !next_seq;
-      next_seq := seq + 1;
-      incr frames_in;
-      (* integrity check on ingest: the envelope checksum already
-         passed; now try the inner bulletin frame.  Garbled frames are
-         counted and still forwarded — exclusion is the verifiers' job *)
-      (match Wire.of_frame frame with
-      | (_ : Wire.message) -> ()
-      | exception Wire.Decode_error _ -> incr garbled);
-      broadcast (Envelope.Deliver { seq; slot; frame })
+      if seq < !next_seq then begin
+        (* a reconnecting owner re-posts frames it cannot prove the
+           daemon accepted; byte-identical duplicates are absorbed *)
+        match Hashtbl.find_opt board seq with
+        | Some (s, f) when s = slot && f = frame -> ()
+        | _ -> violate "post: seq %d, already at %d" seq !next_seq
+      end
+      else begin
+        (* strictly monotone, gaps allowed: a frame owned by a dead slot
+           is never posted and survivors continue past it *)
+        next_seq := seq + 1;
+        incr frames_in;
+        (* integrity check on ingest: the envelope checksum already
+           passed; now try the inner bulletin frame.  Garbled frames are
+           counted and still forwarded — exclusion is the verifiers' job *)
+        (match Wire.of_frame frame with
+        | (_ : Wire.message) -> ()
+        | exception Wire.Decode_error _ -> incr garbled);
+        Hashtbl.replace board seq (slot, frame);
+        jappend (Journal.Posted { seq; slot; frame });
+        (* accepted and journaled: a scheduled kill fires here, before
+           the broadcast, so the restarted daemon (whose recovered
+           counter is already past [seq]) never re-crashes *)
+        (match chaos with
+        | Some ch when Chaos.kill_now ch ~seq -> raise Crash_now
+        | _ -> ());
+        broadcast (Envelope.Deliver { seq; slot; frame })
+      end
     | Envelope.Report { slot; json } ->
       if c.slot <> Some slot then violate "report: slot %d on connection %s" slot (conn_name c);
       Hashtbl.replace reports slot json;
+      jappend (Journal.Reported { slot; json });
       c.reported <- true
-    | Envelope.Start | Envelope.Deliver _ | Envelope.Peer_down _ | Envelope.Shutdown ->
+    | Envelope.Start | Envelope.Deliver _ | Envelope.Peer_down _ | Envelope.Shutdown
+    | Envelope.Recovered _ ->
       violate "client sent a daemon-only message"
   in
   let read_conn c =
     match Unix.read c.fd scratch 0 (Bytes.length scratch) with
-    | 0 -> close_conn c
+    | 0 -> drop_conn c
     | n -> (
       c.recv_b <- c.recv_b + n;
       Envelope.feed_bytes c.stream scratch n;
@@ -136,12 +305,12 @@ let serve ?(config = default_config) ?meter ~listen ~nslots () =
           | None -> ()
         in
         drain ()
-      with Envelope.Envelope_error _ | Protocol_violation _ -> close_conn c)
+      with Envelope.Envelope_error _ | Protocol_violation _ -> drop_conn c)
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
-    | exception Unix.Unix_error _ -> close_conn c
+    | exception Unix.Unix_error _ -> drop_conn c
   in
   let write_conn c =
-    if (not c.closed) && not (Queue.is_empty c.outq) then
+    if (not c.closed) && not (Queue.is_empty c.outq) then begin
       let head = Queue.peek c.outq in
       let len = String.length head - c.out_off in
       match Unix.single_write_substring c.fd head c.out_off len with
@@ -149,11 +318,13 @@ let serve ?(config = default_config) ?meter ~listen ~nslots () =
         c.sent_b <- c.sent_b + n;
         if n = len then begin
           ignore (Queue.pop c.outq);
-          c.out_off <- 0
+          c.out_off <- 0;
+          if Queue.is_empty c.outq && c.sever_after_flush then drop_conn c
         end
         else c.out_off <- c.out_off + n
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
-      | exception Unix.Unix_error _ -> close_conn c
+      | exception Unix.Unix_error _ -> drop_conn c
+    end
   in
   let accept_conn () =
     match Unix.accept ~cloexec:true listen with
@@ -172,8 +343,11 @@ let serve ?(config = default_config) ?meter ~listen ~nslots () =
               slot = None;
               reported = false;
               closed = false;
+              stall_until = 0.;
+              sever_after_flush = false;
               sent_b = 0;
               recv_b = 0;
+              replay_b = 0;
             };
           ]
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
@@ -192,17 +366,22 @@ let serve ?(config = default_config) ?meter ~listen ~nslots () =
     if Unix.gettimeofday () -. t0 > config.total_timeout_s then timed_out := true
     else if slots_settled () && not (pending_writes ()) then ()
     else begin
+      let now = Unix.gettimeofday () in
+      expire_pending now;
       let live = List.filter (fun c -> not c.closed) !conns in
       let rds = listen :: List.map (fun c -> c.fd) live in
       let wrs =
         List.filter_map
-          (fun c -> if Queue.is_empty c.outq then None else Some c.fd)
+          (fun c ->
+            if Queue.is_empty c.outq || c.stall_until > now then None else Some c.fd)
           live
       in
       (match Unix.select rds wrs [] config.tick_s with
       | rready, wready, _ ->
         if List.memq listen rready then accept_conn ();
-        List.iter (fun c -> if List.memq c.fd wready then write_conn c) live;
+        List.iter
+          (fun c -> if (not c.closed) && List.memq c.fd wready then write_conn c)
+          live;
         List.iter
           (fun c -> if (not c.closed) && List.memq c.fd rready then read_conn c)
           live
@@ -210,7 +389,60 @@ let serve ?(config = default_config) ?meter ~listen ~nslots () =
       loop ()
     end
   in
-  loop ();
+  let mk_stats () =
+    let bytes_in = List.fold_left (fun a c -> a + c.recv_b) 0 !conns in
+    let bytes_out = List.fold_left (fun a c -> a + c.sent_b) 0 !conns in
+    {
+      connections = !accepted;
+      frames_in = !frames_in;
+      frames_out = !frames_out;
+      garbled_frames = !garbled;
+      bytes_in;
+      bytes_out;
+      peer_downs = List.length !down;
+      reconnects = !reconnects;
+      replayed_frames = !replayed;
+      recovered_frames = !recovered;
+      journal_bytes = (match journal with Some j -> Journal.bytes j | None -> 0);
+      chaos_events = (match chaos with Some ch -> Chaos.events ch | None -> []);
+      timed_out = !timed_out;
+    }
+  in
+  let record_meters () =
+    match meter with
+    | None -> ()
+    | Some m ->
+      List.iter
+        (fun c ->
+          Meter.record_conn m ~conn:(conn_name c)
+            ~sent:(max 0 (c.sent_b - c.replay_b))
+            ~received:c.recv_b;
+          (* catch-up replay is accounted separately so phase totals
+             stay comparable with a fault-free run *)
+          if c.replay_b > 0 then
+            Meter.record_conn m ~conn:("replay:" ^ conn_name c) ~sent:c.replay_b ~received:0)
+        !conns
+  in
+  let close_all () =
+    List.iter
+      (fun c ->
+        if not c.closed then begin
+          c.closed <- true;
+          try Unix.close c.fd with Unix.Unix_error _ -> ()
+        end)
+      !conns
+  in
+  (match loop () with
+  | () -> ()
+  | exception Crash_now ->
+    (* simulated daemon crash: every connection is dropped on the
+       floor and only the journal survives.  The listen socket stays
+       open (the caller owns it), so a restarted serve on the same fd
+       picks up the reconnect storm. *)
+    close_all ();
+    record_meters ();
+    Option.iter Journal.close journal;
+    raise (Crashed (mk_stats ())));
   (* orderly shutdown: tell everyone, best-effort flush, close *)
   if not !timed_out then begin
     broadcast Envelope.Shutdown;
@@ -219,6 +451,7 @@ let serve ?(config = default_config) ?meter ~listen ~nslots () =
       if pending_writes () && Unix.gettimeofday () < flush_deadline then begin
         let live = List.filter (fun c -> not c.closed) !conns in
         let wrs =
+          (* shutdown overrides any chaos stall *)
           List.filter_map
             (fun c -> if Queue.is_empty c.outq then None else Some c.fd)
             live
@@ -231,31 +464,12 @@ let serve ?(config = default_config) ?meter ~listen ~nslots () =
     in
     flush ()
   end;
-  List.iter
-    (fun c ->
-      (match meter with
-      | Some m -> Meter.record_conn m ~conn:(conn_name c) ~sent:c.sent_b ~received:c.recv_b
-      | None -> ());
-      if not c.closed then begin
-        c.closed <- true;
-        try Unix.close c.fd with Unix.Unix_error _ -> ()
-      end)
-    !conns;
-  let bytes_in = List.fold_left (fun a c -> a + c.recv_b) 0 !conns in
-  let bytes_out = List.fold_left (fun a c -> a + c.sent_b) 0 !conns in
+  record_meters ();
+  close_all ();
+  Option.iter Journal.close journal;
   {
     reports =
       Hashtbl.fold (fun s j acc -> (s, j) :: acc) reports [] |> List.sort compare;
     down = List.sort compare !down;
-    stats =
-      {
-        connections = !accepted;
-        frames_in = !frames_in;
-        frames_out = !frames_out;
-        garbled_frames = !garbled;
-        bytes_in;
-        bytes_out;
-        peer_downs = List.length !down;
-        timed_out = !timed_out;
-      };
+    stats = mk_stats ();
   }

@@ -9,13 +9,34 @@
     + the owner of board frame [seq] sends [Post {seq; ...}]; the
       daemon verifies the envelope checksum on ingest, checks [seq]
       against the global post counter (posts arrive in strictly
-      increasing order — the protocol's commit order is total) and
-      broadcasts [Deliver {seq; ...}] to every connection;
-    + a connection that dies before delivering its [Report] triggers a
-      [Peer_down] broadcast, which surviving members map onto the
-      silent-fault path;
+      increasing order — the protocol's commit order is total),
+      appends the frame to the write-ahead journal (when one is
+      configured) and broadcasts [Deliver {seq; ...}] to every
+      slot-bound connection;
+    + a connection that dies before delivering its [Report] starts a
+      {e grace window}; only if the slot fails to reconnect (via the
+      [Recover] handshake) before it expires is [Peer_down]
+      broadcast, which surviving members map onto the silent-fault
+      path — a timely reconnect degrades to latency, not blame;
     + when every slot has either reported or gone down, the daemon
       flushes, sends [Shutdown] and returns.
+
+    {b Crash recovery.}  With [?journal] set, every accepted frame is
+    journaled {e before} broadcast.  A daemon restarted on the same
+    journal path replays the intact prefix to rebuild its board,
+    sequence counter, start flag and report table, then resumes
+    serving on the same listen socket; reconnecting clients send
+    [Recover] with the next delivery they have not seen and get the
+    gap replayed in order.  Re-posts of already-accepted frames
+    (byte-identical) are absorbed silently — a reconnecting owner
+    cannot prove which in-flight posts survived.
+
+    {b Chaos.}  With [?chaos] set, first-time deliveries may be
+    severed, truncated, duplicated or delayed (per-connection FIFO
+    order is always preserved — a delay stalls the whole connection),
+    and scheduled kill points crash the daemon with {!Crashed} right
+    after the journal append, so the restarted daemon never
+    re-crashes on the same frame.
 
     Each connection has its own read-reassembly buffer and write
     queue; the daemon never blocks on any single peer.  Inner bulletin
@@ -30,18 +51,28 @@ type config = {
   max_body : int;  (** envelope ingest cap, default {!Envelope.default_max_body} *)
   total_timeout_s : float;  (** watchdog on the whole run *)
   tick_s : float;  (** select granularity *)
+  grace_s : float;
+      (** reconnect window: how long a dead connection's slot may stay
+          silent before [Peer_down] is broadcast *)
+  fsync_every : int;  (** journal fsync batch size *)
 }
 
 val default_config : config
+(** Timing fields default to {!Transport_policy.default}. *)
 
 type stats = {
   connections : int;
-  frames_in : int;  (** [Post] envelopes accepted *)
+  frames_in : int;  (** [Post] envelopes accepted (duplicates excluded) *)
   frames_out : int;  (** [Deliver] envelopes enqueued (per recipient) *)
   garbled_frames : int;  (** inner frames failing [Wire.of_frame] on ingest *)
   bytes_in : int;
   bytes_out : int;
   peer_downs : int;
+  reconnects : int;  (** [Recover] handshakes accepted *)
+  replayed_frames : int;  (** catch-up [Deliver]s replayed to reconnectors *)
+  recovered_frames : int;  (** board frames rebuilt from the journal at startup *)
+  journal_bytes : int;  (** journal file size (0 without a journal) *)
+  chaos_events : (string * int) list;  (** injected faults by kind, sorted *)
   timed_out : bool;
 }
 
@@ -51,15 +82,26 @@ type result = {
   stats : stats;
 }
 
+exception Crashed of stats
+(** A chaos kill point fired: the daemon dropped every connection and
+    closed its journal.  The listen socket is untouched — the caller
+    restarts [serve] on it with the same journal path to recover. *)
+
 val serve :
   ?config:config ->
   ?meter:Meter.t ->
+  ?journal:string ->
+  ?chaos:Chaos.t ->
   listen:Unix.file_descr ->
   nslots:int ->
   unit ->
   result
 (** Runs the event loop on an already-listening socket until the run
     completes (or the watchdog fires, in which case [stats.timed_out]
-    is set and partial results are returned).  Per-connection envelope
-    bytes are recorded into [meter] under ["slotN"] names.  The listen
-    socket is left open; the caller owns it. *)
+    is set and partial results are returned).  [journal] is the
+    write-ahead journal path: replayed at startup, appended per
+    accepted frame.  Per-connection envelope bytes are recorded into
+    [meter] under ["slotN"] names, with catch-up replay split out
+    under ["replay:slotN"].  The listen socket is left open; the
+    caller owns it.
+    @raise Crashed when a chaos kill point fires. *)

@@ -12,6 +12,8 @@ type msg =
   | Peer_down of { slot : int }
   | Report of { slot : int; json : string }
   | Shutdown
+  | Recover of { slot : int; nslots : int; seed : int; next_seq : int }
+  | Recovered of { next_seq : int; started : bool }
 
 let pp_msg ppf = function
   | Hello { slot; nslots; seed } ->
@@ -25,6 +27,11 @@ let pp_msg ppf = function
   | Report { slot; json } ->
     Format.fprintf ppf "report{slot=%d;%dB}" slot (String.length json)
   | Shutdown -> Format.fprintf ppf "shutdown"
+  | Recover { slot; nslots; seed; next_seq } ->
+    Format.fprintf ppf "recover{slot=%d;nslots=%d;seed=%d;next=%d}" slot nslots seed
+      next_seq
+  | Recovered { next_seq; started } ->
+    Format.fprintf ppf "recovered{next=%d;started=%b}" next_seq started
 
 let magic0 = 'Y'
 let magic1 = 'T'
@@ -44,6 +51,8 @@ let tag = function
   | Peer_down _ -> 5
   | Report _ -> 6
   | Shutdown -> 7
+  | Recover _ -> 8
+  | Recovered _ -> 9
 
 let encode_body buf = function
   | Hello { slot; nslots; seed } ->
@@ -59,6 +68,14 @@ let encode_body buf = function
   | Report { slot; json } ->
     Wire.put_varint buf slot;
     Wire.put_bytes buf json
+  | Recover { slot; nslots; seed; next_seq } ->
+    Wire.put_varint buf slot;
+    Wire.put_varint buf nslots;
+    Wire.put_varint buf seed;
+    Wire.put_varint buf next_seq
+  | Recovered { next_seq; started } ->
+    Wire.put_varint buf next_seq;
+    Wire.put_varint buf (if started then 1 else 0)
 
 let decode_body ~tag body =
   let d = { Wire.src = body; pos = 0 } in
@@ -81,6 +98,21 @@ let decode_body ~tag body =
       let json = Wire.get_bytes d in
       Report { slot; json }
     | 7 -> Shutdown
+    | 8 ->
+      let slot = Wire.get_varint d in
+      let nslots = Wire.get_varint d in
+      let seed = Wire.get_varint d in
+      let next_seq = Wire.get_varint d in
+      Recover { slot; nslots; seed; next_seq }
+    | 9 ->
+      let next_seq = Wire.get_varint d in
+      let started =
+        match Wire.get_varint d with
+        | 0 -> false
+        | 1 -> true
+        | b -> fail "recovered: bad started flag %d" b
+      in
+      Recovered { next_seq; started }
     | t -> fail "unknown envelope type %d" t
   in
   if d.Wire.pos <> String.length body then

@@ -33,6 +33,14 @@ type msg =
   | Report of { slot : int; json : string }
       (** client -> daemon: final protocol report *)
   | Shutdown  (** daemon -> clients: orderly end of the run *)
+  | Recover of { slot : int; nslots : int; seed : int; next_seq : int }
+      (** client -> daemon on reconnect: [next_seq] is the first
+          delivery the client has {e not} seen — the daemon replays
+          the journal gap from there *)
+  | Recovered of { next_seq : int; started : bool }
+      (** daemon -> reconnecting client: the board's high-water mark
+          (next sequence number to be assigned) and whether the run
+          has started; deliveries for the gap follow in order *)
 
 val pp_msg : Format.formatter -> msg -> unit
 

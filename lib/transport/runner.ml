@@ -9,6 +9,7 @@ type result = {
   down : int list;
   agree : bool;
   wall_ms : float;
+  restarts : int;
   stats : Daemon.stats;
   conn_bytes : (string * (int * int)) list;
   children : (int * Unix.process_status) list;
@@ -30,6 +31,7 @@ let link_of_client ?crash_after ~nslots client =
     recv =
       (fun ~seq ~author ->
         Client.fetch client ~seq ~owner:(author.Role.index mod nslots));
+    stats = (fun () -> Client.stats client);
   }
 
 let sock_counter = ref 0
@@ -55,9 +57,40 @@ let make_listener endpoint =
     Unix.listen fd 64;
     (fd, Unix.getsockname fd, None)
 
-let run ?(endpoint = `Unix_socket) ?config ?(deadline_ms = 10_000.) ?crash ?meter
-    ~nslots ~seed ~child () =
+(* field-wise stats accumulation across daemon lives; [b] is the
+   later life, whose journal size and chaos counters are already
+   cumulative (the journal file grows across restarts and the Chaos.t
+   is shared between them) *)
+let add_stats a b =
+  {
+    Daemon.connections = a.Daemon.connections + b.Daemon.connections;
+    frames_in = a.frames_in + b.frames_in;
+    frames_out = a.frames_out + b.frames_out;
+    garbled_frames = a.garbled_frames + b.garbled_frames;
+    bytes_in = a.bytes_in + b.bytes_in;
+    bytes_out = a.bytes_out + b.bytes_out;
+    peer_downs = a.peer_downs + b.peer_downs;
+    reconnects = a.reconnects + b.reconnects;
+    replayed_frames = a.replayed_frames + b.replayed_frames;
+    recovered_frames = a.recovered_frames + b.recovered_frames;
+    journal_bytes = b.journal_bytes;
+    chaos_events = b.chaos_events;
+    timed_out = a.timed_out || b.timed_out;
+  }
+
+let run ?(endpoint = `Unix_socket) ?config ?deadline_ms ?crash ?meter ?policy ?journal
+    ?chaos ~nslots ~seed ~child () =
   if nslots < 1 then invalid_arg "Runner.run: nslots must be >= 1";
+  let policy = Option.value policy ~default:Transport_policy.default in
+  let deadline_ms =
+    match deadline_ms with
+    | Some d -> d
+    | None -> policy.Transport_policy.round_deadline_ms
+  in
+  (match chaos with
+  | Some ch when (Chaos.config ch).Chaos.kill_at <> [] && journal = None ->
+    invalid_arg "Runner.run: chaos kill points need a journal to restart from"
+  | _ -> ());
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   let t0 = Unix.gettimeofday () in
   (* listen before forking: the backlog holds children that connect
@@ -70,7 +103,7 @@ let run ?(endpoint = `Unix_socket) ?config ?(deadline_ms = 10_000.) ?crash ?mete
       let status =
         try
           Unix.close listen;
-          let client = Client.connect ~deadline_ms ~addr ~slot ~nslots ~seed () in
+          let client = Client.connect ~deadline_ms ~policy ~addr ~slot ~nslots ~seed () in
           let crash_after =
             match crash with Some (s, m) when s = slot -> Some m | _ -> None
           in
@@ -101,8 +134,16 @@ let run ?(endpoint = `Unix_socket) ?config ?(deadline_ms = 10_000.) ?crash ?mete
     | None -> ());
     children
   in
-  match Daemon.serve ?config ?meter ~listen ~nslots () with
-  | d ->
+  (* a chaos kill is a daemon death, not a run death: restart serving
+     on the same listen fd (its backlog holds the reconnect storm) and
+     recover the board from the journal *)
+  let rec go crashed =
+    match Daemon.serve ?config ?meter ?journal ?chaos ~listen ~nslots () with
+    | d -> (d, crashed)
+    | exception Daemon.Crashed st -> go (st :: crashed)
+  in
+  match go [] with
+  | d, crashed ->
     let children = finish () in
     let agree =
       match d.Daemon.reports with
@@ -114,7 +155,8 @@ let run ?(endpoint = `Unix_socket) ?config ?(deadline_ms = 10_000.) ?crash ?mete
       down = d.down;
       agree;
       wall_ms = (Unix.gettimeofday () -. t0) *. 1000.;
-      stats = d.stats;
+      restarts = List.length crashed;
+      stats = List.fold_left (fun acc s -> add_stats s acc) d.stats crashed;
       conn_bytes =
         (match meter with Some m -> Meter.connections m | None -> []);
       children;

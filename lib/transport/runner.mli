@@ -23,7 +23,8 @@ type result = {
   down : int list;  (** slots that died before reporting *)
   agree : bool;  (** all collected reports byte-identical *)
   wall_ms : float;
-  stats : Daemon.stats;
+  restarts : int;  (** daemon lives lost to chaos kill points *)
+  stats : Daemon.stats;  (** summed field-wise across daemon lives *)
   conn_bytes : (string * (int * int)) list;
       (** per-connection (sent, received) daemon-side byte counts *)
   children : (int * Unix.process_status) list;  (** slot -> exit status *)
@@ -43,6 +44,9 @@ val run :
   ?deadline_ms:float ->
   ?crash:int * int ->
   ?meter:Meter.t ->
+  ?policy:Transport_policy.t ->
+  ?journal:string ->
+  ?chaos:Chaos.t ->
   nslots:int ->
   seed:int ->
   child:(slot:int -> link:Board.link -> string) ->
@@ -52,7 +56,18 @@ val run :
     executed in each forked process and returns its report JSON;
     [crash = (slot, m)] arms the crash drill on one slot.  The parent
     never runs [child]; it serves the board and reaps the children.
-    Default endpoint is [`Unix_socket], default round deadline 10s. *)
+    Default endpoint is [`Unix_socket]; timing comes from [policy]
+    (default {!Transport_policy.default}), with [deadline_ms]
+    overriding the per-round receive deadline.
+
+    [journal] enables the daemon's write-ahead journal at that path;
+    [chaos] injects seeded socket faults.  When a chaos kill point
+    fires the daemon is restarted in place on the same listen socket,
+    recovering the board from the journal — [restarts] counts the
+    lives lost; clients ride the restart out via their reconnect
+    path.
+    @raise Invalid_argument if [chaos] schedules kill points without
+    a [journal]. *)
 
 val json_int_field : string -> field:string -> int option
 (** Tiny extractor for ["field": <int>] from the flat report JSON —

@@ -55,28 +55,37 @@ let write_all ?deadline fd s =
   in
   go 0
 
-let connect_with_retry ?(attempts = 10) ?(backoff_ms = 20.) addr =
-  if attempts < 1 then invalid_arg "Sockio.connect_with_retry: attempts must be >= 1";
+let connect_with_retry ?(retry = Transport_policy.connect_retry) ?(seed = 0) addr =
+  if retry.Transport_policy.attempts < 1 then
+    invalid_arg "Sockio.connect_with_retry: attempts must be >= 1";
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
   | _ -> ()
   | exception Invalid_argument _ -> () (* no sigpipe on this platform *));
   let domain = Unix.domain_of_sockaddr addr in
-  let rec go attempt backoff =
+  let t0 = Unix.gettimeofday () in
+  let rec go attempt =
     let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
     match Unix.connect fd addr with
     | () -> fd
     | exception
-        Unix.Unix_error
-          ( ( Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.EWOULDBLOCK
-            | Unix.EINTR | Unix.ETIMEDOUT ),
-            _,
-            _ )
-      when attempt < attempts ->
+        (Unix.Unix_error
+           ( ( Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.EWOULDBLOCK
+             | Unix.EINTR | Unix.ETIMEDOUT ),
+             _,
+             _ ) as e)
+      when attempt < retry.Transport_policy.attempts ->
       Unix.close fd;
-      Unix.sleepf (backoff /. 1000.);
-      go (attempt + 1) (backoff *. 2.)
+      let sleep = Transport_policy.backoff_ms retry ~seed ~attempt in
+      (* the total elapsed cap dominates the attempt budget: doubling
+         backoff must never overshoot the round deadline *)
+      let elapsed = (Unix.gettimeofday () -. t0) *. 1000. in
+      if elapsed +. sleep > retry.Transport_policy.max_elapsed_ms then raise e
+      else begin
+        Unix.sleepf (sleep /. 1000.);
+        go (attempt + 1)
+      end
     | exception e ->
       Unix.close fd;
       raise e
   in
-  go 1 backoff_ms
+  go 1

@@ -28,14 +28,17 @@ val write_all : ?deadline:float -> Unix.file_descr -> string -> unit
     @raise Closed if the peer is gone. *)
 
 val connect_with_retry :
-  ?attempts:int -> ?backoff_ms:float -> Unix.sockaddr -> Unix.file_descr
+  ?retry:Transport_policy.retry -> ?seed:int -> Unix.sockaddr -> Unix.file_descr
 (** Creates a stream socket for the address family and connects,
     retrying transient failures ([ECONNREFUSED], [ENOENT],
-    [EAGAIN], ...) with exponential backoff: [backoff_ms] (default 20)
-    doubling per attempt, at most [attempts] (default 10) tries.
-    Ignores [SIGPIPE] for the process as a side effect — transport
-    code must see write failures as exceptions, not signals.
-    @raise Unix.Unix_error when the final attempt fails. *)
+    [EAGAIN], ...) under [retry] (default
+    {!Transport_policy.connect_retry}): full-jittered exponential
+    backoff seeded by [seed], bounded both by the attempt count and by
+    the total elapsed budget — the loop gives up rather than overshoot
+    [max_elapsed_ms].  Ignores [SIGPIPE] for the process as a side
+    effect — transport code must see write failures as exceptions, not
+    signals.
+    @raise Unix.Unix_error when the last attempt within budget fails. *)
 
 val deadline_after : float -> float
 (** [deadline_after ms] is the absolute instant [ms] milliseconds from

@@ -1,0 +1,128 @@
+(* Write-ahead journal: append/replay round-trip, torn-tail recovery
+   at every truncation boundary, corruption detection, and the
+   reopen-after-crash truncation that keeps appends reachable. *)
+
+module Journal = Yoso_transport.Journal
+
+let record : Journal.record Alcotest.testable =
+  Alcotest.testable Journal.pp_record ( = )
+
+let sample_records =
+  [
+    Journal.Started { nslots = 8 };
+    Journal.Posted { seq = 0; slot = 3; frame = "frame-zero" };
+    Journal.Posted { seq = 1; slot = 0; frame = "" };
+    Journal.Posted { seq = 2; slot = 7; frame = String.init 257 (fun i -> Char.chr (i land 0xff)) };
+    Journal.Posted { seq = 5; slot = 1; frame = String.make 1024 '\x00' };
+    Journal.Reported { slot = 4; json = "{\"digest\":42}" };
+    Journal.Posted { seq = 6; slot = 2; frame = "tail" };
+    Journal.Reported { slot = 0; json = "{}" };
+  ]
+
+let with_temp f =
+  let path = Filename.temp_file "yoso-journal" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let write_raw path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let test_roundtrip () =
+  with_temp (fun path ->
+      Sys.remove path;
+      (* missing file: empty replay, not an error *)
+      Alcotest.(check (list record)) "missing file" [] (Journal.replay path);
+      let j = Journal.open_append ~fsync_every:3 ~path () in
+      List.iter (Journal.append j) sample_records;
+      Alcotest.(check int) "appended counter" (List.length sample_records)
+        (Journal.appended j);
+      Journal.close j;
+      Journal.close j (* idempotent *);
+      Alcotest.(check (list record)) "replay returns every record" sample_records
+        (Journal.replay path);
+      Alcotest.(check int) "bytes = file size" (Unix.stat path).Unix.st_size
+        (Journal.bytes j))
+
+(* truncate the journal at every byte boundary: replay must return
+   exactly the records whose encoding fits entirely in the prefix —
+   never a torn frame *)
+let test_truncate_every_boundary () =
+  with_temp (fun path ->
+      let encoded = List.map Journal.encode_record sample_records in
+      let data = String.concat "" encoded in
+      (* cumulative end offset of each record *)
+      let ends =
+        List.rev
+          (fst
+             (List.fold_left
+                (fun (acc, off) e ->
+                  let off = off + String.length e in
+                  (off :: acc, off))
+                ([], 0) encoded))
+      in
+      for cut = 0 to String.length data do
+        write_raw path (String.sub data 0 cut);
+        let expect = List.length (List.filter (fun e -> e <= cut) ends) in
+        let got = Journal.replay path in
+        Alcotest.(check int) (Printf.sprintf "cut at %d: record count" cut) expect
+          (List.length got);
+        List.iteri
+          (fun i r ->
+            Alcotest.(check record)
+              (Printf.sprintf "cut at %d: record %d intact" cut i)
+              (List.nth sample_records i) r)
+          got
+      done)
+
+(* flip one byte inside a middle record: recovery stops at the last
+   record before the damage, even though intact bytes follow *)
+let test_corrupted_record () =
+  with_temp (fun path ->
+      let encoded = List.map Journal.encode_record sample_records in
+      let damaged_index = 3 in
+      let prefix_len =
+        List.fold_left ( + ) 0
+          (List.map String.length (List.filteri (fun i _ -> i < damaged_index) encoded))
+      in
+      let data = Bytes.of_string (String.concat "" encoded) in
+      let victim = prefix_len + (String.length (List.nth encoded damaged_index) / 2) in
+      Bytes.set data victim (Char.chr (Char.code (Bytes.get data victim) lxor 0x40));
+      write_raw path (Bytes.to_string data);
+      let got = Journal.replay path in
+      Alcotest.(check int) "stops before the damaged record" damaged_index
+        (List.length got);
+      Alcotest.(check int) "intact prefix length" prefix_len (Journal.intact_bytes path))
+
+(* a journal with a torn tail must accept new appends *after* cutting
+   the tail, or the new records would be unreachable to replay *)
+let test_reopen_truncates_torn_tail () =
+  with_temp (fun path ->
+      let keep = [ List.nth sample_records 0; List.nth sample_records 1 ] in
+      let torn =
+        let full = Journal.encode_record (List.nth sample_records 2) in
+        String.sub full 0 (String.length full - 3)
+      in
+      write_raw path (String.concat "" (List.map Journal.encode_record keep) ^ torn);
+      let j = Journal.open_append ~path () in
+      let extra = Journal.Posted { seq = 9; slot = 5; frame = "after-crash" } in
+      Journal.append j extra;
+      Journal.close j;
+      Alcotest.(check (list record)) "tail cut, append reachable" (keep @ [ extra ])
+        (Journal.replay path))
+
+let () =
+  Alcotest.run "journal"
+    [
+      ( "journal",
+        [
+          Alcotest.test_case "append/replay roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "truncate at every boundary" `Quick
+            test_truncate_every_boundary;
+          Alcotest.test_case "corrupted record" `Quick test_corrupted_record;
+          Alcotest.test_case "reopen truncates torn tail" `Quick
+            test_reopen_truncates_torn_tail;
+        ] );
+    ]

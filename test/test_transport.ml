@@ -13,6 +13,8 @@ module Gen = Yoso_circuit.Generators
 module Envelope = Yoso_transport.Envelope
 module Sockio = Yoso_transport.Sockio
 module Runner = Yoso_transport.Runner
+module Policy = Yoso_transport.Transport_policy
+module Chaos = Yoso_transport.Chaos
 
 (* ------------------------------------------------------------------ *)
 (* Wire frame cap                                                      *)
@@ -338,6 +340,141 @@ let test_crash_mid_round () =
   | None -> Alcotest.failf "no faults_detected in report: %s" report
 
 (* ------------------------------------------------------------------ *)
+(* Retry policy: jitter bounds, determinism, elapsed budget            *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_bounds () =
+  let r = { Policy.connect_retry with base_ms = 10.; cap_ms = 80. } in
+  for attempt = 1 to 12 do
+    let cap = Float.min r.Policy.cap_ms (r.Policy.base_ms *. (2. ** float_of_int (attempt - 1))) in
+    for seed = 0 to 20 do
+      let s = Policy.backoff_ms r ~seed ~attempt in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d seed %d in [0, %g)" attempt seed cap)
+        true
+        (s >= 0. && s < cap)
+    done;
+    (* stateless: same (seed, attempt) always draws the same sleep *)
+    Alcotest.(check (float 0.))
+      "deterministic"
+      (Policy.backoff_ms r ~seed:7 ~attempt)
+      (Policy.backoff_ms r ~seed:7 ~attempt)
+  done;
+  (* without jitter: the capped exponential ladder itself *)
+  let d = { r with Policy.jitter = false } in
+  Alcotest.(check (float 0.)) "ladder 1" 10. (Policy.backoff_ms d ~seed:0 ~attempt:1);
+  Alcotest.(check (float 0.)) "ladder 3" 40. (Policy.backoff_ms d ~seed:0 ~attempt:3);
+  Alcotest.(check (float 0.)) "ladder capped" 80. (Policy.backoff_ms d ~seed:0 ~attempt:9);
+  match Policy.backoff_ms r ~seed:0 ~attempt:0 with
+  | _ -> Alcotest.fail "attempt 0 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* the loop must give up when the next sleep would cross the elapsed
+   budget — doubling backoff cannot overshoot a round deadline *)
+let test_connect_retry_elapsed_cap () =
+  let dead =
+    Unix.ADDR_UNIX
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "yoso-nonexistent-%d.sock" (Unix.getpid ())))
+  in
+  let retry =
+    { Policy.attempts = 50; base_ms = 40.; cap_ms = 200.; max_elapsed_ms = 150.; jitter = false }
+  in
+  let t0 = Unix.gettimeofday () in
+  (match Sockio.connect_with_retry ~retry dead with
+  | _ -> Alcotest.fail "connect to a dead path must fail"
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  (* 40 + 80 = 120 <= 150, but the third sleep (160) would cross the
+     budget: the loop bails long before the 50-attempt count *)
+  Alcotest.(check bool)
+    (Printf.sprintf "gave up within budget (%.0f ms)" elapsed_ms)
+    true (elapsed_ms < 1_000.)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery drills: daemon kill+restart, forced client disconnects     *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_child ~seed ~slot:_ ~link =
+  let config =
+    { Protocol.default_config with seed; transport = "unix"; link = Some link }
+  in
+  match Protocol.execute ~params:params8 ~config ~circuit ~inputs () with
+  | r -> Protocol.report_json r
+  | exception Yoso_runtime.Faults.Protocol_failure f ->
+    Printf.sprintf "{\"protocol_failure\":\"%s/%s\"}" f.Yoso_runtime.Faults.f_phase
+      f.Yoso_runtime.Faults.f_step
+
+let with_journal f =
+  let path = Filename.temp_file "yoso-drill" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove path;
+      f path)
+
+(* the surviving run's transcript must be byte-identical to the
+   fault-free sim run at equal seeds, and nobody may be blamed *)
+let check_against_sim ~name ~seed res =
+  let sim_config = { Protocol.default_config with seed } in
+  let sim_json =
+    Protocol.report_json (Protocol.execute ~params:params8 ~config:sim_config ~circuit ~inputs ())
+  in
+  Alcotest.(check int) (name ^ ": all reported") 8 (List.length res.Runner.reports);
+  Alcotest.(check bool) (name ^ ": unanimous") true res.Runner.agree;
+  Alcotest.(check (list int)) (name ^ ": zero blames for reconnectors") [] res.Runner.down;
+  Alcotest.(check bool) (name ^ ": daemon did not time out") false
+    res.Runner.stats.Yoso_transport.Daemon.timed_out;
+  let report = match res.Runner.reports with (_, j) :: _ -> j | [] -> "{}" in
+  Alcotest.(check string)
+    (name ^ ": report byte-identical to fault-free sim")
+    sim_json
+    (relabel ~from:"unix" ~to_:"sim" report);
+  Alcotest.(check (option int)) (name ^ ": no faults detected") (Some 0)
+    (Runner.json_int_field report ~field:"faults_detected")
+
+let sim_frames ~seed =
+  let sim_config = { Protocol.default_config with seed } in
+  let r = Protocol.execute ~params:params8 ~config:sim_config ~circuit ~inputs () in
+  r.Protocol.transcript.Yoso_net.Board.frames
+
+let test_daemon_kill_restart () =
+  if not Sys.unix then () (* the drill forks; skip where it cannot *)
+  else begin
+    let seed = 0xC4A5 in
+    let frames = sim_frames ~seed in
+    Alcotest.(check bool) "enough frames to kill mid-run" true (frames > 4);
+    with_journal (fun journal ->
+        let chaos = Chaos.create { Chaos.none with Chaos.kill_at = [ frames / 2 ] } in
+        let res =
+          Runner.run ~journal ~chaos ~nslots:8 ~seed ~child:(chaos_child ~seed) ()
+        in
+        Alcotest.(check int) "daemon died exactly once" 1 res.Runner.restarts;
+        Alcotest.(check bool) "journal recovered the board" true
+          (res.Runner.stats.Yoso_transport.Daemon.recovered_frames >= frames / 2);
+        Alcotest.(check bool) "every client reconnected" true
+          (res.Runner.stats.Yoso_transport.Daemon.reconnects >= 8);
+        check_against_sim ~name:"kill+restart" ~seed res)
+  end
+
+let test_forced_disconnects () =
+  if not Sys.unix then ()
+  else begin
+    let seed = 0x5E7E in
+    let frames = sim_frames ~seed in
+    (* roughly one forced disconnect per protocol phase *)
+    let sever_at = [ (frames / 6, 1); ((frames / 2) + (frames / 8), 2); (5 * frames / 6, 3) ] in
+    let chaos = Chaos.create { Chaos.none with Chaos.sever_at } in
+    let res = Runner.run ~chaos ~nslots:8 ~seed ~child:(chaos_child ~seed) () in
+    Alcotest.(check int) "daemon never died" 0 res.Runner.restarts;
+    Alcotest.(check bool) "severed clients reconnected" true
+      (res.Runner.stats.Yoso_transport.Daemon.reconnects >= 3);
+    Alcotest.(check bool) "catch-up replay happened" true
+      (res.Runner.stats.Yoso_transport.Daemon.replayed_frames > 0);
+    check_against_sim ~name:"forced disconnects" ~seed res
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "transport"
@@ -367,4 +504,18 @@ let () =
         ] );
       ( "crash",
         [ Alcotest.test_case "member dies mid-round" `Quick test_crash_mid_round ] );
+      ( "policy",
+        [
+          Alcotest.test_case "backoff bounds and determinism" `Quick
+            test_backoff_bounds;
+          Alcotest.test_case "retry gives up within elapsed budget" `Quick
+            test_connect_retry_elapsed_cap;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "daemon kill+restart mid-round" `Quick
+            test_daemon_kill_restart;
+          Alcotest.test_case "forced client disconnects" `Quick
+            test_forced_disconnects;
+        ] );
     ]
