@@ -20,6 +20,8 @@ module Faults = Yoso_runtime.Faults
 module Board = Yoso_net.Board
 module Sim = Yoso_net.Sim
 module Runner = Yoso_transport.Runner
+module Lang = Yoso_lang.Compiler
+module Programs = Yoso_lang.Programs
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -53,7 +55,7 @@ let demo_inputs kind size len client =
    sockets through the bulletin-board daemon.  The parent serves the
    board and prints the (unanimous) report. *)
 let run_transport ~transport ~deadline_ms ~journal ~chaos ~params ~circuit ~inputs
-    ~adversary ~plan ~seed ~net ~domains ~json n =
+    ~adversary ~plan ~seed ~net ~domains ~json ~extra n =
   let endpoint =
     match transport with
     | "unix" -> `Unix_socket
@@ -79,7 +81,7 @@ let run_transport ~transport ~deadline_ms ~journal ~chaos ~params ~circuit ~inpu
       }
     in
     match Protocol.execute ~params ~config ~circuit ~inputs () with
-    | r -> Protocol.report_json r
+    | r -> Protocol.report_json ~extra r
     | exception Faults.Protocol_failure f ->
       (* still deterministic: every replica fails at the same step, so
          the reports agree on the failure too *)
@@ -156,15 +158,32 @@ let run_transport ~transport ~deadline_ms ~journal ~chaos ~params ~circuit ~inpu
     end);
   if res.Runner.agree && res.Runner.down = [] then 0 else 2
 
-let run_cmd protocol kind size n t k eps malicious fail_stop seed fault_seed json net_seed
-    latency drop domains transport deadline_ms journal chaos =
+let run_cmd protocol program kind size n t k eps malicious fail_stop seed fault_seed json
+    net_seed latency drop domains transport deadline_ms journal chaos =
   let params =
     match eps with
     | Some eps -> Params.of_gap ~n ~eps ()
     | None -> Params.create ~n ~t ~k ()
   in
-  let circuit, len = build_circuit kind size seed in
-  let inputs = demo_inputs kind size len in
+  let circuit, inputs, compiled =
+    match program with
+    | None ->
+      let circuit, len = build_circuit kind size seed in
+      (circuit, demo_inputs kind size len, None)
+    | Some name ->
+      if protocol <> "packed" then
+        failwith "--program runs through the packed protocol only";
+      let p = Programs.by_name name ~size in
+      let c = Lang.compile p in
+      ( c.Lang.circuit,
+        Lang.protocol_inputs c ~inputs:(Programs.demo_inputs p ~seed),
+        Some c )
+  in
+  let extra =
+    match compiled with
+    | Some c -> [ ("compiler", Lang.stats_json c) ]
+    | None -> []
+  in
   let net =
     let model =
       { Sim.ideal with Sim.latency_ms = latency; drop = max 0. (min 1. drop) }
@@ -172,6 +191,12 @@ let run_cmd protocol kind size n t k eps malicious fail_stop seed fault_seed jso
     { Board.default_config with Board.model; net_seed }
   in
   if not json then begin
+    (match compiled with
+    | Some c ->
+      Format.printf "%a" Lang.pp_pipeline c;
+      Format.printf "compiled matches interpreter: %b@."
+        (Lang.check c ~inputs:(Programs.demo_inputs c.Lang.program ~seed))
+    | None -> ());
     Format.printf "circuit: %a@." Circuit.pp_stats circuit;
     Format.printf "params:  %a@." Params.pp params
   end;
@@ -182,7 +207,7 @@ let run_cmd protocol kind size n t k eps malicious fail_stop seed fault_seed jso
     if transport <> "sim" then
       exit
         (run_transport ~transport ~deadline_ms ~journal ~chaos ~params ~circuit ~inputs
-           ~adversary ~plan ~seed ~net ~domains ~json n);
+           ~adversary ~plan ~seed ~net ~domains ~json ~extra n);
     if journal <> None || chaos <> None then
       failwith "--journal and --chaos need a socket transport (--transport unix|tcp)";
     let config =
@@ -198,7 +223,7 @@ let run_cmd protocol kind size n t k eps malicious fail_stop seed fault_seed jso
           f.Faults.required;
         exit 2
     in
-    if json then print_endline (Protocol.report_json ~timings:true r)
+    if json then print_endline (Protocol.report_json ~timings:true ~extra r)
     else begin
       List.iter
         (fun o ->
@@ -317,6 +342,20 @@ let run_t =
   let protocol =
     Arg.(value & opt string "packed" & info [ "protocol"; "p" ] ~doc:"packed, cdn or bgw.")
   in
+  let program =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "program" ] ~docv:"NAME"
+          ~doc:
+            "Compile a DSL program through the yoso_lang optimizing front-end \
+             instead of using a generated circuit: $(b,auction), $(b,variance), \
+             $(b,tally) or $(b,linear_model).  $(b,--size) sets the number of \
+             bidders / parties / voters / features; inputs are deterministic \
+             demo values derived from $(b,--seed).  Packed protocol only; works \
+             with every transport.  The JSON report gains a \"compiler\" field \
+             with per-pass statistics.")
+  in
   let kind =
     Arg.(
       value & opt string "dot"
@@ -424,7 +463,7 @@ let run_t =
   Cmd.v
     (Cmd.info "run" ~doc:"Execute YOSO MPC on a generated circuit")
     Term.(
-      const run_cmd $ protocol $ kind $ size $ n_arg $ t_arg $ k_arg $ eps $ malicious
+      const run_cmd $ protocol $ program $ kind $ size $ n_arg $ t_arg $ k_arg $ eps $ malicious
       $ fail_stop $ seed_arg $ fault_seed $ json $ net_seed $ latency $ drop $ domains
       $ transport $ deadline $ journal $ chaos)
 

@@ -3,34 +3,53 @@
    the large-scale-distributed-setting workload the paper's
    introduction motivates.
 
-   The circuit computes the integer variance numerator
+   The functionality is written in the yoso_lang DSL
        V = parties * sum(x_i^2) - (sum x_i)^2
-   so that variance = V / parties^2 over the rationals.
+   (so that variance = V / parties^2 over the rationals) and compiled
+   to a circuit by the optimizing front-end; constants and input
+   encoding are handled by the compiler, not by hand.
 
    Run with:  dune exec examples/federated_statistics.exe *)
 
 module F = Yoso_field.Field.Fp
 module Params = Yoso_mpc.Params
 module Protocol = Yoso_mpc.Protocol
-module Gen = Yoso_circuit.Generators
+module Ast = Yoso_lang.Ast
+module Compiler = Yoso_lang.Compiler
 
 let hospitals = [| 412; 387; 455; 401; 398; 429 |]
 
 let () =
   let parties = Array.length hospitals in
-  let circuit = Gen.variance_numerator ~parties in
+
+  (* the functionality, as an expression over per-hospital inputs *)
+  let program =
+    let b = Ast.B.create ~name:"federated-variance" () in
+    let xs =
+      List.init parties (fun i ->
+          Ast.B.input b ~client:i (Printf.sprintf "patients%d" i))
+    in
+    let s = Ast.sum xs in
+    let sumsq = Ast.sum (List.map (fun x -> Ast.mul x x) xs) in
+    let v = Ast.sub (Ast.mul (Ast.const parties) sumsq) (Ast.mul s s) in
+    for i = 0 to parties - 1 do
+      Ast.B.output b ~client:i v
+    done;
+    Ast.B.build b
+  in
+  let compiled = Compiler.compile program in
 
   (* gap parameters derived directly from eps, as in Section 6:
      committees of 24, eps = 0.15 -> t = 7, k = 4 *)
   let params = Params.of_gap ~n:24 ~eps:0.15 () in
   let adversary = { Params.malicious = params.Params.t; passive = 0; fail_stop = 0 } in
 
-  (* client 0 additionally supplies the public constants the circuit
-     needs (circuits have no constant gates) *)
-  let inputs client =
-    if client = 0 then [| F.of_int hospitals.(0); F.of_int parties; F.of_int (-1) |]
-    else [| F.of_int hospitals.(client) |]
+  (* one integer per hospital; the compiler expands them (and the
+     constants client's vector) into the circuit's input layout *)
+  let inputs =
+    Compiler.protocol_inputs compiled ~inputs:(fun client -> [| hospitals.(client) |])
   in
+  let circuit = compiled.Compiler.circuit in
   let config = { Protocol.default_config with adversary } in
   let report = Protocol.execute ~params ~config ~circuit ~inputs () in
 

@@ -2,9 +2,18 @@ type t = {
   mutable gates : Circuit.gate list; (* reversed *)
   mutable next_wire : int;
   mutable built : bool;
+  consts : (int * int, Circuit.wire) Hashtbl.t; (* (client, value) -> wire *)
+  mutable const_order : (int * int) list; (* reversed first-use order *)
 }
 
-let create () = { gates = []; next_wire = 0; built = false }
+let create () =
+  {
+    gates = [];
+    next_wire = 0;
+    built = false;
+    consts = Hashtbl.create 8;
+    const_order = [];
+  }
 
 let check_usable b = if b.built then invalid_arg "Builder: already built"
 
@@ -32,6 +41,24 @@ let mul b a b' =
   let out = fresh b in
   push b (Circuit.Mul { a; b = b'; out });
   out
+
+(* Circuits have no constant gates: a constant is an ordinary input of
+   a designated constants client, materialized once per distinct
+   (client, value) pair at first use. *)
+let constant_wire b ?(client = 0) v =
+  check_usable b;
+  match Hashtbl.find_opt b.consts (client, v) with
+  | Some w -> w
+  | None ->
+    let w = input b ~client in
+    Hashtbl.add b.consts (client, v) w;
+    b.const_order <- (client, v) :: b.const_order;
+    w
+
+let constants b = List.rev b.const_order
+
+let sub b ?(const_client = 0) a b' =
+  add b a (mul b (constant_wire b ~client:const_client (-1)) b')
 
 let sub_via_mul b ~minus_one_wire a b' = add b a (mul b minus_one_wire b')
 

@@ -57,16 +57,13 @@ let variance_numerator ~parties =
   if parties < 2 then invalid_arg "Generators.variance_numerator: need >= 2 parties";
   let b = Builder.create () in
   let xs = List.init parties (fun i -> Builder.input b ~client:i) in
-  (* constants enter as inputs: client 0 additionally supplies the
-     public constants [parties] and [-1] (checked by the example
-     applications; the MPC protocol treats them as ordinary inputs) *)
-  let n_const = Builder.input b ~client:0 in
-  let minus_one = Builder.input b ~client:0 in
   let sum = Builder.sum b xs in
   let sum_sq = Builder.sum b (List.map (fun x -> Builder.mul b x x) xs) in
-  let lhs = Builder.mul b n_const sum_sq in
-  let rhs = Builder.mul b sum sum in
-  let result = Builder.add b lhs (Builder.mul b minus_one rhs) in
+  (* constants enter as inputs of the constants client (client 0, which
+     therefore supplies [x_0; parties; -1] in that order); the MPC
+     protocol treats them as ordinary inputs *)
+  let lhs = Builder.mul b (Builder.constant_wire b parties) sum_sq in
+  let result = Builder.sub b lhs (Builder.mul b sum sum) in
   List.iteri (fun i _ -> Builder.output b ~client:i result) xs;
   Builder.build b
 

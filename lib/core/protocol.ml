@@ -129,7 +129,7 @@ let execute ~params ?(config = default_config) ~circuit ~inputs () =
    be identical); [transport_stats] is opt-in for the same reason —
    under chaos, different slots survive different reconnect counts,
    and the agreement check must still compare equal. *)
-let report_json ?(timings = false) ?(transport_stats = false) r =
+let report_json ?(timings = false) ?(transport_stats = false) ?(extra = []) r =
   let b = Buffer.create 1024 in
   let first = ref true in
   let sep () = if !first then first := false else Buffer.add_char b ',' in
@@ -216,7 +216,11 @@ let report_json ?(timings = false) ?(transport_stats = false) r =
       str "step" bl.Faults.step;
       Buffer.add_char b '}')
     r.blames;
-  Buffer.add_string b "]}";
+  Buffer.add_string b "]";
+  List.iter
+    (fun (name, json) -> Buffer.add_string b (Printf.sprintf ",%S:%s" name json))
+    extra;
+  Buffer.add_char b '}';
   Buffer.contents b
 
 let expected circuit ~inputs = Eval.run circuit ~inputs

@@ -96,7 +96,8 @@ val execute :
     {!Yoso_runtime.Faults.Protocol_failure} once a committee step
     retains too few verified contributions — never a wrong output. *)
 
-val report_json : ?timings:bool -> ?transport_stats:bool -> report -> string
+val report_json :
+  ?timings:bool -> ?transport_stats:bool -> ?extra:(string * string) list -> report -> string
 (** The report as a single JSON object (counts, per-gate metrics, byte
     totals, network stats, transcript digest, outputs, blames,
     transport kind).  [timings] (default [false]) additionally emits
@@ -104,7 +105,10 @@ val report_json : ?timings:bool -> ?transport_stats:bool -> report -> string
     (default [false]) emits ["reconnects"]/["replays"].  Both are off
     by default so equal-seed reports stay byte-identical — under
     chaos, different slots survive different reconnect counts, and the
-    cross-process agreement oracle compares reports byte for byte. *)
+    cross-process agreement oracle compares reports byte for byte.
+    [extra] appends caller-supplied [(name, raw_json)] fields — used
+    by the CLI to attach compiler pass statistics; callers on the
+    byte-equality paths must pass deterministic values. *)
 
 val expected : Circuit.t -> inputs:(int -> F.t array) -> (int * F.t) list
 (** Plain (in-the-clear) evaluation, for cross-checking. *)

@@ -1,0 +1,64 @@
+module F = Yoso_field.Field.Fp
+
+let validate d v =
+  match d.Ast.d_width with
+  | None -> ()
+  | Some w ->
+    if v < 0 || v >= 1 lsl w then
+      invalid_arg
+        (Printf.sprintf
+           "Yoso_lang.Interp: input %S of client %d = %d does not fit its \
+            declared width %d"
+           d.Ast.d_label d.Ast.d_client v w)
+
+let lookup inputs d =
+  let v = inputs d.Ast.d_client in
+  if d.Ast.d_index >= Array.length v then
+    invalid_arg
+      (Printf.sprintf "Yoso_lang.Interp: client %d supplied %d inputs, need more"
+         d.Ast.d_client (Array.length v));
+  let x = v.(d.Ast.d_index) in
+  validate d x;
+  x
+
+let eval_expr ~inputs root =
+  let memo = Hashtbl.create 64 in
+  let rec go (e : Ast.expr) =
+    match Hashtbl.find_opt memo e.Ast.id with
+    | Some v -> v
+    | None ->
+      let v =
+        match e.Ast.node with
+        | Ast.Input d -> F.of_int (lookup inputs d)
+        | Ast.Const c -> F.of_int c
+        | Ast.Add (a, b) -> F.add (go a) (go b)
+        | Ast.Sub (a, b) -> F.sub (go a) (go b)
+        | Ast.Mul (a, b) -> F.mul (go a) (go b)
+        | Ast.Neg a -> F.neg (go a)
+        | Ast.Sum es -> F.sum (List.map go es)
+        | Ast.Prod es -> F.product (List.map go es)
+        | Ast.Cmp (op, a, b) ->
+          (* operands are width-annotated inputs or nonnegative
+             constants, so canonical representatives are the integer
+             values being compared *)
+          let x = F.to_int (go a) and y = F.to_int (go b) in
+          let r =
+            match op with
+            | Ast.Lt -> x < y
+            | Ast.Le -> x <= y
+            | Ast.Gt -> x > y
+            | Ast.Ge -> x >= y
+            | Ast.Eq -> x = y
+            | Ast.Ne -> x <> y
+          in
+          if r then F.one else F.zero
+        | Ast.Is_zero a -> if F.equal (go a) F.zero then F.one else F.zero
+        | Ast.Mux (c, a, b) -> if F.equal (go c) F.zero then go a else go b
+      in
+      Hashtbl.add memo e.Ast.id v;
+      v
+  in
+  go root
+
+let run (p : Ast.program) ~inputs =
+  List.map (fun (client, e) -> (client, eval_expr ~inputs e)) p.Ast.p_outputs

@@ -1,0 +1,17 @@
+(** Clear-evaluation reference interpreter.
+
+    Defines the semantics every compiled circuit must reproduce:
+    {!Compiler.check} and the property tests compare circuit
+    evaluation against this interpreter node for node. *)
+
+module F = Yoso_field.Field.Fp
+
+val run : Ast.program -> inputs:(int -> int array) -> (int * F.t) list
+(** [run p ~inputs] evaluates the program in the clear.  [inputs
+    client] is the client's integer input vector in declaration order
+    (one integer per declaration — bit expansion is a compilation
+    artifact and does not appear here).  Returns [(client, value)] per
+    output, in output order, matching
+    {!Yoso_circuit.Circuit.Eval.run} on the compiled circuit.
+    @raise Invalid_argument if a width-annotated input is out of
+    range or a vector is too short. *)

@@ -1,0 +1,232 @@
+module A = Ast
+
+(* ------------------------------------------------------------------ *)
+(* the four workload programs                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Sealed-bid first-price auction: bidder [i] submits a [width]-bit
+   bid; everyone learns the winning bid and the winner's index (lowest
+   index wins ties).  The winner indicator
+     win_i = prod_{j<i} (b_i > b_j) * prod_{j>i} (b_i >= b_j)
+   is 1 for exactly one bidder.  The naive lowering duplicates the
+   bit-comparison circuit of every pair (once as [>], once as [>=]);
+   CSE merges them, which is the headline win of E12. *)
+let auction ?(bidders = 4) ?(width = 8) () =
+  if bidders < 2 then invalid_arg "Programs.auction: need at least 2 bidders";
+  let b = A.B.create ~name:"auction" () in
+  let bids =
+    Array.init bidders (fun i ->
+        A.B.input b ~client:i ~width (Printf.sprintf "bid%d" i))
+  in
+  let win i =
+    let factors =
+      List.concat
+        (List.init bidders (fun j ->
+             if j < i then [ A.gt bids.(i) bids.(j) ]
+             else if j > i then [ A.ge bids.(i) bids.(j) ]
+             else []))
+    in
+    A.prod factors
+  in
+  let wins = Array.init bidders win in
+  let max_bid =
+    A.sum (List.init bidders (fun i -> A.mul bids.(i) wins.(i)))
+  in
+  let winner =
+    A.sum (List.init bidders (fun i -> A.mul (A.const i) wins.(i)))
+  in
+  for i = 0 to bidders - 1 do
+    A.B.output b ~client:i max_bid;
+    A.B.output b ~client:i winner
+  done;
+  A.B.build b
+
+(* Federated variance numerator: party [i] holds x_i; everyone learns
+   n * sum x_i^2 - (sum x_i)^2  =  n^2 * Var(x).  Mirrors
+   [Yoso_circuit.Generators.variance_numerator] but written in the
+   DSL. *)
+let variance ?(parties = 4) () =
+  if parties < 1 then invalid_arg "Programs.variance: need at least 1 party";
+  let b = A.B.create ~name:"variance" () in
+  let xs =
+    List.init parties (fun i ->
+        A.B.input b ~client:i (Printf.sprintf "x%d" i))
+  in
+  let s = A.sum xs in
+  let sq = A.sum (List.map (fun x -> A.mul x x) xs) in
+  let out = A.sub (A.mul (A.const parties) sq) (A.mul s s) in
+  for i = 0 to parties - 1 do
+    A.B.output b ~client:i out
+  done;
+  A.B.build b
+
+(* Threshold tally: each voter casts a 1-bit vote; everyone learns
+   only whether the yes-count reached [threshold] — not the count
+   itself.  tally - j is zero for some j < T exactly when tally < T,
+   so  passed = 1 - is_zero(prod_{j<T} (tally - j)). *)
+let tally ?(voters = 5) ?threshold () =
+  if voters < 1 then invalid_arg "Programs.tally: need at least 1 voter";
+  let threshold = Option.value threshold ~default:((voters / 2) + 1) in
+  if threshold < 1 || threshold > voters then
+    invalid_arg "Programs.tally: threshold out of range";
+  let b = A.B.create ~name:"tally" () in
+  let votes =
+    List.init voters (fun i ->
+        A.B.input b ~client:i ~width:1 (Printf.sprintf "vote%d" i))
+  in
+  let t = A.sum votes in
+  let gaps = List.init threshold (fun j -> A.sub t (A.const j)) in
+  let passed = A.sub (A.const 1) (A.is_zero (A.prod gaps)) in
+  for i = 0 to voters - 1 do
+    A.B.output b ~client:i passed
+  done;
+  A.B.build b
+
+(* Linear-model inference: client 0 holds the model (weights + bias),
+   client 1 holds a feature vector; only client 1 learns the score
+   <w, x> + bias.  Neither the model nor the features are revealed. *)
+let linear_model ?(features = 8) () =
+  if features < 1 then invalid_arg "Programs.linear_model: need at least 1 feature";
+  let b = A.B.create ~name:"linear_model" () in
+  let ws =
+    List.init features (fun i ->
+        A.B.input b ~client:0 (Printf.sprintf "w%d" i))
+  in
+  let bias = A.B.input b ~client:0 "bias" in
+  let xs =
+    List.init features (fun i ->
+        A.B.input b ~client:1 (Printf.sprintf "x%d" i))
+  in
+  A.B.output b ~client:1 (A.add (A.dot ws xs) bias);
+  A.B.build b
+
+let names = [ "auction"; "variance"; "tally"; "linear_model" ]
+
+let by_name name ~size =
+  match name with
+  | "auction" -> auction ~bidders:(max 2 size) ()
+  | "variance" -> variance ~parties:(max 1 size) ()
+  | "tally" -> tally ~voters:(max 1 size) ()
+  | "linear_model" -> linear_model ~features:(max 1 size) ()
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "unknown program %S (available: %s)" name
+         (String.concat ", " names))
+
+(* ------------------------------------------------------------------ *)
+(* deterministic demo inputs                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* splitmix-style hash (63-bit) so each (seed, client, index) is
+   independent *)
+let hash64 x =
+  let x = x * 0x3f58476d1ce4e5b9 in
+  let x = x lxor (x lsr 27) in
+  let x = x * 0x14d049bb133111eb in
+  x lxor (x lsr 31)
+
+let demo_inputs (p : A.program) ~seed =
+  let per_client = Hashtbl.create 8 in
+  List.iter
+    (fun d ->
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt per_client d.A.d_client)
+      in
+      Hashtbl.replace per_client d.A.d_client (d :: prev))
+    p.A.p_decls;
+  fun client ->
+    match Hashtbl.find_opt per_client client with
+    | None -> [||]
+    | Some rev_decls ->
+      let decls = Array.of_list (List.rev rev_decls) in
+      Array.map
+        (fun d ->
+          let h =
+            abs (hash64 ((seed * 1_000_003) + (d.A.d_client * 1009) + d.A.d_index))
+          in
+          match d.A.d_width with
+          | Some w -> h land ((1 lsl w) - 1)
+          | None -> h mod 1000)
+        decls
+
+(* ------------------------------------------------------------------ *)
+(* random program family for the property tests and the bench          *)
+(* ------------------------------------------------------------------ *)
+
+(* Engineered so every seed offers genuine work to each pass:
+   const-const subtrees (fold), structurally duplicated nodes (CSE),
+   left-nested product chains (reassoc).  Every generated node stays
+   live through the accumulator output, so pass savings can never be
+   dead-code artifacts. *)
+let random_program ~seed ~size ~clients =
+  if clients < 1 then invalid_arg "Programs.random_program: need >= 1 client";
+  let st = Random.State.make [| seed; size; clients |] in
+  let b = A.B.create ~name:(Printf.sprintf "random-%d" seed) () in
+  let pool = ref [] in
+  let pool_size = ref 0 in
+  let push e =
+    pool := e :: !pool;
+    incr pool_size
+  in
+  let pick () = List.nth !pool (Random.State.int st !pool_size) in
+  let annotated = ref [] in
+  for c = 0 to clients - 1 do
+    for k = 0 to 1 do
+      let e = A.B.input b ~client:c ~width:8 (Printf.sprintf "a%d_%d" c k) in
+      annotated := e :: !annotated;
+      push e
+    done;
+    push (A.B.input b ~client:c (Printf.sprintf "u%d" c))
+  done;
+  let annotated = Array.of_list !annotated in
+  let pick_annot () = annotated.(Random.State.int st (Array.length annotated)) in
+  (* guaranteed targets, independent of the size budget *)
+  push (A.add (A.const 17) (A.const 25)); (* fold *)
+  let d1 = A.mul (pick ()) (pick_annot ()) in
+  let d2 = A.mul (pick ()) (pick_annot ()) in
+  push d1;
+  push d2;
+  push (A.add d1 d2);
+  (let x = pick () and y = pick () in
+   push (A.mul x y);
+   push (A.mul x y) (* structural duplicate: CSE *));
+  push (A.prod [ pick (); pick (); pick (); pick (); pick () ]) (* reassoc *);
+  for _ = 1 to size do
+    let r = Random.State.int st 100 in
+    if r < 12 then
+      (* const-const subtree feeding live work: fold target *)
+      let c1 = A.const (Random.State.int st 1000) in
+      let c2 = A.const (Random.State.int st 1000) in
+      let op = if Random.State.bool st then A.add else A.mul in
+      push (A.mul (op c1 c2) (pick ()))
+    else if r < 24 then (
+      (* structural duplicate: CSE target *)
+      let x = pick () and y = pick () in
+      let op = if Random.State.bool st then A.add else A.mul in
+      push (op x y);
+      push (op x y))
+    else if r < 38 then
+      (* nested product chain: reassoc target *)
+      let n = 3 + Random.State.int st 4 in
+      push (A.prod (List.init n (fun _ -> pick ())))
+    else if r < 50 then
+      push (A.sum (List.init (2 + Random.State.int st 4) (fun _ -> pick ())))
+    else if r < 58 then (
+      let ops = [| A.lt; A.le; A.gt; A.ge; A.eq; A.ne |] in
+      let op = ops.(Random.State.int st 6) in
+      push (op (pick_annot ()) (pick_annot ())))
+    else if r < 62 then push (A.is_zero (A.sub (pick_annot ()) (pick_annot ())))
+    else if r < 66 then
+      push (A.if_zero (A.sub (pick_annot ()) (pick_annot ())) ~then_:(pick ()) ~else_:(pick ()))
+    else if r < 74 then push (A.sub (pick ()) (pick ()))
+    else if r < 80 then push (A.neg (pick ()))
+    else if r < 90 then push (A.add (pick ()) (pick ()))
+    else push (A.mul (pick ()) (pick ()))
+  done;
+  (* keep everything live: one accumulator over the whole pool, plus a
+     few direct outputs *)
+  A.B.output b ~client:0 (A.sum !pool);
+  List.iteri
+    (fun i e -> if i < 3 then A.B.output b ~client:(i mod clients) e)
+    !pool;
+  A.B.build b

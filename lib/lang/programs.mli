@@ -1,0 +1,38 @@
+(** Workload programs written in the DSL, plus the seeded random
+    program family used by the property tests and the compile bench. *)
+
+val auction : ?bidders:int -> ?width:int -> unit -> Ast.program
+(** Sealed-bid first-price auction: every bidder learns the winning
+    bid and the winner's index (lowest index wins ties).  Bids are
+    [width]-bit inputs (default 8), one bidder per client. *)
+
+val variance : ?parties:int -> unit -> Ast.program
+(** Federated variance numerator [n * sum x_i^2 - (sum x_i)^2],
+    revealed to every party. *)
+
+val tally : ?voters:int -> ?threshold:int -> unit -> Ast.program
+(** Threshold tally over 1-bit votes: reveals only whether the
+    yes-count reached [threshold] (default strict majority), not the
+    count. *)
+
+val linear_model : ?features:int -> unit -> Ast.program
+(** Client 0's private linear model applied to client 1's private
+    feature vector; only client 1 learns the score. *)
+
+val names : string list
+(** The four program names accepted by {!by_name}. *)
+
+val by_name : string -> size:int -> Ast.program
+(** Instantiate a program by name at the given size (bidders /
+    parties / voters / features).  @raise Invalid_argument on unknown
+    names. *)
+
+val demo_inputs : Ast.program -> seed:int -> int -> int array
+(** Deterministic per-client input vectors (one integer per
+    declaration, widths respected) for demos and smoke tests. *)
+
+val random_program : seed:int -> size:int -> clients:int -> Ast.program
+(** Seeded random program engineered so every optimization pass has
+    genuine work (const-const subtrees, structural duplicates, nested
+    product chains) and every node is live via an accumulator
+    output. *)

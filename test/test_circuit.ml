@@ -72,6 +72,67 @@ let test_sum_product_trees () =
   (* product tree is balanced: depth log2(7) = 3 *)
   Alcotest.(check int) "balanced depth" 3 (C.depth c)
 
+(* stats edge cases: circuits with no multiplication layer at all *)
+let test_stats_add_only () =
+  let b = Builder.create () in
+  let x = Builder.input b ~client:0 in
+  let y = Builder.input b ~client:1 in
+  let s = Builder.add b (Builder.add b x y) y in
+  Builder.output b ~client:0 s;
+  let c = Builder.build b in
+  Alcotest.(check int) "depth" 0 (C.depth c);
+  Alcotest.(check int) "mult width" 0 (C.mult_width c);
+  Alcotest.(check int) "muls" 0 (C.num_mul c);
+  Alcotest.(check int) "adds" 2 (C.num_add c)
+
+let test_stats_input_output_only () =
+  let b = Builder.create () in
+  let x = Builder.input b ~client:0 in
+  Builder.output b ~client:1 x;
+  Builder.output b ~client:2 x;
+  let c = Builder.build b in
+  Alcotest.(check int) "depth" 0 (C.depth c);
+  Alcotest.(check int) "mult width" 0 (C.mult_width c);
+  Alcotest.(check int) "size" 3 (C.size c);
+  Alcotest.(check (list int)) "clients" [ 0; 1; 2 ] (C.clients c);
+  Alcotest.(check (list (pair int felt)))
+    "passthrough" [ (1, F.of_int 9); (2, F.of_int 9) ]
+    (Eval.run c ~inputs:(const_inputs [ (0, [ 9 ]) ]))
+
+let test_constant_wire_memoized () =
+  let b = Builder.create () in
+  let x = Builder.input b ~client:0 in
+  let c1 = Builder.constant_wire b ~client:3 5 in
+  let c2 = Builder.constant_wire b ~client:3 5 in
+  let c3 = Builder.constant_wire b ~client:3 7 in
+  Alcotest.(check int) "same value -> same wire" c1 c2;
+  Alcotest.(check bool) "distinct value -> distinct wire" true (c1 <> c3);
+  Builder.output b ~client:0 (Builder.mul b x (Builder.add b c1 c3));
+  let c = Builder.build b in
+  Alcotest.(check (list (pair int int)))
+    "constants in first-use order" [ (3, 5); (3, 7) ] (Builder.constants b);
+  (* one input gate per distinct constant, in gate order *)
+  Alcotest.(check int) "inputs" 3 (C.num_inputs c);
+  let outs =
+    Eval.run c ~inputs:(const_inputs [ (0, [ 2 ]); (3, [ 5; 7 ]) ])
+  in
+  Alcotest.(check (list (pair int felt))) "2*(5+7)" [ (0, F.of_int 24) ] outs
+
+let test_builder_sub () =
+  let b = Builder.create () in
+  let x = Builder.input b ~client:0 in
+  let y = Builder.input b ~client:1 in
+  Builder.output b ~client:0 (Builder.sub b ~const_client:2 x y);
+  Builder.output b ~client:0 (Builder.sub b ~const_client:2 y x);
+  let c = Builder.build b in
+  (* both subtractions share the one memoized -1 wire *)
+  Alcotest.(check (list (pair int int))) "one -1" [ (2, -1) ] (Builder.constants b);
+  let outs =
+    Eval.run c ~inputs:(const_inputs [ (0, [ 11 ]); (1, [ 4 ]); (2, [ -1 ]) ])
+  in
+  Alcotest.(check (list (pair int felt)))
+    "11-4 and 4-11" [ (0, F.of_int 7); (0, F.of_int (-7)) ] outs
+
 (* ------------------------------------------------------------------ *)
 (* Generators compute the right functions                              *)
 (* ------------------------------------------------------------------ *)
@@ -270,6 +331,10 @@ let () =
           Alcotest.test_case "reuse rejected" `Quick test_builder_reuse_rejected;
           Alcotest.test_case "validation" `Quick test_validation;
           Alcotest.test_case "sum/product trees" `Quick test_sum_product_trees;
+          Alcotest.test_case "stats: add-only" `Quick test_stats_add_only;
+          Alcotest.test_case "stats: input/output-only" `Quick test_stats_input_output_only;
+          Alcotest.test_case "constant_wire memoized" `Quick test_constant_wire_memoized;
+          Alcotest.test_case "sub" `Quick test_builder_sub;
         ] );
       ( "generators",
         [
