@@ -180,7 +180,7 @@ let net_bytes () =
   let inputs c = Array.init (2 * width) (fun i -> F.of_int ((c + 2) * (i + 3))) in
   let row n =
     let params = Params.create ~n ~t:(n / 4) ~k:(n / 4) () in
-    let config = { Protocol.default_config with seed = 0xBE7 } in
+    let config = Protocol.config ~seed:0xBE7 () in
     let r = Protocol.execute ~params ~config ~circuit ~inputs () in
     assert (Protocol.check r circuit ~inputs);
     (n, params, r)
@@ -276,7 +276,7 @@ let failstop () =
     | () ->
       let r =
         Protocol.execute ~params
-          ~config:{ Protocol.default_config with adversary }
+          ~config:(Protocol.config ~adversary ())
           ~circuit ~inputs ()
       in
       if Protocol.check r circuit ~inputs then "delivered" else "WRONG"
@@ -470,7 +470,7 @@ let time_bench () =
         let params = Params.create ~n ~t:(n / 4) ~k:(n / 4) () in
         let run () =
           Protocol.execute ~params
-            ~config:{ Protocol.default_config with seed = 0x7E11 }
+            ~config:(Protocol.config ~seed:0x7E11 ())
             ~circuit ~inputs ()
         in
         let r = ref None in
@@ -571,7 +571,7 @@ let par_bench () =
         let cells =
           List.map
             (fun domains ->
-              let config = { Protocol.default_config with seed = 0x9A12; domains } in
+              let config = Protocol.config ~seed:0x9A12 ~domains () in
               let r = ref None in
               let ms =
                 wall (fun () ->
@@ -646,16 +646,17 @@ let par_bench () =
 
 module Runner = Yoso_transport.Runner
 module Daemon = Yoso_transport.Daemon
+module Topology = Yoso_transport.Topology
 
 let transport_bench () =
   header "E10. Socket transport: one OS process per committee member vs in-process sim";
   let n_sweep = if !smoke then [ 16 ] else [ 16; 32 ] in
   let circuit = Gen.dot_product ~len:8 in
   let inputs c = Array.init 8 (fun i -> F.of_int ((c + 2) * (i + 3))) in
-  Printf.printf "  %-5s %10s %10s %8s | %19s %9s\n" "n" "sim (ms)" "unix (ms)" "agree"
-    "digest" "equal";
+  Printf.printf "  %-5s %-14s %10s %8s | %12s %8s %7s\n" "n" "geometry" "wall (ms)"
+    "agree" "egress (B)" "vs bcast" "ratio";
   let rows =
-    List.map
+    List.concat_map
       (fun n ->
         let params = Params.create ~n ~t:(n / 4) ~k:(n / 4) () in
         let seed = 0xE10 in
@@ -665,7 +666,7 @@ let transport_bench () =
               r :=
                 Some
                   (Protocol.execute ~params
-                     ~config:{ Protocol.default_config with seed }
+                     ~config:(Protocol.config ~seed ())
                      ~circuit ~inputs ()))
           *. 1000.
         in
@@ -673,47 +674,104 @@ let transport_bench () =
         assert (Protocol.check sim_r circuit ~inputs);
         let child ~slot:_ ~link =
           let config =
-            { Protocol.default_config with seed; transport = "unix"; link = Some link }
+            Protocol.config ~seed ~transport:"unix" ~link ()
           in
           Protocol.report_json (Protocol.execute ~params ~config ~circuit ~inputs ())
         in
-        let meter = Yoso_net.Meter.create () in
-        let res = Runner.run ~meter ~nslots:n ~seed ~child () in
-        let report = match res.Runner.reports with (_, j) :: _ -> j | [] -> "{}" in
-        let field f = Runner.json_int_field report ~field:f in
-        let digest_equal =
-          field "digest" = Some sim_r.Protocol.transcript.Yoso_net.Board.digest
-          && field "frames" = Some sim_r.Protocol.transcript.Yoso_net.Board.frames
-          && field "frame_bytes" = Some sim_r.Protocol.transcript.Yoso_net.Board.frame_bytes
+        (* three geometries over the same seeded run: legacy broadcast,
+           interest-routed, and interest-routed with a sharded board *)
+        let geometries =
+          [
+            ("broadcast", None);
+            ("routed", Some (Topology.routed ~nslots:n ()));
+            ("routed+sharded", Some (Topology.routed ~shards:4 ~nslots:n ()));
+          ]
         in
-        Printf.printf "  %-5d %10.1f %10.1f %8b | %19d %9b\n" n sim_ms res.Runner.wall_ms
-          res.Runner.agree sim_r.Protocol.transcript.Yoso_net.Board.digest digest_equal;
-        if not (res.Runner.agree && digest_equal && res.Runner.down = []) then
-          failwith
-            (Printf.sprintf
-               "bench transport: n=%d loopback run diverged from sim (agree=%b equal=%b)"
-               n res.Runner.agree digest_equal);
-        (n, sim_ms, res, sim_r))
+        let legacy_egress = ref 0 in
+        List.map
+          (fun (geometry, topology) ->
+            let meter = Yoso_net.Meter.create () in
+            let res = Runner.run ~meter ?topology ~nslots:n ~seed ~child () in
+            let report = match res.Runner.reports with (_, j) :: _ -> j | [] -> "{}" in
+            let field f = Runner.json_int_field report ~field:f in
+            let digest_equal =
+              field "digest" = Some sim_r.Protocol.transcript.Yoso_net.Board.digest
+              && field "frames" = Some sim_r.Protocol.transcript.Yoso_net.Board.frames
+              && field "frame_bytes"
+                 = Some sim_r.Protocol.transcript.Yoso_net.Board.frame_bytes
+            in
+            let egress = res.Runner.stats.Daemon.bytes_out in
+            if topology = None then legacy_egress := egress;
+            let vs_legacy = float_of_int egress /. float_of_int (max 1 !legacy_egress) in
+            let ratio = Yoso_net.Meter.routing_ratio meter in
+            Printf.printf "  %-5d %-14s %10.1f %8b | %12d %7.0f%% %7.2f\n" n geometry
+              res.Runner.wall_ms res.Runner.agree egress (vs_legacy *. 100.) ratio;
+            if not (res.Runner.agree && digest_equal && res.Runner.down = []) then
+              failwith
+                (Printf.sprintf
+                   "bench transport: n=%d %s run diverged from sim (agree=%b equal=%b)"
+                   n geometry res.Runner.agree digest_equal);
+            (match topology with
+            | Some topo ->
+              (* the daemon's stitched digest chain equals the board
+                 transcript every member (and the sim) reports *)
+              if res.Runner.stats.Daemon.digest
+                 <> sim_r.Protocol.transcript.Yoso_net.Board.digest
+              then
+                failwith
+                  (Printf.sprintf
+                     "bench transport: n=%d %s daemon digest %d <> sim digest %d" n
+                     geometry res.Runner.stats.Daemon.digest
+                     sim_r.Protocol.transcript.Yoso_net.Board.digest);
+              if res.Runner.stats.Daemon.shards <> topo.Topology.shards then
+                failwith "bench transport: daemon shard count mismatch";
+              (* routing must actually suppress traffic: the full-frame
+                 share of routed deliveries is quorum/(n-1), far below 1 *)
+              if ratio >= 0.5 then
+                failwith
+                  (Printf.sprintf "bench transport: n=%d %s routing ratio %.2f >= 0.5" n
+                     geometry ratio);
+              (* the headline claim: routed egress is at most a fifth of
+                 the broadcast geometry's on the same run *)
+              if egress * 5 > !legacy_egress then
+                failwith
+                  (Printf.sprintf
+                     "bench transport: n=%d %s egress %d B > 1/5 of broadcast %d B" n
+                     geometry egress !legacy_egress)
+            | None -> ());
+            (n, geometry, topology, sim_ms, res, sim_r, ratio, vs_legacy))
+          geometries)
       n_sweep
   in
   Printf.printf
-    "  (every report unanimous; frames crossed real sockets yet the transcript is\n\
-    \   byte-identical to the in-process run: the transport adds carriage, not behaviour)\n";
+    "  (every report unanimous across all three geometries; routed members receive\n\
+    \   full frames only from their quorum sources plus digest records from the rest,\n\
+    \   yet the daemon's stitched digest chain still equals the in-process transcript)\n";
   if not !smoke then begin
     let b = Buffer.create 1024 in
     Buffer.add_string b "{\"experiment\":\"transport\",\"endpoint\":\"unix\",\"rows\":[";
     List.iteri
-      (fun i (n, sim_ms, res, sim_r) ->
+      (fun i (n, geometry, topology, sim_ms, res, sim_r, ratio, vs_legacy) ->
         if i > 0 then Buffer.add_char b ',';
+        let shards, quorum, routed =
+          match topology with
+          | Some (t : Topology.t) -> (t.Topology.shards, t.Topology.quorum, t.Topology.routed)
+          | None -> (1, n - 1, false)
+        in
         Buffer.add_string b
           (Printf.sprintf
-             "{\"n\":%d,\"sim_ms\":%.1f,\"unix_ms\":%.1f,\"agree\":%b,\
+             "{\"n\":%d,\"geometry\":%S,\"routed\":%b,\"shards\":%d,\"quorum\":%d,\
+              \"sim_ms\":%.1f,\"unix_ms\":%.1f,\"agree\":%b,\
               \"transcript_digest\":%d,\"digest_identical\":true,\"frames_in\":%d,\
-              \"frames_out\":%d,\"daemon_bytes_in\":%d,\"daemon_bytes_out\":%d}"
-             n sim_ms res.Runner.wall_ms res.Runner.agree
+              \"frames_out\":%d,\"digests_out\":%d,\"batches_out\":%d,\
+              \"suppressed_bytes\":%d,\"daemon_bytes_in\":%d,\"daemon_bytes_out\":%d,\
+              \"egress_vs_broadcast\":%.4f,\"routing_ratio\":%.4f}"
+             n geometry routed shards quorum sim_ms res.Runner.wall_ms res.Runner.agree
              sim_r.Protocol.transcript.Yoso_net.Board.digest
              res.Runner.stats.Daemon.frames_in res.Runner.stats.Daemon.frames_out
-             res.Runner.stats.Daemon.bytes_in res.Runner.stats.Daemon.bytes_out))
+             res.Runner.stats.Daemon.digests_out res.Runner.stats.Daemon.batches_out
+             res.Runner.stats.Daemon.suppressed_bytes res.Runner.stats.Daemon.bytes_in
+             res.Runner.stats.Daemon.bytes_out vs_legacy ratio))
       rows;
     Buffer.add_string b "]}";
     let oc = open_out "BENCH_transport.json" in
@@ -739,7 +797,7 @@ let chaos_bench () =
   let inputs c = Array.init 8 (fun i -> F.of_int ((c + 2) * (i + 3))) in
   let seed = 0xE11 in
   let sim_r =
-    Protocol.execute ~params ~config:{ Protocol.default_config with seed } ~circuit
+    Protocol.execute ~params ~config:(Protocol.config ~seed ()) ~circuit
       ~inputs ()
   in
   assert (Protocol.check sim_r circuit ~inputs);
@@ -747,7 +805,7 @@ let chaos_bench () =
   let digest = sim_r.Protocol.transcript.Yoso_net.Board.digest in
   let child ~slot:_ ~link =
     let config =
-      { Protocol.default_config with seed; transport = "unix"; link = Some link }
+      Protocol.config ~seed ~transport:"unix" ~link ()
     in
     Protocol.report_json (Protocol.execute ~params ~config ~circuit ~inputs ())
   in

@@ -54,43 +54,41 @@ let demo_inputs kind size len client =
    process replaying the same seeded protocol; frames cross real
    sockets through the bulletin-board daemon.  The parent serves the
    board and prints the (unanimous) report. *)
-let run_transport ~transport ~deadline_ms ~journal ~chaos ~params ~circuit ~inputs
-    ~adversary ~plan ~seed ~net ~domains ~json ~extra n =
+let run_transport ~deadline_ms ~topology ~params ~circuit ~inputs ~base_config ~json
+    ~extra n =
+  let transport = base_config.Protocol.net.Protocol.transport in
   let endpoint =
     match transport with
     | "unix" -> `Unix_socket
     | "tcp" -> `Tcp
     | other -> failwith (Printf.sprintf "unknown transport %S (sim|unix|tcp)" other)
   in
+  (* the recovery sub-record is plumbing for us, not for [execute]:
+     the daemon owns the journal and the chaos schedule *)
+  let journal = base_config.Protocol.recovery.Protocol.journal in
   let chaos =
-    match chaos with
+    match base_config.Protocol.recovery.Protocol.chaos with
     | None -> None
     | Some spec -> Some (Yoso_transport.Chaos.create (Yoso_transport.Chaos.parse spec))
   in
   let child ~slot:_ ~link =
     let config =
-      {
-        Protocol.default_config with
-        adversary;
-        plan = Some plan;
-        seed;
-        net;
-        domains;
-        transport;
-        link = Some link;
-      }
+      { base_config with
+        Protocol.net = { base_config.Protocol.net with Protocol.link = Some link } }
     in
     match Protocol.execute ~params ~config ~circuit ~inputs () with
-    | r -> Protocol.report_json ~extra r
+    | r -> Protocol.report_json ~options:{ Protocol.Report.default with extra } r
     | exception Faults.Protocol_failure f ->
       (* still deterministic: every replica fails at the same step, so
          the reports agree on the failure too *)
       Printf.sprintf "{\"protocol_failure\":\"%s/%s (committee %s)\"}" f.Faults.f_phase
         f.Faults.f_step f.Faults.f_committee
   in
+  let seed = base_config.Protocol.exec.Protocol.seed in
   let meter = Yoso_net.Meter.create () in
   let res =
-    Runner.run ~endpoint ~deadline_ms ~meter ?journal ?chaos ~nslots:n ~seed ~child ()
+    Runner.run ~endpoint ~deadline_ms ~meter ?journal ?chaos ?topology ~nslots:n ~seed
+      ~child ()
   in
   (match res.Runner.reports with
   | [] ->
@@ -104,21 +102,28 @@ let run_transport ~transport ~deadline_ms ~journal ~chaos ~params ~circuit ~inpu
         (Printf.sprintf
            "{\"transport\":%S,\"nslots\":%d,\"agree\":%b,\"wall_ms\":%.1f,\"down\":[%s],\
             \"restarts\":%d,\
-            \"daemon\":{\"frames_in\":%d,\"frames_out\":%d,\"garbled_frames\":%d,\
+            \"daemon\":{\"frames_in\":%d,\"frames_out\":%d,\"digests_out\":%d,\
+            \"batches_out\":%d,\"suppressed_bytes\":%d,\"garbled_frames\":%d,\
             \"bytes_in\":%d,\"bytes_out\":%d,\"reconnects\":%d,\"replayed_frames\":%d,\
-            \"recovered_frames\":%d,\"journal_bytes\":%d},\"report\":"
+            \"recovered_frames\":%d,\"journal_bytes\":%d,\"shards\":%d,\"digest\":%d},\
+            \"report\":"
            transport n res.Runner.agree res.Runner.wall_ms
            (String.concat "," (List.map string_of_int res.Runner.down))
            res.Runner.restarts
            res.Runner.stats.Yoso_transport.Daemon.frames_in
            res.Runner.stats.Yoso_transport.Daemon.frames_out
+           res.Runner.stats.Yoso_transport.Daemon.digests_out
+           res.Runner.stats.Yoso_transport.Daemon.batches_out
+           res.Runner.stats.Yoso_transport.Daemon.suppressed_bytes
            res.Runner.stats.Yoso_transport.Daemon.garbled_frames
            res.Runner.stats.Yoso_transport.Daemon.bytes_in
            res.Runner.stats.Yoso_transport.Daemon.bytes_out
            res.Runner.stats.Yoso_transport.Daemon.reconnects
            res.Runner.stats.Yoso_transport.Daemon.replayed_frames
            res.Runner.stats.Yoso_transport.Daemon.recovered_frames
-           res.Runner.stats.Yoso_transport.Daemon.journal_bytes);
+           res.Runner.stats.Yoso_transport.Daemon.journal_bytes
+           res.Runner.stats.Yoso_transport.Daemon.shards
+           res.Runner.stats.Yoso_transport.Daemon.digest);
       Buffer.add_string b first;
       Buffer.add_char b '}';
       print_endline (Buffer.contents b)
@@ -136,6 +141,20 @@ let run_transport ~transport ~deadline_ms ~journal ~chaos ~params ~circuit ~inpu
         res.Runner.stats.Yoso_transport.Daemon.frames_out
         res.Runner.stats.Yoso_transport.Daemon.bytes_in
         res.Runner.stats.Yoso_transport.Daemon.bytes_out;
+      (match topology with
+      | Some topo when topo.Yoso_transport.Topology.routed ->
+        Format.printf
+          "routing: %a, %d digest records, %d batches, %d B suppressed, daemon \
+           digest %d@."
+          Yoso_transport.Topology.pp topo
+          res.Runner.stats.Yoso_transport.Daemon.digests_out
+          res.Runner.stats.Yoso_transport.Daemon.batches_out
+          res.Runner.stats.Yoso_transport.Daemon.suppressed_bytes
+          res.Runner.stats.Yoso_transport.Daemon.digest
+      | Some topo when topo.Yoso_transport.Topology.shards > 1 ->
+        Format.printf "shards: %d (journal partitioned by posting slot)@."
+          topo.Yoso_transport.Topology.shards
+      | _ -> ());
       if
         res.Runner.restarts > 0
         || res.Runner.stats.Yoso_transport.Daemon.reconnects > 0
@@ -159,7 +178,8 @@ let run_transport ~transport ~deadline_ms ~journal ~chaos ~params ~circuit ~inpu
   if res.Runner.agree && res.Runner.down = [] then 0 else 2
 
 let run_cmd protocol program kind size n t k eps malicious fail_stop seed fault_seed json
-    net_seed latency drop domains transport deadline_ms journal chaos =
+    net_seed latency drop domains transport deadline_ms journal chaos routed shards
+    quorum =
   let params =
     match eps with
     | Some eps -> Params.of_gap ~n ~eps ()
@@ -204,15 +224,26 @@ let run_cmd protocol program kind size n t k eps malicious fail_stop seed fault_
   | "packed" ->
     let adversary = { Params.malicious; passive = 0; fail_stop } in
     let plan = Faults.random ~seed:(Option.value ~default:seed fault_seed) in
-    if transport <> "sim" then
+    if transport <> "sim" then begin
+      let topology =
+        if routed then
+          Some (Yoso_transport.Topology.routed ~shards ?quorum ~nslots:n ())
+        else if shards > 1 then Some (Yoso_transport.Topology.sharded ~shards ~nslots:n)
+        else None
+      in
+      let base_config =
+        Protocol.config ~adversary ~plan ~seed ~board:net ~domains ~transport ?journal
+          ?chaos ()
+      in
       exit
-        (run_transport ~transport ~deadline_ms ~journal ~chaos ~params ~circuit ~inputs
-           ~adversary ~plan ~seed ~net ~domains ~json ~extra n);
+        (run_transport ~deadline_ms ~topology ~params ~circuit ~inputs ~base_config
+           ~json ~extra n)
+    end;
     if journal <> None || chaos <> None then
       failwith "--journal and --chaos need a socket transport (--transport unix|tcp)";
-    let config =
-      { Protocol.default_config with adversary; plan = Some plan; seed; net; domains }
-    in
+    if routed || shards > 1 then
+      failwith "--routed and --shards need a socket transport (--transport unix|tcp)";
+    let config = Protocol.config ~adversary ~plan ~seed ~board:net ~domains () in
     let r =
       try Protocol.execute ~params ~config ~circuit ~inputs ()
       with Faults.Protocol_failure f ->
@@ -223,7 +254,11 @@ let run_cmd protocol program kind size n t k eps malicious fail_stop seed fault_
           f.Faults.required;
         exit 2
     in
-    if json then print_endline (Protocol.report_json ~timings:true ~extra r)
+    if json then
+      print_endline
+        (Protocol.report_json
+           ~options:{ Protocol.Report.default with Protocol.Report.timings = true; extra }
+           r)
     else begin
       List.iter
         (fun o ->
@@ -460,12 +495,41 @@ let run_t =
              per-delivery sever/truncate/duplicate/delay rates plus scheduled \
              daemon kill points ($(b,kill) needs $(b,--journal)).")
   in
+  let routed =
+    Arg.(
+      value & flag
+      & info [ "routed" ]
+          ~doc:
+            "Interest-routed delivery with role-local execution (socket transports \
+             only): each member receives full frames only from its quorum sources \
+             and compact digest records from everyone else, and materializes only \
+             the frames of roles it owns.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Partition the daemon's board bookkeeping and write-ahead journal into \
+             $(docv) shards keyed by posting slot (socket transports only).  The \
+             transcript digest chains across shards in global commit order, so the \
+             stitched board equals an unsharded run's.")
+  in
+  let quorum =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "quorum" ] ~docv:"Q"
+          ~doc:
+            "Full-frame fan-out under $(b,--routed): each frame goes in full to the \
+             $(docv) slots after its owner in ring order (default max 2 n/8).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute YOSO MPC on a generated circuit")
     Term.(
       const run_cmd $ protocol $ program $ kind $ size $ n_arg $ t_arg $ k_arg $ eps $ malicious
       $ fail_stop $ seed_arg $ fault_seed $ json $ net_seed $ latency $ drop $ domains
-      $ transport $ deadline $ journal $ chaos)
+      $ transport $ deadline $ journal $ chaos $ routed $ shards $ quorum)
 
 let analyze_t =
   let c_param = Arg.(value & opt int 1000 & info [ "big-c"; "C" ] ~doc:"Sortition parameter C.") in

@@ -34,10 +34,7 @@ let attempt ?(validate = true) params ~malicious ~dropped =
     let report =
       Protocol.execute ~params
         ~config:
-          { Protocol.default_config with
-            adversary;
-            plan = Some (Faults.random ~seed:1234);
-            validate }
+          (Protocol.config ~adversary ~plan:(Faults.random ~seed:1234) ~validate ())
         ~circuit ~inputs ()
     in
     if Protocol.check report circuit ~inputs then `Delivered report.Protocol.faults_detected

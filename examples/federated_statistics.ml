@@ -50,7 +50,7 @@ let () =
     Compiler.protocol_inputs compiled ~inputs:(fun client -> [| hospitals.(client) |])
   in
   let circuit = compiled.Compiler.circuit in
-  let config = { Protocol.default_config with adversary } in
+  let config = Protocol.config ~adversary () in
   let report = Protocol.execute ~params ~config ~circuit ~inputs () in
 
   let sum = Array.fold_left ( + ) 0 hospitals in

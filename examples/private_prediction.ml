@@ -26,7 +26,7 @@ let () =
   let inputs client =
     if client = 0 then Array.map F.of_int weights else Array.map F.of_int features
   in
-  let config = { Protocol.default_config with adversary } in
+  let config = Protocol.config ~adversary () in
   let report = Protocol.execute ~params ~config ~circuit ~inputs () in
 
   Format.printf "Private linear prediction (W: %dx%d, user features hidden)@." rows cols;

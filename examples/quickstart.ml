@@ -27,7 +27,7 @@ let () =
   let inputs client = Array.map F.of_int (if client = 0 then x else y) in
 
   (* 5. Execute. *)
-  let config = { Protocol.default_config with adversary } in
+  let config = Protocol.config ~adversary () in
   let report = Protocol.execute ~params ~config ~circuit ~inputs () in
 
   Format.printf "YOSO MPC quickstart: private dot product@.";

@@ -46,31 +46,73 @@ let online_bytes_per_gate r = float_of_int r.online_bytes /. float_of_int (max 1
 let online_field_bytes_per_gate r =
   float_of_int r.online_field_bytes /. float_of_int (max 1 r.num_mult)
 
-type config = {
+type exec_config = {
   adversary : Params.adversary;
   plan : Faults.plan option;
   validate : bool;
   seed : int;
-  net : Board.config;
   domains : int;
+}
+
+type net_config = {
+  board : Board.config;
   transport : string;
   link : Board.link option;
 }
 
-let default_config =
+type recovery_config = {
+  journal : string option;
+  chaos : string option;
+}
+
+type config = {
+  exec : exec_config;
+  net : net_config;
+  recovery : recovery_config;
+}
+
+let config ?(adversary = Params.no_adversary) ?plan ?(validate = true) ?(seed = 0xC0FFEE)
+    ?(domains = 1) ?(board = Board.default_config) ?(transport = "sim") ?link ?journal
+    ?chaos () =
   {
-    adversary = Params.no_adversary;
-    plan = None;
-    validate = true;
-    seed = 0xC0FFEE;
-    net = Board.default_config;
-    domains = 1;
-    transport = "sim";
-    link = None;
+    exec = { adversary; plan; validate; seed; domains };
+    net = { board; transport; link };
+    recovery = { journal; chaos };
   }
 
+let default_config = config ()
+
+module Legacy = struct
+  type flat_config = {
+    adversary : Params.adversary;
+    plan : Faults.plan option;
+    validate : bool;
+    seed : int;
+    net : Board.config;
+    domains : int;
+    transport : string;
+    link : Board.link option;
+  }
+
+  let default_flat =
+    {
+      adversary = Params.no_adversary;
+      plan = None;
+      validate = true;
+      seed = 0xC0FFEE;
+      net = Board.default_config;
+      domains = 1;
+      transport = "sim";
+      link = None;
+    }
+
+  let of_flat { adversary; plan; validate; seed; net; domains; transport; link } =
+    config ~adversary ?plan ~validate ~seed ~domains ~board:net ~transport ?link ()
+end
+
 let execute ~params ?(config = default_config) ~circuit ~inputs () =
-  let { adversary; plan; validate; seed; net; domains; transport; link } = config in
+  let { adversary; plan; validate; seed; domains } = config.exec in
+  let { board = net; transport; link } = config.net in
   let board = Board.create ~config:net () in
   Board.set_link board link;
   let pool = Yoso_parallel.Pool.create ~domains in
@@ -123,13 +165,24 @@ let execute ~params ?(config = default_config) ~circuit ~inputs () =
           ];
       })
 
+module Report = struct
+  type options = {
+    timings : bool;
+    transport_stats : bool;
+    extra : (string * string) list;
+  }
+
+  let default = { timings = false; transport_stats = false; extra = [] }
+end
+
 (* hand-rolled JSON: values are ints, floats and plain ASCII strings.
    [timings] is opt-in because wall-clock fields would break the
    byte-equality oracles (cross-domain and cross-process reports must
    be identical); [transport_stats] is opt-in for the same reason —
    under chaos, different slots survive different reconnect counts,
    and the agreement check must still compare equal. *)
-let report_json ?(timings = false) ?(transport_stats = false) ?(extra = []) r =
+let report_json ?(options = Report.default) r =
+  let { Report.timings; transport_stats; extra } = options in
   let b = Buffer.create 1024 in
   let first = ref true in
   let sep () = if !first then first := false else Buffer.add_char b ',' in
@@ -222,6 +275,9 @@ let report_json ?(timings = false) ?(transport_stats = false) ?(extra = []) r =
     extra;
   Buffer.add_char b '}';
   Buffer.contents b
+
+let report_json_flags ?(timings = false) ?(transport_stats = false) ?(extra = []) r =
+  report_json ~options:{ Report.timings; transport_stats; extra } r
 
 let expected circuit ~inputs = Eval.run circuit ~inputs
 

@@ -50,17 +50,29 @@ val offline_bytes_per_gate : report -> float
 val online_bytes_per_gate : report -> float
 val online_field_bytes_per_gate : report -> float
 
-type config = {
+(** {1 Configuration}
+
+    Execution knobs, grouped by concern into nested sub-records.
+    Build one with the smart constructor {!config} — positional
+    record updates on the flat layout are gone; the deprecated
+    {!Legacy} shim bridges old call sites for one release. *)
+
+type exec_config = {
   adversary : Params.adversary;
   plan : Yoso_runtime.Faults.plan option;
       (** [None] means [Faults.random ~seed] *)
   validate : bool;
   seed : int;
-  net : Yoso_net.Board.config;
   domains : int;
       (** worker domains for committee fan-out (see
           {!Yoso_parallel.Pool}); outputs, blames and the transcript
           digest are identical at every value *)
+}
+(** What runs: adversary structure, fault plan, seeds and the
+    domain count driving committee fan-out. *)
+
+type net_config = {
+  board : Yoso_net.Board.config;
   transport : string;
       (** label recorded in the report; the sim path uses ["sim"], the
           socket runner sets ["unix"]/["tcp"] *)
@@ -71,14 +83,68 @@ type config = {
           identical either way — the link only adds the physical
           carrier and its failure modes *)
 }
-(** Execution knobs, grouped.  Build one with record update on
-    {!default_config}:
-    [{ Protocol.default_config with seed = 42; net }]. *)
+(** How frames travel: the simulated-network model and, optionally,
+    the physical transport link behind the board façade. *)
+
+type recovery_config = {
+  journal : string option;
+      (** write-ahead journal path for the transport daemon; [None]
+          disables crash recovery *)
+  chaos : string option;
+      (** socket-fault spec in {!Yoso_transport.Chaos.parse} syntax *)
+}
+(** Crash-recovery plumbing.  [execute] itself ignores this record —
+    it configures the transport daemon, which lives a process above —
+    but carrying it in the one config keeps CLI/bench call sites to a
+    single value. *)
+
+type config = {
+  exec : exec_config;
+  net : net_config;
+  recovery : recovery_config;
+}
+
+val config :
+  ?adversary:Params.adversary ->
+  ?plan:Yoso_runtime.Faults.plan ->
+  ?validate:bool ->
+  ?seed:int ->
+  ?domains:int ->
+  ?board:Yoso_net.Board.config ->
+  ?transport:string ->
+  ?link:Yoso_net.Board.link ->
+  ?journal:string ->
+  ?chaos:string ->
+  unit ->
+  config
+(** Smart constructor; every omitted knob takes the
+    {!default_config} value. *)
 
 val default_config : config
 (** No adversary, random fault plan from the seed, validation on,
     seed [0xC0FFEE], ideal network, 1 domain, sim transport, no
-    link. *)
+    link, no journal, no chaos. *)
+
+(** Compatibility shim for the pre-nesting flat configuration record.
+    New code builds a {!config} with the smart constructor. *)
+module Legacy : sig
+  type flat_config = {
+    adversary : Params.adversary;
+    plan : Yoso_runtime.Faults.plan option;
+    validate : bool;
+    seed : int;
+    net : Yoso_net.Board.config;
+    domains : int;
+    transport : string;
+    link : Yoso_net.Board.link option;
+  }
+
+  val default_flat : flat_config
+  [@@deprecated "use Protocol.config (the smart constructor) instead"]
+
+  val of_flat : flat_config -> config
+  [@@deprecated "use Protocol.config (the smart constructor) instead"]
+end
 
 val execute :
   params:Params.t ->
@@ -96,19 +162,35 @@ val execute :
     {!Yoso_runtime.Faults.Protocol_failure} once a committee step
     retains too few verified contributions — never a wrong output. *)
 
-val report_json :
-  ?timings:bool -> ?transport_stats:bool -> ?extra:(string * string) list -> report -> string
+(** Opt-in switches for {!report_json}, consolidated into one
+    record. *)
+module Report : sig
+  type options = {
+    timings : bool;  (** emit the per-phase wall-clock object ["phase_ms"] *)
+    transport_stats : bool;  (** emit ["reconnects"]/["replays"] *)
+    extra : (string * string) list;
+        (** caller-supplied [(name, raw_json)] fields appended to the
+            object — used by the CLI to attach compiler pass
+            statistics; callers on the byte-equality paths must pass
+            deterministic values *)
+  }
+
+  val default : options
+  (** Everything off: equal-seed reports stay byte-identical — under
+      chaos, different slots survive different reconnect counts, and
+      the cross-process agreement oracle compares reports byte for
+      byte. *)
+end
+
+val report_json : ?options:Report.options -> report -> string
 (** The report as a single JSON object (counts, per-gate metrics, byte
     totals, network stats, transcript digest, outputs, blames,
-    transport kind).  [timings] (default [false]) additionally emits
-    the per-phase wall-clock object ["phase_ms"]; [transport_stats]
-    (default [false]) emits ["reconnects"]/["replays"].  Both are off
-    by default so equal-seed reports stay byte-identical — under
-    chaos, different slots survive different reconnect counts, and the
-    cross-process agreement oracle compares reports byte for byte.
-    [extra] appends caller-supplied [(name, raw_json)] fields — used
-    by the CLI to attach compiler pass statistics; callers on the
-    byte-equality paths must pass deterministic values. *)
+    transport kind).  [options] (default {!Report.default}) switches
+    on the non-deterministic extras. *)
+
+val report_json_flags :
+  ?timings:bool -> ?transport_stats:bool -> ?extra:(string * string) list -> report -> string
+[@@deprecated "use report_json ?options with a Report.options record"]
 
 val expected : Circuit.t -> inputs:(int -> F.t array) -> (int * F.t) list
 (** Plain (in-the-clear) evaluation, for cross-checking. *)

@@ -18,12 +18,19 @@ type outcome = Delivered | Late | Dropped | Garbled
 (* A transport link turns each committed frame into a genuine exchange
    between OS processes.  Every process replays the same deterministic
    post sequence; the link decides, per author, whether this process
-   physically sends the frame or blocks until the board daemon
-   broadcasts it. *)
+   physically sends the frame, receives it in full, or receives only
+   its routed (checksum, length) digest record.  [local] says whether
+   this process must materialize the author's true frame bytes
+   (owners always; everyone under legacy broadcast) or may prepare a
+   zero-filled skeleton of the same wire weight (role-local
+   execution). *)
+type delivery = [ `Frame of string | `Summary of int * int | `Down ]
+
 type link = {
   owns : Role.id -> bool;
-  send : seq:int -> author:Role.id -> frame:string -> unit;
-  recv : seq:int -> author:Role.id -> [ `Frame of string | `Down ];
+  local : Role.id -> bool;
+  send : seq:int -> phase:string -> author:Role.id -> frame:string -> unit;
+  recv : seq:int -> phase:string -> author:Role.id -> delivery;
   stats : unit -> int * int;
       (* (reconnects, caught-up deliveries) survived so far; (0, 0)
          for a transport that cannot drop connections *)
@@ -124,6 +131,7 @@ type prepared = {
   p_force_late : bool;
   p_cost : (Cost.kind * int) list;
   p_decodes : bool;  (* receiver-side decode + step check, precomputed *)
+  p_local : bool;  (* true frame bytes; false = zero-filled skeleton *)
 }
 
 (* The pure half of a post: synthesize the missing wire weight, encode
@@ -134,7 +142,6 @@ type prepared = {
    identical at any domain count. *)
 let prepare t ~author ~phase ~step ?(items = []) ?(corrupt = false) ?(force_late = false)
     ~cost ~tag () =
-  let blob_rng = Splitmix.of_int (Splitmix.mix (t.config.net_seed lxor 0x0b10b5) tag) in
   let missing =
     List.filter_map
       (fun (kind, n) ->
@@ -142,7 +149,20 @@ let prepare t ~author ~phase ~step ?(items = []) ?(corrupt = false) ?(force_late
         if m > 0 then Some (kind, m) else None)
       cost
   in
-  let items = items @ Wire.items_of_cost t.config.sizing blob_rng missing in
+  (* role-local execution: a frame some other process ships — and
+     whose content this process will receive routed (or as a checksum
+     digest) — is prepared as a zero-filled skeleton of identical wire
+     weight, skipping the per-byte blob stream entirely *)
+  let local = match t.link with None -> true | Some l -> l.local author in
+  let synthesized =
+    if local then
+      let blob_rng =
+        Splitmix.of_int (Splitmix.mix (t.config.net_seed lxor 0x0b10b5) tag)
+      in
+      Wire.items_of_cost t.config.sizing blob_rng missing
+    else Wire.skeleton_items_of_cost t.config.sizing missing
+  in
+  let items = items @ synthesized in
   let msg = { Wire.step; items } in
   let frame = Wire.to_frame msg in
   let frame = if corrupt then corrupt_frame frame else frame in
@@ -160,17 +180,17 @@ let prepare t ~author ~phase ~step ?(items = []) ?(corrupt = false) ?(force_late
     p_force_late = force_late;
     p_cost = cost;
     p_decodes;
+    p_local = local;
   }
 
 (* The sequential half: transcript digest, cost charging, transmission
    and bulletin slot — everything whose order is the board's order. *)
 let commit t p =
   let { p_author = author; p_phase = phase; p_step = step; p_items = items; p_frame = frame;
-        p_force_late = force_late; p_cost = cost; p_decodes; } = p in
+        p_force_late = force_late; p_cost = cost; p_decodes; p_local; } = p in
   let frame_bytes = String.length frame in
   t.frames <- t.frames + 1;
   t.frame_bytes <- t.frame_bytes + frame_bytes;
-  t.digest <- ((t.digest * 1000003) + Wire.checksum frame) land max_int;
   let payload = tally_payload items in
   let tally = Bulletin.cost t.bulletin in
   List.iter (fun (kind, b) -> Cost.charge_bytes tally ~phase kind b) payload;
@@ -179,24 +199,47 @@ let commit t p =
   let verdict, _arrival = Sim.transmit t.sim ~extra_delay_ms ~bytes:frame_bytes () in
   (* Transport exchange: under a link the frame crosses a real process
      boundary.  The owning process physically sends it; every other
-     process blocks until the board daemon broadcasts it (or reports
-     the owner gone).  The sequence number is the frame counter, which
-     advances identically in every replica, so all processes exchange
-     the same frames in the same order.  All per-process state above
-     (digest chain, meters, sim transmission) was already mutated
-     identically, so a loopback multi-process run hashes to the same
-     transcript as the in-process run. *)
+     process blocks until the board daemon routes it — in full for
+     members of the author's quorum, or as a (checksum, length) digest
+     record for everyone else.  The sequence number is the frame
+     counter, which advances identically in every replica, so all
+     processes exchange the same frames in the same order. *)
   let exchange =
     match t.link with
     | None -> `Local
     | Some link ->
       let seq = t.frames - 1 in
       if link.owns author then begin
-        link.send ~seq ~author ~frame;
+        link.send ~seq ~phase ~author ~frame;
         `Local
       end
-      else (link.recv ~seq ~author :> [ `Local | `Frame of string | `Down ])
+      else
+        (link.recv ~seq ~phase ~author
+          :> [ `Local | `Frame of string | `Summary of int * int | `Down ])
   in
+  (* Transcript digest: chain the authoritative checksum of what
+     crossed the wire.  Locally materialized frames (sim runs, owned
+     frames, legacy broadcast) contribute their own checksum exactly
+     as before; a routed delivery contributes the checksum of the
+     received bytes, and a digest record contributes the checksum the
+     daemon computed on ingest — all of which equal the owner's true
+     checksum, so every member (and the sim run at equal seeds) chains
+     to the same digest.  A [`Down] exchange chains the local
+     skeleton's checksum, which is seed-deterministic and therefore
+     identical across all survivors.  [consistent] is the receiver's
+     integrity oracle: byte equality when the frame was locally
+     replayed in full, wire-weight (length) equality for role-local
+     skeletons — content integrity then rests on the frame's own
+     checksum, verified on daemon ingest and re-verified below. *)
+  let csum, consistent =
+    match exchange with
+    | `Local | `Down -> (Wire.checksum frame, true)
+    | `Frame f ->
+      if p_local then (Wire.checksum f, String.equal f frame)
+      else (Wire.checksum f, String.length f = frame_bytes)
+    | `Summary (csum, len) -> (csum, len = frame_bytes)
+  in
+  t.digest <- ((t.digest * 1000003) + csum) land max_int;
   match exchange with
   | `Down ->
     (* the owning process vanished mid-round: nothing ever reached the
@@ -205,14 +248,7 @@ let commit t p =
     Role.Registry.speak (Bulletin.registry t.bulletin) author;
     List.iter (fun (kind, n) -> Cost.charge tally ~phase kind n) cost;
     Dropped
-  | (`Local | `Frame _) as exchange -> (
-    (* a received frame must equal the locally replayed one (tampering
-       is part of the seeded fault plan, so even malicious frames are
-       predictable); a mismatch means a byzantine *process* and is
-       treated as a frame that fails verification *)
-    let consistent =
-      match exchange with `Frame f -> String.equal f frame | `Local -> true
-    in
+  | `Local | `Frame _ | `Summary _ -> (
     match verdict with
     | Sim.Dropped ->
       (* the role spoke — its one shot is consumed and the bytes were

@@ -36,23 +36,36 @@ val outcome_to_string : outcome -> string
 
     A link plugs a genuine inter-process transport behind the board
     façade.  Every committee-member process replays the same
-    deterministic protocol; the board walks the same commit sequence
-    in each of them and uses the link to make every frame cross a real
-    process boundary: the process that {e owns} the author sends the
-    encoded frame to the board daemon, every other process blocks
-    until the daemon broadcasts it.  [seq] is the frame counter (the
-    commit index), identical in all replicas.
+    deterministic commit sequence; the link makes every frame cross a
+    real process boundary: the process that {e owns} the author sends
+    the encoded frame to the board daemon, every other process blocks
+    until the daemon routes it.  [seq] is the frame counter (the
+    commit index), identical in all replicas; [phase] names the
+    protocol phase the frame belongs to (for interest bookkeeping).
+
+    [local] is the role-local execution switch: when it returns
+    [false] for an author, this process prepares that author's frames
+    as zero-filled {e skeletons} of identical wire weight (see
+    {!Wire.skeleton_items_of_cost}) instead of materializing the true
+    bytes — the content arrives through [recv], either in full
+    ([`Frame]) or as the daemon's [`Summary (checksum, length)] digest
+    record.  Owners must always be [local]; a legacy broadcast link
+    returns [true] for everyone and behaves exactly as before.
 
     [recv] returning [`Down] means the owning process is gone (socket
     EOF or round-deadline timeout); the commit is treated exactly like
     a dropped frame, so silent peers flow into the fault-detection
-    path unchanged.  A received frame that differs from the locally
-    replayed one is treated like a frame that fails its integrity
-    check ([Garbled]). *)
+    path unchanged.  A received frame that differs from the local
+    replay — byte equality when the frame was materialized locally,
+    wire-weight equality for skeletons — is treated like a frame that
+    fails its integrity check ([Garbled]). *)
+type delivery = [ `Frame of string | `Summary of int * int | `Down ]
+
 type link = {
   owns : Role.id -> bool;
-  send : seq:int -> author:Role.id -> frame:string -> unit;
-  recv : seq:int -> author:Role.id -> [ `Frame of string | `Down ];
+  local : Role.id -> bool;
+  send : seq:int -> phase:string -> author:Role.id -> frame:string -> unit;
+  recv : seq:int -> phase:string -> author:Role.id -> delivery;
   stats : unit -> int * int;
       (** [(reconnects, caught_up)]: connection recoveries this link's
           transport survived and deliveries replayed through them;

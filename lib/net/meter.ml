@@ -6,6 +6,8 @@ type t = {
   by_role : (string, int) Hashtbl.t; (* frame bytes per role family *)
   framing : (string, int) Hashtbl.t; (* non-payload bytes per phase *)
   by_conn : (string, int * int) Hashtbl.t; (* (sent, received) per connection *)
+  by_route : (string, int * int * int) Hashtbl.t;
+      (* (full, digest, suppressed) delivery bytes per subscription *)
 }
 
 let create () =
@@ -15,6 +17,7 @@ let create () =
     by_role = Hashtbl.create 16;
     framing = Hashtbl.create 8;
     by_conn = Hashtbl.create 8;
+    by_route = Hashtbl.create 8;
   }
 
 let add tbl key n = Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
@@ -76,6 +79,32 @@ let connections t = sorted_bindings t.by_conn
 let conn_total t =
   Hashtbl.fold (fun _ (s, r) (ts, tr) -> (ts + s, tr + r)) t.by_conn (0, 0)
 
+(* interest-routed delivery accounting, attributed per subscription:
+   [full] is full-frame bytes actually delivered to the subscriber,
+   [digest] the compact checksum-record bytes, and [suppressed] the
+   full-frame bytes routing avoided sending (what a broadcast daemon
+   would have shipped instead of each digest record) *)
+let record_route t ~sub ~full ~digest ~suppressed =
+  if full < 0 || digest < 0 || suppressed < 0 then
+    invalid_arg "Meter.record_route: negative byte count";
+  let f0, d0, s0 = Option.value ~default:(0, 0, 0) (Hashtbl.find_opt t.by_route sub) in
+  Hashtbl.replace t.by_route sub (f0 + full, d0 + digest, s0 + suppressed)
+
+let routes t = sorted_bindings t.by_route
+
+let route_total t =
+  Hashtbl.fold
+    (fun _ (f, d, s) (tf, td, ts) -> (tf + f, td + d, ts + s))
+    t.by_route (0, 0, 0)
+
+(* fraction of the broadcast-equivalent full-frame volume that was
+   actually shipped in full; 1.0 when nothing was suppressed (legacy
+   broadcast, or no routed deliveries recorded at all) *)
+let routing_ratio t =
+  let full, _, suppressed = route_total t in
+  if full + suppressed = 0 then 1.0
+  else float_of_int full /. float_of_int (full + suppressed)
+
 let pp ppf t =
   List.iter
     (fun phase ->
@@ -91,4 +120,8 @@ let pp ppf t =
   List.iter
     (fun (conn, (s, r)) ->
       Format.fprintf ppf "@[<h>conn %-12s sent=%dB received=%dB@]@." conn s r)
-    (connections t)
+    (connections t);
+  List.iter
+    (fun (sub, (f, d, s)) ->
+      Format.fprintf ppf "@[<h>sub  %-12s full=%dB digest=%dB suppressed=%dB@]@." sub f d s)
+    (routes t)

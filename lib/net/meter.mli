@@ -42,6 +42,26 @@ val connections : t -> (string * (int * int)) list
 val conn_total : t -> int * int
 (** Summed [(sent, received)] over every connection. *)
 
+val record_route : t -> sub:string -> full:int -> digest:int -> suppressed:int -> unit
+(** Adds interest-routed delivery bytes, attributed to one
+    {e subscription} (a slot's registered interest set) rather than
+    lumped into its connection row: [full] full-frame bytes delivered,
+    [digest] compact checksum-record bytes delivered, [suppressed]
+    full-frame bytes routing avoided (what a broadcast daemon would
+    have shipped instead).  Like connection bytes, routing bytes never
+    feed the phase/kind/role totals. *)
+
+val routes : t -> (string * (int * int * int)) list
+(** Per-subscription [(full, digest, suppressed)] bytes, sorted. *)
+
+val route_total : t -> int * int * int
+(** Summed [(full, digest, suppressed)] over every subscription. *)
+
+val routing_ratio : t -> float
+(** [full / (full + suppressed)] over all subscriptions — the fraction
+    of the broadcast-equivalent volume actually shipped in full.
+    [1.0] when nothing was suppressed. *)
+
 val kind_bytes : t -> phase:string -> Cost.kind -> int
 val data_bytes : t -> phase:string -> int
 val framing_bytes : t -> phase:string -> int

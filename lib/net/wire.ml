@@ -316,6 +316,26 @@ let items_of_cost sizing rng cost =
           | Cost.Key -> Public_keys (blobs rng sizing.key_bytes n)))
     cost
 
+(* Same shape — identical item tallies, lengths and framing — with
+   zero-filled blob bytes.  A role-local receiver only needs the wire
+   weight of a frame it will never ship (content arrives routed, or as
+   a checksum digest), so the per-byte RNG stream is skipped
+   entirely. *)
+let skeleton_items_of_cost sizing cost =
+  let zeros len n = Array.make n (String.make len '\000') in
+  List.filter_map
+    (fun (kind, n) ->
+      if n <= 0 then None
+      else
+        Some
+          (match kind with
+          | Cost.Field_element -> Field_elements (Array.make n (F.of_int 0))
+          | Cost.Ciphertext -> Ciphertexts (zeros sizing.ciphertext_bytes n)
+          | Cost.Proof -> Proofs (zeros sizing.proof_bytes n)
+          | Cost.Partial_decryption -> Partial_decs (zeros sizing.partial_bytes n)
+          | Cost.Key -> Public_keys (zeros sizing.key_bytes n)))
+    cost
+
 let summary m =
   let tally = Hashtbl.create 8 in
   List.iter

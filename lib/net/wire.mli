@@ -27,6 +27,12 @@ exception Decode_error of string
 val put_varint : Buffer.t -> int -> unit
 (** Unsigned LEB128. *)
 
+val put_u8 : Buffer.t -> int -> unit
+
+val put_checksum : Buffer.t -> int -> unit
+(** 8 bytes, little-endian — carries a full 63-bit {!checksum}, which
+    exceeds the canonical varint range. *)
+
 val put_fixed32 : Buffer.t -> int -> unit
 (** 4 bytes, little-endian. *)
 
@@ -39,6 +45,7 @@ val put_bigint : Buffer.t -> B.t -> unit
 type dec = { src : string; mutable pos : int }
 
 val get_varint : dec -> int
+val get_u8 : dec -> int
 val get_fixed32 : dec -> int
 val get_bytes : dec -> string
 val get_field : dec -> F.t
@@ -109,3 +116,10 @@ val items_of_cost : sizing -> Splitmix.t -> (Cost.kind * int) list -> item list
 (** Synthesize wire items at modeled sizes for an abstract element
     tally; used for objects whose ideal implementation has no bit
     representation. *)
+
+val skeleton_items_of_cost : sizing -> (Cost.kind * int) list -> item list
+(** Like {!items_of_cost} with zero-filled blob bytes: identical item
+    tallies, payload lengths and framing, no RNG stream.  Role-local
+    execution uses this for frames another process ships — the
+    skeleton carries the exact wire {e weight} while the content (or
+    its checksum) arrives over the transport. *)

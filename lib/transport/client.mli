@@ -3,12 +3,21 @@
 
     The client is driven synchronously from inside the protocol's
     commit path: the member that owns board frame [seq] calls {!post};
-    everyone calls {!fetch} and blocks until the daemon's [Deliver]
+    everyone calls {!fetch} and blocks until the daemon's delivery
     for that sequence number arrives (deliveries come in strict [seq]
     order, so out-of-order frames are stashed and replayed).  A peer
     that the daemon declared down — or a round deadline expiring while
     we wait — surfaces as [`Down], which the caller maps onto the
     silent-fault path.
+
+    {b Routing.}  With a routed [?topology], the client registers its
+    interest set ([Subscribe]) right after every [Hello]/[Recover]
+    handshake; the daemon then delivers only the frames of slots in
+    {!Topology.full_sources} in full and everything else as a
+    [`Summary (checksum, length)] digest record, both coalesced into
+    [Deliver_batch] envelopes.  Without a topology (or with a
+    broadcast one) the client never subscribes and gets the legacy
+    full-frame [Deliver] stream.
 
     {b Reconnect.}  A connection that dies mid-run (daemon restart,
     injected fault) is re-established transparently: the client
@@ -29,6 +38,7 @@ exception Protocol_error of string
 val connect :
   ?deadline_ms:float ->
   ?policy:Transport_policy.t ->
+  ?topology:Topology.t ->
   addr:Unix.sockaddr ->
   slot:int ->
   nslots:int ->
@@ -36,11 +46,11 @@ val connect :
   unit ->
   t
 (** Connects (with bounded retry-and-backoff, so racing the daemon's
-    [listen] is safe), sends [Hello] and blocks until [Start] — riding
-    out a daemon restart in between via the recover path.
-    [deadline_ms] is the per-round receive deadline used by every
-    subsequent blocking wait; defaults to [policy]'s
-    [round_deadline_ms]. *)
+    [listen] is safe), sends [Hello] (and, under a routed [topology],
+    [Subscribe]) and blocks until [Start] — riding out a daemon
+    restart in between via the recover path.  [deadline_ms] is the
+    per-round receive deadline used by every subsequent blocking
+    wait; defaults to [policy]'s [round_deadline_ms]. *)
 
 val slot : t -> int
 val own_posts : t -> int
@@ -59,12 +69,14 @@ val post : t -> seq:int -> frame:string -> unit
     accepted it).
     @raise Sockio.Closed when the reconnect budget is exhausted. *)
 
-val fetch : t -> seq:int -> owner:int -> [ `Frame of string | `Down ]
+val fetch :
+  t -> seq:int -> owner:int -> [ `Frame of string | `Summary of int * int | `Down ]
 (** Block until the daemon delivers frame [seq] (posted by slot
-    [owner]), or return [`Down] if that slot is known dead, went dead
-    while we waited, or the round deadline expired.  A dropped
-    connection is recovered in place; only an exhausted reconnect
-    budget maps to [`Down]. *)
+    [owner]) — in full ([`Frame]) or as a routed digest record
+    ([`Summary (checksum, length)]) — or return [`Down] if that slot
+    is known dead, went dead while we waited, or the round deadline
+    expired.  A dropped connection is recovered in place; only an
+    exhausted reconnect budget maps to [`Down]. *)
 
 val report : t -> json:string -> unit
 (** Send the final report.  Best-effort with one recovery round: a

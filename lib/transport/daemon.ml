@@ -22,6 +22,9 @@ type stats = {
   connections : int;
   frames_in : int;
   frames_out : int;
+  digests_out : int;
+  batches_out : int;
+  suppressed_bytes : int;
   garbled_frames : int;
   bytes_in : int;
   bytes_out : int;
@@ -30,6 +33,8 @@ type stats = {
   replayed_frames : int;
   recovered_frames : int;
   journal_bytes : int;
+  shards : int;
+  digest : int;
   chaos_events : (string * int) list;
   timed_out : bool;
 }
@@ -45,6 +50,9 @@ type conn = {
   outq : string Queue.t;
   mutable out_off : int;  (* bytes of the queue head already written *)
   mutable slot : int option;
+  mutable sub : bool array option;  (* per-owner full-frame interest, once subscribed *)
+  mutable batch : Envelope.record list;  (* pending delivery records, reversed *)
+  mutable batch_bytes : int;
   mutable reported : bool;
   mutable closed : bool;
   mutable stall_until : float;  (* chaos delay: writes parked until then *)
@@ -52,6 +60,9 @@ type conn = {
   mutable sent_b : int;  (* daemon -> peer *)
   mutable recv_b : int;  (* peer -> daemon *)
   mutable replay_b : int;  (* portion of sent_b that was catch-up replay *)
+  mutable full_b : int;  (* routed full-frame delivery bytes *)
+  mutable digest_b : int;  (* routed digest-record bytes *)
+  mutable supp_b : int;  (* full-frame bytes routing avoided sending *)
 }
 
 let conn_name c =
@@ -64,8 +75,19 @@ let violate fmt = Printf.ksprintf (fun s -> raise (Protocol_violation s)) fmt
 (* internal: a chaos kill point fired; unwinds to the crash handler *)
 exception Crash_now
 
-let serve ?(config = default_config) ?meter ?journal:journal_path ?chaos ~listen ~nslots () =
+let shard_journal_path base k = if k = 0 then base else Printf.sprintf "%s.shard%d" base k
+
+let serve ?(config = default_config) ?meter ?journal:journal_path ?chaos ?topology ~listen
+    ~nslots () =
   if nslots < 1 then invalid_arg "Daemon.serve: nslots must be >= 1";
+  let shards =
+    match topology with
+    | Some (topo : Topology.t) ->
+      if topo.Topology.nslots <> nslots then
+        invalid_arg "Daemon.serve: topology nslots mismatch";
+      topo.Topology.shards
+    | None -> 1
+  in
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   let conns = ref [] in
   let accepted = ref 0 in
@@ -79,42 +101,95 @@ let serve ?(config = default_config) ?meter ?journal:journal_path ?chaos ~listen
   let pending_down : (int, float) Hashtbl.t = Hashtbl.create 8 in
   let frames_in = ref 0 in
   let frames_out = ref 0 in
+  let digests_out = ref 0 in
+  let batches_out = ref 0 in
+  let suppressed = ref 0 in
   let garbled = ref 0 in
   let reconnects = ref 0 in
   let replayed = ref 0 in
   let recovered = ref 0 in
   let timed_out = ref false in
+  (* the daemon's own transcript digest: chained over accepted posts
+     in sequence order (across all shards — the stitch), same chain as
+     Board, so a fault-free routed run can be checked against the sim
+     digest without any client's help *)
+  let digest = ref 0x9e3779b9 in
+  let chain csum = digest := ((!digest * 1000003) + csum) land max_int in
   let scratch = Bytes.create 65536 in
   let t0 = Unix.gettimeofday () in
 
-  (* crash recovery: the journal is the only state that survives a
-     daemon death — rebuild board, sequence counter, start flag and
-     report table from its intact prefix before accepting traffic *)
+  (* crash recovery: the journals are the only state that survives a
+     daemon death — stitch the per-shard files back together (merge
+     the posts by sequence number) and rebuild board, sequence
+     counter, digest chain, start flag and report table from their
+     intact prefixes before accepting traffic *)
   (match journal_path with
   | None -> ()
   | Some p ->
+    let posted = ref [] in
     List.iter
-      (function
-        | Journal.Started { nslots = n } ->
-          if n <> nslots then
-            invalid_arg
-              (Printf.sprintf "Daemon.serve: journal is for %d slots, run has %d" n nslots);
-          started := true
-        | Journal.Posted { seq; slot; frame } ->
-          Hashtbl.replace board seq (slot, frame);
-          if seq >= !next_seq then next_seq := seq + 1;
-          incr recovered
-        | Journal.Reported { slot; json } -> Hashtbl.replace reports slot json)
-      (Journal.replay p));
-  let journal =
-    Option.map
-      (fun p -> Journal.open_append ~fsync_every:config.fsync_every ~path:p ())
-      journal_path
+      (fun k ->
+        List.iter
+          (function
+            | Journal.Started { nslots = n } ->
+              if n <> nslots then
+                invalid_arg
+                  (Printf.sprintf "Daemon.serve: journal is for %d slots, run has %d" n
+                     nslots);
+              started := true
+            | Journal.Posted { seq; slot; frame } -> posted := (seq, slot, frame) :: !posted
+            | Journal.Reported { slot; json } -> Hashtbl.replace reports slot json)
+          (Journal.replay (shard_journal_path p k)))
+      (List.init shards Fun.id);
+    List.iter
+      (fun (seq, slot, frame) ->
+        Hashtbl.replace board seq (slot, frame);
+        if seq >= !next_seq then next_seq := seq + 1;
+        chain (Wire.checksum frame);
+        incr recovered)
+      (List.sort compare !posted));
+  let journals =
+    match journal_path with
+    | None -> [||]
+    | Some p ->
+      Array.init shards (fun k ->
+          Journal.open_append ~fsync_every:config.fsync_every
+            ~path:(shard_journal_path p k) ())
   in
-  let jappend r = Option.iter (fun j -> Journal.append j r) journal in
+  (* shard bookkeeping is keyed by the posting slot: a committee
+     partition of the board *)
+  let shard_of_slot slot = slot mod shards in
+  let jappend ~slot r =
+    if Array.length journals > 0 then Journal.append journals.(shard_of_slot slot) r
+  in
 
   let enqueue c payload =
     if (not c.closed) && not c.sever_after_flush then Queue.add payload c.outq
+  in
+  (* coalesce this connection's pending delivery records into one
+     envelope.  Records were appended in seq order, so a flushed batch
+     preserves the board's total order *)
+  let flush_batch c =
+    match c.batch with
+    | [] -> ()
+    | records ->
+      let payload = Envelope.encode (Envelope.Deliver_batch (List.rev records)) in
+      c.batch <- [];
+      c.batch_bytes <- 0;
+      incr batches_out;
+      enqueue c payload
+  in
+  (* control traffic and full-frame [Deliver]s must not overtake
+     batched records queued earlier: flush first *)
+  let enqueue_ctl c payload =
+    flush_batch c;
+    enqueue c payload
+  in
+  let append_record c r =
+    let sz = Envelope.record_size r in
+    if c.batch_bytes + sz > config.max_body - 4096 then flush_batch c;
+    c.batch <- r :: c.batch;
+    c.batch_bytes <- c.batch_bytes + sz
   in
   (* abrupt connection loss: close now, blame only after the grace
      window (unless the slot already reported) *)
@@ -174,20 +249,78 @@ let serve ?(config = default_config) ?meter ?journal:journal_path ?chaos ~listen
       enqueue c payload;
       true
   in
+  (* interest-routed delivery to a subscribed connection: a full
+     record for members of the owner's quorum, a compact digest record
+     for everyone else, both riding the per-connection batch.  Chaos
+     is consulted per record with the same outcomes as the legacy
+     path *)
+  let routed_deliver c ~seq ~owner ~frame ~csum =
+    let tslot = match c.slot with Some s -> s | None -> assert false in
+    let record =
+      match c.sub with
+      | Some wants when not wants.(owner) ->
+        Envelope.Digest { seq; slot = owner; csum; len = String.length frame }
+      | _ -> Envelope.Full { seq; slot = owner; frame }
+    in
+    let account () =
+      match record with
+      | Envelope.Full _ ->
+        c.full_b <- c.full_b + Envelope.record_size record;
+        incr frames_out
+      | Envelope.Digest _ ->
+        c.digest_b <- c.digest_b + Envelope.record_size record;
+        c.supp_b <- c.supp_b + String.length frame;
+        suppressed := !suppressed + String.length frame;
+        incr digests_out
+    in
+    match chaos with
+    | Some ch when not c.sever_after_flush -> (
+      match Chaos.on_deliver ch ~seq ~slot:tslot with
+      | Chaos.Pass ->
+        append_record c record;
+        account ()
+      | Chaos.Duplicate ->
+        append_record c record;
+        append_record c record;
+        account ();
+        account ()
+      | Chaos.Delay ms ->
+        append_record c record;
+        account ();
+        let until = Unix.gettimeofday () +. (ms /. 1000.) in
+        if until > c.stall_until then c.stall_until <- until
+      | Chaos.Sever -> drop_conn c
+      | Chaos.Truncate f ->
+        flush_batch c;
+        let payload = Envelope.encode (Envelope.Deliver_batch [ record ]) in
+        let len = String.length payload in
+        let k = max 1 (min (len - 1) (int_of_float (f *. float_of_int len))) in
+        enqueue c (String.sub payload 0 k);
+        c.sever_after_flush <- true)
+    | _ ->
+      append_record c record;
+      account ()
+  in
   (* only slot-bound connections receive broadcasts: a reconnecting
      connection must get its ordered replay first, or new frames would
      arrive out of order and be dropped as stale by the client *)
   let broadcast msg =
-    let payload = Envelope.encode msg in
     let targets = List.filter (fun c -> (not c.closed) && c.slot <> None) !conns in
     match msg with
-    | Envelope.Deliver { seq; _ } ->
+    | Envelope.Deliver { seq; slot = owner; frame } ->
+      let payload = lazy (Envelope.encode msg) in
+      let csum = Wire.checksum frame in
       List.iter
         (fun c ->
-          let tslot = match c.slot with Some s -> s | None -> assert false in
-          if deliver_to c ~seq ~slot:tslot payload then incr frames_out)
+          match c.sub with
+          | Some _ -> routed_deliver c ~seq ~owner ~frame ~csum
+          | None ->
+            let tslot = match c.slot with Some s -> s | None -> assert false in
+            if deliver_to c ~seq ~slot:tslot (Lazy.force payload) then incr frames_out)
         targets
-    | _ -> List.iter (fun c -> enqueue c payload) targets
+    | _ ->
+      let payload = Envelope.encode msg in
+      List.iter (fun c -> enqueue_ctl c payload) targets
   in
   let expire_pending now =
     let expired =
@@ -208,7 +341,7 @@ let serve ?(config = default_config) ?meter ?journal:journal_path ?chaos ~listen
   let maybe_start () =
     if (not !started) && hellos () = nslots then begin
       started := true;
-      jappend (Journal.Started { nslots });
+      jappend ~slot:0 (Journal.Started { nslots });
       broadcast Envelope.Start
     end
   in
@@ -223,6 +356,16 @@ let serve ?(config = default_config) ?meter ?journal:journal_path ?chaos ~listen
       c.slot <- Some slot;
       Hashtbl.remove pending_down slot;
       if !started then enqueue c (Envelope.encode Envelope.Start) else maybe_start ()
+    | Envelope.Subscribe { slot; full_of } ->
+      if c.slot <> Some slot then
+        violate "subscribe: slot %d on connection %s" slot (conn_name c);
+      let wants = Array.make nslots false in
+      List.iter
+        (fun o ->
+          if o < 0 || o >= nslots then violate "subscribe: source slot %d out of range" o;
+          wants.(o) <- true)
+        full_of;
+      c.sub <- Some wants
     | Envelope.Recover { slot; nslots = peer_nslots; seed = _; next_seq = client_next } ->
       if peer_nslots <> nslots then
         violate "recover: peer expects %d slots, run has %d" peer_nslots nslots;
@@ -272,7 +415,8 @@ let serve ?(config = default_config) ?meter ?journal:journal_path ?chaos ~listen
         | (_ : Wire.message) -> ()
         | exception Wire.Decode_error _ -> incr garbled);
         Hashtbl.replace board seq (slot, frame);
-        jappend (Journal.Posted { seq; slot; frame });
+        chain (Wire.checksum frame);
+        jappend ~slot (Journal.Posted { seq; slot; frame });
         (* accepted and journaled: a scheduled kill fires here, before
            the broadcast, so the restarted daemon (whose recovered
            counter is already past [seq]) never re-crashes *)
@@ -284,10 +428,10 @@ let serve ?(config = default_config) ?meter ?journal:journal_path ?chaos ~listen
     | Envelope.Report { slot; json } ->
       if c.slot <> Some slot then violate "report: slot %d on connection %s" slot (conn_name c);
       Hashtbl.replace reports slot json;
-      jappend (Journal.Reported { slot; json });
+      jappend ~slot (Journal.Reported { slot; json });
       c.reported <- true
-    | Envelope.Start | Envelope.Deliver _ | Envelope.Peer_down _ | Envelope.Shutdown
-    | Envelope.Recovered _ ->
+    | Envelope.Start | Envelope.Deliver _ | Envelope.Deliver_batch _ | Envelope.Peer_down _
+    | Envelope.Shutdown | Envelope.Recovered _ ->
       violate "client sent a daemon-only message"
   in
   let read_conn c =
@@ -341,6 +485,9 @@ let serve ?(config = default_config) ?meter ?journal:journal_path ?chaos ~listen
               outq = Queue.create ();
               out_off = 0;
               slot = None;
+              sub = None;
+              batch = [];
+              batch_bytes = 0;
               reported = false;
               closed = false;
               stall_until = 0.;
@@ -348,6 +495,9 @@ let serve ?(config = default_config) ?meter ?journal:journal_path ?chaos ~listen
               sent_b = 0;
               recv_b = 0;
               replay_b = 0;
+              full_b = 0;
+              digest_b = 0;
+              supp_b = 0;
             };
           ]
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
@@ -384,7 +534,11 @@ let serve ?(config = default_config) ?meter ?journal:journal_path ?chaos ~listen
           live;
         List.iter
           (fun c -> if (not c.closed) && List.memq c.fd rready then read_conn c)
-          live
+          live;
+        (* one flush per event-loop turn: every delivery that arrived
+           in this turn's reads rides out in a single coalesced
+           envelope per connection *)
+        List.iter (fun c -> if not c.closed then flush_batch c) live
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       loop ()
     end
@@ -396,6 +550,9 @@ let serve ?(config = default_config) ?meter ?journal:journal_path ?chaos ~listen
       connections = !accepted;
       frames_in = !frames_in;
       frames_out = !frames_out;
+      digests_out = !digests_out;
+      batches_out = !batches_out;
+      suppressed_bytes = !suppressed;
       garbled_frames = !garbled;
       bytes_in;
       bytes_out;
@@ -403,7 +560,9 @@ let serve ?(config = default_config) ?meter ?journal:journal_path ?chaos ~listen
       reconnects = !reconnects;
       replayed_frames = !replayed;
       recovered_frames = !recovered;
-      journal_bytes = (match journal with Some j -> Journal.bytes j | None -> 0);
+      journal_bytes = Array.fold_left (fun a j -> a + Journal.bytes j) 0 journals;
+      shards;
+      digest = !digest;
       chaos_events = (match chaos with Some ch -> Chaos.events ch | None -> []);
       timed_out = !timed_out;
     }
@@ -414,13 +573,20 @@ let serve ?(config = default_config) ?meter ?journal:journal_path ?chaos ~listen
     | Some m ->
       List.iter
         (fun c ->
+          (* routed and replayed delivery bytes are attributed to the
+             slot's subscription, not its connection row: the conn row
+             keeps only control + post traffic, so conn totals stay
+             comparable across geometries *)
           Meter.record_conn m ~conn:(conn_name c)
-            ~sent:(max 0 (c.sent_b - c.replay_b))
+            ~sent:(max 0 (c.sent_b - c.replay_b - c.full_b - c.digest_b))
             ~received:c.recv_b;
           (* catch-up replay is accounted separately so phase totals
              stay comparable with a fault-free run *)
           if c.replay_b > 0 then
-            Meter.record_conn m ~conn:("replay:" ^ conn_name c) ~sent:c.replay_b ~received:0)
+            Meter.record_conn m ~conn:("replay:" ^ conn_name c) ~sent:c.replay_b ~received:0;
+          if c.sub <> None then
+            Meter.record_route m ~sub:(conn_name c) ~full:c.full_b ~digest:c.digest_b
+              ~suppressed:c.supp_b)
         !conns
   in
   let close_all () =
@@ -441,7 +607,7 @@ let serve ?(config = default_config) ?meter ?journal:journal_path ?chaos ~listen
        picks up the reconnect storm. *)
     close_all ();
     record_meters ();
-    Option.iter Journal.close journal;
+    Array.iter Journal.close journals;
     raise (Crashed (mk_stats ())));
   (* orderly shutdown: tell everyone, best-effort flush, close *)
   if not !timed_out then begin
@@ -466,7 +632,7 @@ let serve ?(config = default_config) ?meter ?journal:journal_path ?chaos ~listen
   end;
   record_meters ();
   close_all ();
-  Option.iter Journal.close journal;
+  Array.iter Journal.close journals;
   {
     reports =
       Hashtbl.fold (fun s j acc -> (s, j) :: acc) reports [] |> List.sort compare;

@@ -11,8 +11,13 @@
       against the global post counter (posts arrive in strictly
       increasing order — the protocol's commit order is total),
       appends the frame to the write-ahead journal (when one is
-      configured) and broadcasts [Deliver {seq; ...}] to every
-      slot-bound connection;
+      configured) and delivers it to every slot-bound connection:
+      legacy connections get a full [Deliver {seq; ...}] broadcast,
+      while connections that registered a [Subscribe] interest set get
+      {e routed} delivery — a [Full] record if the posting slot is in
+      their interest set, a [Digest] record (checksum + length)
+      otherwise, coalesced into [Deliver_batch] envelopes flushed once
+      per event-loop turn (or when a batch reaches the body cap);
     + a connection that dies before delivering its [Report] starts a
       {e grace window}; only if the slot fails to reconnect (via the
       [Recover] handshake) before it expires is [Peer_down]
@@ -21,15 +26,26 @@
     + when every slot has either reported or gone down, the daemon
       flushes, sends [Shutdown] and returns.
 
+    {b Sharding.}  With a [?topology] declaring [shards > 1], board
+    bookkeeping is partitioned by posting slot ([slot mod shards] — a
+    committee partition): each shard appends to its own journal file
+    ([path] for shard 0, [path.shardK] for shard [k]).  The daemon's
+    transcript digest is chained across {e all} shards in global
+    sequence order, so the stitched transcript hashes exactly as an
+    unsharded one — the global digest oracle survives the partition.
+
     {b Crash recovery.}  With [?journal] set, every accepted frame is
     journaled {e before} broadcast.  A daemon restarted on the same
-    journal path replays the intact prefix to rebuild its board,
-    sequence counter, start flag and report table, then resumes
-    serving on the same listen socket; reconnecting clients send
-    [Recover] with the next delivery they have not seen and get the
-    gap replayed in order.  Re-posts of already-accepted frames
-    (byte-identical) are absorbed silently — a reconnecting owner
-    cannot prove which in-flight posts survived.
+    journal path replays the intact prefix of every shard file,
+    merges the posts by sequence number and rebuilds its board,
+    sequence counter, digest chain, start flag and report table, then
+    resumes serving on the same listen socket; reconnecting clients
+    send [Recover] with the next delivery they have not seen and get
+    the gap replayed in order (as legacy full [Deliver]s — catch-up
+    bypasses routing so recovery semantics are identical on every
+    path).  Re-posts of already-accepted frames (byte-identical) are
+    absorbed silently — a reconnecting owner cannot prove which
+    in-flight posts survived.
 
     {b Chaos.}  With [?chaos] set, first-time deliveries may be
     severed, truncated, duplicated or delayed (per-connection FIFO
@@ -63,7 +79,12 @@ val default_config : config
 type stats = {
   connections : int;
   frames_in : int;  (** [Post] envelopes accepted (duplicates excluded) *)
-  frames_out : int;  (** [Deliver] envelopes enqueued (per recipient) *)
+  frames_out : int;  (** full-frame deliveries enqueued (per recipient) *)
+  digests_out : int;  (** routed [Digest] records enqueued (per recipient) *)
+  batches_out : int;  (** [Deliver_batch] envelopes flushed *)
+  suppressed_bytes : int;
+      (** full-frame bytes routing avoided sending (frames summarized
+          as [Digest] records instead) *)
   garbled_frames : int;  (** inner frames failing [Wire.of_frame] on ingest *)
   bytes_in : int;
   bytes_out : int;
@@ -71,7 +92,12 @@ type stats = {
   reconnects : int;  (** [Recover] handshakes accepted *)
   replayed_frames : int;  (** catch-up [Deliver]s replayed to reconnectors *)
   recovered_frames : int;  (** board frames rebuilt from the journal at startup *)
-  journal_bytes : int;  (** journal file size (0 without a journal) *)
+  journal_bytes : int;  (** total journal file size across shards (0 without) *)
+  shards : int;  (** board partitions (1 = unsharded) *)
+  digest : int;
+      (** the daemon's own transcript digest, chained over accepted
+          posts in sequence order across all shards — equal to the
+          sim board digest in a fault-free run with equal seeds *)
   chaos_events : (string * int) list;  (** injected faults by kind, sorted *)
   timed_out : bool;
 }
@@ -92,6 +118,7 @@ val serve :
   ?meter:Meter.t ->
   ?journal:string ->
   ?chaos:Chaos.t ->
+  ?topology:Topology.t ->
   listen:Unix.file_descr ->
   nslots:int ->
   unit ->
@@ -99,9 +126,14 @@ val serve :
 (** Runs the event loop on an already-listening socket until the run
     completes (or the watchdog fires, in which case [stats.timed_out]
     is set and partial results are returned).  [journal] is the
-    write-ahead journal path: replayed at startup, appended per
-    accepted frame.  Per-connection envelope bytes are recorded into
-    [meter] under ["slotN"] names, with catch-up replay split out
-    under ["replay:slotN"].  The listen socket is left open; the
+    write-ahead journal path: replayed at startup (all shard files,
+    stitched), appended per accepted frame to the posting slot's
+    shard file.  [topology] sets the shard count (its [nslots] must
+    match; routing itself is driven by what each client [Subscribe]s
+    to, so an unrouted topology still shards the journal).
+    Per-connection envelope bytes are recorded into [meter] under
+    ["slotN"] names, with catch-up replay split out under
+    ["replay:slotN"] and routed delivery attributed per subscription
+    via {!Meter.record_route}.  The listen socket is left open; the
     caller owns it.
     @raise Crashed when a chaos kill point fires. *)

@@ -4,6 +4,10 @@ exception Envelope_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Envelope_error s)) fmt
 
+type record =
+  | Full of { seq : int; slot : int; frame : string }
+  | Digest of { seq : int; slot : int; csum : int; len : int }
+
 type msg =
   | Hello of { slot : int; nslots : int; seed : int }
   | Start
@@ -14,6 +18,8 @@ type msg =
   | Shutdown
   | Recover of { slot : int; nslots : int; seed : int; next_seq : int }
   | Recovered of { next_seq : int; started : bool }
+  | Subscribe of { slot : int; full_of : int list }
+  | Deliver_batch of record list
 
 let pp_msg ppf = function
   | Hello { slot; nslots; seed } ->
@@ -32,6 +38,13 @@ let pp_msg ppf = function
       next_seq
   | Recovered { next_seq; started } ->
     Format.fprintf ppf "recovered{next=%d;started=%b}" next_seq started
+  | Subscribe { slot; full_of } ->
+    Format.fprintf ppf "subscribe{slot=%d;full_of=%d}" slot (List.length full_of)
+  | Deliver_batch records ->
+    let fulls =
+      List.length (List.filter (function Full _ -> true | Digest _ -> false) records)
+    in
+    Format.fprintf ppf "deliver-batch{%d records;%d full}" (List.length records) fulls
 
 let magic0 = 'Y'
 let magic1 = 'T'
@@ -53,6 +66,49 @@ let tag = function
   | Shutdown -> 7
   | Recover _ -> 8
   | Recovered _ -> 9
+  | Subscribe _ -> 10
+  | Deliver_batch _ -> 11
+
+(* wire size of one batch record, for the daemon's flush-on-cap logic:
+   kind byte + generous varint headroom (+ checksum trailer for digest
+   records) *)
+let record_size = function
+  | Full { frame; _ } -> 1 + 10 + 10 + 10 + String.length frame
+  | Digest _ -> 1 + 10 + 10 + 10 + 8
+
+let put_record buf = function
+  | Full { seq; slot; frame } ->
+    Wire.put_u8 buf 0;
+    Wire.put_varint buf seq;
+    Wire.put_varint buf slot;
+    Wire.put_bytes buf frame
+  | Digest { seq; slot; csum; len } ->
+    Wire.put_u8 buf 1;
+    Wire.put_varint buf seq;
+    Wire.put_varint buf slot;
+    Wire.put_varint buf len;
+    (* the 63-bit checksum exceeds the canonical varint cap: fixed
+       8 bytes LE, same layout as the envelope trailer *)
+    Wire.put_checksum buf csum
+
+let get_record d =
+  match Wire.get_u8 d with
+  | 0 ->
+    let seq = Wire.get_varint d in
+    let slot = Wire.get_varint d in
+    let frame = Wire.get_bytes d in
+    Full { seq; slot; frame }
+  | 1 ->
+    let seq = Wire.get_varint d in
+    let slot = Wire.get_varint d in
+    let len = Wire.get_varint d in
+    let bytes = Array.init 8 (fun _ -> Wire.get_u8 d) in
+    let csum = ref 0 in
+    for i = 7 downto 0 do
+      csum := (!csum lsl 8) lor bytes.(i)
+    done;
+    Digest { seq; slot; csum = !csum; len }
+  | k -> fail "deliver-batch: unknown record kind %d" k
 
 let encode_body buf = function
   | Hello { slot; nslots; seed } ->
@@ -76,6 +132,13 @@ let encode_body buf = function
   | Recovered { next_seq; started } ->
     Wire.put_varint buf next_seq;
     Wire.put_varint buf (if started then 1 else 0)
+  | Subscribe { slot; full_of } ->
+    Wire.put_varint buf slot;
+    Wire.put_varint buf (List.length full_of);
+    List.iter (Wire.put_varint buf) full_of
+  | Deliver_batch records ->
+    Wire.put_varint buf (List.length records);
+    List.iter (put_record buf) records
 
 let decode_body ~tag body =
   let d = { Wire.src = body; pos = 0 } in
@@ -113,6 +176,15 @@ let decode_body ~tag body =
         | b -> fail "recovered: bad started flag %d" b
       in
       Recovered { next_seq; started }
+    | 10 ->
+      let slot = Wire.get_varint d in
+      let n = Wire.get_varint d in
+      if n > 1 lsl 20 then fail "subscribe: %d sources" n;
+      Subscribe { slot; full_of = List.init n (fun _ -> Wire.get_varint d) }
+    | 11 ->
+      let n = Wire.get_varint d in
+      if n > 1 lsl 20 then fail "deliver-batch: %d records" n;
+      Deliver_batch (List.init n (fun _ -> get_record d))
     | t -> fail "unknown envelope type %d" t
   in
   if d.Wire.pos <> String.length body then

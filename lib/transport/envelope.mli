@@ -20,6 +20,15 @@ exception Envelope_error of string
 (** Malformed envelope: bad magic/version/type, body over the cap,
     checksum mismatch, or an undecodable body. *)
 
+type record =
+  | Full of { seq : int; slot : int; frame : string }
+      (** a whole bulletin frame, delivered to the owner's quorum *)
+  | Digest of { seq : int; slot : int; csum : int; len : int }
+      (** everyone else's copy: the frame's {!Yoso_net.Wire.checksum}
+          (computed by the daemon on ingest) and byte length — enough
+          to chain the transcript digest and check wire weight without
+          shipping the content *)
+
 type msg =
   | Hello of { slot : int; nslots : int; seed : int }
       (** client -> daemon, once per connection *)
@@ -41,8 +50,23 @@ type msg =
       (** daemon -> reconnecting client: the board's high-water mark
           (next sequence number to be assigned) and whether the run
           has started; deliveries for the gap follow in order *)
+  | Subscribe of { slot : int; full_of : int list }
+      (** client -> daemon, after [Hello]/[Recover]: register this
+          slot's interest set — the owner slots whose frames it must
+          receive as [Full] records; every other frame arrives as a
+          [Digest] record.  A connection that never subscribes gets
+          legacy full-frame [Deliver] broadcast. *)
+  | Deliver_batch of record list
+      (** daemon -> subscribed clients: one flush's worth of
+          deliveries, coalesced into a single envelope.  Records are
+          in strict [seq] order, both within a batch and across
+          consecutive batches on one connection. *)
 
 val pp_msg : Format.formatter -> msg -> unit
+
+val record_size : record -> int
+(** Conservative encoded size of one batch record (used by the
+    daemon's flush-on-cap logic). *)
 
 val header_len : int
 (** Fixed envelope header size (magic + version + type + length). *)

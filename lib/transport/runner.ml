@@ -15,12 +15,20 @@ type result = {
   children : (int * Unix.process_status) list;
 }
 
-let link_of_client ?crash_after ~nslots client =
+let link_of_client ?crash_after ?topology ~nslots client =
   let me = Client.slot client in
+  let owns (r : Role.id) = r.Role.index mod nslots = me in
+  let routed =
+    match topology with Some (t : Topology.t) -> t.Topology.routed | None -> false
+  in
   {
-    Board.owns = (fun (r : Role.id) -> r.index mod nslots = me);
+    Board.owns;
+    (* role-local execution: under a routed topology this process
+       materializes only its own frames; everything else is a skeleton
+       whose content (or digest) arrives through [recv] *)
+    local = (fun r -> (not routed) || owns r);
     send =
-      (fun ~seq ~author:_ ~frame ->
+      (fun ~seq ~phase:_ ~author:_ ~frame ->
         (match crash_after with
         | Some m when Client.own_posts client >= m ->
           (* the crash drill: vanish mid-round, right before our next
@@ -29,8 +37,9 @@ let link_of_client ?crash_after ~nslots client =
         | _ -> ());
         Client.post client ~seq ~frame);
     recv =
-      (fun ~seq ~author ->
-        Client.fetch client ~seq ~owner:(author.Role.index mod nslots));
+      (fun ~seq ~phase:_ ~author ->
+        (Client.fetch client ~seq ~owner:(author.Role.index mod nslots)
+          :> Board.delivery));
     stats = (fun () -> Client.stats client);
   }
 
@@ -66,6 +75,9 @@ let add_stats a b =
     Daemon.connections = a.Daemon.connections + b.Daemon.connections;
     frames_in = a.frames_in + b.frames_in;
     frames_out = a.frames_out + b.frames_out;
+    digests_out = a.digests_out + b.digests_out;
+    batches_out = a.batches_out + b.batches_out;
+    suppressed_bytes = a.suppressed_bytes + b.suppressed_bytes;
     garbled_frames = a.garbled_frames + b.garbled_frames;
     bytes_in = a.bytes_in + b.bytes_in;
     bytes_out = a.bytes_out + b.bytes_out;
@@ -74,13 +86,21 @@ let add_stats a b =
     replayed_frames = a.replayed_frames + b.replayed_frames;
     recovered_frames = a.recovered_frames + b.recovered_frames;
     journal_bytes = b.journal_bytes;
+    shards = b.shards;
+    (* the restarted daemon re-chains the whole journal, so the last
+       life's digest already covers every accepted post *)
+    digest = b.digest;
     chaos_events = b.chaos_events;
     timed_out = a.timed_out || b.timed_out;
   }
 
 let run ?(endpoint = `Unix_socket) ?config ?deadline_ms ?crash ?meter ?policy ?journal
-    ?chaos ~nslots ~seed ~child () =
+    ?chaos ?topology ~nslots ~seed ~child () =
   if nslots < 1 then invalid_arg "Runner.run: nslots must be >= 1";
+  (match topology with
+  | Some (topo : Topology.t) ->
+    if topo.Topology.nslots <> nslots then invalid_arg "Runner.run: topology nslots mismatch"
+  | None -> ());
   let policy = Option.value policy ~default:Transport_policy.default in
   let deadline_ms =
     match deadline_ms with
@@ -103,11 +123,13 @@ let run ?(endpoint = `Unix_socket) ?config ?deadline_ms ?crash ?meter ?policy ?j
       let status =
         try
           Unix.close listen;
-          let client = Client.connect ~deadline_ms ~policy ~addr ~slot ~nslots ~seed () in
+          let client =
+            Client.connect ~deadline_ms ~policy ?topology ~addr ~slot ~nslots ~seed ()
+          in
           let crash_after =
             match crash with Some (s, m) when s = slot -> Some m | _ -> None
           in
-          let link = link_of_client ?crash_after ~nslots client in
+          let link = link_of_client ?crash_after ?topology ~nslots client in
           let json = child ~slot ~link in
           Client.report client ~json;
           Client.close client;
@@ -138,7 +160,7 @@ let run ?(endpoint = `Unix_socket) ?config ?deadline_ms ?crash ?meter ?policy ?j
      on the same listen fd (its backlog holds the reconnect storm) and
      recover the board from the journal *)
   let rec go crashed =
-    match Daemon.serve ?config ?meter ?journal ?chaos ~listen ~nslots () with
+    match Daemon.serve ?config ?meter ?journal ?chaos ?topology ~listen ~nslots () with
     | d -> (d, crashed)
     | exception Daemon.Crashed st -> go (st :: crashed)
   in

@@ -3,13 +3,23 @@
     {!Yoso_net.Board.link} wired to a {!Client}, and collects the
     final reports.
 
-    The execution model is replicated determinism: every child runs
-    the {e same} seeded protocol; the link decides, per board frame,
-    whether this child physically ships the frame or blocks on the
-    daemon's broadcast.  All children therefore produce byte-identical
-    reports — [agree] is the cheap agreement oracle — and the
-    transcript digest matches a plain in-process run with the same
-    seeds. *)
+    The execution model without a topology is replicated determinism:
+    every child runs the {e same} seeded protocol; the link decides,
+    per board frame, whether this child physically ships the frame or
+    blocks on the daemon's broadcast.  All children therefore produce
+    byte-identical reports — [agree] is the cheap agreement oracle —
+    and the transcript digest matches a plain in-process run with the
+    same seeds.
+
+    With a {e routed} {!Topology.t}, execution is {e role-local}:
+    each child materializes only the frames of slots it owns,
+    prepares everything else as zero-filled skeletons of identical
+    wire weight, and receives non-owned content through the daemon's
+    interest-routed delivery — full frames from its quorum sources,
+    digest records (checksum + length) from everyone else.  The board
+    digest chains the authoritative checksum of whatever crossed the
+    wire, so reports still agree byte-for-byte and the fault-free
+    digest still equals the sim digest at equal seeds. *)
 
 module Board = Yoso_net.Board
 module Meter = Yoso_net.Meter
@@ -31,10 +41,12 @@ type result = {
 }
 
 val link_of_client :
-  ?crash_after:int -> nslots:int -> Client.t -> Board.link
+  ?crash_after:int -> ?topology:Topology.t -> nslots:int -> Client.t -> Board.link
 (** The link a child plugs into its board: [owns] maps role index
-    [mod nslots] onto this client's slot; [send] posts owned frames;
-    [recv] blocks on the daemon's broadcast.  [crash_after m] makes
+    [mod nslots] onto this client's slot; [local] is [owns] under a
+    routed [topology] (role-local execution) and constant-[true]
+    otherwise (replicated execution); [send] posts owned frames;
+    [recv] blocks on the daemon's delivery.  [crash_after m] makes
     the process die ([Unix._exit 13]) when it is about to post its
     [m+1]-th own frame — the deterministic mid-round crash drill. *)
 
@@ -47,6 +59,7 @@ val run :
   ?policy:Transport_policy.t ->
   ?journal:string ->
   ?chaos:Chaos.t ->
+  ?topology:Topology.t ->
   nslots:int ->
   seed:int ->
   child:(slot:int -> link:Board.link -> string) ->
@@ -65,7 +78,9 @@ val run :
     fires the daemon is restarted in place on the same listen socket,
     recovering the board from the journal — [restarts] counts the
     lives lost; clients ride the restart out via their reconnect
-    path.
+    path.  [topology] switches on interest routing and role-local
+    execution (when [routed]) and shards the daemon's bookkeeping
+    and journal (when [shards > 1]).
     @raise Invalid_argument if [chaos] schedules kill points without
     a [journal]. *)
 

@@ -1,0 +1,64 @@
+(** Shard and subscription geometry for the routed transport.
+
+    One {!t} value describes how a run's board is laid out:
+
+    - [nslots] member processes, role index [mod nslots] mapping roles
+      onto slots;
+    - [shards] board shards.  A shard is a partition of the board
+      keyed by the posting slot ([slot mod shards] — a committee
+      partition): each shard has its own write-ahead journal file and
+      the daemon's transcript digest chains {e across} shards in
+      global commit order, so stitching the per-shard journals back
+      together (merge by sequence number) reproduces the exact board
+      and digest of an unsharded run;
+    - [quorum] full-frame fan-out: each posted frame is delivered in
+      full to the [quorum] slots following its owner in ring order,
+      and as a compact [(seq, slot, checksum, length)] digest record
+      to everyone else (including the owner, as its ack);
+    - [routed = false] is the legacy geometry: every slot receives
+      every frame in full.
+
+    The same value is consumed by {!Runner} (derives each member's
+    subscription), {!Daemon} (routes deliveries, partitions journals)
+    and the CLI/bench. *)
+
+type t = private {
+  nslots : int;
+  shards : int;
+  quorum : int;
+  routed : bool;
+}
+
+val broadcast : nslots:int -> t
+(** Legacy geometry: one shard, full delivery to every slot. *)
+
+val routed : ?shards:int -> ?quorum:int -> nslots:int -> unit -> t
+(** Interest-routed geometry.  [shards] defaults to 1; [quorum]
+    defaults to {!default_quorum}.
+    @raise Invalid_argument on [shards] outside [1, nslots] or
+    [quorum] outside [1, nslots-1]. *)
+
+val sharded : shards:int -> nslots:int -> t
+(** Journal/bookkeeping sharding {e without} interest routing: every
+    slot still receives every frame in full.
+    @raise Invalid_argument on [shards] outside [1, nslots]. *)
+
+val default_quorum : nslots:int -> int
+(** [max 2 (nslots / 8)], capped at [nslots - 1]. *)
+
+val owner_slot : t -> index:int -> int
+(** The slot owning a role with the given committee index. *)
+
+val shard_of_slot : t -> slot:int -> int
+(** Which board shard records frames posted by [slot]. *)
+
+val wants_full : t -> me:int -> owner:int -> bool
+(** Whether slot [me] receives [owner]'s frames in full (always [true]
+    when not routed). *)
+
+val full_sources : t -> me:int -> int list
+(** The subscription slot [me] registers: every owner slot whose
+    frames it receives in full.  [List.length] is [quorum] (or
+    [nslots] when not routed). *)
+
+val pp : Format.formatter -> t -> unit

@@ -222,7 +222,7 @@ let run_and_check ?adversary circuit inputs =
   let config =
     match adversary with
     | None -> Protocol.default_config
-    | Some adversary -> { Protocol.default_config with adversary }
+    | Some adversary -> Protocol.config ~adversary ()
   in
   let r = Protocol.execute ~params:params16 ~config ~circuit ~inputs () in
   Alcotest.(check bool) "outputs match plain evaluation" true
@@ -294,7 +294,7 @@ let test_e2e_failstop_mode_params () =
   let adversary = { Params.malicious = params.Params.t; passive = 0; fail_stop = headroom } in
   let r =
     Protocol.execute ~params
-      ~config:{ Protocol.default_config with adversary }
+      ~config:(Protocol.config ~adversary ())
       ~circuit ~inputs ()
   in
   Alcotest.(check bool) "GOD under t malicious + max fail-stop" true
@@ -307,8 +307,9 @@ let test_e2e_rejects_invalid_adversary () =
       ignore
         (Protocol.execute ~params:params16
            ~config:
-             { Protocol.default_config with
-               adversary = { Params.malicious = 6; passive = 0; fail_stop = 0 } }
+             (Protocol.config
+                ~adversary:{ Params.malicious = 6; passive = 0; fail_stop = 0 }
+                ())
            ~circuit
            ~inputs:(fun _ -> [| F.one; F.one |])
            ()))
@@ -316,7 +317,7 @@ let test_e2e_rejects_invalid_adversary () =
 let test_e2e_deterministic_given_seed () =
   let circuit = Gen.dot_product ~len:3 in
   let inputs c = Array.init 3 (fun i -> F.of_int (c + i + 1)) in
-  let config = { Protocol.default_config with seed = 9 } in
+  let config = Protocol.config ~seed:9 () in
   let r1 = Protocol.execute ~params:params16 ~config ~circuit ~inputs () in
   let r2 = Protocol.execute ~params:params16 ~config ~circuit ~inputs () in
   Alcotest.(check int) "same posts" r1.Protocol.posts r2.Protocol.posts;

@@ -25,7 +25,7 @@ type outcome =
   | Crashed of exn
 
 let run ?plan ?(validate = true) ?(seed = 0xFA_17) ~params adversary =
-  let config = { Protocol.default_config with adversary; plan; validate; seed } in
+  let config = Protocol.config ~adversary ?plan ~validate ~seed () in
   match Protocol.execute ~params ~config ~circuit ~inputs () with
   | r -> if Protocol.check r circuit ~inputs then Delivered r else Wrong r
   | exception Faults.Protocol_failure f -> Aborted f

@@ -388,7 +388,7 @@ let inputs c = Array.init 4 (fun i -> F.of_int ((c * 10) + i + 1))
 let test_protocol_replay () =
   let run () =
     Protocol.execute ~params:params16
-      ~config:{ Protocol.default_config with seed = 11 }
+      ~config:(Protocol.config ~seed:11 ())
       ~circuit ~inputs ()
   in
   let r1 = run () and r2 = run () in
@@ -401,7 +401,7 @@ let test_protocol_replay () =
 let test_protocol_bytes_measured () =
   let r =
     Protocol.execute ~params:params16
-      ~config:{ Protocol.default_config with seed = 11 }
+      ~config:(Protocol.config ~seed:11 ())
       ~circuit ~inputs ()
   in
   Alcotest.(check bool) "setup bytes" true (r.Protocol.setup_bytes > 0);
@@ -420,7 +420,7 @@ let test_protocol_over_lan () =
   let net = { Board.default_config with Board.model = Sim.lan; Board.round_ms = 200. } in
   let r =
     Protocol.execute ~params:params16
-      ~config:{ Protocol.default_config with seed = 11; net }
+      ~config:(Protocol.config ~seed:11 ~board:net ())
       ~circuit ~inputs ()
   in
   Alcotest.(check bool) "correct over lan" true (Protocol.check r circuit ~inputs);
@@ -433,7 +433,7 @@ let test_protocol_lossy_never_wrong () =
   for seed = 1 to 5 do
     match
       Protocol.execute ~params:params16
-        ~config:{ Protocol.default_config with seed; net }
+        ~config:(Protocol.config ~seed ~board:net ())
         ~circuit ~inputs ()
     with
     | r ->
@@ -444,7 +444,7 @@ let test_protocol_lossy_never_wrong () =
 let test_report_json () =
   let r =
     Protocol.execute ~params:params16
-      ~config:{ Protocol.default_config with seed = 11 }
+      ~config:(Protocol.config ~seed:11 ())
       ~circuit ~inputs ()
   in
   let js = Protocol.report_json r in

@@ -128,9 +128,7 @@ let protocol_report ~domains =
   let circuit = Gen.dot_product ~len:6 in
   let inputs c = Array.init 6 (fun i -> F.of_int ((c + 2) * (i + 5))) in
   let adversary = { Params.malicious = 6; passive = 0; fail_stop = 2 } in
-  let config =
-    { Protocol.default_config with adversary; seed = 0x9A7; domains }
-  in
+  let config = Protocol.config ~adversary ~seed:0x9A7 ~domains () in
   let r = Protocol.execute ~params ~config ~circuit ~inputs () in
   Alcotest.(check bool)
     (Printf.sprintf "domains=%d delivers correct output" domains)

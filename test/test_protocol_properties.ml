@@ -63,7 +63,7 @@ let prop_god_on_random_instances =
         let inputs c = fixed.(c) in
         let r =
           Protocol.execute ~params
-            ~config:{ Protocol.default_config with adversary; seed = run_seed }
+            ~config:(Protocol.config ~adversary ~seed:run_seed ())
             ~circuit ~inputs ()
         in
         Protocol.check r circuit ~inputs)
@@ -101,15 +101,15 @@ let prop_adversary_does_not_change_outputs =
       let inputs c = fixed.(c) in
       let clean =
         Protocol.execute ~params
-          ~config:{ Protocol.default_config with seed }
+          ~config:(Protocol.config ~seed ())
           ~circuit ~inputs ()
       in
       let attacked =
         Protocol.execute ~params
           ~config:
-            { Protocol.default_config with
-              adversary = { Params.malicious; passive = 1; fail_stop = 1 };
-              seed }
+            (Protocol.config
+               ~adversary:{ Params.malicious; passive = 1; fail_stop = 1 }
+               ~seed ())
           ~circuit ~inputs ()
       in
       List.for_all2

@@ -15,6 +15,9 @@ module Sockio = Yoso_transport.Sockio
 module Runner = Yoso_transport.Runner
 module Policy = Yoso_transport.Transport_policy
 module Chaos = Yoso_transport.Chaos
+module Topology = Yoso_transport.Topology
+module Board = Yoso_net.Board
+module Role = Yoso_runtime.Role
 
 (* ------------------------------------------------------------------ *)
 (* Wire frame cap                                                      *)
@@ -57,6 +60,14 @@ let sample_msgs =
     Envelope.Peer_down { slot = 7 };
     Envelope.Report { slot = 1; json = "{\"digest\":42}" };
     Envelope.Shutdown;
+    Envelope.Subscribe { slot = 2; full_of = [ 3; 4; 7 ] };
+    Envelope.Deliver_batch
+      [
+        Envelope.Full { seq = 9; slot = 1; frame = "full-frame-bytes" };
+        Envelope.Digest
+          { seq = 10; slot = 2; csum = Wire.checksum "other"; len = 5 };
+        Envelope.Digest { seq = 11; slot = 3; csum = max_int; len = 0 };
+      ];
   ]
 
 let msg_eq a b =
@@ -253,20 +264,18 @@ let relabel ~from:a ~to_:b json =
     ^ String.sub json (i + String.length na)
         (String.length json - i - String.length na)
 
-let equivalence_case ~name ~adversary ~plan ~seed () =
-  let sim_config =
-    { Protocol.default_config with adversary; plan; seed }
-  in
+let equivalence_case ?topology ?plan ~name ~adversary ~seed () =
+  let sim_config = Protocol.config ~adversary ?plan ~seed () in
   let sim_r = Protocol.execute ~params:params8 ~config:sim_config ~circuit ~inputs () in
   let sim_json = Protocol.report_json sim_r in
   let child ~slot:_ ~link =
-    let config =
-      { sim_config with transport = "unix"; link = Some link }
-    in
+    let config = Protocol.config ~adversary ?plan ~seed ~transport:"unix" ~link () in
     Protocol.report_json (Protocol.execute ~params:params8 ~config ~circuit ~inputs ())
   in
   let meter = Meter.create () in
-  let res = Runner.run ~meter ~deadline_ms:10_000. ~nslots:8 ~seed ~child () in
+  let res =
+    Runner.run ~meter ~deadline_ms:10_000. ?topology ~nslots:8 ~seed ~child ()
+  in
   Alcotest.(check int) (name ^ ": all reported") 8 (List.length res.Runner.reports);
   Alcotest.(check bool) (name ^ ": unanimous") true res.Runner.agree;
   Alcotest.(check (list int)) (name ^ ": nobody down") [] res.Runner.down;
@@ -282,22 +291,63 @@ let equivalence_case ~name ~adversary ~plan ~seed () =
     (name ^ ": every frame crossed the wire")
     sim_r.Protocol.transcript.Yoso_net.Board.frames
     res.Runner.stats.Yoso_transport.Daemon.frames_in;
+  (* under routing the delivery bytes live in the subscription rows,
+     so the conn row's sent side may legitimately be empty *)
+  let is_routed = match topology with Some t -> t.Topology.routed | None -> false in
   Alcotest.(check bool)
     (name ^ ": per-connection bytes recorded")
     true
     (List.length (Meter.connections meter) = 8
-    && List.for_all (fun (_, (s, r)) -> s > 0 && r > 0) (Meter.connections meter))
+    && List.for_all
+         (fun (_, (s, r)) -> r > 0 && (is_routed || s > 0))
+         (Meter.connections meter));
+  (match topology with
+  | Some topo when topo.Topology.routed ->
+    (* routing actually suppressed traffic, and the daemon's stitched
+       digest chain equals the board transcript every member reports *)
+    Alcotest.(check bool) (name ^ ": digest records flowed") true
+      (res.Runner.stats.Yoso_transport.Daemon.digests_out > 0);
+    Alcotest.(check bool) (name ^ ": deliveries batched") true
+      (res.Runner.stats.Yoso_transport.Daemon.batches_out > 0);
+    Alcotest.(check bool) (name ^ ": bytes suppressed") true
+      (res.Runner.stats.Yoso_transport.Daemon.suppressed_bytes > 0);
+    Alcotest.(check int) (name ^ ": daemon digest = sim digest")
+      sim_r.Protocol.transcript.Board.digest
+      res.Runner.stats.Yoso_transport.Daemon.digest;
+    Alcotest.(check int) (name ^ ": shards recorded")
+      topo.Topology.shards res.Runner.stats.Yoso_transport.Daemon.shards;
+    Alcotest.(check bool) (name ^ ": routed bytes attributed per subscription")
+      true
+      (List.length (Meter.routes meter) = 8 && Meter.routing_ratio meter < 1.0)
+  | _ -> ())
 
 let test_equivalence_fault_free () =
-  equivalence_case ~name:"fault-free" ~adversary:Params.no_adversary ~plan:None
-    ~seed:0xE8 ()
+  equivalence_case ~name:"fault-free" ~adversary:Params.no_adversary ~seed:0xE8 ()
 
 let test_equivalence_faulty () =
   let adversary = { Params.malicious = 1; passive = 0; fail_stop = 1 } in
   equivalence_case ~name:"faulty"
     ~adversary
-    ~plan:(Some (Yoso_runtime.Faults.random ~seed:0xBAD))
+    ~plan:(Yoso_runtime.Faults.random ~seed:0xBAD)
     ~seed:0xE9 ()
+
+let test_equivalence_routed_fault_free () =
+  equivalence_case
+    ~topology:(Topology.routed ~nslots:8 ())
+    ~name:"routed fault-free" ~adversary:Params.no_adversary ~seed:0xE8 ()
+
+let test_equivalence_routed_faulty () =
+  let adversary = { Params.malicious = 1; passive = 0; fail_stop = 1 } in
+  equivalence_case
+    ~topology:(Topology.routed ~nslots:8 ())
+    ~name:"routed faulty" ~adversary
+    ~plan:(Yoso_runtime.Faults.random ~seed:0xBAD)
+    ~seed:0xE9 ()
+
+let test_equivalence_routed_sharded () =
+  equivalence_case
+    ~topology:(Topology.routed ~shards:3 ~nslots:8 ())
+    ~name:"routed+sharded" ~adversary:Params.no_adversary ~seed:0xEA ()
 
 (* ------------------------------------------------------------------ *)
 (* Crash drill: a member dies mid-round                                *)
@@ -306,9 +356,7 @@ let test_equivalence_faulty () =
 let test_crash_mid_round () =
   let seed = 0xDEAD in
   let child ~slot:_ ~link =
-    let config =
-      { Protocol.default_config with seed; transport = "unix"; link = Some link }
-    in
+    let config = Protocol.config ~seed ~transport:"unix" ~link () in
     match Protocol.execute ~params:params8 ~config ~circuit ~inputs () with
     | r -> Protocol.report_json r
     | exception Yoso_runtime.Faults.Protocol_failure f ->
@@ -396,9 +444,7 @@ let test_connect_retry_elapsed_cap () =
 (* ------------------------------------------------------------------ *)
 
 let chaos_child ~seed ~slot:_ ~link =
-  let config =
-    { Protocol.default_config with seed; transport = "unix"; link = Some link }
-  in
+  let config = Protocol.config ~seed ~transport:"unix" ~link () in
   match Protocol.execute ~params:params8 ~config ~circuit ~inputs () with
   | r -> Protocol.report_json r
   | exception Yoso_runtime.Faults.Protocol_failure f ->
@@ -407,8 +453,12 @@ let chaos_child ~seed ~slot:_ ~link =
 
 let with_journal f =
   let path = Filename.temp_file "yoso-drill" ".wal" in
-  Fun.protect
-    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  let sweep () =
+    List.iter
+      (fun q -> try Sys.remove q with Sys_error _ -> ())
+      (path :: List.init 8 (fun k -> Printf.sprintf "%s.shard%d" path (k + 1)))
+  in
+  Fun.protect ~finally:sweep
     (fun () ->
       Sys.remove path;
       f path)
@@ -416,7 +466,7 @@ let with_journal f =
 (* the surviving run's transcript must be byte-identical to the
    fault-free sim run at equal seeds, and nobody may be blamed *)
 let check_against_sim ~name ~seed res =
-  let sim_config = { Protocol.default_config with seed } in
+  let sim_config = Protocol.config ~seed () in
   let sim_json =
     Protocol.report_json (Protocol.execute ~params:params8 ~config:sim_config ~circuit ~inputs ())
   in
@@ -434,7 +484,7 @@ let check_against_sim ~name ~seed res =
     (Runner.json_int_field report ~field:"faults_detected")
 
 let sim_frames ~seed =
-  let sim_config = { Protocol.default_config with seed } in
+  let sim_config = Protocol.config ~seed () in
   let r = Protocol.execute ~params:params8 ~config:sim_config ~circuit ~inputs () in
   r.Protocol.transcript.Yoso_net.Board.frames
 
@@ -474,6 +524,165 @@ let test_forced_disconnects () =
     check_against_sim ~name:"forced disconnects" ~seed res
   end
 
+(* kill+restart on the routed, sharded path: per-shard journals must
+   stitch back into the one board, and routed members must come out
+   with the same report as the fault-free sim run *)
+let test_sharded_kill_restart () =
+  if not Sys.unix then ()
+  else begin
+    let seed = 0xC4A6 in
+    let topology = Topology.routed ~shards:2 ~nslots:8 () in
+    let frames = sim_frames ~seed in
+    with_journal (fun journal ->
+        let chaos = Chaos.create { Chaos.none with Chaos.kill_at = [ frames / 2 ] } in
+        let res =
+          Runner.run ~journal ~chaos ~topology ~nslots:8 ~seed
+            ~child:(chaos_child ~seed) ()
+        in
+        Alcotest.(check int) "daemon died exactly once" 1 res.Runner.restarts;
+        Alcotest.(check int) "two shards" 2 res.Runner.stats.Yoso_transport.Daemon.shards;
+        Alcotest.(check bool) "stitched journals recovered the board" true
+          (res.Runner.stats.Yoso_transport.Daemon.recovered_frames >= frames / 2);
+        Alcotest.(check bool) "shard 1 journal exists" true
+          (Sys.file_exists (journal ^ ".shard1"));
+        Alcotest.(check bool) "every client reconnected" true
+          (res.Runner.stats.Yoso_transport.Daemon.reconnects >= 8);
+        check_against_sim ~name:"sharded kill+restart" ~seed res;
+        (* the restarted daemon's digest chain covers the whole run *)
+        let report = match res.Runner.reports with (_, j) :: _ -> j | [] -> "{}" in
+        Alcotest.(check (option int)) "daemon digest = member digest"
+          (Some res.Runner.stats.Yoso_transport.Daemon.digest)
+          (Runner.json_int_field report ~field:"digest"))
+  end
+
+(* forced disconnects while routing: reconnect catch-up (legacy full
+   replay) must splice cleanly into a routed delivery stream *)
+let test_routed_forced_disconnects () =
+  if not Sys.unix then ()
+  else begin
+    let seed = 0x5E7F in
+    let topology = Topology.routed ~nslots:8 () in
+    let frames = sim_frames ~seed in
+    let sever_at = [ (frames / 5, 2); (2 * frames / 3, 5) ] in
+    let chaos = Chaos.create { Chaos.none with Chaos.sever_at } in
+    let res = Runner.run ~chaos ~topology ~nslots:8 ~seed ~child:(chaos_child ~seed) () in
+    Alcotest.(check int) "daemon never died" 0 res.Runner.restarts;
+    Alcotest.(check bool) "severed clients reconnected" true
+      (res.Runner.stats.Yoso_transport.Daemon.reconnects >= 2);
+    Alcotest.(check bool) "digest records flowed" true
+      (res.Runner.stats.Yoso_transport.Daemon.digests_out > 0);
+    check_against_sim ~name:"routed forced disconnects" ~seed res
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Routing property: delivery set = verifier interest set              *)
+(* ------------------------------------------------------------------ *)
+
+(* In-process oracle for the routed delivery sets.  A recording run
+   captures every frame the protocol commits (the frames a member's
+   verifier consults, in commit order).  Then, for every slot, a
+   role-local replay run is fed exactly what the daemon would route to
+   it — full frames from its quorum sources, (checksum, length)
+   summaries from everyone else — and must (a) consult each non-owned
+   frame exactly once, (b) see full frames for precisely
+   [Topology.full_sources], and (c) produce a report byte-identical to
+   the recording run.  Under- or over-delivery would break (a)/(b);
+   insufficient routing (a summary where content was needed) would
+   break (c). *)
+let routing_property_case ?plan ~name ~adversary ~seed () =
+  let nslots = 8 in
+  let topo = Topology.routed ~nslots () in
+  let recorded : (int, int * string) Hashtbl.t = Hashtbl.create 64 in
+  let record_link =
+    {
+      Board.owns = (fun _ -> true);
+      local = (fun _ -> true);
+      send =
+        (fun ~seq ~phase:_ ~author ~frame ->
+          Hashtbl.replace recorded seq (author.Role.index mod nslots, frame));
+      recv = (fun ~seq:_ ~phase:_ ~author:_ -> Alcotest.fail "record run never receives");
+      stats = (fun () -> (0, 0));
+    }
+  in
+  let config link = Protocol.config ~adversary ?plan ~seed ~link () in
+  let base_json =
+    Protocol.report_json
+      (Protocol.execute ~params:params8 ~config:(config record_link) ~circuit ~inputs ())
+  in
+  for me = 0 to nslots - 1 do
+    let consulted : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let fulls = ref 0 and summaries = ref 0 in
+    let replay_link =
+      {
+        Board.owns = (fun (r : Role.id) -> r.Role.index mod nslots = me);
+        local = (fun (r : Role.id) -> r.Role.index mod nslots = me);
+        send = (fun ~seq:_ ~phase:_ ~author:_ ~frame:_ -> ());
+        recv =
+          (fun ~seq ~phase:_ ~author ->
+            let owner = author.Role.index mod nslots in
+            Hashtbl.replace consulted seq
+              (1 + Option.value ~default:0 (Hashtbl.find_opt consulted seq));
+            match Hashtbl.find_opt recorded seq with
+            | None -> Alcotest.failf "slot %d consulted unrecorded seq %d" me seq
+            | Some (rec_owner, frame) ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s: slot %d seq %d owner" name me seq)
+                rec_owner owner;
+              if Topology.wants_full topo ~me ~owner then begin
+                incr fulls;
+                `Frame frame
+              end
+              else begin
+                incr summaries;
+                `Summary (Wire.checksum frame, String.length frame)
+              end);
+        stats = (fun () -> (0, 0));
+      }
+    in
+    let json =
+      Protocol.report_json
+        (Protocol.execute ~params:params8 ~config:(config replay_link) ~circuit ~inputs ())
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "%s: slot %d report = recording run" name me)
+      base_json json;
+    (* exactness: every non-owned frame consulted exactly once, full
+       iff its owner is one of this slot's quorum sources *)
+    let full_sources = Topology.full_sources topo ~me in
+    let expected_full = ref 0 and expected_summary = ref 0 in
+    Hashtbl.iter
+      (fun seq (owner, _) ->
+        if owner <> me then begin
+          (if List.mem owner full_sources then incr expected_full
+           else incr expected_summary);
+          Alcotest.(check (option int))
+            (Printf.sprintf "%s: slot %d consulted seq %d once" name me seq)
+            (Some 1)
+            (Hashtbl.find_opt consulted seq)
+        end
+        else
+          Alcotest.(check (option int))
+            (Printf.sprintf "%s: slot %d never fetches own seq %d" name me seq)
+            None
+            (Hashtbl.find_opt consulted seq))
+      recorded;
+    Alcotest.(check int)
+      (Printf.sprintf "%s: slot %d full deliveries" name me)
+      !expected_full !fulls;
+    Alcotest.(check int)
+      (Printf.sprintf "%s: slot %d summary deliveries" name me)
+      !expected_summary !summaries
+  done
+
+let test_routing_property_fault_free () =
+  routing_property_case ~name:"fault-free" ~adversary:Params.no_adversary ~seed:0x207 ()
+
+let test_routing_property_faulty () =
+  let adversary = { Params.malicious = 2; passive = 0; fail_stop = 1 } in
+  routing_property_case ~name:"faulty" ~adversary
+    ~plan:(Yoso_runtime.Faults.random ~seed:0x70B)
+    ~seed:0x208 ()
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -501,6 +710,19 @@ let () =
           Alcotest.test_case "sim = loopback, fault-free" `Quick
             test_equivalence_fault_free;
           Alcotest.test_case "sim = loopback, faulty" `Quick test_equivalence_faulty;
+          Alcotest.test_case "sim = routed loopback, fault-free" `Quick
+            test_equivalence_routed_fault_free;
+          Alcotest.test_case "sim = routed loopback, faulty" `Quick
+            test_equivalence_routed_faulty;
+          Alcotest.test_case "sim = routed + sharded loopback" `Quick
+            test_equivalence_routed_sharded;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "delivery set = interest set, fault-free" `Quick
+            test_routing_property_fault_free;
+          Alcotest.test_case "delivery set = interest set, faulty" `Quick
+            test_routing_property_faulty;
         ] );
       ( "crash",
         [ Alcotest.test_case "member dies mid-round" `Quick test_crash_mid_round ] );
@@ -517,5 +739,9 @@ let () =
             test_daemon_kill_restart;
           Alcotest.test_case "forced client disconnects" `Quick
             test_forced_disconnects;
+          Alcotest.test_case "sharded daemon kill+restart" `Quick
+            test_sharded_kill_restart;
+          Alcotest.test_case "routed forced disconnects" `Quick
+            test_routed_forced_disconnects;
         ] );
     ]
