@@ -1,15 +1,21 @@
-(* Sign-magnitude bignums over little-endian 30-bit limbs.  Limb
-   products fit in 60 bits, leaving headroom for carries in native
-   63-bit ints.  Division is Knuth's Algorithm D; multiplication is
-   schoolbook with a Karatsuba layer above [kara_threshold] limbs. *)
+(* Sign-magnitude bignums over little-endian 62-bit limbs.  A limb
+   product spans 124 bits, so inner products (schoolbook, Montgomery
+   CIOS) are computed from split 31-bit half-limb partial products —
+   every intermediate stays inside native unboxed 63-bit int
+   arithmetic, treated as unsigned (values up to 2^63-1 are exact even
+   when they print negative).  Division is Knuth's Algorithm D on a
+   30-bit repacked view (it needs two-limb numerators, which 62-bit
+   limbs don't leave headroom for); multiplication is schoolbook with
+   a Karatsuba layer above [kara_threshold] limbs. *)
 
-let limb_bits = 30
-let base = 1 lsl limb_bits
-let mask = base - 1
+let limb_bits = 62
+let mask = (1 lsl limb_bits) - 1 (* = max_int *)
+let half = 31
+let hmask = (1 lsl half) - 1
 
 type t = { sign : int; mag : int array }
 (* invariants: mag has no leading (high-index) zero limbs;
-   sign = 0 iff mag = [||]; each limb in [0, base). *)
+   sign = 0 iff mag = [||]; each limb in [0, 2^62). *)
 
 (* ------------------------------------------------------------------ *)
 (* Magnitude (unsigned) primitives                                     *)
@@ -28,12 +34,42 @@ let mag_cmp a b =
     go (la - 1)
   end
 
+(* Repack a little-endian limb array between limb widths (bit-stream
+   copy).  Used for the 62 <-> 30 division/baseline views and for byte
+   conversions; each step moves at most [dst_bits] <= 62 bits, so all
+   shifts stay in range. *)
+let repack ~src_bits ~dst_bits a =
+  let total = Array.length a * src_bits in
+  let nout = (total + dst_bits - 1) / dst_bits in
+  let out = Array.make (Stdlib.max nout 1) 0 in
+  let oi = ref 0 and acc = ref 0 and nacc = ref 0 in
+  Array.iter
+    (fun limb ->
+      let v = ref limb and rem_bits = ref src_bits in
+      while !rem_bits > 0 do
+        let take = Stdlib.min !rem_bits (dst_bits - !nacc) in
+        acc := !acc lor ((!v land ((1 lsl take) - 1)) lsl !nacc);
+        nacc := !nacc + take;
+        v := !v lsr take;
+        rem_bits := !rem_bits - take;
+        if !nacc = dst_bits then begin
+          out.(!oi) <- !acc;
+          incr oi;
+          acc := 0;
+          nacc := 0
+        end
+      done)
+    a;
+  if !nacc > 0 then out.(!oi) <- !acc;
+  mag_norm out
+
 let mag_add a b =
   let la = Array.length a and lb = Array.length b in
   let n = max la lb in
   let out = Array.make (n + 1) 0 in
   let carry = ref 0 in
   for i = 0 to n - 1 do
+    (* s <= 2*(2^62-1) + 1 = 2^63 - 1: exact as unsigned 63-bit *)
     let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
     out.(i) <- s land mask;
     carry := s lsr limb_bits
@@ -49,7 +85,8 @@ let mag_sub a b =
   for i = 0 to la - 1 do
     let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
     if d < 0 then begin
-      out.(i) <- d + base;
+      (* two's-complement wrap of d + 2^62, i.e. the borrowed limb *)
+      out.(i) <- d land mask;
       borrow := 1
     end
     else begin
@@ -60,25 +97,41 @@ let mag_sub a b =
   assert (!borrow = 0);
   mag_norm out
 
+(* x * y for limbs x, y < 2^62 via 31-bit halves: returns the pair
+   (lo, hi) with x*y = hi*2^62 + lo.  cross <= 2*(2^31-1)^2 < 2^63 and
+   lo' < 2^63, so everything is exact unsigned-63 arithmetic. *)
+let[@inline] mul_split x y =
+  let xl = x land hmask and xh = x lsr half in
+  let yl = y land hmask and yh = y lsr half in
+  let ll = xl * yl and hh = xh * yh in
+  let cross = (xl * yh) + (xh * yl) in
+  let lo' = ll + ((cross land hmask) lsl half) in
+  (lo' land mask, hh + (cross lsr half) + (lo' lsr limb_bits))
+
 let mag_mul_school a b =
   let la = Array.length a and lb = Array.length b in
   if la = 0 || lb = 0 then [||]
   else begin
     let out = Array.make (la + lb) 0 in
     for i = 0 to la - 1 do
-      let carry = ref 0 in
       let ai = a.(i) in
       if ai <> 0 then begin
+        (* carry invariant: c <= 2^63 - 1 (true value, exact) *)
+        let c = ref 0 in
         for j = 0 to lb - 1 do
-          let p = (ai * b.(j)) + out.(i + j) + !carry in
-          out.(i + j) <- p land mask;
-          carry := p lsr limb_bits
+          let plo, phi = mul_split ai (Array.unsafe_get b j) in
+          let cc = !c in
+          let s1 = Array.unsafe_get out (i + j) + plo in
+          let s2 = (s1 land mask) + (cc land mask) in
+          Array.unsafe_set out (i + j) (s2 land mask);
+          c := phi + (s1 lsr limb_bits) + (s2 lsr limb_bits) + (cc lsr limb_bits)
         done;
         let k = ref (i + lb) in
-        while !carry <> 0 do
-          let s = out.(!k) + !carry in
+        while !c <> 0 do
+          let cc = !c in
+          let s = out.(!k) + (cc land mask) in
           out.(!k) <- s land mask;
-          carry := s lsr limb_bits;
+          c := (cc lsr limb_bits) + (s lsr limb_bits);
           incr k
         done
       end
@@ -86,7 +139,9 @@ let mag_mul_school a b =
     mag_norm out
   end
 
-let kara_threshold = 32
+(* ~992 bits: the same crossover point the 30-bit kernel had at 32
+   limbs, re-expressed in 62-bit limbs and re-validated by bench *)
+let kara_threshold = 16
 
 let mag_shift_limbs a k =
   if Array.length a = 0 then [||]
@@ -115,7 +170,9 @@ let rec mag_mul a b =
     mag_add (mag_add z0 (mag_shift_limbs z1 m)) (mag_shift_limbs z2 (2 * m))
   end
 
-(* shift left by s bits, 0 <= s < limb_bits *)
+(* shift left by s bits, 0 <= s < limb_bits.  [a.(i) lsl s] wraps mod
+   2^63, so the outgoing top bits must be read with [lsr] before the
+   shift, not recovered after it. *)
 let mag_shl_small a s =
   if s = 0 || Array.length a = 0 then Array.copy a
   else begin
@@ -123,9 +180,8 @@ let mag_shl_small a s =
     let out = Array.make (n + 1) 0 in
     let carry = ref 0 in
     for i = 0 to n - 1 do
-      let v = (a.(i) lsl s) lor !carry in
-      out.(i) <- v land mask;
-      carry := v lsr limb_bits
+      out.(i) <- ((a.(i) lsl s) land mask) lor !carry;
+      carry := a.(i) lsr (limb_bits - s)
     done;
     out.(n) <- !carry;
     mag_norm out
@@ -144,80 +200,154 @@ let mag_shr_small a s =
     mag_norm out
   end
 
-(* single-limb division: returns (quotient mag, remainder int) *)
+(* single-limb division by d < 2^31, two half-limb steps per limb:
+   returns (quotient mag, remainder int) *)
 let mag_divmod_1 a d =
-  assert (d > 0 && d < base);
+  assert (d > 0 && d <= hmask);
   let n = Array.length a in
   let q = Array.make n 0 in
   let r = ref 0 in
   for i = n - 1 downto 0 do
-    let cur = (!r lsl limb_bits) lor a.(i) in
-    q.(i) <- cur / d;
-    r := cur mod d
+    let ai = a.(i) in
+    let hi = (!r lsl half) lor (ai lsr half) in
+    let qh = hi / d in
+    let r1 = hi mod d in
+    let lo = (r1 lsl half) lor (ai land hmask) in
+    let ql = lo / d in
+    r := lo mod d;
+    q.(i) <- (qh lsl half) lor ql
   done;
   (mag_norm q, !r)
 
-(* Knuth Algorithm D.  Returns (quotient, remainder) magnitudes. *)
+(* 30-bit division kernel.  Knuth's Algorithm D needs two-limb
+   numerators (2*limb_bits + 1 bits of headroom), which 62-bit limbs
+   do not leave in a native int, so quotients are computed on a 30-bit
+   repacked view and repacked back.  Division is far off the hot path
+   (Montgomery replaced it everywhere that matters). *)
+module D30 = struct
+  let bits = 30
+  let base = 1 lsl bits
+  let msk = base - 1
+
+  let shl_small a s =
+    if s = 0 || Array.length a = 0 then Array.copy a
+    else begin
+      let n = Array.length a in
+      let out = Array.make (n + 1) 0 in
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let v = (a.(i) lsl s) lor !carry in
+        out.(i) <- v land msk;
+        carry := v lsr bits
+      done;
+      out.(n) <- !carry;
+      mag_norm out
+    end
+
+  let shr_small a s =
+    if s = 0 || Array.length a = 0 then Array.copy a
+    else begin
+      let n = Array.length a in
+      let out = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let v = a.(i) lsr s in
+        let hi = if i + 1 < n then (a.(i + 1) lsl (bits - s)) land msk else 0 in
+        out.(i) <- v lor hi
+      done;
+      mag_norm out
+    end
+
+  let divmod_1 a d =
+    assert (d > 0 && d < base);
+    let n = Array.length a in
+    let q = Array.make n 0 in
+    let r = ref 0 in
+    for i = n - 1 downto 0 do
+      let cur = (!r lsl bits) lor a.(i) in
+      q.(i) <- cur / d;
+      r := cur mod d
+    done;
+    (mag_norm q, !r)
+
+  (* Knuth Algorithm D on 30-bit limbs.  Returns (quotient, remainder). *)
+  let divmod u v =
+    let n = Array.length v in
+    if n = 0 then raise Division_by_zero;
+    if mag_cmp u v < 0 then ([||], Array.copy u)
+    else if n = 1 then begin
+      let q, r = divmod_1 u v.(0) in
+      (q, if r = 0 then [||] else [| r |])
+    end
+    else begin
+      (* normalise so that the top limb of v is >= base/2 *)
+      let s =
+        let rec go s top = if top land (base lsr 1) <> 0 then s else go (s + 1) (top lsl 1) in
+        go 0 v.(n - 1)
+      in
+      let vn = shl_small v s in
+      let vn = if Array.length vn < n then Array.append vn (Array.make (n - Array.length vn) 0) else vn in
+      let un0 = shl_small u s in
+      let m = Array.length u - n in
+      (* u buffer with one extra high limb *)
+      let un = Array.make (Array.length u + 1) 0 in
+      Array.blit un0 0 un 0 (Array.length un0);
+      let q = Array.make (m + 1) 0 in
+      let vtop = vn.(n - 1) and vsec = vn.(n - 2) in
+      for j = m downto 0 do
+        let num = (un.(j + n) lsl bits) lor un.(j + n - 1) in
+        let qhat = ref (num / vtop) and rhat = ref (num mod vtop) in
+        let continue = ref true in
+        while
+          !continue
+          && (!qhat >= base || !qhat * vsec > (!rhat lsl bits) lor un.(j + n - 2))
+        do
+          decr qhat;
+          rhat := !rhat + vtop;
+          if !rhat >= base then continue := false
+        done;
+        (* multiply and subtract *)
+        let k = ref 0 in
+        for i = 0 to n - 1 do
+          let p = !qhat * vn.(i) in
+          let t = un.(i + j) - !k - (p land msk) in
+          un.(i + j) <- t land msk;
+          k := (p lsr bits) - (t asr bits)
+        done;
+        let t = un.(j + n) - !k in
+        un.(j + n) <- t land msk;
+        if t < 0 then begin
+          (* overestimated by one: add v back *)
+          decr qhat;
+          let carry = ref 0 in
+          for i = 0 to n - 1 do
+            let s2 = un.(i + j) + vn.(i) + !carry in
+            un.(i + j) <- s2 land msk;
+            carry := s2 lsr bits
+          done;
+          un.(j + n) <- (un.(j + n) + !carry) land msk
+        end;
+        q.(j) <- !qhat
+      done;
+      let r = shr_small (mag_norm (Array.sub un 0 n)) s in
+      (mag_norm q, r)
+    end
+
+  let of62 a = repack ~src_bits:limb_bits ~dst_bits:bits a
+  let to62 a = repack ~src_bits:bits ~dst_bits:limb_bits a
+end
+
+(* Returns (quotient, remainder) magnitudes. *)
 let mag_divmod u v =
   let n = Array.length v in
   if n = 0 then raise Division_by_zero;
   if mag_cmp u v < 0 then ([||], Array.copy u)
-  else if n = 1 then begin
+  else if n = 1 && v.(0) <= hmask then begin
     let q, r = mag_divmod_1 u v.(0) in
     (q, if r = 0 then [||] else [| r |])
   end
   else begin
-    (* normalise so that the top limb of v is >= base/2 *)
-    let s =
-      let rec go s top = if top land (base lsr 1) <> 0 then s else go (s + 1) (top lsl 1) in
-      go 0 v.(n - 1)
-    in
-    let vn = mag_shl_small v s in
-    let vn = if Array.length vn < n then Array.append vn (Array.make (n - Array.length vn) 0) else vn in
-    let un0 = mag_shl_small u s in
-    let m = Array.length u - n in
-    (* u buffer with one extra high limb *)
-    let un = Array.make (Array.length u + 1) 0 in
-    Array.blit un0 0 un 0 (Array.length un0);
-    let q = Array.make (m + 1) 0 in
-    let vtop = vn.(n - 1) and vsec = vn.(n - 2) in
-    for j = m downto 0 do
-      let num = (un.(j + n) lsl limb_bits) lor un.(j + n - 1) in
-      let qhat = ref (num / vtop) and rhat = ref (num mod vtop) in
-      let continue = ref true in
-      while
-        !continue
-        && (!qhat >= base || !qhat * vsec > (!rhat lsl limb_bits) lor un.(j + n - 2))
-      do
-        decr qhat;
-        rhat := !rhat + vtop;
-        if !rhat >= base then continue := false
-      done;
-      (* multiply and subtract *)
-      let k = ref 0 in
-      for i = 0 to n - 1 do
-        let p = !qhat * vn.(i) in
-        let t = un.(i + j) - !k - (p land mask) in
-        un.(i + j) <- t land mask;
-        k := (p lsr limb_bits) - (t asr limb_bits)
-      done;
-      let t = un.(j + n) - !k in
-      un.(j + n) <- t land mask;
-      if t < 0 then begin
-        (* overestimated by one: add v back *)
-        decr qhat;
-        let carry = ref 0 in
-        for i = 0 to n - 1 do
-          let s2 = un.(i + j) + vn.(i) + !carry in
-          un.(i + j) <- s2 land mask;
-          carry := s2 lsr limb_bits
-        done;
-        un.(j + n) <- (un.(j + n) + !carry) land mask
-      end;
-      q.(j) <- !qhat
-    done;
-    let r = mag_shr_small (mag_norm (Array.sub un 0 n)) s in
-    (mag_norm q, r)
+    let q, r = D30.divmod (D30.of62 u) (D30.of62 v) in
+    (D30.to62 q, D30.to62 r)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -234,8 +364,8 @@ let of_int x =
   if x = 0 then zero
   else begin
     let sign = if x < 0 then -1 else 1 in
-    (* careful with min_int: abs via int64 not needed since limbs are
-       extracted progressively with negation of parts *)
+    (* abs min_int = min_int, but limb extraction via land/lsr reads
+       its bit pattern as the unsigned 2^62, which is exactly |x| *)
     let x = abs x in
     let rec limbs x = if x = 0 then [] else (x land mask) :: limbs (x lsr limb_bits) in
     { sign; mag = Array.of_list (limbs x) }
@@ -245,17 +375,12 @@ let one = of_int 1
 let two = of_int 2
 
 let fits_int t =
-  (* native int holds up to 62 bits of magnitude *)
-  Array.length t.mag <= 2
-  || (Array.length t.mag = 3 && t.mag.(2) < 1 lsl (62 - (2 * limb_bits)))
+  (* native int holds magnitudes up to 2^62 - 1 = one full limb *)
+  Array.length t.mag <= 1
 
 let to_int t =
   if not (fits_int t) then failwith "Bigint.to_int: overflow";
-  let v = ref 0 in
-  for i = Array.length t.mag - 1 downto 0 do
-    v := (!v lsl limb_bits) lor t.mag.(i)
-  done;
-  t.sign * !v
+  if Array.length t.mag = 0 then 0 else t.sign * t.mag.(0)
 
 let sign t = t.sign
 let is_zero t = t.sign = 0
@@ -346,136 +471,230 @@ let mulmod a b m = erem (mul a b) m
 (* Montgomery arithmetic                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* Montgomery representation with R = base^l (l = limb count of the
-   modulus): a residue [x] is stored as [x * R mod m].  A Montgomery
-   product computes [a * b * R^-1 mod m] with CIOS interleaved
-   reduction — no division, one schoolbook pass — which is what makes
-   the Paillier hot path (modular exponentiation over Z_{N^2}) fast.
-   All inner loops work on raw 30-bit limb arrays with caller-owned
-   scratch buffers, so an exponentiation allocates O(1) arrays. *)
+(* Montgomery multiplication: 2-way blocked delayed-carry product
+   scanning.
+
+   The kernel works on a repacked 29-bit limb view of the 62-bit
+   representation.  A 29-bit partial product fits in 58 bits, which
+   leaves 5 bits of headroom in a native 63-bit int: columns can
+   accumulate raw (uncarried) product sums for several outer
+   iterations, with a short carry-flush pass restoring headroom every
+   6 outer pairs and one final pass canonicalizing the result.  That
+   removes the serial carry chain that rate-limits a carry-per-step
+   kernel (the retired 30-bit one, kept below as {!Narrow}): the inner
+   loop is independent multiplies and adds that a superscalar core can
+   overlap freely.
+
+   The 2-way blocking processes two columns of [b] (and their two mu
+   reductions) per outer pass, so each inner-loop iteration touches
+   [tbuf] once for four products — halving load/store traffic per
+   product relative to the single-column form, which measured at only
+   ~1.1x over the 30-bit kernel; the blocked form measures ~1.4-1.5x
+   (interleaved A/B medians; see DESIGN.md).
+
+   (The obvious alternative — single-pass CIOS directly on 62-bit
+   limbs with split 31-bit half-limb partial products — was built and
+   measured first: 8 multiplies plus ~30 masked adds per 62-bit
+   column comes out at op-count parity with the 30-bit kernel and
+   loses ~15% to its longer dependency chains.)
+
+   Column-sum bound, l-independent thanks to the flush: between
+   flushes a column receives at most 6 pairs x 4 products
+   <= 24*(2^29-1)^2 < 2^63 - 2^59, plus a flush residue (< 2^29), at
+   most one flush tail carry and two fold carries (each < 2^35) —
+   comfortably inside 63 bits for any modulus size. *)
 module Mont = struct
+  let kbits = 29
+  let kbase = 1 lsl kbits
+  let kmask = kbase - 1
+
+  (* the overflow bound is l-independent; this guard only bounds
+     precomputation and scratch allocation to something sane *)
+  let max_limbs = 4096
+
   type ctx = {
     m_big : t;          (* the modulus, as a bigint *)
-    mm : int array;     (* modulus limbs, length l, no padding *)
-    l : int;
-    m' : int;           (* -m^-1 mod base *)
-    r2 : int array;     (* R^2 mod m, padded to l limbs *)
+    mm : int array;     (* modulus in 62-bit limbs, for range checks *)
+    km : int array;     (* modulus in kernel (29-bit) limbs, length l *)
+    l : int;            (* kernel limb count; always even (2-way blocking) *)
+    m' : int;           (* -m^-1 mod 2^29 *)
+    r2 : int array;     (* R^2 mod m, kernel limbs; R = 2^(29l) *)
     one_m : int array;  (* R mod m: Montgomery form of 1 *)
     unit_arr : int array;  (* plain 1, for conversion out of Mont form *)
   }
 
+  let to_kernel a = repack ~src_bits:limb_bits ~dst_bits:kbits a
+  let of_kernel a = make 1 (repack ~src_bits:kbits ~dst_bits:limb_bits a)
+
   let create m =
     if m.sign <= 0 || is_even m || (Array.length m.mag = 1 && m.mag.(0) < 3) then
       invalid_arg "Bigint.Mont.create: modulus must be odd and >= 3";
-    let l = Array.length m.mag in
-    let mm = Array.copy m.mag in
+    let km0 = to_kernel m.mag in
+    (* limb-count rounding, two constraints: R = 2^(29l) must satisfy
+       R >= 4m (the almost-Montgomery invariant below needs two spare
+       bits), and l must be even (the 2-way blocked pass consumes two
+       b-columns per iteration).  Zero top limbs of m are harmless —
+       they only make R larger than strictly needed. *)
+    let l =
+      let n = Array.length km0 in
+      let n = if bit_length m > (kbits * n) - 2 then n + 1 else n in
+      if n land 1 = 1 then n + 1 else n
+    in
+    if l > max_limbs then invalid_arg "Bigint.Mont.create: modulus too large";
     let pad a =
       if Array.length a = l then a
       else Array.append a (Array.make (l - Array.length a) 0)
     in
-    (* Newton iteration for m0^-1 mod base (m0 odd), then negate *)
-    let m0 = mm.(0) in
+    let km = pad km0 in
+    (* Newton iteration for m0^-1 mod 2^29 (m0 odd), then negate;
+       precision doubles per step: 2, 4, 8, 16, 32 > 29 bits *)
+    let m0 = km.(0) in
     let x = ref 1 in
     for _ = 1 to 5 do
-      x := (!x * (2 - (m0 * !x))) land mask
+      x := (!x * (2 - (m0 * !x))) land kmask
     done;
-    let m' = (base - !x) land mask in
-    let r = shift_left one (l * limb_bits) in
-    let r2 = pad (erem (mul r r) m).mag in
-    let one_m = pad (erem r m).mag in
+    let m' = (kbase - !x) land kmask in
+    let r = shift_left one (l * kbits) in
+    let r2 = pad (to_kernel (erem (mul r r) m).mag) in
+    let one_m = pad (to_kernel (erem r m).mag) in
     let unit_arr = Array.make l 0 in
     unit_arr.(0) <- 1;
-    { m_big = m; mm; l; m'; r2; one_m; unit_arr }
+    { m_big = m; mm = Array.copy m.mag; km; l; m'; r2; one_m; unit_arr }
 
   let modulus ctx = ctx.m_big
 
+  (* 62-bit magnitude (already < m) to a padded kernel-format operand *)
   let pad ctx a =
-    if Array.length a = ctx.l then a
-    else Array.append a (Array.make (ctx.l - Array.length a) 0)
+    let k = to_kernel a in
+    if Array.length k = ctx.l then k
+    else Array.append k (Array.make (ctx.l - Array.length k) 0)
 
-  (* dst <- a * b * R^-1 mod m.  [tbuf] is an l+2 scratch buffer; [dst]
-     may alias [a] or [b] (it is only written after all reads).  The
-     inner loops use unsafe accesses: every index is bounded by [l],
-     and all operands are padded to exactly [l] limbs ([tbuf] to
-     [l+2]) before we get here. *)
+  (* dst <- a * b * R^-1 mod m, operands in kernel format padded to l
+     limbs (l even).  [tbuf] is a 2l+1 column buffer; [dst] may alias
+     [a] or [b] (columns live in [tbuf]; [dst] is only written at the
+     end).  Unsafe accesses: every index is bounded by 2l, and
+     operands are padded to exactly [l] limbs before we get here.
+
+     Each outer pass consumes the column pair (i, i+1) of [b].  mu0 is
+     fixed from the low 29 bits of raw column i (exact sums have exact
+     low bits); column i+1 then receives every one of its remaining
+     contributions — the fold carry of column i, a1*bi0, mu0*m1 and
+     a0*bi1 — before mu1 is read off it.  The fused inner loop adds
+     all four products a[j]*bi0 + mu0*m[j] + a[j-1]*bi1 + mu1*m[j-1]
+     to column i+j in a single load/store.  Columns i and i+1 end
+     ≡ 0 mod 2^29 by choice of mu and are dead after their fold
+     carries move up; every 6 pairs a short flush pass re-normalizes
+     the live window to keep raw sums inside 63 bits (bound in the
+     module comment).  One final carry pass canonicalizes columns
+     l..2l, which hold t < 2m. *)
   let mont_mul_into ctx tbuf dst a b =
-    let l = ctx.l and mm = ctx.mm and m' = ctx.m' in
-    Array.fill tbuf 0 (l + 2) 0;
-    for i = 0 to l - 1 do
-      let bi = Array.unsafe_get b i in
-      (* multiply-accumulate a*bi and the reduction fold in one pass:
-         mu is fixed by tbuf.(0) + a.(0)*bi, after which limb j of the
-         new accumulator is tbuf.(j) + a.(j)*bi + mu*mm.(j), shifted
-         down one position. *)
-      let t0 = Array.unsafe_get tbuf 0 + (Array.unsafe_get a 0 * bi) in
-      let mu = (t0 * m') land mask in
-      let c = ref ((t0 + (mu * Array.unsafe_get mm 0)) lsr limb_bits) in
-      for j = 1 to l - 1 do
-        let p =
-          Array.unsafe_get tbuf j
-          + (Array.unsafe_get a j * bi)
-          + (mu * Array.unsafe_get mm j)
-        in
-        (* p can reach ~2^62: split the two products' carries *)
-        let p = p + !c in
-        Array.unsafe_set tbuf (j - 1) (p land mask);
-        c := p lsr limb_bits
+    let l = ctx.l and km = ctx.km and m' = ctx.m' in
+    Array.fill tbuf 0 ((2 * l) + 1) 0;
+    let npairs = l / 2 in
+    let a0 = Array.unsafe_get a 0 and m0 = Array.unsafe_get km 0 in
+    for p = 0 to npairs - 1 do
+      let i = 2 * p in
+      let bi0 = Array.unsafe_get b i and bi1 = Array.unsafe_get b (i + 1) in
+      let t0 = Array.unsafe_get tbuf i + (a0 * bi0) in
+      let mu0 = (t0 * m') land kmask in
+      let f0 = (t0 + (mu0 * m0)) lsr kbits in
+      let t1 =
+        Array.unsafe_get tbuf (i + 1) + f0
+        + (Array.unsafe_get a 1 * bi0)
+        + (mu0 * Array.unsafe_get km 1)
+        + (a0 * bi1)
+      in
+      let mu1 = (t1 * m') land kmask in
+      let f1 = (t1 + (mu1 * m0)) lsr kbits in
+      Array.unsafe_set tbuf (i + 2) (Array.unsafe_get tbuf (i + 2) + f1);
+      for j = 2 to l - 1 do
+        let idx = i + j in
+        Array.unsafe_set tbuf idx
+          (Array.unsafe_get tbuf idx
+          + (Array.unsafe_get a j * bi0)
+          + (mu0 * Array.unsafe_get km j)
+          + (Array.unsafe_get a (j - 1) * bi1)
+          + (mu1 * Array.unsafe_get km (j - 1)))
       done;
-      let p = Array.unsafe_get tbuf l + !c in
-      Array.unsafe_set tbuf (l - 1) (p land mask);
-      Array.unsafe_set tbuf l (Array.unsafe_get tbuf (l + 1) + (p lsr limb_bits));
-      Array.unsafe_set tbuf (l + 1) 0
+      let idx = i + l in
+      Array.unsafe_set tbuf idx
+        (Array.unsafe_get tbuf idx
+        + (Array.unsafe_get a (l - 1) * bi1)
+        + (mu1 * Array.unsafe_get km (l - 1)));
+      if (p + 1) mod 6 = 0 && p < npairs - 1 then begin
+        (* flush: re-normalize the live window i+2..i+l+1 so columns
+           can keep absorbing raw products without overflow *)
+        let c = ref 0 in
+        for k = i + 2 to i + l + 1 do
+          let v = Array.unsafe_get tbuf k + !c in
+          Array.unsafe_set tbuf k (v land kmask);
+          c := v lsr kbits
+        done;
+        Array.unsafe_set tbuf (i + l + 2)
+          (Array.unsafe_get tbuf (i + l + 2) + !c)
+      end
     done;
-    (* t < 2m, so at most one subtraction; tbuf.(l) is 0 or 1 *)
+    (* single carry pass over the shifted result columns l..2l-1,
+       written straight into dst.  Almost-Montgomery: the result is
+       only guaranteed < 2m (not < m).  Because R >= 4m, the invariant
+       "operands < 2m => result < 2m" is self-sustaining:
+       t = (a*b + mu*m)/R < (4m^2 + R*m)/R = m*(4m/R + 1) <= 2m, and
+       2m < R means the top column 2l stays zero.  No compare, no
+       conditional subtract, no blit — callers canonicalize once at
+       API boundaries with [canon]. *)
+    let c = ref 0 in
+    for j = 0 to l - 1 do
+      let v = Array.unsafe_get tbuf (l + j) + !c in
+      Array.unsafe_set dst j (v land kmask);
+      c := v lsr kbits
+    done
+
+  (* reduce a kernel-format value < 2m into [0, m), in place *)
+  let canon ctx dst =
+    let l = ctx.l and km = ctx.km in
     let ge =
-      tbuf.(l) > 0
-      ||
-      let rec go i =
-        if i < 0 then true
-        else if tbuf.(i) <> ctx.mm.(i) then tbuf.(i) > ctx.mm.(i)
-        else go (i - 1)
+      let rec go j =
+        if j < 0 then true
+        else if dst.(j) <> km.(j) then dst.(j) > km.(j)
+        else go (j - 1)
       in
       go (l - 1)
     in
     if ge then begin
       let borrow = ref 0 in
       for j = 0 to l - 1 do
-        let d = Array.unsafe_get tbuf j - Array.unsafe_get mm j - !borrow in
-        if d < 0 then begin
-          Array.unsafe_set dst j (d + base);
-          borrow := 1
-        end
-        else begin
-          Array.unsafe_set dst j d;
-          borrow := 0
-        end
+        let d = Array.unsafe_get dst j - Array.unsafe_get km j - !borrow in
+        Array.unsafe_set dst j (d land kmask);
+        borrow := d lsr 62 (* 1 iff the subtraction went negative *)
       done
     end
-    else Array.blit tbuf 0 dst 0 l
 
-  let scratch ctx = Array.make (ctx.l + 2) 0
+  let scratch ctx = Array.make ((2 * ctx.l) + 1) 0
 
   let to_mont ctx x =
     let x = erem x ctx.m_big in
     let dst = Array.make ctx.l 0 in
     mont_mul_into ctx (scratch ctx) dst (pad ctx x.mag) ctx.r2;
-    make 1 dst
+    canon ctx dst;
+    of_kernel dst
 
   let of_mont ctx x =
     if x.sign < 0 || mag_cmp x.mag ctx.mm >= 0 then
       invalid_arg "Bigint.Mont.of_mont: value out of range";
     let dst = Array.make ctx.l 0 in
     mont_mul_into ctx (scratch ctx) dst (pad ctx x.mag) ctx.unit_arr;
-    make 1 dst
+    canon ctx dst;
+    of_kernel dst
 
-  let one_mont ctx = make 1 (Array.copy ctx.one_m)
+  let one_mont ctx = of_kernel ctx.one_m
 
   let mulmod ctx a b =
     if a.sign < 0 || b.sign < 0 || mag_cmp a.mag ctx.mm >= 0 || mag_cmp b.mag ctx.mm >= 0
     then invalid_arg "Bigint.Mont.mulmod: operands out of range";
     let dst = Array.make ctx.l 0 in
     mont_mul_into ctx (scratch ctx) dst (pad ctx a.mag) (pad ctx b.mag);
-    make 1 dst
+    canon ctx dst;
+    of_kernel dst
 
   (* 4-bit window of |e| starting at bit 4j *)
   let window e j =
@@ -491,6 +710,24 @@ module Mont = struct
     in
     v land 15
 
+  (* [len]-bit field of a magnitude starting at bit [pos]; len <= 5 *)
+  let bitfield mag pos len =
+    let limb = pos / limb_bits and off = pos mod limb_bits in
+    let n = Array.length mag in
+    let v = if limb < n then Array.unsafe_get mag limb lsr off else 0 in
+    let v =
+      if off + len > limb_bits && limb + 1 < n then
+        v lor (Array.unsafe_get mag (limb + 1) lsl (limb_bits - off))
+      else v
+    in
+    v land ((1 lsl len) - 1)
+
+  (* Sliding 5-bit odd windows rather than fixed 4-bit windows: the
+     precomputed table holds only the 16 odd powers b^1, b^3, ..,
+     b^31, and runs of zero bits between windows cost squarings only.
+     For a 512-bit exponent this is ~17 table + ~87 window products
+     against 14 + ~120 for the fixed ladder — about 4% of the whole
+     exponentiation, which the 1.4x kernel budget cares about. *)
   let powmod ctx b e =
     if sign e < 0 then invalid_arg "Bigint.Mont.powmod: negative exponent";
     let b = erem b ctx.m_big in
@@ -499,29 +736,50 @@ module Mont = struct
     else begin
       let l = ctx.l in
       let tbuf = scratch ctx in
+      let mag = e.mag in
       let bm = Array.make l 0 in
       mont_mul_into ctx tbuf bm (pad ctx b.mag) ctx.r2;
-      (* window table: tbl.(w) = b^w in Montgomery form *)
-      let tbl = Array.make 16 ctx.one_m in
-      tbl.(1) <- bm;
-      for w = 2 to 15 do
-        let d = Array.make l 0 in
-        mont_mul_into ctx tbuf d tbl.(w - 1) bm;
-        tbl.(w) <- d
-      done;
-      let nw = (ebits + 3) / 4 in
+      (* tbl.(k) = b^(2k+1) in Montgomery form *)
+      let tsize = if ebits >= 5 then 16 else 1 lsl (ebits - 1) in
+      let tbl = Array.make tsize bm in
+      if tsize > 1 then begin
+        let b2 = Array.make l 0 in
+        mont_mul_into ctx tbuf b2 bm bm;
+        for k = 1 to tsize - 1 do
+          let d = Array.make l 0 in
+          mont_mul_into ctx tbuf d tbl.(k - 1) b2;
+          tbl.(k) <- d
+        done
+      end;
+      (* widest odd window [s..i] (width <= 5) below set bit i *)
+      let wstart i =
+        let s = ref (if i >= 4 then i - 4 else 0) in
+        while bitfield mag !s 1 = 0 do incr s done;
+        !s
+      in
       let acc = Array.make l 0 in
-      Array.blit tbl.(window e (nw - 1)) 0 acc 0 l;
-      for j = nw - 2 downto 0 do
-        for _ = 1 to 4 do
-          mont_mul_into ctx tbuf acc acc acc
-        done;
-        let w = window e j in
-        if w <> 0 then mont_mul_into ctx tbuf acc acc tbl.(w)
+      let i = ref (ebits - 1) in
+      let s = wstart !i in
+      Array.blit tbl.(bitfield mag s (!i - s + 1) lsr 1) 0 acc 0 l;
+      i := s - 1;
+      while !i >= 0 do
+        if bitfield mag !i 1 = 0 then begin
+          mont_mul_into ctx tbuf acc acc acc;
+          decr i
+        end
+        else begin
+          let s = wstart !i in
+          for _ = 1 to !i - s + 1 do
+            mont_mul_into ctx tbuf acc acc acc
+          done;
+          mont_mul_into ctx tbuf acc acc tbl.(bitfield mag s (!i - s + 1) lsr 1);
+          i := s - 1
+        end
       done;
       let dst = Array.make l 0 in
       mont_mul_into ctx tbuf dst acc ctx.unit_arr;
-      make 1 dst
+      canon ctx dst;
+      of_kernel dst
     end
 
   (* Fixed-base exponentiation: for a base reused across many
@@ -584,8 +842,170 @@ module Mont = struct
       done;
       let dst = Array.make ctx.l 0 in
       mont_mul_into ctx tbuf dst acc ctx.unit_arr;
-      make 1 dst
+      canon ctx dst;
+      of_kernel dst
     end
+
+  (* The retired 30-bit CIOS kernel, kept verbatim (on a repacked
+     30-bit limb view) as the benchmark baseline and as a cross-check
+     oracle for the 62-bit kernel: [bench time] measures both on the
+     same inputs, and the backend-equality property tests compare
+     their powmods at 512/1024/2048 bits. *)
+  module Narrow = struct
+    let nbits = 30
+    let nbase = 1 lsl nbits
+    let nmask = nbase - 1
+
+    type nctx = {
+      n_big : t;
+      nmm : int array;
+      nl : int;
+      nm' : int;
+      nr2 : int array;
+      none_m : int array;
+      nunit : int array;
+    }
+
+    type ctx = nctx
+
+    let of30 a = make 1 (repack ~src_bits:nbits ~dst_bits:limb_bits a)
+
+    let create m =
+      if m.sign <= 0 || is_even m || (Array.length m.mag = 1 && m.mag.(0) < 3) then
+        invalid_arg "Bigint.Mont.Narrow.create: modulus must be odd and >= 3";
+      let nmm = repack ~src_bits:limb_bits ~dst_bits:nbits m.mag in
+      let nl = Array.length nmm in
+      let pad a =
+        if Array.length a = nl then a
+        else Array.append a (Array.make (nl - Array.length a) 0)
+      in
+      let m0 = nmm.(0) in
+      let x = ref 1 in
+      for _ = 1 to 5 do
+        x := (!x * (2 - (m0 * !x))) land nmask
+      done;
+      let nm' = (nbase - !x) land nmask in
+      let r = shift_left one (nl * nbits) in
+      let nr2 = pad (repack ~src_bits:limb_bits ~dst_bits:nbits (erem (mul r r) m).mag) in
+      let none_m = pad (repack ~src_bits:limb_bits ~dst_bits:nbits (erem r m).mag) in
+      let nunit = Array.make nl 0 in
+      nunit.(0) <- 1;
+      { n_big = m; nmm; nl; nm'; nr2; none_m; nunit }
+
+    let modulus ctx = ctx.n_big
+
+    let npad ctx a =
+      if Array.length a = ctx.nl then a
+      else Array.append a (Array.make (ctx.nl - Array.length a) 0)
+
+    let mont_mul_into ctx tbuf dst a b =
+      let l = ctx.nl and mm = ctx.nmm and m' = ctx.nm' in
+      Array.fill tbuf 0 (l + 2) 0;
+      for i = 0 to l - 1 do
+        let bi = Array.unsafe_get b i in
+        let t0 = Array.unsafe_get tbuf 0 + (Array.unsafe_get a 0 * bi) in
+        let mu = (t0 * m') land nmask in
+        let c = ref ((t0 + (mu * Array.unsafe_get mm 0)) lsr nbits) in
+        for j = 1 to l - 1 do
+          let p =
+            Array.unsafe_get tbuf j
+            + (Array.unsafe_get a j * bi)
+            + (mu * Array.unsafe_get mm j)
+          in
+          let p = p + !c in
+          Array.unsafe_set tbuf (j - 1) (p land nmask);
+          c := p lsr nbits
+        done;
+        let p = Array.unsafe_get tbuf l + !c in
+        Array.unsafe_set tbuf (l - 1) (p land nmask);
+        Array.unsafe_set tbuf l (Array.unsafe_get tbuf (l + 1) + (p lsr nbits));
+        Array.unsafe_set tbuf (l + 1) 0
+      done;
+      let ge =
+        tbuf.(l) > 0
+        ||
+        let rec go i =
+          if i < 0 then true
+          else if tbuf.(i) <> mm.(i) then tbuf.(i) > mm.(i)
+          else go (i - 1)
+        in
+        go (l - 1)
+      in
+      if ge then begin
+        let borrow = ref 0 in
+        for j = 0 to l - 1 do
+          let d = Array.unsafe_get tbuf j - Array.unsafe_get mm j - !borrow in
+          if d < 0 then begin
+            Array.unsafe_set dst j (d + nbase);
+            borrow := 1
+          end
+          else begin
+            Array.unsafe_set dst j d;
+            borrow := 0
+          end
+        done
+      end
+      else Array.blit tbuf 0 dst 0 l
+
+    let scratch ctx = Array.make (ctx.nl + 2) 0
+
+    (* 4-bit window of a 30-bit limb magnitude starting at bit 4j *)
+    let window30 mag j =
+      let pos = 4 * j in
+      let limb = pos / nbits and off = pos mod nbits in
+      let len = Array.length mag in
+      let v = if limb < len then mag.(limb) lsr off else 0 in
+      let v =
+        if off + 4 > nbits && limb + 1 < len then
+          v lor (mag.(limb + 1) lsl (nbits - off))
+        else v
+      in
+      v land 15
+
+    let mulmod ctx a b =
+      if a.sign < 0 || b.sign < 0 || compare a ctx.n_big >= 0 || compare b ctx.n_big >= 0
+      then invalid_arg "Bigint.Mont.Narrow.mulmod: operands out of range";
+      let dst = Array.make ctx.nl 0 in
+      mont_mul_into ctx (scratch ctx) dst
+        (npad ctx (repack ~src_bits:limb_bits ~dst_bits:nbits a.mag))
+        (npad ctx (repack ~src_bits:limb_bits ~dst_bits:nbits b.mag));
+      of30 dst
+
+    let powmod ctx b e =
+      if sign e < 0 then invalid_arg "Bigint.Mont.Narrow.powmod: negative exponent";
+      let b = erem b ctx.n_big in
+      let ebits = bit_length e in
+      if ebits = 0 then one
+      else begin
+        let l = ctx.nl in
+        let e30 = repack ~src_bits:limb_bits ~dst_bits:nbits e.mag in
+        let tbuf = scratch ctx in
+        let bm = Array.make l 0 in
+        mont_mul_into ctx tbuf bm
+          (npad ctx (repack ~src_bits:limb_bits ~dst_bits:nbits b.mag))
+          ctx.nr2;
+        let tbl = Array.make 16 ctx.none_m in
+        tbl.(1) <- bm;
+        for w = 2 to 15 do
+          let d = Array.make l 0 in
+          mont_mul_into ctx tbuf d tbl.(w - 1) bm;
+          tbl.(w) <- d
+        done;
+        let nw = (ebits + 3) / 4 in
+        let acc = Array.make l 0 in
+        Array.blit tbl.(window30 e30 (nw - 1)) 0 acc 0 l;
+        for j = nw - 2 downto 0 do
+          for _ = 1 to 4 do
+            mont_mul_into ctx tbuf acc acc acc
+          done;
+          let w = window30 e30 j in
+          if w <> 0 then mont_mul_into ctx tbuf acc acc tbl.(w)
+        done;
+        let dst = Array.make l 0 in
+        mont_mul_into ctx tbuf dst acc ctx.nunit;
+        of30 dst
+      end
+  end
 end
 
 let powmod_naive b e m =
@@ -603,13 +1023,15 @@ let powmod_naive b e m =
   end
 
 (* Montgomery pays for its context setup (two divisions) as soon as the
-   exponent has more than a few windows; below that, or for even moduli
-   where Montgomery does not apply, fall back to square-and-multiply. *)
+   exponent has more than a few windows; below that, for tiny moduli,
+   or for even moduli where Montgomery does not apply, fall back to
+   square-and-multiply.  The 30-bit cutoff matches the old two-limb
+   rule from the 30-bit-limb era. *)
 let powmod b e m =
   if m.sign <= 0 then invalid_arg "Bigint.powmod: modulus must be positive";
   if sign e < 0 then invalid_arg "Bigint.powmod: negative exponent";
   if is_one m then zero
-  else if (not (is_even m)) && Array.length m.mag >= 2 && bit_length e > 8 then
+  else if (not (is_even m)) && bit_length m > 30 && bit_length e > 8 then
     Mont.powmod (Mont.create m) b e
   else powmod_naive b e m
 
@@ -655,7 +1077,7 @@ let factorial n =
    (many bases, short exponents => Pippenger). *)
 module Multiexp = struct
   (* c-bit digit of a magnitude starting at bit [pos]; c <= 16 so a
-     digit spans at most two 30-bit limbs *)
+     digit spans at most two 62-bit limbs *)
   let digit mag pos c =
     let limb = pos / limb_bits and off = pos mod limb_bits in
     let len = Array.length mag in
@@ -692,7 +1114,8 @@ module Multiexp = struct
   let finish ctx acc =
     let dst = Array.make ctx.Mont.l 0 in
     Mont.mont_mul_into ctx (Mont.scratch ctx) dst acc ctx.Mont.unit_arr;
-    make 1 dst
+    Mont.canon ctx dst;
+    Mont.of_kernel dst
 
   (* reference: independent powmods folded into one product *)
   let naive ctx pairs =
@@ -824,10 +1247,9 @@ let to_string t =
   if t.sign = 0 then "0"
   else begin
     let buf = Buffer.create 32 in
-    (* extract 9 decimal digits at a time via single-limb-ish division *)
+    (* extract 9 decimal digits at a time via single-limb division;
+       the chunk 10^9 < 2^31 is a valid half-limb divisor *)
     let chunk = 1_000_000_000 in
-    (* chunk < base? no: base = 2^30 ~ 1.07e9 > 1e9, so it is a valid
-       single-limb divisor *)
     let rec go mag acc =
       if Array.length mag = 0 then acc
       else begin
@@ -865,33 +1287,52 @@ let to_hex t =
   else begin
     let digits = "0123456789abcdef" in
     let buf = Buffer.create 32 in
-    let rec go v =
-      if not (is_zero v) then begin
-        let q, r = divmod v (of_int 16) in
-        go q;
-        Buffer.add_char buf digits.[to_int r]
-      end
-    in
-    go (abs t);
+    let nnibbles = (bit_length t + 3) / 4 in
+    let mag = t.mag in
+    for k = nnibbles - 1 downto 0 do
+      let pos = 4 * k in
+      let limb = pos / limb_bits and off = pos mod limb_bits in
+      let v = mag.(limb) lsr off in
+      let v =
+        if off + 4 > limb_bits && limb + 1 < Array.length mag then
+          v lor (mag.(limb + 1) lsl (limb_bits - off))
+        else v
+      in
+      Buffer.add_char buf digits.[v land 15]
+    done;
     (if t.sign < 0 then "-" else "") ^ Buffer.contents buf
   end
 
-let of_bytes_be s =
-  let acc = ref zero in
-  String.iter (fun c -> acc := add (shift_left !acc 8) (of_int (Char.code c))) s;
-  !acc
-
+(* big-endian bytes of |t|, minimal length (no leading zero byte) —
+   byte-for-byte identical to the 30-bit-era encoding, pinned by the
+   golden-vector tests *)
 let to_bytes_be t =
   if t.sign = 0 then ""
   else begin
     let nbytes = (bit_length t + 7) / 8 in
     let out = Bytes.create nbytes in
-    let v = ref (abs t) in
-    for i = nbytes - 1 downto 0 do
-      Bytes.set out i (Char.chr (to_int (rem !v (of_int 256))));
-      v := shift_right !v 8
+    let mag = t.mag in
+    let len = Array.length mag in
+    for k = 0 to nbytes - 1 do
+      let pos = 8 * k in
+      let limb = pos / limb_bits and off = pos mod limb_bits in
+      let v = mag.(limb) lsr off in
+      let v =
+        if off + 8 > limb_bits && limb + 1 < len then
+          v lor (mag.(limb + 1) lsl (limb_bits - off))
+        else v
+      in
+      Bytes.unsafe_set out (nbytes - 1 - k) (Char.unsafe_chr (v land 0xff))
     done;
     Bytes.unsafe_to_string out
+  end
+
+let of_bytes_be s =
+  let n = String.length s in
+  if n = 0 then zero
+  else begin
+    let bytes_le = Array.init n (fun i -> Char.code s.[n - 1 - i]) in
+    make 1 (repack ~src_bits:8 ~dst_bits:limb_bits bytes_le)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -902,14 +1343,18 @@ let random_bits st bits =
   if bits < 0 then invalid_arg "Bigint.random_bits: negative bit count";
   if bits = 0 then zero
   else begin
-    let nlimbs = (bits + limb_bits - 1) / limb_bits in
-    let top_bits = bits - ((nlimbs - 1) * limb_bits) in
-    let mag =
-      Array.init nlimbs (fun i ->
-          let v = Random.State.full_int st base in
-          if i = nlimbs - 1 then v land ((1 lsl top_bits) - 1) else v)
+    (* draw 30-bit chunks exactly as the 30-bit-limb representation
+       did, then pack: the stream of [Random.State] calls — and hence
+       every seeded transcript in the system — is unchanged by the
+       limb widening *)
+    let nchunks = (bits + 29) / 30 in
+    let top_bits = bits - ((nchunks - 1) * 30) in
+    let chunks =
+      Array.init nchunks (fun i ->
+          let v = Random.State.full_int st (1 lsl 30) in
+          if i = nchunks - 1 then v land ((1 lsl top_bits) - 1) else v)
     in
-    make 1 mag
+    make 1 (repack ~src_bits:30 ~dst_bits:limb_bits chunks)
   end
 
 let random_below st bound =

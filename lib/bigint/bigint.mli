@@ -5,8 +5,13 @@
     instantiation, Section 4.1) needs multi-hundred-bit modular
     arithmetic: this module provides it.
 
-    Representation: sign-magnitude with little-endian 30-bit limbs, so
-    limb products fit comfortably in OCaml's 63-bit native [int].
+    Representation: sign-magnitude with little-endian 62-bit limbs.
+    A limb product spans 124 bits, so inner products are computed from
+    split 31-bit half-limb partial products, keeping every
+    intermediate inside OCaml's 63-bit native [int] (treated as
+    unsigned, exact up to [2^63 - 1]).  Halving the limb count
+    relative to the earlier 30-bit representation halves the length of
+    every Montgomery CIOS pass over the 1024/2048-bit Paillier moduli.
     Values are immutable and always normalised (no leading zero limbs;
     zero has positive sign and empty magnitude). *)
 
@@ -65,7 +70,7 @@ val add : t -> t -> t
 val sub : t -> t -> t
 
 val mul : t -> t -> t
-(** Schoolbook below 32 limbs, Karatsuba above. *)
+(** Schoolbook below 16 limbs (~992 bits), Karatsuba above. *)
 
 val divmod : t -> t -> t * t
 (** Truncated division: [fst] rounds toward zero, [snd (divmod a b)]
@@ -105,14 +110,21 @@ val powmod_naive : t -> t -> t -> t
 
 (** Montgomery arithmetic for a fixed odd modulus.
 
-    A context precomputes everything the CIOS reduction needs
-    ([-m^-1 mod 2^30], [R^2 mod m] for [R = 2^(30*limbs)]), after which
-    modular multiplication costs one interleaved schoolbook pass with
-    no division.  {!Mont.powmod} adds 4-bit windowed exponentiation on
-    top, and {!Mont.fixed_base} precomputes per-window power tables for
-    bases reused across many exponentiations (generators, public
-    randomizer bases), reducing an exponentiation to ~bits/4 products
-    with no squarings. *)
+    The kernel works on a radix-29 repacking of the 62-bit storage
+    limbs: 29-bit digits leave 34 headroom bits per word, so partial
+    products accumulate column-wise with {e delayed carries} — the
+    inner loops are pure multiply-accumulate over native [int]s, with
+    a carry flush only every few digit pairs and one final carry pass.
+    Digits are consumed two at a time (2-way blocked passes), and
+    reduction is {e almost-Montgomery}: intermediate values live in
+    [\[0, 2m)] and are canonicalized once at API boundaries, never per
+    product.  A context precomputes [-m^-1 mod 2^29], the repacked
+    modulus and [R^2 mod m].  {!Mont.powmod} adds a sliding 5-bit
+    odd-window ladder on top (a 16-entry table of odd powers
+    [b^(2k+1)], zero runs cost squarings only), and {!Mont.fixed_base}
+    precomputes per-window power tables for bases reused across many
+    exponentiations (generators, public randomizer bases), reducing an
+    exponentiation to ~bits/4 products with no squarings. *)
 module Mont : sig
   type ctx
   (** Precomputed reduction context for one odd modulus. *)
@@ -140,7 +152,7 @@ module Mont : sig
 
   val powmod : ctx -> t -> t -> t
   (** [powmod ctx b e]: ordinary-domain base and result ([b] is
-      reduced mod [m] internally); 4-bit windowed ladder.
+      reduced mod [m] internally); sliding 5-bit odd-window ladder.
       @raise Invalid_argument if [e < 0]. *)
 
   type fixed_base
@@ -159,6 +171,33 @@ module Mont : sig
       which is a write — call [preload] before sharing a fixed base
       across domains so that parallel readers never race the growth.
       @raise Invalid_argument on negative [bits]. *)
+
+  (** The retired 30-bit-limb CIOS kernel, kept verbatim on a repacked
+      30-bit view of the 62-bit representation.  It exists for two
+      jobs: [bench time] measures it against the wide kernel on the
+      exact Paillier encrypt/tpdec shapes (the wide kernel must stay
+      ahead; see EXPERIMENTS.md E14 for the measured margins and why
+      the bench's 509-bit modulus caps the ratio near 1.25x), and the
+      backend-equality property tests use it as an independent oracle
+      at 512/1024/2048 bits.  Not for production use. *)
+  module Narrow : sig
+    type ctx
+
+    val create : t -> ctx
+    (** @raise Invalid_argument if the modulus is even or [< 3]. *)
+
+    val modulus : ctx -> t
+
+    val mulmod : ctx -> t -> t -> t
+    (** Montgomery product [a * b * R30^-1 mod m] of two values in
+        (30-bit) Montgomery form.
+        @raise Invalid_argument if an operand is not in [\[0, m)]. *)
+
+    val powmod : ctx -> t -> t -> t
+    (** Same contract as {!Mont.powmod}: ordinary-domain base and
+        result, 4-bit windowed ladder on 30-bit limbs.
+        @raise Invalid_argument if [e < 0]. *)
+  end
 end
 
 val gcd : t -> t -> t

@@ -43,6 +43,10 @@ let execute ~n ~t ?(bits = 96) ?(malicious = []) ?(seed = 0xBEEF) ~circuit ~inpu
      combine's Lagrange weights are cached across openings *)
   let tctx = T.context tpk in
   let pctx = T.Ctx.paillier tctx in
+  (* force the lazy tables up front (fixed-base windows, weight/theta
+     caches grow on demand otherwise) — the committee loops below hit
+     them from a steady state *)
+  T.Ctx.preload tctx;
   let pk = tpk.T.pk in
   let modulus = pk.P.n in
   let rejected = ref 0 in

@@ -193,12 +193,27 @@ let get_item d =
     Bigints (Array.init n (fun _ -> get_bigint d))
   | t -> fail "unknown item tag %d" t
 
+(* Message and frame encoding run under the Domain pool in Phase A
+   (every committee member's frame is built there), and a fresh Buffer
+   per call is pure allocation churn.  Each domain reuses one growable
+   scratch buffer — domain-local, so no locking; [Buffer.contents]
+   still copies out an immutable string.  Oversized buffers are
+   released after use so one huge frame does not pin memory. *)
+let scratch_key = Domain.DLS.new_key (fun () -> Buffer.create 4096)
+
+let with_scratch f =
+  let buf = Domain.DLS.get scratch_key in
+  Buffer.clear buf;
+  let out = f buf in
+  if Buffer.length buf > 1 lsl 20 then Buffer.reset buf;
+  out
+
 let encode_message m =
-  let buf = Buffer.create 256 in
-  put_bytes buf m.step;
-  put_varint buf (List.length m.items);
-  List.iter (put_item buf) m.items;
-  Buffer.contents buf
+  with_scratch (fun buf ->
+      put_bytes buf m.step;
+      put_varint buf (List.length m.items);
+      List.iter (put_item buf) m.items;
+      Buffer.contents buf)
 
 let decode_message_at d =
   let step = get_bytes d in
@@ -242,13 +257,14 @@ let max_frame_len = ref (1 lsl 26)
 
 let to_frame m =
   let payload = encode_message m in
-  let buf = Buffer.create (String.length payload + 16) in
-  Buffer.add_char buf magic0;
-  Buffer.add_char buf magic1;
-  put_u8 buf version;
-  put_bytes buf payload;
-  put_checksum buf (checksum payload);
-  Buffer.contents buf
+  (* the scratch is free again: [encode_message] copied its result out *)
+  with_scratch (fun buf ->
+      Buffer.add_char buf magic0;
+      Buffer.add_char buf magic1;
+      put_u8 buf version;
+      put_bytes buf payload;
+      put_checksum buf (checksum payload);
+      Buffer.contents buf)
 
 let of_frame s =
   let d = { src = s; pos = 0 } in

@@ -114,27 +114,43 @@ module Ctx = struct
     { pk_n2 = ctx.pk.n2; c = B.mulmod ct.c (randomizer ctx r) ctx.pk.n2 }
 
   let of_raw ctx v = { pk_n2 = ctx.pk.n2; c = B.erem v ctx.pk.n2 }
+
+  (* Force every lazily-grown table in the context now.  The fixed-base
+     window table extends itself inside [fixed_powmod] — a write — so a
+     context shared across a Domain pool must be preloaded before the
+     fan-out, not first-touched mid-chunk by whichever worker gets
+     there first. *)
+  let preload ctx = B.Mont.preload ctx.fb_g ~bits:(B.bit_length ctx.pk.n)
 end
 
 (* Contexts are memoized on the physical identity of the key record:
    protocol code builds one [public_key] per epoch and passes it
    around, so a handful of cache slots suffices and lookups are a
-   short pointer scan. *)
+   short pointer scan.  The cache is mutated under a mutex so the
+   convenience wrappers stay safe if two domains race to build the
+   first context for a key (pooled code should still thread an
+   explicit preloaded [Ctx.t] — see [Ctx.preload]). *)
 let ctx_cache : (public_key * Ctx.t) list ref = ref []
 let ctx_cache_cap = 8
+let ctx_cache_lock = Mutex.create ()
 
 let context pk =
   let rec find = function
     | [] -> None
     | (k, c) :: tl -> if k == pk then Some c else find tl
   in
-  match find !ctx_cache with
-  | Some c -> c
-  | None ->
-    let c = Ctx.create pk in
-    let keep = List.filteri (fun i _ -> i < ctx_cache_cap - 1) !ctx_cache in
-    ctx_cache := (pk, c) :: keep;
-    c
+  Mutex.lock ctx_cache_lock;
+  let c =
+    match find !ctx_cache with
+    | Some c -> c
+    | None ->
+      let c = Ctx.create pk in
+      let keep = List.filteri (fun i _ -> i < ctx_cache_cap - 1) !ctx_cache in
+      ctx_cache := (pk, c) :: keep;
+      c
+  in
+  Mutex.unlock ctx_cache_lock;
+  c
 
 let encrypt_with pk ~r m = Ctx.encrypt_with (context pk) ~r m
 let encrypt pk ~rng m = Ctx.encrypt (context pk) ~rng m

@@ -86,6 +86,12 @@ module Ctx : sig
 
   val rerandomize : t -> rng:Random.State.t -> ciphertext -> ciphertext
   val of_raw : t -> B.t -> ciphertext
+
+  val preload : t -> unit
+  (** Force every lazily-grown table in the context (today: the
+      fixed-base window table, which [fixed_powmod] extends in place —
+      a write).  Call before sharing a context across a Domain pool so
+      no worker first-touches the growth mid-chunk. *)
 end
 
 val context : public_key -> Ctx.t

@@ -188,6 +188,16 @@ module Ctx = struct
     combine_with ~pow:(pow ctx) ~weights:(weights ctx)
       ~theta_inv:(theta_inv ctx) ctx.tpk parts
 
+  (* Force the lazy state a pooled fan-out would otherwise first-touch
+     mid-chunk: the Paillier fixed-base table, the combining weights
+     for [subsets], and the theta inverses for [epochs].  The two
+     Hashtbl caches are not safe for concurrent writes, so shared
+     contexts must be preloaded before the job. *)
+  let preload ?(epochs = []) ?(subsets = []) ctx =
+    Paillier.Ctx.preload ctx.pctx;
+    List.iter (fun e -> ignore (theta_inv ctx e)) epochs;
+    List.iter (fun s -> ignore (weights ctx s)) subsets
+
   let sim_partial_decrypt ctx ct ~m ~honest =
     if List.length honest < ctx.tpk.threshold + 1 then
       invalid_arg "Threshold.sim_partial_decrypt: not enough honest shares";
@@ -203,22 +213,28 @@ module Ctx = struct
 end
 
 (* memoized on the physical identity of the tpk record, like
-   Paillier.context *)
+   Paillier.context; mutated under a mutex for the same reason *)
 let ctx_cache : (tpk * Ctx.t) list ref = ref []
 let ctx_cache_cap = 8
+let ctx_cache_lock = Mutex.create ()
 
 let context tpk =
   let rec find = function
     | [] -> None
     | (k, c) :: tl -> if k == tpk then Some c else find tl
   in
-  match find !ctx_cache with
-  | Some c -> c
-  | None ->
-    let c = Ctx.create tpk in
-    let keep = List.filteri (fun i _ -> i < ctx_cache_cap - 1) !ctx_cache in
-    ctx_cache := (tpk, c) :: keep;
-    c
+  Mutex.lock ctx_cache_lock;
+  let c =
+    match find !ctx_cache with
+    | Some c -> c
+    | None ->
+      let c = Ctx.create tpk in
+      let keep = List.filteri (fun i _ -> i < ctx_cache_cap - 1) !ctx_cache in
+      ctx_cache := (tpk, c) :: keep;
+      c
+  in
+  Mutex.unlock ctx_cache_lock;
+  c
 
 let encrypt tpk ~rng m = Ctx.encrypt (context tpk) ~rng m
 let eval tpk cts coeffs = Ctx.eval (context tpk) cts coeffs

@@ -91,6 +91,14 @@ module Ctx : sig
 
   val theta_inv : t -> int -> B.t
   (** [theta(epoch)^-1 mod N], cached per epoch. *)
+
+  val preload : ?epochs:int list -> ?subsets:int list list -> t -> unit
+  (** Force the context's lazy state now: the underlying
+      {!Paillier.Ctx.preload}, plus the combining-weight cache for
+      each of [subsets] and the theta-inverse cache for each of
+      [epochs].  The caches are plain [Hashtbl]s — not safe for
+      concurrent first writes — so a context shared across a Domain
+      pool must be preloaded before the fan-out. *)
 end
 
 val context : tpk -> Ctx.t

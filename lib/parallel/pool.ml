@@ -1,7 +1,7 @@
 module Splitmix = Yoso_hash.Splitmix
 
 (* One batch of work: [chunks] are closures over disjoint index
-   ranges, claimed greedily under the pool lock.  Results land in
+   ranges, claimed in batches under the pool lock.  Results land in
    arrays pre-sized by the caller, so nothing here depends on which
    domain runs which chunk. *)
 type job = {
@@ -21,34 +21,83 @@ type t = {
   mutable workers : unit Domain.t array;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Per-chunk timing hook, off by default                                *)
+(* ------------------------------------------------------------------ *)
+
+(* When enabled, every drained chunk appends a sample to a global,
+   mutex-guarded list.  A global sink (rather than per-pool state) is
+   deliberate: the pools that matter are created inside
+   [Protocol.execute] and shut down before the caller can ask them
+   anything, so the bench's [--profile] flag needs a collection point
+   that outlives the pool.  Cost when disabled is one bool load per
+   claimed batch. *)
+type sample = { s_domain : int; s_chunk : int; s_ms : float }
+
+let profiling = Atomic.make false
+let profile_lock = Mutex.create ()
+let profile_samples : sample list ref = ref []
+
+let set_profiling b = Atomic.set profiling b
+
+let drain_profile () =
+  Mutex.lock profile_lock;
+  let s = List.rev !profile_samples in
+  profile_samples := [];
+  Mutex.unlock profile_lock;
+  List.map (fun s -> (s.s_domain, s.s_chunk, s.s_ms)) s
+
+let record_samples local =
+  Mutex.lock profile_lock;
+  profile_samples := List.rev_append local !profile_samples;
+  Mutex.unlock profile_lock
+
 (* Claim and run chunks of [j] until none remain.  Called (and
-   returns) with [t.lock] held; the lock is released around each chunk
-   body. *)
-let drain t j =
+   returns) with [t.lock] held; the lock is released around the chunk
+   bodies.  Chunks are claimed in small batches — one lock round-trip
+   per batch instead of per chunk — sized so that late stragglers
+   still spread across whoever is free. *)
+let drain t wid j =
   let len = Array.length j.chunks in
   while j.next < len do
-    let c = j.next in
-    j.next <- j.next + 1;
-    Mutex.unlock t.lock;
-    let error =
-      match j.chunks.(c) () with () -> None | exception e -> Some e
+    let remaining = len - j.next in
+    let take =
+      Stdlib.max 1 (Stdlib.min 4 (remaining / (2 * t.domains)))
     in
+    let c0 = j.next in
+    let take = Stdlib.min take (len - c0) in
+    j.next <- c0 + take;
+    Mutex.unlock t.lock;
+    let error = ref None in
+    let samples = ref [] in
+    let prof = Atomic.get profiling in
+    for c = c0 to c0 + take - 1 do
+      let t0 = if prof then Unix.gettimeofday () else 0.0 in
+      (match j.chunks.(c) () with
+      | () -> ()
+      | exception e -> if !error = None then error := Some e);
+      if prof then
+        samples :=
+          { s_domain = wid; s_chunk = c; s_ms = (Unix.gettimeofday () -. t0) *. 1000. }
+          :: !samples
+    done;
+    if prof && !samples <> [] then record_samples (List.rev !samples);
     Mutex.lock t.lock;
-    (match error with
+    (match !error with
     | Some e when j.failed = None -> j.failed <- Some e
     | _ -> ());
-    j.completed <- j.completed + 1;
+    j.completed <- j.completed + take;
     if j.completed = len then Condition.broadcast t.work_done
   done
 
-let worker t =
+let worker t wid =
   Mutex.lock t.lock;
   let rec loop () =
     if t.stopping then Mutex.unlock t.lock
     else
       match t.job with
       | Some j when j.next < Array.length j.chunks ->
-        drain t j;
+        drain t wid j;
         loop ()
       | _ ->
         Condition.wait t.has_work t.lock;
@@ -71,7 +120,8 @@ let create ~domains =
     }
   in
   if domains > 1 then
-    t.workers <- Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+    t.workers <-
+      Array.init (domains - 1) (fun k -> Domain.spawn (fun () -> worker t (k + 1)));
   t
 
 let domains t = t.domains
@@ -88,15 +138,21 @@ let shutdown t =
   end
 
 (* Submit [chunks], participate in draining them, wait for stragglers,
-   then re-raise the first failure if any. *)
+   then re-raise the first failure if any.  Wake-ups are targeted:
+   with fewer chunks than domains only [len - 1] workers are signalled
+   (the caller takes a chunk itself), so surplus workers sleep through
+   the whole job instead of waking to find nothing. *)
 let run_job t chunks =
   let len = Array.length chunks in
   if len > 0 then begin
     let j = { chunks; next = 0; completed = 0; failed = None } in
     Mutex.lock t.lock;
     t.job <- Some j;
-    Condition.broadcast t.has_work;
-    drain t j;
+    let wake = Stdlib.min (len - 1) (t.domains - 1) in
+    for _ = 1 to wake do
+      Condition.signal t.has_work
+    done;
+    drain t 0 j;
     while j.completed < len do
       Condition.wait t.work_done t.lock
     done;
@@ -105,14 +161,45 @@ let run_job t chunks =
     match j.failed with Some e -> raise e | None -> ()
   end
 
-(* Static chunking: [min domains n] contiguous ranges of near-equal
-   size.  The partition depends only on [n] and the pool size — never
-   on scheduling. *)
-let chunk_bounds t n =
-  let nchunks = min t.domains n in
-  Array.init nchunks (fun c -> (c * n / nchunks, ((c + 1) * n / nchunks) - 1))
+(* Chunking: contiguous index ranges whose boundaries depend only on
+   [n], the pool size and the (pure) cost hint — never on scheduling.
+   Without a hint: [min domains n] near-equal ranges, as before.  With
+   a hint: up to [4 * domains] ranges cut at near-equal *weight*, so a
+   front-loaded or skewed cost profile (e.g. honest members encrypt,
+   fail-stop members do nothing) cannot serialize the tail of a job
+   behind one overloaded domain.  The finer grain is what lets batched
+   claiming rebalance: cheap ranges drain fast and their domains move
+   on to the heavy ones. *)
+let chunk_bounds ?cost t n =
+  match cost with
+  | None ->
+    let nchunks = Stdlib.min t.domains n in
+    Array.init nchunks (fun c -> (c * n / nchunks, (((c + 1) * n) / nchunks) - 1))
+  | Some cost ->
+    let nchunks = Stdlib.min n (4 * t.domains) in
+    (* prefix sums of clamped per-index weights *)
+    let pre = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      pre.(i + 1) <- pre.(i) + Stdlib.max 1 (cost i)
+    done;
+    let total = pre.(n) in
+    let bounds = Array.make nchunks (0, 0) in
+    let lo = ref 0 in
+    for c = 0 to nchunks - 1 do
+      let left = nchunks - c in
+      (* every later chunk must stay non-empty *)
+      let max_hi = n - left in
+      let target = pre.(!lo) + (((total - pre.(!lo)) + left - 1) / left) in
+      let hi = ref !lo in
+      while !hi < max_hi && pre.(!hi + 1) < target do
+        incr hi
+      done;
+      bounds.(c) <- (!lo, !hi);
+      lo := !hi + 1
+    done;
+    bounds
 
-let iter t n f =
+let iter ?cost t n f =
   if n < 0 then invalid_arg "Pool.iter: negative size";
   if n > 0 then
     if t.domains = 1 || n = 1 then
@@ -127,9 +214,9 @@ let iter t n f =
               for i = lo to hi do
                 f i
               done)
-           (chunk_bounds t n))
+           (chunk_bounds ?cost t n))
 
-let map t n f =
+let map ?cost t n f =
   if n < 0 then invalid_arg "Pool.map: negative size";
   if n = 0 then [||]
   else if t.domains = 1 || n = 1 then begin
@@ -142,11 +229,11 @@ let map t n f =
   end
   else begin
     let out = Array.make n None in
-    iter t n (fun i -> out.(i) <- Some (f i));
+    iter ?cost t n (fun i -> out.(i) <- Some (f i));
     Array.map (function Some v -> v | None -> assert false) out
   end
 
-let map_reduce t n ~map:f ~reduce ~init =
+let map_reduce ?cost t n ~map:f ~reduce ~init =
   if t.domains = 1 || n <= 1 then begin
     let acc = ref init in
     for i = 0 to n - 1 do
@@ -154,6 +241,6 @@ let map_reduce t n ~map:f ~reduce ~init =
     done;
     !acc
   end
-  else Array.fold_left reduce init (map t n f)
+  else Array.fold_left reduce init (map ?cost t n f)
 
 let derive_rng ~seed i = Random.State.make [| Splitmix.mix seed i |]

@@ -40,6 +40,58 @@ let test_bytes_be () =
   check_b "roundtrip" v (B.of_bytes_be (B.to_bytes_be v));
   Alcotest.(check string) "zero bytes" "" (B.to_bytes_be B.zero)
 
+(* decode a test-local hex string into raw bytes, independently of the
+   library under test, so the vectors below really are pinned *)
+let bytes_of_hex h =
+  let h = if String.length h mod 2 = 1 then "0" ^ h else h in
+  String.init (String.length h / 2) (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2)))
+
+let test_golden_vectors () =
+  (* decimal / hex / byte encodings pinned while the library stored
+     30-bit limbs; the canonical big-endian form (and to_hex/of_hex)
+     must survive the switch to 62-bit limbs and any future width
+     change.  The values straddle both limb widths' boundaries. *)
+  let vectors =
+    [
+      ("0", "0");
+      ("1", "1");
+      ("255", "ff");
+      ("256", "100");
+      ("1073741823", "3fffffff") (* 2^30 - 1: old limb max *);
+      ("1073741824", "40000000") (* 2^30: old limb boundary *);
+      ("1152921504606846975", "fffffffffffffff");
+      ("4611686018427387903", "3fffffffffffffff") (* 2^62 - 1: new limb max *);
+      ("4611686018427387904", "4000000000000000") (* 2^62 *);
+      ("18446744073709551616", "10000000000000000") (* 2^64 *);
+      ( "340282366920938463463374607431768211455" (* 2^128 - 1 *),
+        String.concat "" (List.init 32 (fun _ -> "f")) );
+      ( "57896044618658097711785492504343953926634992332820282019728792003956564819949",
+        "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed" )
+      (* 2^255 - 19 *);
+    ]
+  in
+  List.iter
+    (fun (dec, hex) ->
+      let v = B.of_string dec in
+      Alcotest.(check string) ("to_hex " ^ dec) hex (B.to_hex v);
+      check_b ("of_hex " ^ hex) v (B.of_hex hex);
+      Alcotest.(check string) ("to_string " ^ dec) dec (B.to_string v);
+      if not (B.is_zero v) then begin
+        Alcotest.(check string) ("to_bytes_be " ^ dec) (bytes_of_hex hex)
+          (B.to_bytes_be v);
+        check_b ("of_bytes_be " ^ dec) v (B.of_bytes_be (bytes_of_hex hex));
+        (* leading zero bytes are absorbed on decode, never produced *)
+        check_b ("padded decode " ^ dec) v
+          (B.of_bytes_be ("\000\000" ^ bytes_of_hex hex))
+      end)
+    vectors;
+  (* a multi-limb pattern whose byte image is obvious by eye *)
+  let hex = "0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20" in
+  Alcotest.(check string) "pattern bytes"
+    "\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a\x0b\x0c\x0d\x0e\x0f\x10\x11\x12\x13\x14\x15\x16\x17\x18\x19\x1a\x1b\x1c\x1d\x1e\x1f\x20"
+    (B.to_bytes_be (B.of_hex hex))
+
 let test_bad_inputs () =
   Alcotest.check_raises "empty string" (Invalid_argument "Bigint.of_string: empty")
     (fun () -> ignore (B.of_string ""));
@@ -105,8 +157,8 @@ let test_erem () =
   Alcotest.(check int) "erem positive" 1 (B.to_int (B.erem (B.of_int 7) (B.of_int 2)))
 
 let test_karatsuba_consistency () =
-  (* exercise the Karatsuba path (>= 32 limbs = ~960 bits) and check
-     against a distributive-split computation *)
+  (* exercise the Karatsuba path (>= 16 limbs of 62 bits = 992 bits)
+     and check against a distributive-split computation *)
   for _ = 1 to 10 do
     let a = rand_big 1100 and b = rand_big 1300 in
     let half = B.shift_right a 550 in
@@ -114,6 +166,44 @@ let test_karatsuba_consistency () =
     let expect = B.add (B.shift_left (B.mul half b) 550) (B.mul low b) in
     check_b "karatsuba = split schoolbook" expect (B.mul a b)
   done
+
+let test_karatsuba_threshold_boundary () =
+  (* the schoolbook/Karatsuba cutover sits at 16 limbs = 992 bits;
+     products whose operands straddle that line from both sides must
+     agree with an exact closed form.  (2^k - 1)^2 and
+     (2^k + 1)(2^k - 1) are independent oracles: no multiplication
+     needed to state the expected value. *)
+  List.iter
+    (fun k ->
+      let pk = B.shift_left B.one k in
+      let x = B.sub pk B.one in
+      let sq_expect =
+        B.add (B.sub (B.shift_left B.one (2 * k)) (B.shift_left B.one (k + 1))) B.one
+      in
+      check_b (Printf.sprintf "(2^%d-1)^2" k) sq_expect (B.mul x x);
+      check_b
+        (Printf.sprintf "(2^%d+1)(2^%d-1)" k k)
+        (B.sub (B.shift_left B.one (2 * k)) B.one)
+        (B.mul (B.add pk B.one) x))
+    [ 900; 930; 991; 992; 993; 1054; 1100; 1984; 1985 ];
+  (* random operands at 15 / 16 / 17 limbs, crossed: split one operand
+     and recombine — the split pieces take a different recursion path
+     than the whole product, so a boundary bug cannot cancel out *)
+  let sizes = [ 925; 930; 991; 992; 993; 1053; 1054; 1060 ] in
+  List.iter
+    (fun abits ->
+      List.iter
+        (fun bbits ->
+          let a = rand_big abits and b = rand_big bbits in
+          let k = abits / 2 in
+          let hi = B.shift_right a k in
+          let lo = B.sub a (B.shift_left hi k) in
+          let expect = B.add (B.shift_left (B.mul hi b) k) (B.mul lo b) in
+          check_b
+            (Printf.sprintf "split product %dx%d" abits bbits)
+            expect (B.mul a b))
+        sizes)
+    sizes
 
 let test_shifts () =
   for _ = 1 to 100 do
@@ -303,6 +393,50 @@ let test_mont_edge_cases () =
     (Invalid_argument "Bigint.Mont.powmod: negative exponent") (fun () ->
       ignore (B.Mont.powmod ctx b (B.of_int (-1))))
 
+let test_mont_backend_equality () =
+  (* the 62-bit wide kernel, the retired 30-bit kernel kept as an
+     oracle (Mont.Narrow) and the naive square-and-multiply loop must
+     agree bit-for-bit; 2048 bits covers moduli well past every bench
+     shape.  Full-width exponents drive the sliding-window ladder
+     through long windows and zero runs. *)
+  List.iter
+    (fun bits ->
+      let m = random_odd_modulus bits in
+      let wide = B.Mont.create m in
+      let narrow = B.Mont.Narrow.create m in
+      let iters = if bits >= 2048 then 3 else 8 in
+      for _ = 1 to iters do
+        let b = B.random_bits st (bits + 11) in
+        let e = B.random_bits st bits in
+        let expect = B.powmod_naive b e m in
+        check_b "wide = naive" expect (B.Mont.powmod wide b e);
+        check_b "narrow = naive" expect (B.Mont.Narrow.powmod narrow b e)
+      done;
+      (* structured exponents stress the ladder's first-window fill and
+         trailing-zero handling: all-ones spans, exact powers of two,
+         single bits far apart *)
+      List.iter
+        (fun e ->
+          let b = B.random_bits st bits in
+          check_b "structured exponent"
+            (B.Mont.Narrow.powmod narrow b e)
+            (B.Mont.powmod wide b e))
+        [
+          B.zero; B.one; B.two; B.of_int 31; B.of_int 32; B.of_int 33;
+          B.sub (B.shift_left B.one 64) B.one;
+          B.shift_left B.one 64;
+          B.of_hex "8000000000000001";
+          B.add (B.shift_left B.one 200) B.one;
+        ];
+      (* Montgomery-domain product parity on canonical operands *)
+      for _ = 1 to 5 do
+        let x = B.random_below st m and y = B.random_below st m in
+        check_b "mulmod wide = reference" (B.mulmod x y m)
+          (B.Mont.of_mont wide
+             (B.Mont.mulmod wide (B.Mont.to_mont wide x) (B.Mont.to_mont wide y)))
+      done)
+    [ 512; 1024; 2048 ]
+
 (* ------------------------------------------------------------------ *)
 (* QCheck                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -407,6 +541,33 @@ let qcheck_props =
         QCheck.assume (not (B.is_zero b));
         let q, r = B.divmod a b in
         B.equal a (B.add (B.mul b q) r) && B.compare (B.abs r) (B.abs b) < 0);
+    (* random operand widths across the Karatsuba cutover (16 limbs =
+       992 bits): the split identity must hold no matter which side of
+       the threshold each recursive product lands on *)
+    QCheck.Test.make ~count:40 ~name:"mul consistent across karatsuba boundary"
+      QCheck.(triple (int_range 900 1100) (int_range 900 1100) int)
+      (fun (abits, bbits, seed) ->
+        let st = Random.State.make [| seed |] in
+        let a = B.random_bits st abits and b = B.random_bits st bbits in
+        let k = 1 + (abs seed mod 900) in
+        let hi = B.shift_right a k in
+        let lo = B.sub a (B.shift_left hi k) in
+        B.equal (B.mul a b) (B.add (B.shift_left (B.mul hi b) k) (B.mul lo b)));
+    (* both Montgomery kernels on a shared random odd modulus: the
+       62-bit and 30-bit backends are independent implementations, so
+       agreement is a strong correctness vote for each *)
+    QCheck.Test.make ~count:60 ~name:"mont wide = narrow on random moduli"
+      QCheck.(triple (int_range 8 320) int int)
+      (fun (bits, mseed, vseed) ->
+        let mst = Random.State.make [| mseed |] in
+        let m = B.add (B.shift_left B.one (bits - 1)) (B.random_bits mst (bits - 1)) in
+        let m = if B.is_even m then B.add m B.one else m in
+        let vst = Random.State.make [| vseed |] in
+        let b = B.random_bits vst (bits + 7) in
+        let e = B.random_bits vst (bits + 1) in
+        B.equal
+          (B.Mont.powmod (B.Mont.create m) b e)
+          (B.Mont.Narrow.powmod (B.Mont.Narrow.create m) b e));
   ]
 
 let () =
@@ -419,6 +580,7 @@ let () =
           Alcotest.test_case "string vs int" `Quick test_string_against_int;
           Alcotest.test_case "hex" `Quick test_hex;
           Alcotest.test_case "bytes be" `Quick test_bytes_be;
+          Alcotest.test_case "golden vectors" `Quick test_golden_vectors;
           Alcotest.test_case "bad inputs" `Quick test_bad_inputs;
         ] );
       ( "arithmetic",
@@ -429,6 +591,8 @@ let () =
           Alcotest.test_case "divmod signs" `Quick test_divmod_signs;
           Alcotest.test_case "erem" `Quick test_erem;
           Alcotest.test_case "karatsuba" `Quick test_karatsuba_consistency;
+          Alcotest.test_case "karatsuba threshold boundary" `Quick
+            test_karatsuba_threshold_boundary;
           Alcotest.test_case "shifts" `Quick test_shifts;
           Alcotest.test_case "pow" `Quick test_pow;
           Alcotest.test_case "bit_length" `Quick test_bit_length;
@@ -454,6 +618,8 @@ let () =
           Alcotest.test_case "dispatch matches naive" `Quick test_mont_dispatch_matches_naive;
           Alcotest.test_case "fixed base" `Quick test_mont_fixed_base;
           Alcotest.test_case "edge cases" `Quick test_mont_edge_cases;
+          Alcotest.test_case "backend equality 512/1024/2048" `Quick
+            test_mont_backend_equality;
         ] );
       ( "multiexp",
         [

@@ -79,6 +79,171 @@ let test_iter_fills_slots () =
         slots)
     [ 1; 4 ]
 
+let test_empty_job_is_inert () =
+  (* size 0 must not build a job, wake a worker, or call f; the pool
+     stays fully usable afterwards *)
+  with_pool ~domains:4 (fun pool ->
+      let called = Atomic.make 0 in
+      let r = Pool.map pool 0 (fun _ -> Atomic.incr called) in
+      Alcotest.(check int) "empty result" 0 (Array.length r);
+      Alcotest.(check int) "f never called" 0 (Atomic.get called);
+      Alcotest.(check int) "no chunks for n=0" 0
+        (Array.length (Pool.chunk_bounds pool 0));
+      (* with profiling on, an empty job leaves no trace: no chunk was
+         created so no sample can be recorded *)
+      Pool.set_profiling true;
+      Fun.protect
+        ~finally:(fun () -> Pool.set_profiling false)
+        (fun () ->
+          ignore (Pool.drain_profile ());
+          ignore (Pool.map pool 0 (fun i -> i));
+          Pool.iter pool 0 (fun _ -> ());
+          Alcotest.(check int) "no profile samples" 0
+            (List.length (Pool.drain_profile ())));
+      Alcotest.(check (array int)) "pool usable after empty jobs"
+        (Array.init 8 Fun.id) (Pool.map pool 8 Fun.id))
+
+let test_fewer_items_than_domains () =
+  (* surplus workers must sleep through the job, not spin or deadlock:
+     every index still runs exactly once and the call returns *)
+  List.iter
+    (fun (n, domains) ->
+      let got = with_pool ~domains (fun pool -> Pool.map pool n (fun i -> 10 * i)) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "n=%d domains=%d" n domains)
+        (Array.init n (fun i -> 10 * i))
+        got)
+    [ (1, 8); (2, 8); (3, 4); (5, 8); (7, 8) ];
+  (* chunk layout never exceeds the item count *)
+  with_pool ~domains:8 (fun pool ->
+      List.iter
+        (fun n ->
+          Alcotest.(check int)
+            (Printf.sprintf "chunks for n=%d" n)
+            n
+            (Array.length (Pool.chunk_bounds pool n));
+          Alcotest.(check bool)
+            (Printf.sprintf "cost chunks for n=%d" n)
+            true
+            (Array.length (Pool.chunk_bounds ~cost:(fun _ -> 1) pool n) <= n))
+        [ 1; 2; 5; 7 ])
+
+let test_cost_hint_identical_results () =
+  (* the hint may only move chunk boundaries — the value of every index
+     is pinned by the pre-sized result array, so any cost profile must
+     produce the same output as no hint at all *)
+  let n = 257 in
+  let f i = (i * 31) mod 101 in
+  let expected = Array.init n f in
+  let costs =
+    [
+      ("uniform", fun _ -> 1);
+      ("sawtooth", fun i -> 1 + (i mod 13));
+      ("front-loaded", fun i -> if i < 16 then 100 else 1);
+      ("increasing", fun i -> i) (* i = 0 exercises the >= 1 clamp *);
+      ("huge", fun _ -> max_int / (2 * 257)) (* near-overflow weights *);
+    ]
+  in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun (name, cost) ->
+          let got = with_pool ~domains (fun pool -> Pool.map ~cost pool n f) in
+          Alcotest.(check (array int))
+            (Printf.sprintf "%s domains=%d" name domains)
+            expected got)
+        costs)
+    [ 1; 2; 4; 8 ]
+
+let test_chunk_bounds_properties () =
+  (* for every (n, domains, cost): chunks are non-empty, contiguous,
+     cover [0, n-1] exactly, respect the count cap, and are
+     deterministic *)
+  let costs =
+    [ None; Some (fun _ -> 1); Some (fun i -> 1 + (i mod 7));
+      Some (fun i -> if i = 0 then 1000 else 1) ]
+  in
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun pool ->
+          List.iter
+            (fun n ->
+              List.iteri
+                (fun ci cost ->
+                  let bounds =
+                    match cost with
+                    | None -> Pool.chunk_bounds pool n
+                    | Some c -> Pool.chunk_bounds ~cost:c pool n
+                  in
+                  let label fmt =
+                    Printf.sprintf "n=%d domains=%d cost#%d %s" n domains ci fmt
+                  in
+                  let cap =
+                    match cost with
+                    | None -> min domains n
+                    | Some _ -> min n (4 * domains)
+                  in
+                  Alcotest.(check bool) (label "count cap") true
+                    (Array.length bounds <= cap);
+                  if n > 0 then begin
+                    Alcotest.(check int) (label "starts at 0") 0 (fst bounds.(0));
+                    Alcotest.(check int) (label "ends at n-1") (n - 1)
+                      (snd bounds.(Array.length bounds - 1))
+                  end;
+                  Array.iteri
+                    (fun k (lo, hi) ->
+                      Alcotest.(check bool) (label "non-empty") true (lo <= hi);
+                      if k > 0 then
+                        Alcotest.(check int) (label "contiguous")
+                          (snd bounds.(k - 1) + 1)
+                          lo)
+                    bounds;
+                  let again =
+                    match cost with
+                    | None -> Pool.chunk_bounds pool n
+                    | Some c -> Pool.chunk_bounds ~cost:c pool n
+                  in
+                  Alcotest.(check bool) (label "deterministic") true (bounds = again))
+                costs)
+            [ 0; 1; 2; 3; 7; 64; 129 ]))
+    [ 1; 2; 4; 8 ];
+  (* weighted cutting actually shifts boundaries: when the first half
+     of the indices carries ~10x the weight, the chunk holding index 0
+     must span fewer indices than the chunk holding index n-1 *)
+  with_pool ~domains:4 (fun pool ->
+      let n = 128 in
+      let bounds = Pool.chunk_bounds ~cost:(fun i -> if i < n / 2 then 9 else 1) pool n in
+      let span (lo, hi) = hi - lo + 1 in
+      Alcotest.(check bool) "heavy region gets shorter chunks" true
+        (span bounds.(0) < span bounds.(Array.length bounds - 1)))
+
+let test_profiling_hook () =
+  Pool.set_profiling false;
+  ignore (Pool.drain_profile ());
+  with_pool ~domains:4 (fun pool ->
+      (* off by default: a parallel job records nothing *)
+      ignore (Pool.map pool 64 Fun.id);
+      Alcotest.(check int) "off: no samples" 0 (List.length (Pool.drain_profile ()));
+      Pool.set_profiling true;
+      Fun.protect
+        ~finally:(fun () -> Pool.set_profiling false)
+        (fun () ->
+          ignore (Pool.map pool 64 (fun i -> 2 * i));
+          let samples = Pool.drain_profile () in
+          let nchunks = Array.length (Pool.chunk_bounds pool 64) in
+          Alcotest.(check int) "one sample per chunk" nchunks (List.length samples);
+          let seen = Array.make nchunks false in
+          List.iter
+            (fun (d, c, ms) ->
+              Alcotest.(check bool) "domain in range" true (d >= 0 && d < 4);
+              Alcotest.(check bool) "chunk in range" true (c >= 0 && c < nchunks);
+              Alcotest.(check bool) "duration non-negative" true (ms >= 0.0);
+              seen.(c) <- true)
+            samples;
+          Alcotest.(check bool) "every chunk sampled" true
+            (Array.for_all Fun.id seen);
+          Alcotest.(check int) "drain clears" 0 (List.length (Pool.drain_profile ()))))
+
 exception Boom of int
 
 let test_exception_propagates () =
@@ -260,6 +425,14 @@ let () =
           Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
           Alcotest.test_case "create validation" `Quick test_create_validation;
           Alcotest.test_case "derive_rng deterministic" `Quick test_derive_rng_deterministic;
+          Alcotest.test_case "empty job is inert" `Quick test_empty_job_is_inert;
+          Alcotest.test_case "fewer items than domains" `Quick
+            test_fewer_items_than_domains;
+          Alcotest.test_case "cost hint identical results" `Quick
+            test_cost_hint_identical_results;
+          Alcotest.test_case "chunk bounds properties" `Quick
+            test_chunk_bounds_properties;
+          Alcotest.test_case "profiling hook" `Quick test_profiling_hook;
         ] );
       ( "determinism",
         [
