@@ -18,7 +18,10 @@ module Analysis = Yoso_sortition.Analysis
 module Sampler = Yoso_sortition.Sampler
 module Faults = Yoso_runtime.Faults
 module Board = Yoso_net.Board
+module Meter = Yoso_net.Meter
 module Sim = Yoso_net.Sim
+module Factory = Yoso_factory.Factory
+module Depot = Yoso_factory.Depot
 module Runner = Yoso_transport.Runner
 module Lang = Yoso_lang.Compiler
 module Programs = Yoso_lang.Programs
@@ -179,7 +182,7 @@ let run_transport ~deadline_ms ~topology ~params ~circuit ~inputs ~base_config ~
 
 let run_cmd protocol program kind size n t k eps malicious fail_stop seed fault_seed json
     net_seed latency drop domains transport deadline_ms journal chaos routed shards
-    quorum =
+    quorum stream depot =
   let params =
     match eps with
     | Some eps -> Params.of_gap ~n ~eps ()
@@ -244,6 +247,33 @@ let run_cmd protocol program kind size n t k eps malicious fail_stop seed fault_
     if routed || shards > 1 then
       failwith "--routed and --shards need a socket transport (--transport unix|tcp)";
     let config = Protocol.config ~adversary ~plan ~seed ~board:net ~domains () in
+    if stream > 1 then begin
+      let jobs = Array.init stream (fun _ -> { Factory.circuit; inputs }) in
+      let r = Factory.stream ~params ~config ?capacity:depot ~jobs () in
+      if json then print_endline (Factory.report_json r)
+      else begin
+        Format.printf "factory: %d circuits, %d mult gates, %.1f ms wall, %.1f gates/s@."
+          r.Factory.circuits r.Factory.total_mult r.Factory.wall_ms r.Factory.gates_per_sec;
+        let d = r.Factory.depot in
+        Format.printf
+          "depot: %d puts / %d draws, peak %d units, producer blocked %d, consumer \
+           blocked %d@."
+          d.Depot.puts d.Depot.draws d.Depot.max_occupancy d.Depot.producer_blocks
+          d.Depot.consumer_blocks;
+        Format.printf "refills: %d batches, %d B attributed, %d landed during online@."
+          (List.length (Meter.refills r.Factory.meter))
+          (Meter.refill_total r.Factory.meter)
+          r.Factory.refills_during_online;
+        List.iter
+          (fun cr ->
+            Format.printf "  c%d: seed=%d digest=%d correct=%b@." cr.Factory.index
+              cr.Factory.seed
+              cr.Factory.report.Protocol.transcript.Board.digest
+              (Protocol.check cr.Factory.report circuit ~inputs))
+          r.Factory.results
+      end;
+      exit 0
+    end;
     let r =
       try Protocol.execute ~params ~config ~circuit ~inputs ()
       with Faults.Protocol_failure f ->
@@ -524,12 +554,35 @@ let run_t =
             "Full-frame fan-out under $(b,--routed): each frame goes in full to the \
              $(docv) slots after its owner in ring order (default max 2 n/8).")
   in
+  let stream =
+    Arg.(
+      value & opt int 1
+      & info [ "stream" ] ~docv:"N"
+          ~doc:
+            "Run $(docv) instances of the circuit through one long-lived offline \
+             factory (packed protocol, sim transport): a background producer domain \
+             preprocesses circuit $(b,j+1) while circuit $(b,j)'s online phase \
+             consumes from the depot.  Per-circuit seeds are derived from \
+             $(b,--seed); each circuit's transcript is byte-identical to a one-shot \
+             run at its derived seed.")
+  in
+  let depot =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "depot" ] ~docv:"UNITS"
+          ~doc:
+            "Depot capacity in gate-equivalent units for $(b,--stream) (default: \
+             twice the circuit's preprocessing footprint).  The producer pauses at \
+             circuit boundaries while the depot sits above this watermark and \
+             resumes once consumption drains it to half.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute YOSO MPC on a generated circuit")
     Term.(
       const run_cmd $ protocol $ program $ kind $ size $ n_arg $ t_arg $ k_arg $ eps $ malicious
       $ fail_stop $ seed_arg $ fault_seed $ json $ net_seed $ latency $ drop $ domains
-      $ transport $ deadline $ journal $ chaos $ routed $ shards $ quorum)
+      $ transport $ deadline $ journal $ chaos $ routed $ shards $ quorum $ stream $ depot)
 
 let analyze_t =
   let c_param = Arg.(value & opt int 1000 & info [ "big-c"; "C" ] ~doc:"Sortition parameter C.") in

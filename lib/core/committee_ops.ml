@@ -256,11 +256,14 @@ let open_reenc te sk r =
     invalid_arg "Committee_ops.open_reenc: not enough partial encryptions";
   Pke.dec sk r.guarded
 
-let reencrypt_generic ctx te holder ~phase ~step ~reshare values =
+let reencrypt_generic ?cost ctx te holder ~phase ~step ~reshare values =
   let n = ctx.params.Params.n in
   let cost =
-    if reshare then [ (Cost.Ciphertext, Array.length values + n) ]
-    else [ (Cost.Ciphertext, Array.length values) ]
+    match cost with
+    | Some c -> c
+    | None ->
+      if reshare then [ (Cost.Ciphertext, Array.length values + n) ]
+      else [ (Cost.Ciphertext, Array.length values) ]
   in
   let tamper _rng kind i =
     match kind with
@@ -303,12 +306,29 @@ let reencrypt_generic ctx te holder ~phase ~step ~reshare values =
   in
   (packages, verified)
 
+let reshares_of (i, (_, r)) =
+  match r with Some arr -> (i, arr) | None -> assert false
+
 let reencrypt_batch ctx te holder ~phase ~step values =
   let packages, verified =
     reencrypt_generic ctx te holder ~phase ~step ~reshare:true values
   in
-  let reshares_of (i, (_, r)) =
-    match r with Some arr -> (i, arr) | None -> assert false
+  let next = pass_key ctx te holder.prefix (List.map reshares_of verified) in
+  (packages, next)
+
+(* ciphertext-level batching: every value destined for one recipient
+   travels inside ONE bundled ciphertext per speaking holder (the
+   recipient unpacks the bundle locally), so a member's post carries
+   [distinct targets + n] ciphertexts instead of [len + n].  The
+   in-memory packages stay per-value — only the wire accounting (and
+   hence bytes/gate) amortizes. *)
+let reencrypt_packed ctx te holder ~phase ~step values =
+  let n = ctx.params.Params.n in
+  let targets = Hashtbl.create 16 in
+  Array.iter (fun (pk, _) -> Hashtbl.replace targets pk ()) values;
+  let cost = [ (Cost.Ciphertext, Hashtbl.length targets + n) ] in
+  let packages, verified =
+    reencrypt_generic ~cost ctx te holder ~phase ~step ~reshare:true values
   in
   let next = pass_key ctx te holder.prefix (List.map reshares_of verified) in
   (packages, next)

@@ -141,6 +141,19 @@ val reencrypt_batch :
     @raise Faults.Protocol_failure with fewer than [t + 1] verified
     contributions. *)
 
+val reencrypt_packed :
+  ctx -> Te.tpk -> holder -> phase:string -> step:string ->
+  (Pke.pk * 'a Te.ct) array ->
+  'a reenc array * holder
+(** Ciphertext-level batched [Re-encrypt]: values sharing a recipient
+    travel as one bundled ciphertext per speaking holder, so the post
+    is charged [distinct targets + n] ciphertexts instead of
+    [len + n] — the factory's amortization of the tsk-chain
+    re-encryptions to KFF.  Functionally identical to
+    {!reencrypt_batch} (same packages, same key handoff); only the
+    wire accounting differs, so it changes the transcript and is
+    opt-in via {!Offline.opts}. *)
+
 val reencrypt_final :
   ctx -> Te.tpk -> holder -> phase:string -> step:string ->
   (Pke.pk * 'a Te.ct) array ->

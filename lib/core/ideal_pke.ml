@@ -3,14 +3,18 @@ module Splitmix = Yoso_hash.Splitmix
 type pk = int
 type sk = { id : int }
 
-let counter = ref 0
+(* atomic: the factory's background producer generates keys for the
+   next circuit while the consumer's online phase generates role keys
+   for the current one; ids only need process-uniqueness, never
+   determinism, so contention order is irrelevant *)
+let counter = Atomic.make 0
 
 let gen rng =
   (* the rng parameter keeps the signature honest (a real scheme
      samples keys); ids are process-unique *)
   ignore (Splitmix.next rng);
-  incr counter;
-  (!counter, { id = !counter })
+  let id = Atomic.fetch_and_add counter 1 + 1 in
+  (id, { id })
 
 let pk_of sk = sk.id
 let pk_id pk = pk

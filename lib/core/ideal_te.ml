@@ -6,13 +6,15 @@ type share = { key : int; index : int; epoch : int }
 type 'a ct = { ct_key : int; value : 'a }
 type 'a partial = { p_key : int; p_index : int; p_epoch : int; p_value : 'a }
 
-let counter = ref 0
+(* atomic for the same reason as {!Ideal_pke.counter}: key generation
+   happens concurrently across factory domains; ids need uniqueness
+   only *)
+let counter = Atomic.make 0
 
 let keygen ~n ~t ~rng =
   if t < 0 || t >= n then invalid_arg "Ideal_te.keygen: need 0 <= t < n";
   ignore (Splitmix.next rng);
-  incr counter;
-  let tpk = { id = !counter; n; t } in
+  let tpk = { id = Atomic.fetch_and_add counter 1 + 1; n; t } in
   (tpk, Array.init n (fun i -> { key = tpk.id; index = i + 1; epoch = 0 }))
 
 let n_parties tpk = tpk.n
@@ -118,6 +120,10 @@ let recombine tpk ~index subs =
     if List.exists (fun s -> s.s_epoch <> s0.s_epoch) rest then
       invalid_arg "Ideal_te.recombine: subshares from different epochs";
     { key = tpk.id; index; epoch = s0.s_epoch + 1 }
+
+let reveal tpk c =
+  check_ct tpk c;
+  c.value
 
 let junk_partial tpk ~index ~epoch v =
   { p_key = tpk.id; p_index = index; p_epoch = epoch; p_value = v }

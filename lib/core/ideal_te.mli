@@ -79,6 +79,16 @@ val recombine : tpk -> index:int -> subshare list -> share
     sender subset; passing identically ordered lists suffices.
     @raise Invalid_argument otherwise. *)
 
+val reveal : tpk -> 'a ct -> 'a
+(** Simulator-side extraction (the standard protocol-simulator
+    shortcut; see {!Committee_ops}): the plaintext without any
+    decryption quorum.  Used where the honest producing committees
+    would jointly derive a public function of their plaintexts — e.g.
+    the factory's triple-audit commitments — which the simulation
+    computes directly instead of running another decrypt chain.  Never
+    a substitute for {!combine} on the protocol path.
+    @raise Invalid_argument on a foreign ciphertext. *)
+
 val junk_partial : tpk -> index:int -> epoch:int -> 'a -> 'a partial
 (** Adversary/test constructor: a syntactically valid partial carrying
     a wrong value. *)

@@ -52,4 +52,84 @@ type t = {
           online phase consumes it for future-key distribution *)
 }
 
-val run : Committee_ops.ctx -> Setup.t -> Layout.t -> t
+(** {1 Amortization options}
+
+    Both amortizations change what goes on the board (extra audit
+    posts, bundled re-encryption rounds), hence the transcript — they
+    default off so the one-shot path stays byte-identical to the
+    pre-split protocol.  Streamed runs and their one-shot comparison
+    runs must enable the same opts for digest equality to hold. *)
+type opts = {
+  audit_triples : bool;
+      (** post one aggregated {!Yoso_shamir.Feldman.Product} proof
+          batch per triple chunk and verify it; a bad triple aborts
+          with {!Yoso_runtime.Faults.Protocol_failure} after exact
+          attribution *)
+  audit_verify : [ `Each | `Batched ];
+      (** verifier strategy: definitional per-proof checks or
+          random-linear-combination aggregation.  Local choice — does
+          not touch the transcript. *)
+  audit_tamper : int list;
+      (** adversary/test hook: gate indices whose audited [z]
+          commitment is shifted by [h] before verification *)
+  packed_reenc : bool;
+      (** ciphertext-level batching of the tsk-chain re-encryptions to
+          KFF ({!Committee_ops.reencrypt_packed}): posts are charged
+          [distinct targets + n] ciphertexts instead of [len + n] *)
+}
+
+val default_opts : opts
+(** Everything off, [audit_verify = `Batched]. *)
+
+(** {1 Streaming producer interface}
+
+    The offline protocol as an incremental stream of typed
+    preprocessing batches — what the factory's producer pushes into
+    its depot.  Items arrive in a fixed order (wire lambdas, input
+    preps, one item per mult layer, the final tsk holder), with
+    exactly the board posts of the one-shot path. *)
+type item =
+  | Lambdas of F.t Te.ct array
+  | Inputs of input_prep list
+  | Layer of int * mult_prep list
+  | Holder of Committee_ops.holder
+
+val item_kind : item -> string
+(** Depot key: ["lambdas"], ["inputs"], ["layer<i>"], ["holder"]. *)
+
+val item_units : Layout.t -> item -> int
+(** Depot occupancy weight in gate-equivalents (at least 1). *)
+
+type stream_state
+
+val start : ?opts:opts -> Committee_ops.ctx -> Setup.t -> Layout.t -> stream_state
+(** Builds the stepper; no committee runs until {!prepare_batch}. *)
+
+val prepare_batch : stream_state -> item option
+(** Runs the next production stage (posting its committees) and
+    returns the next ready item; [None] once every batch is out. *)
+
+val assemble : Layout.t -> item list -> t
+(** Reassembles a drained stream into the one-shot preprocessing
+    value.  @raise Failure if an item kind is missing. *)
+
+val run : ?opts:opts -> Committee_ops.ctx -> Setup.t -> Layout.t -> t
+(** {!start} + drain + {!assemble}: the one-shot path is a degenerate
+    single-stream run, byte-identical in transcript to the pre-split
+    implementation at equal seeds (with default [opts]). *)
+
+(** {1 Consumption source}
+
+    {!Online} draws material through a [source] — thunks rather than a
+    record of arrays — so a depot-backed stream (blocking draws) and a
+    fully materialized {!t} ({!source_of}) are interchangeable. *)
+type source = {
+  src_layout : Layout.t;
+  src_layers : int;
+  src_wire_lambda : unit -> F.t Te.ct array;
+  src_input_preps : unit -> input_prep list;
+  src_mult_preps : int -> mult_prep list;
+  src_final_holder : unit -> Committee_ops.holder;
+}
+
+val source_of : t -> source

@@ -29,14 +29,21 @@ let chunks size arr =
   in
   go 0 []
 
-let run (ctx : Ops.ctx) (setup : Setup.t) (prep : Offline.t) ~inputs =
+(* The online phase draws its preprocessing through an
+   {!Offline.source}: each thunk is pulled exactly when the protocol
+   needs that material — the final tsk holder first (future key
+   distribution), then the input preps, then each mult layer's packed
+   shares as its committee speaks, and the wire lambdas only at the
+   output step.  Against a depot-backed source the draws block until
+   the background producer has refilled the corresponding batch. *)
+let run_from (ctx : Ops.ctx) (setup : Setup.t) (source : Offline.source) ~inputs =
   let te = setup.Setup.te in
   let p = ctx.Ops.params in
   let n = p.Params.n and k = p.Params.k in
   let gpc = p.Params.gates_per_committee in
-  let layout = prep.Offline.layout in
+  let layout = source.Offline.src_layout in
   let circuit = layout.Layout.circuit in
-  let layers = Array.length prep.Offline.mult_preps in
+  let layers = source.Offline.src_layers in
   let ps = PS.make_params ~n ~k in
   let recon_degree = Params.reconstruction_threshold p - 1 in
 
@@ -62,7 +69,7 @@ let run (ctx : Ops.ctx) (setup : Setup.t) (prep : Offline.t) ~inputs =
                (fst role_keys.(li).(i), setup.Setup.kff_roles.(li).(i).Setup.kff_sk_ct))))
   in
   let all_targets = Array.of_list (client_targets @ role_targets) in
-  let holder = ref prep.Offline.final_holder in
+  let holder = ref (source.Offline.src_final_holder ()) in
   let key_packages = Array.make (Array.length all_targets) None in
   let pos = ref 0 in
   List.iter
@@ -122,7 +129,7 @@ let run (ctx : Ops.ctx) (setup : Setup.t) (prep : Offline.t) ~inputs =
           mu.(w) <- Some (F.sub vec.(cursor) lambda);
           Hashtbl.replace client_input_cursor c (cursor + 1))
         ip.Offline.wires)
-    prep.Offline.input_preps;
+    (source.Offline.src_input_preps ());
   (* one broadcast per client input role, carrying all its mu values —
      the real field elements go over the wire *)
   Board.next_round ctx.Ops.board;
@@ -143,7 +150,7 @@ let run (ctx : Ops.ctx) (setup : Setup.t) (prep : Offline.t) ~inputs =
   (* ---- multiplication layers --------------------------------------- *)
   for li = 0 to layers - 1 do
     let committee = layer_committees.(li) in
-    let preps = Array.of_list prep.Offline.mult_preps.(li) in
+    let preps = Array.of_list (source.Offline.src_mult_preps li) in
     let nbatches = Array.length preps in
     if nbatches > 0 then begin
       (* public: degree-(k-1) sharings of the mu vectors of each batch *)
@@ -233,11 +240,12 @@ let run (ctx : Ops.ctx) (setup : Setup.t) (prep : Offline.t) ~inputs =
 
   (* ---- output step -------------------------------------------------- *)
   let output_gates = Array.of_list circuit.Circuit.output_wires in
+  let wire_lambda = source.Offline.src_wire_lambda () in
   let output_values =
     Array.map
       (fun (client, w) ->
         let pk, _ = List.assoc client setup.Setup.client_keys in
-        (pk, prep.Offline.wire_lambda.(w)))
+        (pk, wire_lambda.(w)))
       output_gates
   in
   let packages =
@@ -251,3 +259,5 @@ let run (ctx : Ops.ctx) (setup : Setup.t) (prep : Offline.t) ~inputs =
          let lambda = Ops.open_reenc te sk packages.(idx) in
          { client; wire = w; value = F.add (get_mu w) lambda })
        output_gates)
+
+let run ctx setup prep ~inputs = run_from ctx setup (Offline.source_of prep) ~inputs

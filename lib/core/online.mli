@@ -27,13 +27,27 @@ module Circuit = Yoso_circuit.Circuit
 
 type output = { client : int; wire : Circuit.wire; value : F.t }
 
+val run_from :
+  Committee_ops.ctx ->
+  Setup.t ->
+  Offline.source ->
+  inputs:(int -> F.t array) ->
+  output list
+(** Draws preprocessing through the source's thunks exactly when the
+    protocol needs each piece: final holder first (future key
+    distribution), then input preps, then each layer's packed shares,
+    then the wire lambdas at the output step.  Against a depot-backed
+    source each draw blocks until the producer has refilled that
+    batch. *)
+
 val run :
   Committee_ops.ctx ->
   Setup.t ->
   Offline.t ->
   inputs:(int -> F.t array) ->
   output list
-(** [inputs client] is the client's input vector, consumed in circuit
-    input-gate order.  Returns one entry per output gate, in gate
-    order.  @raise Failure if reconstruction lacks shares (cannot
-    happen under a {!Params.validate_adversary}-accepted adversary). *)
+(** [run_from] over {!Offline.source_of}.  [inputs client] is the
+    client's input vector, consumed in circuit input-gate order.
+    Returns one entry per output gate, in gate order.  @raise Failure
+    if reconstruction lacks shares (cannot happen under a
+    {!Params.validate_adversary}-accepted adversary). *)

@@ -52,6 +52,7 @@ type exec_config = {
   validate : bool;
   seed : int;
   domains : int;
+  offline : Offline.opts;
 }
 
 type net_config = {
@@ -72,10 +73,10 @@ type config = {
 }
 
 let config ?(adversary = Params.no_adversary) ?plan ?(validate = true) ?(seed = 0xC0FFEE)
-    ?(domains = 1) ?(board = Board.default_config) ?(transport = "sim") ?link ?journal
-    ?chaos () =
+    ?(domains = 1) ?(offline = Offline.default_opts) ?(board = Board.default_config)
+    ?(transport = "sim") ?link ?journal ?chaos () =
   {
-    exec = { adversary; plan; validate; seed; domains };
+    exec = { adversary; plan; validate; seed; domains; offline };
     net = { board; transport; link };
     recovery = { journal; chaos };
   }
@@ -110,60 +111,117 @@ module Legacy = struct
     config ~adversary ?plan ~validate ~seed ~domains ~board:net ~transport ?link ()
 end
 
-let execute ~params ?(config = default_config) ~circuit ~inputs () =
-  let { adversary; plan; validate; seed; domains } = config.exec in
-  let { board = net; transport; link } = config.net in
+(* ------------------------------------------------------------------ *)
+(* Produce/consume session halves                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A session is one circuit's run split open: [open_session] builds
+   the board, pool, committee ctx and setup (posting the setup frame);
+   the produce half ([produce], or [Offline.start] + [prepare_batch]
+   driven by the factory's background producer) runs preprocessing on
+   it; [consume] runs the online phase against an {!Offline.source}
+   and assembles the report.  [execute] is open + produce + consume in
+   one call; the factory hands sessions across domains between the
+   halves. *)
+type session = {
+  s_params : Params.t;
+  s_config : config;
+  s_circuit : Circuit.t;
+  s_board : Board.t;
+  s_pool : Yoso_parallel.Pool.t;
+  s_ctx : Ops.ctx;
+  s_layout : Layout.t;
+  s_setup : Setup.t;
+  s_setup_ms : float;
+  mutable s_offline_ms : float;
+}
+
+let open_session ~params ?(config = default_config) ~circuit () =
+  let { adversary; plan; validate; seed; domains; offline = _ } = config.exec in
+  let { board = net; transport = _; link } = config.net in
   let board = Board.create ~config:net () in
   Board.set_link board link;
   let pool = Yoso_parallel.Pool.create ~domains in
+  let ctx = Ops.create_ctx ?plan ~validate ~pool ~board ~params ~adversary ~seed () in
+  let layout = Layout.make circuit ~k:params.Params.k in
+  let layers = Array.length layout.Layout.mult_layers in
+  let t0 = Unix.gettimeofday () in
+  let setup =
+    Setup.run ~board ~params ~layers ~clients:(Circuit.clients circuit)
+      ~rng:(Splitmix.of_int (seed lxor 0x5E7))
+  in
+  let t1 = Unix.gettimeofday () in
+  {
+    s_params = params;
+    s_config = config;
+    s_circuit = circuit;
+    s_board = board;
+    s_pool = pool;
+    s_ctx = ctx;
+    s_layout = layout;
+    s_setup = setup;
+    s_setup_ms = (t1 -. t0) *. 1000.;
+    s_offline_ms = 0.;
+  }
+
+let close_session s = Yoso_parallel.Pool.shutdown s.s_pool
+let session_board s = s.s_board
+let session_layout s = s.s_layout
+let record_offline_ms s ms = s.s_offline_ms <- s.s_offline_ms +. ms
+
+let produce s =
+  let t0 = Unix.gettimeofday () in
+  let prep = Offline.run ~opts:s.s_config.exec.offline s.s_ctx s.s_setup s.s_layout in
+  s.s_offline_ms <- s.s_offline_ms +. ((Unix.gettimeofday () -. t0) *. 1000.);
+  prep
+
+let start_stream s = Offline.start ~opts:s.s_config.exec.offline s.s_ctx s.s_setup s.s_layout
+
+let consume s source ~inputs =
+  let board = s.s_board and ctx = s.s_ctx and circuit = s.s_circuit in
+  let link = s.s_config.net.link and transport = s.s_config.net.transport in
+  let t2 = Unix.gettimeofday () in
+  let outputs = Online.run_from ctx s.s_setup source ~inputs in
+  let t3 = Unix.gettimeofday () in
+  let cost = Board.cost board in
+  let meter = Board.meter board in
+  {
+    outputs;
+    setup_elements = Cost.elements cost ~phase:"setup";
+    offline_elements = Cost.elements cost ~phase:"offline";
+    online_elements = Cost.elements cost ~phase:"online";
+    setup_bytes = Meter.phase_total meter ~phase:"setup";
+    offline_bytes = Meter.phase_total meter ~phase:"offline";
+    online_bytes = Meter.phase_total meter ~phase:"online";
+    online_field_bytes = Meter.kind_bytes meter ~phase:"online" Cost.Field_element;
+    posts = Board.length board;
+    committees = ctx.Ops.committee_counter;
+    num_gates = Circuit.size circuit;
+    num_mult = Circuit.num_mul circuit;
+    faults_detected = Faults.faults_detected ctx.Ops.log;
+    posts_rejected = Faults.posts_rejected ctx.Ops.log;
+    blames = Faults.blames ctx.Ops.log;
+    net = Board.sim_stats board;
+    transcript = Board.transcript board;
+    meter;
+    transport;
+    reconnects = (match link with Some l -> fst (l.Board.stats ()) | None -> 0);
+    replays = (match link with Some l -> snd (l.Board.stats ()) | None -> 0);
+    phase_ms =
+      [
+        ("setup", s.s_setup_ms);
+        ("offline", s.s_offline_ms);
+        ("online", (t3 -. t2) *. 1000.);
+      ];
+  }
+
+let execute ~params ?(config = default_config) ~circuit ~inputs () =
+  let s = open_session ~params ~config ~circuit () in
   Fun.protect
-    ~finally:(fun () -> Yoso_parallel.Pool.shutdown pool)
+    ~finally:(fun () -> close_session s)
     (fun () ->
-      let ctx = Ops.create_ctx ?plan ~validate ~pool ~board ~params ~adversary ~seed () in
-      let layout = Layout.make circuit ~k:params.Params.k in
-      let layers = Array.length layout.Layout.mult_layers in
-      let t0 = Unix.gettimeofday () in
-      let setup =
-        Setup.run ~board ~params ~layers ~clients:(Circuit.clients circuit)
-          ~rng:(Splitmix.of_int (seed lxor 0x5E7))
-      in
-      let t1 = Unix.gettimeofday () in
-      let prep = Offline.run ctx setup layout in
-      let t2 = Unix.gettimeofday () in
-      let outputs = Online.run ctx setup prep ~inputs in
-      let t3 = Unix.gettimeofday () in
-      let cost = Board.cost board in
-      let meter = Board.meter board in
-      {
-        outputs;
-        setup_elements = Cost.elements cost ~phase:"setup";
-        offline_elements = Cost.elements cost ~phase:"offline";
-        online_elements = Cost.elements cost ~phase:"online";
-        setup_bytes = Meter.phase_total meter ~phase:"setup";
-        offline_bytes = Meter.phase_total meter ~phase:"offline";
-        online_bytes = Meter.phase_total meter ~phase:"online";
-        online_field_bytes = Meter.kind_bytes meter ~phase:"online" Cost.Field_element;
-        posts = Board.length board;
-        committees = ctx.Ops.committee_counter;
-        num_gates = Circuit.size circuit;
-        num_mult = Circuit.num_mul circuit;
-        faults_detected = Faults.faults_detected ctx.Ops.log;
-        posts_rejected = Faults.posts_rejected ctx.Ops.log;
-        blames = Faults.blames ctx.Ops.log;
-        net = Board.sim_stats board;
-        transcript = Board.transcript board;
-        meter;
-        transport;
-        reconnects =
-          (match link with Some l -> fst (l.Board.stats ()) | None -> 0);
-        replays = (match link with Some l -> snd (l.Board.stats ()) | None -> 0);
-        phase_ms =
-          [
-            ("setup", (t1 -. t0) *. 1000.);
-            ("offline", (t2 -. t1) *. 1000.);
-            ("online", (t3 -. t2) *. 1000.);
-          ];
-      })
+      let prep = produce s in
+      consume s (Offline.source_of prep) ~inputs)
 
 module Report = struct
   type options = {

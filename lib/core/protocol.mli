@@ -67,6 +67,12 @@ type exec_config = {
       (** worker domains for committee fan-out (see
           {!Yoso_parallel.Pool}); outputs, blames and the transcript
           digest are identical at every value *)
+  offline : Offline.opts;
+      (** amortization switches for the preprocessing half (triple
+          audits, packed re-encryptions); default
+          {!Offline.default_opts}.  Non-default opts change the
+          transcript, so digest-equality comparisons must use the same
+          opts on both sides. *)
 }
 (** What runs: adversary structure, fault plan, seeds and the
     domain count driving committee fan-out. *)
@@ -110,6 +116,7 @@ val config :
   ?validate:bool ->
   ?seed:int ->
   ?domains:int ->
+  ?offline:Offline.opts ->
   ?board:Yoso_net.Board.config ->
   ?transport:string ->
   ?link:Yoso_net.Board.link ->
@@ -145,6 +152,55 @@ module Legacy : sig
   val of_flat : flat_config -> config
   [@@deprecated "use Protocol.config (the smart constructor) instead"]
 end
+
+(** {1 Produce/consume session halves}
+
+    One circuit's run split open, so preprocessing and consumption can
+    live on different domains: the offline factory's background
+    producer opens a session and drives {!start_stream} /
+    {!Offline.prepare_batch}, pushing batches into a depot; the
+    consumer later runs {!consume} on the same session against a
+    depot-backed {!Offline.source}.  {!execute} is
+    open + produce + consume in one call — both paths commit the same
+    frames in the same order, so their transcripts are
+    byte-identical at equal seeds. *)
+
+type session
+
+val open_session :
+  params:Params.t -> ?config:config -> circuit:Circuit.t -> unit -> session
+(** Builds the board, domain pool, committee ctx and layout, and runs
+    setup (posting its frame).  The caller must {!close_session} (or
+    finish with {!consume} and then close) to release the pool. *)
+
+val produce : session -> Offline.t
+(** The one-shot produce half: full preprocessing under the session
+    config's [offline] opts. *)
+
+val start_stream : session -> Offline.stream_state
+(** The streaming produce half: an {!Offline} stepper over this
+    session (same opts), for batch-at-a-time refills. *)
+
+val consume : session -> Offline.source -> inputs:(int -> F.t array) -> report
+(** The consume half: runs the online phase drawing from [source] and
+    assembles the report from the session's board. *)
+
+val close_session : session -> unit
+(** Shuts the session's domain pool down.  Idempotent-unsafe: call
+    exactly once, after the last session operation. *)
+
+val session_board : session -> Yoso_net.Board.t
+(** The session's bulletin board — the factory reads its meter between
+    {!Offline.prepare_batch} calls to attribute refill bytes, and its
+    cost/transcript when aggregating a stream report. *)
+
+val session_layout : session -> Yoso_circuit.Layout.t
+(** The packing layout [open_session] computed for the circuit. *)
+
+val record_offline_ms : session -> float -> unit
+(** Adds producer-side wall time to the session's offline phase
+    timing, for producers that drive {!start_stream} themselves rather
+    than calling {!produce}. *)
 
 val execute :
   params:Params.t ->

@@ -1,0 +1,152 @@
+exception Closed
+
+type 'a t = {
+  mutex : Mutex.t;
+  refill_ok : Condition.t;   (* producer waits here in [reserve] *)
+  available : Condition.t;   (* consumer waits here in [draw] *)
+  slots : (int * string, (int * 'a) Queue.t) Hashtbl.t;
+  cap : int;
+  low_mark : int;
+  mutable occupancy : int;
+  mutable gate_open : bool;
+  mutable closed : bool;
+  mutable poison : exn option;
+  mutable puts : int;
+  mutable draws : int;
+  mutable producer_blocks : int;
+  mutable consumer_blocks : int;
+  mutable max_occupancy : int;
+  mutable draw_log_rev : (int * string) list;
+}
+
+let create ?low ~capacity () =
+  if capacity < 1 then invalid_arg "Depot.create: capacity must be >= 1";
+  let low_mark = match low with Some l -> l | None -> capacity / 2 in
+  if low_mark < 0 || low_mark >= capacity then
+    invalid_arg "Depot.create: need 0 <= low < capacity";
+  {
+    mutex = Mutex.create ();
+    refill_ok = Condition.create ();
+    available = Condition.create ();
+    slots = Hashtbl.create 16;
+    cap = capacity;
+    low_mark;
+    occupancy = 0;
+    gate_open = true;
+    closed = false;
+    poison = None;
+    puts = 0;
+    draws = 0;
+    producer_blocks = 0;
+    consumer_blocks = 0;
+    max_occupancy = 0;
+    draw_log_rev = [];
+  }
+
+let capacity t = t.cap
+let low t = t.low_mark
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let reserve t =
+  locked t (fun () ->
+      if t.closed then raise Closed;
+      if t.occupancy >= t.cap then t.gate_open <- false;
+      if not t.gate_open then begin
+        t.producer_blocks <- t.producer_blocks + 1;
+        while (not t.gate_open) && not t.closed do
+          Condition.wait t.refill_ok t.mutex
+        done;
+        if t.closed then raise Closed
+      end)
+
+let put t ~circuit ~kind ~units slot =
+  if units < 0 then invalid_arg "Depot.put: negative units";
+  locked t (fun () ->
+      if t.closed then raise Closed;
+      let q =
+        match Hashtbl.find_opt t.slots (circuit, kind) with
+        | Some q -> q
+        | None ->
+          let q = Queue.create () in
+          Hashtbl.replace t.slots (circuit, kind) q;
+          q
+      in
+      Queue.push (units, slot) q;
+      t.occupancy <- t.occupancy + units;
+      if t.occupancy > t.max_occupancy then t.max_occupancy <- t.occupancy;
+      t.puts <- t.puts + 1;
+      Condition.broadcast t.available)
+
+let draw t ~circuit ~kind =
+  locked t (fun () ->
+      let ready () =
+        match Hashtbl.find_opt t.slots (circuit, kind) with
+        | Some q when not (Queue.is_empty q) -> Some q
+        | _ -> None
+      in
+      let fail_closed () =
+        match t.poison with Some e -> raise e | None -> raise Closed
+      in
+      let q =
+        match ready () with
+        | Some q -> q
+        | None ->
+          if t.closed then fail_closed ();
+          t.consumer_blocks <- t.consumer_blocks + 1;
+          let rec wait () =
+            Condition.wait t.available t.mutex;
+            match ready () with
+            | Some q -> q
+            | None -> if t.closed then fail_closed () else wait ()
+          in
+          wait ()
+      in
+      let units, slot = Queue.pop q in
+      t.occupancy <- t.occupancy - units;
+      t.draws <- t.draws + 1;
+      t.draw_log_rev <- (circuit, kind) :: t.draw_log_rev;
+      if (not t.gate_open) && t.occupancy <= t.low_mark then begin
+        t.gate_open <- true;
+        Condition.broadcast t.refill_ok
+      end;
+      slot)
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.available;
+      Condition.broadcast t.refill_ok)
+
+let fail t exn =
+  locked t (fun () ->
+      if t.poison = None then t.poison <- Some exn;
+      t.closed <- true;
+      Condition.broadcast t.available;
+      Condition.broadcast t.refill_ok)
+
+let occupancy t = locked t (fun () -> t.occupancy)
+
+type stats = {
+  puts : int;
+  draws : int;
+  producer_blocks : int;
+  consumer_blocks : int;
+  max_occupancy : int;
+  final_occupancy : int;
+  draw_log : (int * string) list;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        puts = t.puts;
+        draws = t.draws;
+        producer_blocks = t.producer_blocks;
+        consumer_blocks = t.consumer_blocks;
+        max_occupancy = t.max_occupancy;
+        final_occupancy = t.occupancy;
+        draw_log = List.rev t.draw_log_rev;
+      })

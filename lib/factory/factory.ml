@@ -1,0 +1,226 @@
+module F = Yoso_field.Field.Fp
+module Circuit = Yoso_circuit.Circuit
+module Layout = Yoso_circuit.Layout
+module Splitmix = Yoso_hash.Splitmix
+module Cost = Yoso_runtime.Cost
+module Meter = Yoso_net.Meter
+module Board = Yoso_net.Board
+module Protocol = Yoso_mpc.Protocol
+module Offline = Yoso_mpc.Offline
+module Params = Yoso_mpc.Params
+
+type job = {
+  circuit : Circuit.t;
+  inputs : int -> F.t array;
+}
+
+type slot =
+  | Session of Protocol.session
+  | Item of Offline.item
+
+type circuit_result = {
+  index : int;
+  seed : int;
+  report : Protocol.report;
+}
+
+type report = {
+  results : circuit_result list;
+  cost : Cost.t;
+  meter : Meter.t;
+  depot : Depot.stats;
+  refills_during_online : int;
+  circuits : int;
+  total_mult : int;
+  wall_ms : float;
+  gates_per_sec : float;
+}
+
+let derived_seed base j = Splitmix.mix base j
+
+(* depot weight of one whole circuit, in the units [Offline.item_units]
+   charges: wire lambdas (one per gate), input-prep wires, k gate slots
+   per packed layer batch, the holder, and the session slot itself *)
+let units_of_job params job =
+  let layout = Layout.make job.circuit ~k:params.Params.k in
+  let layer_units =
+    Array.fold_left
+      (fun acc batches -> acc + (layout.Layout.k * List.length batches))
+      0 layout.Layout.mult_layers
+  in
+  Circuit.size job.circuit + Circuit.num_inputs job.circuit + layer_units + 2
+
+(* minor arena for sustained dual-domain operation, in words.  Every
+   minor collection is a stop-the-world sync across domains; at the
+   stock 256k-word arena the producer and consumer rendezvous so often
+   that synchronization swamps the pipeline (measured ~2x on one
+   core).  32 MB per domain cuts the sync frequency ~16x; [stream]
+   restores the caller's setting on exit. *)
+let stream_minor_words = 4 * 1024 * 1024
+
+let stream ~params ?(config = Protocol.default_config) ?capacity ?low ~jobs () =
+  if Array.length jobs = 0 then invalid_arg "Factory.stream: no jobs";
+  let gc0 = Gc.get () in
+  Gc.set
+    { gc0 with Gc.minor_heap_size = max gc0.Gc.minor_heap_size stream_minor_words };
+  Fun.protect ~finally:(fun () -> Gc.set gc0) @@ fun () ->
+  let base_seed = config.Protocol.exec.Protocol.seed in
+  let capacity =
+    match capacity with
+    | Some c -> c
+    | None ->
+      2 * Array.fold_left (fun acc j -> max acc (units_of_job params j)) 1 jobs
+  in
+  let depot : slot Depot.t = Depot.create ?low ~capacity () in
+  let refill_meter = Meter.create () in
+  let online_active = Atomic.make false in
+  let refills_during_online = Atomic.make 0 in
+
+  let produce_circuit j job =
+    Depot.reserve depot;
+    let config =
+      {
+        config with
+        Protocol.exec = { config.Protocol.exec with Protocol.seed = derived_seed base_seed j };
+      }
+    in
+    let s = Protocol.open_session ~params ~config ~circuit:job.circuit () in
+    Depot.put depot ~circuit:j ~kind:"session" ~units:1 (Session s);
+    let layout = Protocol.session_layout s in
+    let meter = Board.meter (Protocol.session_board s) in
+    let st = Protocol.start_stream s in
+    let before = ref (Meter.phase_total meter ~phase:"offline") in
+    let rec refill () =
+      let t0 = Unix.gettimeofday () in
+      match Offline.prepare_batch st with
+      | None -> ()
+      | Some item ->
+        (* record timing and refill bytes before the put: the depot
+           mutex then orders these writes before any consumer read *)
+        Protocol.record_offline_ms s ((Unix.gettimeofday () -. t0) *. 1000.);
+        let after = Meter.phase_total meter ~phase:"offline" in
+        Meter.record_refill refill_meter
+          ~batch:(Printf.sprintf "c%d/%s" j (Offline.item_kind item))
+          ~bytes:(after - !before);
+        before := after;
+        Depot.put depot ~circuit:j ~kind:(Offline.item_kind item)
+          ~units:(Offline.item_units layout item) (Item item);
+        if Atomic.get online_active then Atomic.incr refills_during_online;
+        refill ()
+    in
+    refill ()
+  in
+  let producer () =
+    try
+      Array.iteri produce_circuit jobs;
+      Depot.close depot
+    with e -> Depot.fail depot e
+  in
+
+  let agg_cost = Cost.create () in
+  let agg_meter = Meter.create () in
+  let to_factory phase = if String.equal phase "offline" then "factory" else phase in
+  let consume_circuit j job =
+    let s =
+      match Depot.draw depot ~circuit:j ~kind:"session" with
+      | Session s -> s
+      | Item _ -> assert false
+    in
+    let layout = Protocol.session_layout s in
+    let draw_item kind =
+      match Depot.draw depot ~circuit:j ~kind with
+      | Item item -> item
+      | Session _ -> assert false
+    in
+    let source =
+      {
+        Offline.src_layout = layout;
+        src_layers = Array.length layout.Layout.mult_layers;
+        src_wire_lambda =
+          (fun () ->
+            match draw_item "lambdas" with Offline.Lambdas a -> a | _ -> assert false);
+        src_input_preps =
+          (fun () ->
+            match draw_item "inputs" with Offline.Inputs l -> l | _ -> assert false);
+        src_mult_preps =
+          (fun li ->
+            match draw_item (Printf.sprintf "layer%d" li) with
+            | Offline.Layer (_, preps) -> preps
+            | _ -> assert false);
+        src_final_holder =
+          (fun () ->
+            match draw_item "holder" with Offline.Holder h -> h | _ -> assert false);
+      }
+    in
+    Atomic.set online_active true;
+    let report =
+      Fun.protect
+        ~finally:(fun () -> Atomic.set online_active false)
+        (fun () -> Protocol.consume s source ~inputs:job.inputs)
+    in
+    let board = Protocol.session_board s in
+    Cost.merge_into ~map_phase:to_factory ~dst:agg_cost (Board.cost board);
+    Meter.merge_into ~dst:agg_meter (Board.meter board);
+    Protocol.close_session s;
+    { index = j; seed = derived_seed base_seed j; report }
+  in
+
+  let t_start = Unix.gettimeofday () in
+  let prod = Domain.spawn producer in
+  let results =
+    match Array.to_list (Array.mapi consume_circuit jobs) with
+    | results ->
+      Domain.join prod;
+      results
+    | exception e ->
+      (* unblock a producer waiting in [reserve], then join so the
+         domain never outlives the stream call *)
+      Depot.fail depot e;
+      (try Domain.join prod with _ -> ());
+      raise e
+  in
+  let wall_ms = (Unix.gettimeofday () -. t_start) *. 1000. in
+  Meter.merge_into ~dst:agg_meter refill_meter;
+  let total_mult =
+    List.fold_left (fun acc r -> acc + r.report.Protocol.num_mult) 0 results
+  in
+  {
+    results;
+    cost = agg_cost;
+    meter = agg_meter;
+    depot = Depot.stats depot;
+    refills_during_online = Atomic.get refills_during_online;
+    circuits = Array.length jobs;
+    total_mult;
+    wall_ms;
+    gates_per_sec = float_of_int total_mult /. (wall_ms /. 1000.);
+  }
+
+let report_json r =
+  let b = Buffer.create 1024 in
+  Buffer.add_char b '{';
+  Printf.bprintf b "\"circuits\":%d,\"total_mult\":%d," r.circuits r.total_mult;
+  Printf.bprintf b "\"wall_ms\":%.3f,\"gates_per_sec\":%.2f," r.wall_ms r.gates_per_sec;
+  Printf.bprintf b "\"factory_elements\":%d,\"online_elements\":%d,"
+    (Cost.elements r.cost ~phase:"factory")
+    (Cost.elements r.cost ~phase:"online");
+  Printf.bprintf b "\"refill_bytes\":%d,\"refill_batches\":%d,"
+    (Meter.refill_total r.meter)
+    (List.length (Meter.refills r.meter));
+  Printf.bprintf b "\"refills_during_online\":%d," r.refills_during_online;
+  let d = r.depot in
+  Printf.bprintf b
+    "\"depot\":{\"puts\":%d,\"draws\":%d,\"producer_blocks\":%d,\"consumer_blocks\":%d,\"max_occupancy\":%d},"
+    d.Depot.puts d.Depot.draws d.Depot.producer_blocks d.Depot.consumer_blocks
+    d.Depot.max_occupancy;
+  Buffer.add_string b "\"runs\":[";
+  List.iteri
+    (fun i cr ->
+      if i > 0 then Buffer.add_char b ',';
+      let t = cr.report.Protocol.transcript in
+      Printf.bprintf b
+        "{\"index\":%d,\"seed\":%d,\"num_mult\":%d,\"digest\":%d,\"frames\":%d}" cr.index
+        cr.seed cr.report.Protocol.num_mult t.Board.digest t.Board.frames)
+    r.results;
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -8,6 +8,8 @@ type t = {
   by_conn : (string, int * int) Hashtbl.t; (* (sent, received) per connection *)
   by_route : (string, int * int * int) Hashtbl.t;
       (* (full, digest, suppressed) delivery bytes per subscription *)
+  by_refill : (string, int) Hashtbl.t;
+      (* frame bytes per factory refill batch ("c3/layer2") *)
 }
 
 let create () =
@@ -18,6 +20,7 @@ let create () =
     framing = Hashtbl.create 8;
     by_conn = Hashtbl.create 8;
     by_route = Hashtbl.create 8;
+    by_refill = Hashtbl.create 8;
   }
 
 let add tbl key n = Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
@@ -105,6 +108,38 @@ let routing_ratio t =
   if full + suppressed = 0 then 1.0
   else float_of_int full /. float_of_int (full + suppressed)
 
+(* factory refill accounting, attributed per depot batch: like
+   connection and routing bytes, refill bytes are an *attribution* of
+   frames already metered through the phase tables — they never feed
+   the phase/kind/role totals, so those stay equal to a one-shot run
+   of the same seeds *)
+let record_refill t ~batch ~bytes =
+  if bytes < 0 then invalid_arg "Meter.record_refill: negative byte count";
+  add t.by_refill batch bytes
+
+let refills t = sorted_bindings t.by_refill
+let refill_total t = Hashtbl.fold (fun _ b acc -> acc + b) t.by_refill 0
+
+(* aggregate a per-circuit meter into a stream-level one: phase tables
+   merge additively (the factory maps refill phases via its own Cost
+   accounting); refill attributions merge keyed as given *)
+let merge_into ~dst src =
+  Hashtbl.iter (fun (p, k) b -> add dst.by_kind (p, k) b) src.by_kind;
+  Hashtbl.iter (fun (p, s) b -> add dst.by_step (p, s) b) src.by_step;
+  Hashtbl.iter (fun r b -> add dst.by_role r b) src.by_role;
+  Hashtbl.iter (fun p b -> add dst.framing p b) src.framing;
+  Hashtbl.iter
+    (fun c (s, r) ->
+      let s0, r0 = Option.value ~default:(0, 0) (Hashtbl.find_opt dst.by_conn c) in
+      Hashtbl.replace dst.by_conn c (s0 + s, r0 + r))
+    src.by_conn;
+  Hashtbl.iter
+    (fun sub (f, d, s) ->
+      let f0, d0, s0 = Option.value ~default:(0, 0, 0) (Hashtbl.find_opt dst.by_route sub) in
+      Hashtbl.replace dst.by_route sub (f0 + f, d0 + d, s0 + s))
+    src.by_route;
+  Hashtbl.iter (fun b n -> add dst.by_refill b n) src.by_refill
+
 let pp ppf t =
   List.iter
     (fun phase ->
@@ -124,4 +159,7 @@ let pp ppf t =
   List.iter
     (fun (sub, (f, d, s)) ->
       Format.fprintf ppf "@[<h>sub  %-12s full=%dB digest=%dB suppressed=%dB@]@." sub f d s)
-    (routes t)
+    (routes t);
+  List.iter
+    (fun (batch, b) -> Format.fprintf ppf "@[<h>refill %-12s bytes=%dB@]@." batch b)
+    (refills t)

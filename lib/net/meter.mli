@@ -62,6 +62,24 @@ val routing_ratio : t -> float
     of the broadcast-equivalent volume actually shipped in full.
     [1.0] when nothing was suppressed. *)
 
+val record_refill : t -> batch:string -> bytes:int -> unit
+(** Adds factory refill bytes attributed to one depot batch (e.g.
+    ["c3/layer2"]: circuit 3, layer-2 packed shares).  Like connection
+    and routing bytes, refill attributions never feed the
+    phase/kind/role totals — they re-attribute frames that were
+    already metered — so per-circuit totals stay equal to a one-shot
+    run of the same seeds. *)
+
+val refills : t -> (string * int) list
+(** Per-batch refill bytes, sorted by batch label. *)
+
+val refill_total : t -> int
+(** Summed refill bytes over every batch. *)
+
+val merge_into : dst:t -> t -> unit
+(** Adds every bucket of [src] into [dst] — the factory aggregates the
+    per-circuit meters of a stream into one stream-level meter. *)
+
 val kind_bytes : t -> phase:string -> Cost.kind -> int
 val data_bytes : t -> phase:string -> int
 val framing_bytes : t -> phase:string -> int

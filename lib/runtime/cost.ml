@@ -47,9 +47,11 @@ let phases t =
   in
   collect t.elems (collect t.byte []) |> List.sort compare
 
-let merge_into ~dst src =
-  Hashtbl.iter (fun (phase, kind) n -> charge dst ~phase kind n) src.elems;
-  Hashtbl.iter (fun (phase, kind) n -> charge_bytes dst ~phase kind n) src.byte
+let merge_into ?(map_phase = Fun.id) ~dst src =
+  Hashtbl.iter (fun (phase, kind) n -> charge dst ~phase:(map_phase phase) kind n) src.elems;
+  Hashtbl.iter
+    (fun (phase, kind) n -> charge_bytes dst ~phase:(map_phase phase) kind n)
+    src.byte
 
 let pp ppf t =
   List.iter

@@ -42,7 +42,11 @@ val grand_total : t -> int
 val total_bytes : t -> int
 val phases : t -> string list
 
-val merge_into : dst:t -> t -> unit
-(** Adds both dimensions of [src] into [dst]. *)
+val merge_into : ?map_phase:(string -> string) -> dst:t -> t -> unit
+(** Adds both dimensions of [src] into [dst].  [map_phase] (default
+    identity) renames phases on the way in — the offline factory uses
+    it to aggregate the per-circuit ["offline"] charges of background
+    refill runs under the ["factory"] phase, keeping refill traffic
+    separable from one-shot offline traffic in merged reports. *)
 
 val pp : Format.formatter -> t -> unit

@@ -67,6 +67,54 @@ val verify_dealing_each : n:int -> dealing -> bool
 (** Per-share verification — [n] independent {!verify_share} calls.
     The definitional check the batch variant is tested against. *)
 
+(** {1 Product (Beaver-triple) proofs}
+
+    Chaum-Pedersen proofs over the same order-[q] subgroup that a
+    committed triple is multiplicative: given [Cx = h^x], [Cy = h^y],
+    [Cz = h^z], the prover shows knowledge of [y] with [Cy = h^y] and
+    [Cz = Cx^y] — which forces [z = x y].  These are the batch audit
+    proofs of the offline factory: one statement per Beaver triple,
+    verified per batch with random-linear-combination aggregation
+    (same trick as {!verify_dealing}, extended across {e many}
+    statements rather than the shares of one dealing). *)
+module Product : sig
+  type statement = {
+    cx : B.t;  (** [h^x] *)
+    cy : B.t;  (** [h^y] *)
+    cz : B.t;  (** [h^z]; the claim is [z = x y] *)
+  }
+
+  type proof
+
+  val commit : F.t -> B.t
+  (** [h^v] via the shared fixed-base table. *)
+
+  val prove : rng:Random.State.t -> x:F.t -> y:F.t -> z:F.t -> statement * proof
+  (** Honest prover: commits to the triple and proves [Cy = h^y] and
+      [Cz = Cx^y] with witness [y].  If [z <> x y] the produced proof
+      does not verify (the prover cannot make a false statement pass:
+      soundness of Chaum-Pedersen). *)
+
+  val tamper_z : statement -> F.t -> statement
+  (** Adversary/test constructor: shifts the claimed [Cz] by
+      [h^delta], breaking the product relation. *)
+
+  val verify : statement -> proof -> bool
+  (** Both Chaum-Pedersen equations, Fiat-Shamir challenge. *)
+
+  val verify_batch : ?rng:Random.State.t -> (statement * proof) array -> bool
+  (** Random-linear-combination aggregation: three multi-exponentiations
+      plus one fixed-base power for the whole batch instead of four
+      exponentiations per proof.  Accepts every batch {!verify}
+      accepts; a bad proof slips through with probability [1/q] over
+      the weights.  Without [rng], weights are derived from the batch
+      (Fiat-Shamir heuristic, matching the toy-sized group). *)
+
+  val attribute : (statement * proof) array -> int list
+  (** Indices whose proofs fail per-proof verification — exact blame
+      after {!verify_batch} returns [false]. *)
+end
+
 val secret_commitment : commitment -> B.t
 (** [h^secret = C_0]; contributions aggregate by multiplying these. *)
 

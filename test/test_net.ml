@@ -282,6 +282,25 @@ let test_meter_roles_and_phases () =
       Meter.record m ~phase:"x" ~step:"s" ~role:"r" ~frame_bytes:1
         ~payload:[ (Cost.Key, 2) ])
 
+let test_meter_refills () =
+  let m = Meter.create () in
+  Meter.record_refill m ~batch:"c0/lambdas" ~bytes:100;
+  Meter.record_refill m ~batch:"c0/lambdas" ~bytes:20;
+  Meter.record_refill m ~batch:"c1/holder" ~bytes:5;
+  Alcotest.(check int) "per-batch accumulates" 120
+    (List.assoc "c0/lambdas" (Meter.refills m));
+  Alcotest.(check int) "refill total" 125 (Meter.refill_total m);
+  (* refills are a side-attribution, never phase traffic *)
+  Alcotest.(check int) "no phase traffic" 0 (Meter.grand_total m);
+  let dst = Meter.create () in
+  Meter.record_refill dst ~batch:"c1/holder" ~bytes:1;
+  Meter.merge_into ~dst m;
+  Alcotest.(check int) "merged batch" 6 (List.assoc "c1/holder" (Meter.refills dst));
+  Alcotest.(check int) "merged total" 126 (Meter.refill_total dst);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Meter.record_refill: negative byte count") (fun () ->
+      Meter.record_refill m ~batch:"x" ~bytes:(-1))
+
 (* ------------------------------------------------------------------ *)
 (* Board                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -492,7 +511,11 @@ let () =
           Alcotest.test_case "drop" `Quick test_sim_drop;
           Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
         ] );
-      ("meter", [ Alcotest.test_case "roles and phases" `Quick test_meter_roles_and_phases ]);
+      ( "meter",
+        [
+          Alcotest.test_case "roles and phases" `Quick test_meter_roles_and_phases;
+          Alcotest.test_case "refill buckets" `Quick test_meter_refills;
+        ] );
       ( "board",
         [
           Alcotest.test_case "post delivered" `Quick test_board_post_delivered;

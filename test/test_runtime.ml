@@ -123,6 +123,22 @@ let test_cost_merge () =
   Alcotest.(check int) "merged" 7 (Cost.count a ~phase:"online" Cost.Field_element);
   Alcotest.(check int) "new phase" 1 (Cost.count a ~phase:"offline" Cost.Proof)
 
+let test_cost_merge_map_phase () =
+  let a = Cost.create () and b = Cost.create () in
+  Cost.charge a ~phase:"factory" Cost.Ciphertext 1;
+  Cost.charge b ~phase:"offline" Cost.Ciphertext 3;
+  Cost.charge b ~phase:"online" Cost.Field_element 2;
+  Cost.merge_into
+    ~map_phase:(fun p -> if String.equal p "offline" then "factory" else p)
+    ~dst:a b;
+  Alcotest.(check int) "offline lands in factory" 4
+    (Cost.count a ~phase:"factory" Cost.Ciphertext);
+  Alcotest.(check int) "other phases keep their name" 2
+    (Cost.count a ~phase:"online" Cost.Field_element);
+  Alcotest.(check int) "nothing left under the source name" 0
+    (Cost.elements a ~phase:"offline");
+  Alcotest.(check int) "source untouched" 3 (Cost.count b ~phase:"offline" Cost.Ciphertext)
+
 let test_cost_bytes_dimension () =
   let c = Cost.create () in
   Cost.charge c ~phase:"online" Cost.Field_element 2;
@@ -220,6 +236,7 @@ let () =
           Alcotest.test_case "speak once" `Quick test_bulletin_enforces_speak_once;
           Alcotest.test_case "cost accounting" `Quick test_cost_accounting;
           Alcotest.test_case "cost merge" `Quick test_cost_merge;
+          Alcotest.test_case "cost merge map phase" `Quick test_cost_merge_map_phase;
           Alcotest.test_case "cost bytes" `Quick test_cost_bytes_dimension;
           Alcotest.test_case "cost merge bytes" `Quick test_cost_merge_bytes;
           Alcotest.test_case "cost pp" `Quick test_cost_pp;
